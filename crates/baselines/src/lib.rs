@@ -1,0 +1,20 @@
+//! Baseline concurrent ordered indexes used by the paper's evaluation
+//! (section 4): a lock-coupled B+-tree (the "ART / B+-tree" competitor's
+//! storage layer), an Adaptive Radix Tree, a Masstree-like write-optimised
+//! tree and a Bw-Tree-like delta structure.
+//!
+//! Every structure implements [`pma_common::ConcurrentMap`], so the workload
+//! drivers and benchmark harness treat them interchangeably with the
+//! concurrent PMA.
+
+#![warn(missing_docs)]
+
+pub mod art;
+pub mod btree;
+pub mod bwtree;
+pub mod masstree;
+
+pub use art::ArtIndex;
+pub use btree::{BPlusTree, BTreeConfig};
+pub use bwtree::{BwTreeConfig, BwTreeLike};
+pub use masstree::MasstreeLike;

@@ -1,0 +1,90 @@
+//! Criterion micro-benchmarks comparing single-threaded update and lookup
+//! costs across every structure of the paper's evaluation.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{seq::SliceRandom, SeedableRng};
+
+use pma_workloads::StructureKind;
+
+const N: usize = 50_000;
+
+/// Short measurement windows keep the full suite runnable in CI; raise them
+/// for publication-quality numbers.
+fn tune(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(2));
+}
+
+
+fn shuffled_keys() -> Vec<i64> {
+    let mut keys: Vec<i64> = (0..N as i64).map(|k| k * 3).collect();
+    keys.shuffle(&mut SmallRng::seed_from_u64(42));
+    keys
+}
+
+fn all_kinds() -> Vec<StructureKind> {
+    vec![
+        StructureKind::Masstree,
+        StructureKind::BwTree,
+        StructureKind::ArtBTree,
+        StructureKind::Art,
+        StructureKind::PmaBatch(100),
+        StructureKind::PmaSynchronous,
+    ]
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_insert_1t");
+    group.sample_size(10);
+    tune(&mut group);
+    let data = shuffled_keys();
+    for kind in all_kinds() {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &data, |b, data| {
+            b.iter_batched(
+                || kind.build(),
+                |map| {
+                    for &k in data {
+                        map.insert(k, k);
+                    }
+                    map.flush();
+                    map
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_get(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_point_lookup");
+    group.sample_size(20);
+    tune(&mut group);
+    let data = shuffled_keys();
+    for kind in all_kinds() {
+        let map = kind.build();
+        for &k in &data {
+            map.insert(k, k);
+        }
+        map.flush();
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &data, |b, data| {
+            b.iter(|| {
+                let mut hits = 0u64;
+                for &k in data.iter().step_by(9) {
+                    if map.get(k).is_some() {
+                        hits += 1;
+                    }
+                }
+                hits
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_get);
+criterion_main!(benches);

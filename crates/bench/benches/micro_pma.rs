@@ -1,0 +1,148 @@
+//! Criterion micro-benchmarks for the Packed Memory Array itself: sequential
+//! vs concurrent, insertion order, point lookups and ordered iteration.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{seq::SliceRandom, SeedableRng};
+
+use pma_common::ConcurrentMap;
+use pma_core::{ConcurrentPma, PackedMemoryArray, PmaParams, UpdateMode};
+
+const N: usize = 100_000;
+
+/// Short measurement windows keep the full suite runnable in CI; raise them
+/// for publication-quality numbers.
+fn tune(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(2));
+}
+
+fn keys(shuffled: bool) -> Vec<i64> {
+    let mut keys: Vec<i64> = (0..N as i64).collect();
+    if shuffled {
+        keys.shuffle(&mut SmallRng::seed_from_u64(7));
+    }
+    keys
+}
+
+fn bench_sequential_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sequential_pma_insert");
+    group.sample_size(10);
+    tune(&mut group);
+    for (label, shuffled) in [("ascending", false), ("shuffled", true)] {
+        let data = keys(shuffled);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &data, |b, data| {
+            b.iter_batched(
+                || PackedMemoryArray::<i64, i64>::with_defaults(),
+                |mut pma| {
+                    for &k in data {
+                        pma.insert(k, k);
+                    }
+                    pma
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_concurrent_insert_single_thread(c: &mut Criterion) {
+    let mut group = c.benchmark_group("concurrent_pma_insert_1t");
+    group.sample_size(10);
+    tune(&mut group);
+    let data = keys(true);
+    for (label, mode) in [
+        ("sync", UpdateMode::Synchronous),
+        ("batch", UpdateMode::default()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &data, |b, data| {
+            b.iter_batched(
+                || {
+                    ConcurrentPma::new(PmaParams {
+                        update_mode: mode,
+                        ..PmaParams::default()
+                    })
+                    .unwrap()
+                },
+                |pma| {
+                    for &k in data {
+                        pma.insert(k, k);
+                    }
+                    pma.flush();
+                    pma
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_point_lookups(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pma_point_lookup");
+    group.sample_size(20);
+    tune(&mut group);
+    let data = keys(true);
+    let mut seq = PackedMemoryArray::<i64, i64>::with_defaults();
+    let conc = ConcurrentPma::with_defaults();
+    for &k in &data {
+        seq.insert(k, k);
+        conc.insert(k, k);
+    }
+    conc.flush();
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &k in data.iter().step_by(7) {
+                if seq.get(&k).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.bench_function("concurrent", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &k in data.iter().step_by(7) {
+                if conc.get(k).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.finish();
+}
+
+fn bench_ordered_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pma_ordered_scan");
+    group.sample_size(20);
+    tune(&mut group);
+    let data = keys(true);
+    let mut seq = PackedMemoryArray::<i64, i64>::with_defaults();
+    let conc = ConcurrentPma::with_defaults();
+    for &k in &data {
+        seq.insert(k, k);
+        conc.insert(k, k);
+    }
+    conc.flush();
+    group.bench_function("sequential_iter", |b| {
+        b.iter(|| seq.iter().map(|(k, _)| k as i128).sum::<i128>())
+    });
+    group.bench_function("concurrent_scan_all", |b| b.iter(|| conc.scan_all().key_sum));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sequential_insert,
+    bench_concurrent_insert_single_thread,
+    bench_point_lookups,
+    bench_ordered_scan
+);
+criterion_main!(benches);

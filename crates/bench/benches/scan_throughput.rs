@@ -1,0 +1,77 @@
+//! Criterion benchmark for the paper's headline claim: ordered scans over the
+//! PMA are roughly an order of magnitude faster than over the tree baselines
+//! (Figure 3, lower plots).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use pma_workloads::StructureKind;
+
+const N: usize = 200_000;
+
+/// Short measurement windows keep the full suite runnable in CI; raise them
+/// for publication-quality numbers.
+fn tune(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(2));
+}
+
+
+fn kinds() -> Vec<StructureKind> {
+    vec![
+        StructureKind::Masstree,
+        StructureKind::BwTree,
+        StructureKind::ArtBTree,
+        StructureKind::PmaBatch(100),
+    ]
+}
+
+fn bench_full_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_ordered_scan");
+    group.sample_size(15);
+    tune(&mut group);
+    group.throughput(Throughput::Elements(N as u64));
+    for kind in kinds() {
+        let map = kind.build();
+        for k in 0..N as i64 {
+            map.insert(k * 7, k);
+        }
+        map.flush();
+        assert_eq!(map.len(), N);
+        group.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
+            b.iter(|| {
+                let stats = map.scan_all();
+                assert_eq!(stats.count, N as u64);
+                stats.key_sum
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_range_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("range_scan_10k");
+    group.sample_size(20);
+    tune(&mut group);
+    group.throughput(Throughput::Elements(10_000));
+    for kind in kinds() {
+        let map = kind.build();
+        for k in 0..N as i64 {
+            map.insert(k, k);
+        }
+        map.flush();
+        group.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
+            b.iter(|| {
+                let mut sum = 0i64;
+                map.range(50_000, 59_999, &mut |k, _| sum += k);
+                sum
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_scan, bench_range_scan);
+criterion_main!(benches);

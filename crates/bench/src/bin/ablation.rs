@@ -1,0 +1,68 @@
+//! Reproduces the parameter ablations discussed in section 4.1 of the paper:
+//! doubling the PMA segment size from 128 to 256 elements, and growing the
+//! B+-tree leaves from 4 KiB to 8 KiB — both trade update throughput for scan
+//! throughput.
+//!
+//! ```text
+//! cargo run --release -p pma-bench --bin ablation -- --scenario segment-size
+//! cargo run --release -p pma-bench --bin ablation -- --scenario leaf-size
+//! ```
+
+use pma_bench::ExperimentOptions;
+use pma_workloads::{
+    measure_median, render_table, Distribution, ResultRow, StructureKind, ThreadSplit,
+    UpdatePattern,
+};
+
+fn main() {
+    let options = ExperimentOptions::parse(std::env::args().skip(1));
+    let which = options
+        .scenario
+        .clone()
+        .unwrap_or_else(|| "all".to_string());
+
+    let total = options.threads.max(2);
+    // Half updaters, half scanners: the configuration where the trade-off is
+    // visible on both axes.
+    let split = ThreadSplit {
+        update_threads: total / 2,
+        scan_threads: total - total / 2,
+    };
+
+    let mut experiments: Vec<(&str, Vec<StructureKind>)> = Vec::new();
+    if which == "all" || which == "segment-size" {
+        experiments.push((
+            "Section 4.1 ablation: PMA segment size 128 vs 256",
+            vec![StructureKind::PmaBatch(100), StructureKind::PmaLargeSegments],
+        ));
+    }
+    if which == "all" || which == "leaf-size" {
+        experiments.push((
+            "Section 4.1 ablation: B+-tree leaf size 4KiB vs 8KiB",
+            vec![
+                StructureKind::ArtBTree,
+                StructureKind::ArtBTreeLargeLeaves,
+            ],
+        ));
+    }
+    if experiments.is_empty() {
+        eprintln!("unknown --scenario '{which}', expected segment-size, leaf-size or all");
+        return;
+    }
+
+    for (title, kinds) in experiments {
+        let mut rows = Vec::new();
+        for distribution in [Distribution::Uniform, Distribution::Zipf { alpha: 1.5 }] {
+            for kind in &kinds {
+                let spec = options.spec(distribution, split, UpdatePattern::InsertOnly);
+                let measurement = measure_median(|| kind.build(), &spec, options.repeats);
+                rows.push(ResultRow {
+                    structure: kind.label(),
+                    workload: distribution.label(),
+                    measurement,
+                });
+            }
+        }
+        println!("{}", render_table(title, &rows));
+    }
+}

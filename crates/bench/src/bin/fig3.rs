@@ -1,0 +1,59 @@
+//! Reproduces Figure 3 of the paper: average throughput to insert / update
+//! and to scan, for MassTree-like, Bw-Tree-like, ART/B+-tree and the
+//! concurrent PMA, over the uniform and Zipfian distributions and the three
+//! thread partitions.
+//!
+//! Scenarios: `a` = all threads insert, `b` = 3/4 insert + 1/4 scan, `c` =
+//! half insert + half scan (insert-only, Figure 3 a–c); `d`/`e`/`f` = the same
+//! splits with the mixed insert+delete workload (Figure 3 d–f).
+//!
+//! ```text
+//! cargo run --release -p pma-bench --bin fig3 -- --scenario a --elements 4000000
+//! ```
+
+use pma_bench::ExperimentOptions;
+use pma_workloads::{
+    measure_median, render_table, Distribution, ResultRow, StructureKind, ThreadSplit,
+    UpdatePattern,
+};
+
+fn main() {
+    let options = ExperimentOptions::parse(std::env::args().skip(1));
+    let scenarios: Vec<char> = match options.scenario.as_deref() {
+        Some(s) => s.chars().collect(),
+        None => vec!['a', 'b', 'c', 'd', 'e', 'f'],
+    };
+    let splits = ThreadSplit::paper_splits(options.threads);
+
+    for scenario in scenarios {
+        let (split_idx, pattern, figure) = match scenario {
+            'a' => (0, UpdatePattern::InsertOnly, "Figure 3a: insertions only"),
+            'b' => (1, UpdatePattern::InsertOnly, "Figure 3b: insertions + scans (3/4 : 1/4)"),
+            'c' => (2, UpdatePattern::InsertOnly, "Figure 3c: insertions + scans (1/2 : 1/2)"),
+            'd' => (0, UpdatePattern::MixedUpdates, "Figure 3d: updates only"),
+            'e' => (1, UpdatePattern::MixedUpdates, "Figure 3e: updates + scans (3/4 : 1/4)"),
+            'f' => (2, UpdatePattern::MixedUpdates, "Figure 3f: updates + scans (1/2 : 1/2)"),
+            other => {
+                eprintln!("unknown scenario '{other}', expected a-f");
+                continue;
+            }
+        };
+        let split = splits[split_idx];
+        let mut rows = Vec::new();
+        for distribution in Distribution::paper_set() {
+            for kind in StructureKind::figure3_set() {
+                let spec = options.spec(distribution, split, pattern);
+                let measurement = measure_median(|| kind.build(), &spec, options.repeats);
+                rows.push(ResultRow {
+                    structure: kind.label(),
+                    workload: distribution.label(),
+                    measurement,
+                });
+            }
+        }
+        println!(
+            "{}",
+            render_table(&format!("{figure} [{} threads]", split.label()), &rows)
+        );
+    }
+}

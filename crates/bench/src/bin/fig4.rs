@@ -1,0 +1,54 @@
+//! Reproduces Figure 4 of the paper: the speed-up of the asynchronous update
+//! modes (one-by-one and batch processing with different `t_delay` values)
+//! relative to the synchronous PMA baseline, under increasing skew, for three
+//! updater-thread counts.
+//!
+//! ```text
+//! cargo run --release -p pma-bench --bin fig4 -- --elements 4000000
+//! ```
+
+use pma_bench::ExperimentOptions;
+use pma_workloads::{
+    measure_median, render_speedup_table, Distribution, ResultRow, StructureKind, ThreadSplit,
+    UpdatePattern,
+};
+
+fn main() {
+    let options = ExperimentOptions::parse(std::env::args().skip(1));
+    // Figure 4 a/b/c: 16, 12 and 8 updater threads (scaled to this machine),
+    // with the remaining threads scanning.
+    let total = options.threads.max(2);
+    let updater_counts = [total, total - total / 4, total / 2];
+
+    for (plot, &updaters) in ["a", "b", "c"].iter().zip(updater_counts.iter()) {
+        if let Some(only) = options.scenario.as_deref() {
+            if only != *plot {
+                continue;
+            }
+        }
+        let split = ThreadSplit {
+            update_threads: updaters.max(1),
+            scan_threads: total - updaters.max(1).min(total),
+        };
+        let mut rows = Vec::new();
+        for distribution in Distribution::paper_set() {
+            for kind in StructureKind::figure4_set() {
+                let spec = options.spec(distribution, split, UpdatePattern::InsertOnly);
+                let measurement = measure_median(|| kind.build(), &spec, options.repeats);
+                rows.push(ResultRow {
+                    structure: kind.label(),
+                    workload: distribution.label(),
+                    measurement,
+                });
+            }
+        }
+        println!(
+            "{}",
+            render_speedup_table(
+                &format!("Figure 4{plot}: asynchronous updates [{} updaters]", split.update_threads),
+                &rows,
+                "PMA Baseline",
+            )
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! Shared helpers for the experiment binaries (`fig3`, `fig4`, `ablation`)
+//! and the Criterion micro-benchmarks: a tiny command-line parser and the
+//! common experiment-loop plumbing.
+
+#![warn(missing_docs)]
+
+use pma_workloads::{Distribution, ThreadSplit, UpdatePattern, WorkloadSpec};
+
+/// Options shared by every experiment binary.
+#[derive(Debug, Clone)]
+pub struct ExperimentOptions {
+    /// Elements inserted (insert-only) or preloaded (mixed) per cell.
+    pub elements: usize,
+    /// Total number of threads to partition between updaters and scanners.
+    pub threads: usize,
+    /// Repetitions per cell (the median is reported).
+    pub repeats: usize,
+    /// Key domain.
+    pub key_range: u64,
+    /// Restrict to a single scenario (binary-specific meaning).
+    pub scenario: Option<String>,
+    /// Quick smoke-test mode (drastically smaller workloads).
+    pub quick: bool,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(8)
+            .clamp(2, 16);
+        Self {
+            elements: 1_000_000,
+            threads,
+            repeats: 1,
+            key_range: pma_workloads::DEFAULT_KEY_RANGE,
+            scenario: None,
+            quick: false,
+        }
+    }
+}
+
+impl ExperimentOptions {
+    /// Parses `--elements N --threads N --repeats N --key-range N
+    /// --scenario X --quick` from the given iterator (typically
+    /// `std::env::args().skip(1)`). Unknown flags abort with a usage message.
+    pub fn parse<I: Iterator<Item = String>>(mut args: I) -> Self {
+        let mut options = Self::default();
+        while let Some(flag) = args.next() {
+            let mut value = |flag: &str| {
+                args.next()
+                    .unwrap_or_else(|| panic!("missing value for {flag}"))
+            };
+            match flag.as_str() {
+                "--elements" => options.elements = value("--elements").parse().expect("--elements"),
+                "--threads" => options.threads = value("--threads").parse().expect("--threads"),
+                "--repeats" => options.repeats = value("--repeats").parse().expect("--repeats"),
+                "--key-range" => {
+                    options.key_range = value("--key-range").parse().expect("--key-range")
+                }
+                "--scenario" => options.scenario = Some(value("--scenario")),
+                "--quick" => options.quick = true,
+                "--help" | "-h" => {
+                    println!(
+                        "usage: [--elements N] [--threads N] [--repeats N] \
+                         [--key-range N] [--scenario S] [--quick]"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag: {other} (try --help)"),
+            }
+        }
+        if options.quick {
+            options.elements = options.elements.min(100_000);
+            options.key_range = options.key_range.min(1 << 20);
+            options.repeats = 1;
+        }
+        options
+    }
+
+    /// Effective element count for one experiment cell.
+    pub fn cell_elements(&self) -> usize {
+        self.elements.max(1)
+    }
+
+    /// Builds the workload spec for one cell.
+    pub fn spec(
+        &self,
+        distribution: Distribution,
+        threads: ThreadSplit,
+        pattern: UpdatePattern,
+    ) -> WorkloadSpec {
+        WorkloadSpec {
+            distribution,
+            key_range: self.key_range,
+            total_elements: self.cell_elements(),
+            threads,
+            pattern,
+            ..WorkloadSpec::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> ExperimentOptions {
+        ExperimentOptions::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_sensible() {
+        let o = ExperimentOptions::default();
+        assert!(o.threads >= 2);
+        assert_eq!(o.elements, 1_000_000);
+        assert!(o.scenario.is_none());
+    }
+
+    #[test]
+    fn parse_all_flags() {
+        let o = parse(&[
+            "--elements",
+            "5000",
+            "--threads",
+            "4",
+            "--repeats",
+            "3",
+            "--key-range",
+            "1024",
+            "--scenario",
+            "b",
+        ]);
+        assert_eq!(o.elements, 5000);
+        assert_eq!(o.threads, 4);
+        assert_eq!(o.repeats, 3);
+        assert_eq!(o.key_range, 1024);
+        assert_eq!(o.scenario.as_deref(), Some("b"));
+    }
+
+    #[test]
+    fn quick_mode_caps_sizes() {
+        let o = parse(&["--elements", "50000000", "--quick"]);
+        assert!(o.elements <= 100_000);
+        assert_eq!(o.repeats, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        let _ = parse(&["--bogus"]);
+    }
+
+    #[test]
+    fn spec_builder_uses_options() {
+        let o = parse(&["--elements", "1234", "--key-range", "4096"]);
+        let spec = o.spec(
+            Distribution::Zipf { alpha: 1.5 },
+            ThreadSplit {
+                update_threads: 3,
+                scan_threads: 1,
+            },
+            UpdatePattern::InsertOnly,
+        );
+        assert_eq!(spec.total_elements, 1234);
+        assert_eq!(spec.key_range, 4096);
+        assert_eq!(spec.threads.update_threads, 3);
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+/// Errors surfaced by the public APIs of the workspace crates.
+///
+/// The data-structure hot paths are infallible by design (as in the paper's
+/// C++ implementation); errors are only produced by configuration validation,
+/// the experiment harness, and the graph layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PmaError {
+    /// A configuration parameter is outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A requested entity (vertex, edge, experiment, …) does not exist.
+    NotFound(String),
+    /// The operation conflicts with the current state (e.g. duplicate vertex).
+    Conflict(String),
+}
+
+impl fmt::Display for PmaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmaError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            PmaError::NotFound(what) => write!(f, "not found: {what}"),
+            PmaError::Conflict(what) => write!(f, "conflict: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PmaError {}
+
+impl PmaError {
+    /// Convenience constructor for [`PmaError::InvalidParameter`].
+    pub fn invalid(name: &'static str, reason: impl Into<String>) -> Self {
+        PmaError::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        let e = PmaError::invalid("segment_capacity", "must be a power of two");
+        assert_eq!(
+            e.to_string(),
+            "invalid parameter `segment_capacity`: must be a power of two"
+        );
+        assert_eq!(
+            PmaError::NotFound("vertex 3".into()).to_string(),
+            "not found: vertex 3"
+        );
+        assert_eq!(
+            PmaError::Conflict("vertex 3 already exists".into()).to_string(),
+            "conflict: vertex 3 already exists"
+        );
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&PmaError::NotFound("x".into()));
+    }
+}

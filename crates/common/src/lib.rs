@@ -1,0 +1,18 @@
+//! Shared vocabulary for the `rma-concurrent` workspace.
+//!
+//! This crate defines the key/value types used by the evaluation of the paper
+//! *Fast Concurrent Reads and Updates with PMAs* (De Leo & Boncz, GRADES-NDA
+//! 2019), the [`ConcurrentMap`] trait that every data structure in the
+//! workspace implements (the concurrent PMA and all tree baselines), and a few
+//! small utilities shared by the workload drivers and tests.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod map;
+pub mod types;
+pub mod util;
+
+pub use error::PmaError;
+pub use map::{ConcurrentMap, ScanStats};
+pub use types::{Key, KeyValue, Value, KEY_MAX, KEY_MIN};

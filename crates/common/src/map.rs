@@ -1,0 +1,154 @@
+//! The [`ConcurrentMap`] trait implemented by every data structure evaluated
+//! in the paper: the concurrent PMA, the B+-tree, the ART/B+-tree hybrid, the
+//! Masstree-like tree and the Bw-Tree-like structure.
+//!
+//! The trait deliberately mirrors the operations the paper's evaluation
+//! exercises: point insertions, deletions, lookups, and ordered scans (full
+//! and ranged). All methods take `&self`: implementations are responsible for
+//! their own internal synchronisation.
+
+use crate::types::{Key, Value};
+
+/// Aggregate statistics produced by an ordered scan.
+///
+/// The workload drivers use scans that fold every visited element into this
+/// accumulator, which both prevents the compiler from optimising the traversal
+/// away and gives the tests a cheap checksum to validate scan correctness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Number of elements visited.
+    pub count: u64,
+    /// Sum of all visited keys (wrapping, used as a checksum).
+    pub key_sum: i128,
+    /// Sum of all visited values (wrapping, used as a checksum).
+    pub value_sum: i128,
+}
+
+impl ScanStats {
+    /// Folds one element into the accumulator.
+    #[inline]
+    pub fn visit(&mut self, key: Key, value: Value) {
+        self.count += 1;
+        self.key_sum = self.key_sum.wrapping_add(key as i128);
+        self.value_sum = self.value_sum.wrapping_add(value as i128);
+    }
+
+    /// Merges another accumulator into this one.
+    #[inline]
+    pub fn merge(&mut self, other: &ScanStats) {
+        self.count += other.count;
+        self.key_sum = self.key_sum.wrapping_add(other.key_sum);
+        self.value_sum = self.value_sum.wrapping_add(other.value_sum);
+    }
+}
+
+/// A thread-safe ordered map from [`Key`] to [`Value`].
+///
+/// Semantics follow the paper's workload: `insert` is an upsert (the paper's
+/// generators never produce duplicate keys, but an upsert keeps the contract
+/// total), `remove` deletes the key if present, scans visit elements in
+/// ascending key order and observe some consistent-enough snapshot — the paper
+/// allows scans to run concurrently with updates without snapshot isolation.
+pub trait ConcurrentMap: Send + Sync {
+    /// Inserts `key` with `value`, overwriting any previous value.
+    fn insert(&self, key: Key, value: Value);
+
+    /// Removes `key`, returning its value if it was present.
+    fn remove(&self, key: Key) -> Option<Value>;
+
+    /// Looks up `key`.
+    fn get(&self, key: Key) -> Option<Value>;
+
+    /// Number of elements currently stored.
+    fn len(&self) -> usize;
+
+    /// Whether the map is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Scans every element in ascending key order, folding into [`ScanStats`].
+    fn scan_all(&self) -> ScanStats;
+
+    /// Visits every element with key in `[lo, hi]` (inclusive) in ascending
+    /// key order.
+    fn range(&self, lo: Key, hi: Key, visitor: &mut dyn FnMut(Key, Value));
+
+    /// Waits until all asynchronously accepted updates have been applied.
+    ///
+    /// The concurrent PMA's asynchronous update modes may defer operations to
+    /// other writers or to the rebalancer service; the workload drivers call
+    /// this before validating the final contents. Synchronous structures need
+    /// not override the default no-op.
+    fn flush(&self) {}
+
+    /// Short human-readable name used in benchmark tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Blanket implementation so `Arc<T>`, `Box<T>` and references can be passed
+/// wherever a [`ConcurrentMap`] is expected.
+impl<M: ConcurrentMap + ?Sized> ConcurrentMap for std::sync::Arc<M> {
+    fn insert(&self, key: Key, value: Value) {
+        (**self).insert(key, value)
+    }
+    fn remove(&self, key: Key) -> Option<Value> {
+        (**self).remove(key)
+    }
+    fn get(&self, key: Key) -> Option<Value> {
+        (**self).get(key)
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn scan_all(&self) -> ScanStats {
+        (**self).scan_all()
+    }
+    fn range(&self, lo: Key, hi: Key, visitor: &mut dyn FnMut(Key, Value)) {
+        (**self).range(lo, hi, visitor)
+    }
+    fn flush(&self) {
+        (**self).flush()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_stats_visit_accumulates() {
+        let mut s = ScanStats::default();
+        s.visit(1, 10);
+        s.visit(2, 20);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.key_sum, 3);
+        assert_eq!(s.value_sum, 30);
+    }
+
+    #[test]
+    fn scan_stats_merge() {
+        let mut a = ScanStats::default();
+        a.visit(1, 1);
+        let mut b = ScanStats::default();
+        b.visit(2, 2);
+        b.visit(3, 3);
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.key_sum, 6);
+        assert_eq!(a.value_sum, 6);
+    }
+
+    #[test]
+    fn scan_stats_handles_negative_keys() {
+        let mut s = ScanStats::default();
+        s.visit(-5, -10);
+        s.visit(5, 10);
+        assert_eq!(s.key_sum, 0);
+        assert_eq!(s.value_sum, 0);
+        assert_eq!(s.count, 2);
+    }
+}

@@ -1,0 +1,79 @@
+//! Key and value types.
+//!
+//! The paper's evaluation stores 8-byte key / 8-byte value integer pairs; the
+//! concurrent data structures in this workspace use these concrete aliases so
+//! that the shared-mutation storage of the PMA can be kept simple and its
+//! safety argument auditable. The *sequential* PMA in `pma-core` is generic.
+
+/// The key type used by the concurrent data structures (8-byte signed integer).
+pub type Key = i64;
+
+/// The value type used by the concurrent data structures (8-byte signed integer).
+pub type Value = i64;
+
+/// Smallest representable key, used as the `-inf` fence key of the first gate.
+pub const KEY_MIN: Key = Key::MIN;
+
+/// Largest representable key, used as the `+inf` fence key of the last gate.
+pub const KEY_MAX: Key = Key::MAX;
+
+/// A key/value pair, the element stored by every structure in the workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct KeyValue {
+    /// The ordering key.
+    pub key: Key,
+    /// The payload associated with `key`.
+    pub value: Value,
+}
+
+impl KeyValue {
+    /// Creates a new key/value pair.
+    #[inline]
+    pub const fn new(key: Key, value: Value) -> Self {
+        Self { key, value }
+    }
+}
+
+impl From<(Key, Value)> for KeyValue {
+    #[inline]
+    fn from((key, value): (Key, Value)) -> Self {
+        Self { key, value }
+    }
+}
+
+impl From<KeyValue> for (Key, Value) {
+    #[inline]
+    fn from(kv: KeyValue) -> Self {
+        (kv.key, kv.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_value_roundtrip() {
+        let kv = KeyValue::new(42, -7);
+        let tuple: (Key, Value) = kv.into();
+        assert_eq!(tuple, (42, -7));
+        assert_eq!(KeyValue::from(tuple), kv);
+    }
+
+    #[test]
+    fn key_value_ordering_is_by_key_then_value() {
+        let a = KeyValue::new(1, 100);
+        let b = KeyValue::new(2, 0);
+        let c = KeyValue::new(2, 1);
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn fence_sentinels_bracket_all_keys() {
+        for k in [-1_000_000_i64, 0, 1, Key::MAX - 1] {
+            assert!(KEY_MIN <= k);
+            assert!(k <= KEY_MAX);
+        }
+    }
+}

@@ -1,0 +1,612 @@
+//! Storage of one gate's chunk: a fixed number of consecutive PMA segments.
+//!
+//! A chunk is the unit protected by a gate latch (paper section 3.1). Inside a
+//! chunk the layout is the classic PMA layout: each segment owns a fixed slot
+//! range, its live elements are packed at the start of that range and sorted,
+//! and the chunk-wide key order is maintained across segments.
+//!
+//! All methods take `&self` / `&mut self`: the *caller* (the concurrent PMA
+//! and the rebalancer) is responsible for holding the owning gate's latch in
+//! the appropriate mode before touching a chunk.
+
+use crate::sequential::adaptive::AdaptivePredictor;
+use pma_common::{Key, ScanStats, Value};
+
+/// Outcome of [`ChunkData::try_insert`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkInsert {
+    /// A new element was stored.
+    Inserted,
+    /// The key already existed; its previous value is returned.
+    Replaced(Value),
+    /// The target segment (local index) is full; the caller must rebalance
+    /// before retrying.
+    SegmentFull(usize),
+}
+
+/// The elements of one chunk (one gate's worth of segments).
+#[derive(Debug)]
+pub struct ChunkData {
+    segment_capacity: usize,
+    /// Live elements per segment.
+    cards: Box<[u32]>,
+    /// Slot array: segment `s` owns `[s * B, (s + 1) * B)`.
+    keys: Box<[Key]>,
+    values: Box<[Value]>,
+    /// Per-segment insertion/deletion activity, used by adaptive rebalancing.
+    predictor: AdaptivePredictor,
+}
+
+impl ChunkData {
+    /// Creates an empty chunk of `num_segments` segments of
+    /// `segment_capacity` slots each.
+    pub fn new(num_segments: usize, segment_capacity: usize) -> Self {
+        assert!(num_segments > 0 && segment_capacity > 0);
+        let slots = num_segments * segment_capacity;
+        Self {
+            segment_capacity,
+            cards: vec![0u32; num_segments].into_boxed_slice(),
+            keys: vec![0 as Key; slots].into_boxed_slice(),
+            values: vec![0 as Value; slots].into_boxed_slice(),
+            predictor: AdaptivePredictor::new(num_segments),
+        }
+    }
+
+    /// Builds a chunk by pulling elements from `stream` (ascending key order):
+    /// segment `s` receives `targets[s]` elements.
+    pub fn from_stream<I>(
+        num_segments: usize,
+        segment_capacity: usize,
+        targets: &[usize],
+        stream: &mut I,
+    ) -> Self
+    where
+        I: Iterator<Item = (Key, Value)>,
+    {
+        assert_eq!(targets.len(), num_segments);
+        let mut chunk = Self::new(num_segments, segment_capacity);
+        for (s, &t) in targets.iter().enumerate() {
+            assert!(t <= segment_capacity);
+            let start = chunk.seg_start(s);
+            for i in 0..t {
+                let (k, v) = stream
+                    .next()
+                    .expect("stream exhausted before filling the chunk");
+                chunk.keys[start + i] = k;
+                chunk.values[start + i] = v;
+            }
+            chunk.cards[s] = t as u32;
+        }
+        chunk
+    }
+
+    /// Number of segments in the chunk.
+    #[inline]
+    pub fn num_segments(&self) -> usize {
+        self.cards.len()
+    }
+
+    /// Slots per segment.
+    #[inline]
+    pub fn segment_capacity(&self) -> usize {
+        self.segment_capacity
+    }
+
+    /// Total number of slots in the chunk.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Total number of live elements in the chunk.
+    #[inline]
+    pub fn cardinality(&self) -> usize {
+        self.cards.iter().map(|&c| c as usize).sum()
+    }
+
+    /// Live elements in segment `s`.
+    #[inline]
+    pub fn card(&self, s: usize) -> usize {
+        self.cards[s] as usize
+    }
+
+    #[inline]
+    fn seg_start(&self, s: usize) -> usize {
+        s * self.segment_capacity
+    }
+
+    /// Sorted live keys of segment `s`.
+    #[inline]
+    pub fn seg_keys(&self, s: usize) -> &[Key] {
+        let start = self.seg_start(s);
+        &self.keys[start..start + self.card(s)]
+    }
+
+    /// Minimum key of segment `s`, if non-empty.
+    #[inline]
+    pub fn seg_min(&self, s: usize) -> Option<Key> {
+        if self.cards[s] == 0 {
+            None
+        } else {
+            Some(self.keys[self.seg_start(s)])
+        }
+    }
+
+    /// Minimum key stored anywhere in the chunk.
+    pub fn min_key(&self) -> Option<Key> {
+        (0..self.num_segments()).find_map(|s| self.seg_min(s))
+    }
+
+    /// Maximum key stored anywhere in the chunk.
+    pub fn max_key(&self) -> Option<Key> {
+        (0..self.num_segments()).rev().find(|&s| self.cards[s] > 0).map(|s| {
+            let start = self.seg_start(s);
+            self.keys[start + self.card(s) - 1]
+        })
+    }
+
+    /// Returns the segment that should contain `key`: the last non-empty
+    /// segment whose minimum key is `<= key`, falling back to the first
+    /// non-empty segment, or segment 0 for an empty chunk. Gates cover few
+    /// segments (8 by default), so a linear scan is the fastest option.
+    pub fn find_segment(&self, key: Key) -> usize {
+        let mut candidate: Option<usize> = None;
+        let mut first_non_empty: Option<usize> = None;
+        for s in 0..self.num_segments() {
+            if let Some(min) = self.seg_min(s) {
+                if first_non_empty.is_none() {
+                    first_non_empty = Some(s);
+                }
+                if min <= key {
+                    candidate = Some(s);
+                } else {
+                    break;
+                }
+            }
+        }
+        candidate.or(first_non_empty).unwrap_or(0)
+    }
+
+    /// Point lookup within the chunk.
+    pub fn get(&self, key: Key) -> Option<Value> {
+        if self.cardinality() == 0 {
+            return None;
+        }
+        let s = self.find_segment(key);
+        let start = self.seg_start(s);
+        self.seg_keys(s)
+            .binary_search(&key)
+            .ok()
+            .map(|pos| self.values[start + pos])
+    }
+
+    /// Attempts to insert `key`/`value`. On [`ChunkInsert::SegmentFull`] the
+    /// caller must rebalance (locally or globally) and retry.
+    pub fn try_insert(&mut self, key: Key, value: Value) -> ChunkInsert {
+        let s = self.find_segment(key);
+        let start = self.seg_start(s);
+        match self.seg_keys(s).binary_search(&key) {
+            Ok(pos) => {
+                let old = self.values[start + pos];
+                self.values[start + pos] = value;
+                ChunkInsert::Replaced(old)
+            }
+            Err(pos) => {
+                let card = self.card(s);
+                if card == self.segment_capacity {
+                    return ChunkInsert::SegmentFull(s);
+                }
+                self.keys.copy_within(start + pos..start + card, start + pos + 1);
+                self.values
+                    .copy_within(start + pos..start + card, start + pos + 1);
+                self.keys[start + pos] = key;
+                self.values[start + pos] = value;
+                self.cards[s] += 1;
+                self.predictor.record_insert(s);
+                ChunkInsert::Inserted
+            }
+        }
+    }
+
+    /// Removes `key` from the chunk.
+    pub fn remove(&mut self, key: Key) -> Option<Value> {
+        if self.cardinality() == 0 {
+            return None;
+        }
+        let s = self.find_segment(key);
+        let start = self.seg_start(s);
+        let pos = self.seg_keys(s).binary_search(&key).ok()?;
+        let old = self.values[start + pos];
+        let card = self.card(s);
+        self.keys.copy_within(start + pos + 1..start + card, start + pos);
+        self.values
+            .copy_within(start + pos + 1..start + card, start + pos);
+        self.cards[s] -= 1;
+        self.predictor.record_delete(s);
+        Some(old)
+    }
+
+    /// Folds every element of the chunk (ascending key order) into `stats`.
+    pub fn scan(&self, stats: &mut ScanStats) {
+        for s in 0..self.num_segments() {
+            let start = self.seg_start(s);
+            for i in 0..self.card(s) {
+                stats.visit(self.keys[start + i], self.values[start + i]);
+            }
+        }
+    }
+
+    /// Visits every element with key in `[lo, hi]`. Returns `false` when the
+    /// scan ran past `hi` (i.e. the caller can stop at this chunk).
+    pub fn range(&self, lo: Key, hi: Key, visitor: &mut dyn FnMut(Key, Value)) -> bool {
+        for s in 0..self.num_segments() {
+            let start = self.seg_start(s);
+            for i in 0..self.card(s) {
+                let k = self.keys[start + i];
+                if k > hi {
+                    return false;
+                }
+                if k >= lo {
+                    visitor(k, self.values[start + i]);
+                }
+            }
+        }
+        true
+    }
+
+    /// Iterates over every element of the chunk in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = (Key, Value)> + '_ {
+        (0..self.num_segments()).flat_map(move |s| {
+            let start = self.seg_start(s);
+            let card = self.card(s);
+            self.keys[start..start + card]
+                .iter()
+                .copied()
+                .zip(self.values[start..start + card].iter().copied())
+        })
+    }
+
+    /// Appends every element (ascending key order) to the output vectors.
+    pub fn collect_into(&self, keys: &mut Vec<Key>, values: &mut Vec<Value>) {
+        for s in 0..self.num_segments() {
+            let start = self.seg_start(s);
+            let card = self.card(s);
+            keys.extend_from_slice(&self.keys[start..start + card]);
+            values.extend_from_slice(&self.values[start..start + card]);
+        }
+    }
+
+    /// Number of elements in the local segment window `[start_seg, start_seg + num_segs)`.
+    pub fn window_cardinality(&self, start_seg: usize, num_segs: usize) -> usize {
+        (start_seg..start_seg + num_segs)
+            .map(|s| self.card(s))
+            .sum()
+    }
+
+    /// Redistributes the elements of the local segment window evenly
+    /// (`adaptive = false`) or according to the recorded insertion skew
+    /// (`adaptive = true`). Used for rebalances fully contained in one gate.
+    pub fn rebalance_local(&mut self, start_seg: usize, num_segs: usize, adaptive: bool) {
+        let total = self.window_cardinality(start_seg, num_segs);
+        let mut staged_keys = Vec::with_capacity(total);
+        let mut staged_values = Vec::with_capacity(total);
+        for s in start_seg..start_seg + num_segs {
+            let start = self.seg_start(s);
+            let card = self.card(s);
+            staged_keys.extend_from_slice(&self.keys[start..start + card]);
+            staged_values.extend_from_slice(&self.values[start..start + card]);
+        }
+        let targets = if adaptive {
+            // As with `even_targets`, keep one gap per segment when the
+            // elements allow it so the triggering insertion makes progress.
+            let capacity = if total <= num_segs * (self.segment_capacity - 1) {
+                self.segment_capacity - 1
+            } else {
+                self.segment_capacity
+            };
+            self.predictor.targets(start_seg, num_segs, total, capacity)
+        } else {
+            crate::sequential::even_targets(total, num_segs, self.segment_capacity)
+        };
+        let mut cursor = 0usize;
+        for (i, &t) in targets.iter().enumerate() {
+            let s = start_seg + i;
+            let start = self.seg_start(s);
+            self.keys[start..start + t].copy_from_slice(&staged_keys[cursor..cursor + t]);
+            self.values[start..start + t].copy_from_slice(&staged_values[cursor..cursor + t]);
+            self.cards[s] = t as u32;
+            cursor += t;
+        }
+    }
+
+    /// Merges a sorted batch of insertions into the whole chunk, rewriting it
+    /// with an even distribution. Duplicate keys overwrite the stored value.
+    /// Returns the number of *new* keys added.
+    ///
+    /// The caller must ensure the chunk has room for the whole batch
+    /// (`cardinality() + batch.len() <= capacity()`); keys must fall within
+    /// the owning gate's fences so chunk-global order is preserved.
+    pub fn merge_batch(&mut self, batch: &[(Key, Value)]) -> usize {
+        debug_assert!(batch.windows(2).all(|w| w[0].0 <= w[1].0));
+        let existing = self.cardinality();
+        assert!(
+            existing + batch.len() <= self.capacity(),
+            "batch does not fit in the chunk"
+        );
+        let mut merged_keys = Vec::with_capacity(existing + batch.len());
+        let mut merged_values = Vec::with_capacity(existing + batch.len());
+        let mut old_keys = Vec::with_capacity(existing);
+        let mut old_values = Vec::with_capacity(existing);
+        self.collect_into(&mut old_keys, &mut old_values);
+
+        let mut added = 0usize;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < old_keys.len() || j < batch.len() {
+            if j >= batch.len() {
+                merged_keys.push(old_keys[i]);
+                merged_values.push(old_values[i]);
+                i += 1;
+            } else if i >= old_keys.len() {
+                // Skip duplicate keys inside the batch itself (last wins).
+                let (k, v) = batch[j];
+                if j + 1 < batch.len() && batch[j + 1].0 == k {
+                    j += 1;
+                    continue;
+                }
+                merged_keys.push(k);
+                merged_values.push(v);
+                added += 1;
+                j += 1;
+            } else if old_keys[i] < batch[j].0 {
+                merged_keys.push(old_keys[i]);
+                merged_values.push(old_values[i]);
+                i += 1;
+            } else if old_keys[i] > batch[j].0 {
+                let (k, v) = batch[j];
+                if j + 1 < batch.len() && batch[j + 1].0 == k {
+                    j += 1;
+                    continue;
+                }
+                merged_keys.push(k);
+                merged_values.push(v);
+                added += 1;
+                j += 1;
+            } else {
+                // Same key: the batch value wins (upsert), no new element.
+                merged_keys.push(batch[j].0);
+                merged_values.push(batch[j].1);
+                i += 1;
+                j += 1;
+            }
+        }
+
+        let total = merged_keys.len();
+        let targets =
+            crate::sequential::even_targets(total, self.num_segments(), self.segment_capacity);
+        let mut cursor = 0usize;
+        for (s, &t) in targets.iter().enumerate() {
+            let start = self.seg_start(s);
+            self.keys[start..start + t].copy_from_slice(&merged_keys[cursor..cursor + t]);
+            self.values[start..start + t].copy_from_slice(&merged_values[cursor..cursor + t]);
+            self.cards[s] = t as u32;
+            cursor += t;
+        }
+        added
+    }
+
+    /// Validates the chunk-local invariants (test hook).
+    ///
+    /// # Panics
+    /// Panics with a description of the first violated invariant.
+    pub fn check_invariants(&self) {
+        let mut prev: Option<Key> = None;
+        for s in 0..self.num_segments() {
+            assert!(
+                self.card(s) <= self.segment_capacity,
+                "segment {s} over capacity"
+            );
+            for &k in self.seg_keys(s) {
+                if let Some(p) = prev {
+                    assert!(p < k, "chunk keys not strictly increasing");
+                }
+                prev = Some(k);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk() -> ChunkData {
+        ChunkData::new(4, 8)
+    }
+
+    #[test]
+    fn empty_chunk() {
+        let c = chunk();
+        assert_eq!(c.cardinality(), 0);
+        assert_eq!(c.capacity(), 32);
+        assert_eq!(c.get(5), None);
+        assert_eq!(c.min_key(), None);
+        assert_eq!(c.max_key(), None);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut c = chunk();
+        for k in [5i64, 1, 9, 3, 7] {
+            assert_eq!(c.try_insert(k, k * 10), ChunkInsert::Inserted);
+        }
+        assert_eq!(c.cardinality(), 5);
+        for k in [5i64, 1, 9, 3, 7] {
+            assert_eq!(c.get(k), Some(k * 10));
+        }
+        assert_eq!(c.get(2), None);
+        assert_eq!(c.remove(3), Some(30));
+        assert_eq!(c.remove(3), None);
+        assert_eq!(c.cardinality(), 4);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn upsert_replaces() {
+        let mut c = chunk();
+        assert_eq!(c.try_insert(1, 10), ChunkInsert::Inserted);
+        assert_eq!(c.try_insert(1, 20), ChunkInsert::Replaced(10));
+        assert_eq!(c.get(1), Some(20));
+        assert_eq!(c.cardinality(), 1);
+    }
+
+    #[test]
+    fn segment_full_is_reported() {
+        let mut c = ChunkData::new(2, 4);
+        for k in 0..4i64 {
+            assert_eq!(c.try_insert(k, k), ChunkInsert::Inserted);
+        }
+        // All four landed in segment 0 (only non-empty segment routing).
+        assert_eq!(c.card(0), 4);
+        assert_eq!(c.try_insert(2_000, 0), ChunkInsert::SegmentFull(0));
+    }
+
+    #[test]
+    fn rebalance_local_spreads_elements() {
+        let mut c = ChunkData::new(2, 4);
+        for k in 0..4i64 {
+            c.try_insert(k, k);
+        }
+        c.rebalance_local(0, 2, false);
+        assert_eq!(c.card(0), 2);
+        assert_eq!(c.card(1), 2);
+        c.check_invariants();
+        assert_eq!(c.try_insert(10, 10), ChunkInsert::Inserted);
+        for k in 0..4i64 {
+            assert_eq!(c.get(k), Some(k));
+        }
+        assert_eq!(c.get(10), Some(10));
+    }
+
+    #[test]
+    fn adaptive_rebalance_leaves_room_in_hot_segment() {
+        let mut c = ChunkData::new(4, 8);
+        // Fill segment 0 by appending ascending keys (maximal skew).
+        for k in 0..8i64 {
+            c.try_insert(k, k);
+        }
+        c.rebalance_local(0, 4, true);
+        c.check_invariants();
+        // The hottest segment (where inserts land) should not be the fullest.
+        let hottest = c.find_segment(100);
+        let max_card = (0..4).map(|s| c.card(s)).max().unwrap();
+        assert!(c.card(hottest) <= max_card);
+        assert_eq!(c.cardinality(), 8);
+    }
+
+    #[test]
+    fn scan_accumulates_in_order() {
+        let mut c = chunk();
+        for k in [4i64, 2, 8, 6] {
+            c.try_insert(k, 1);
+        }
+        let mut stats = ScanStats::default();
+        c.scan(&mut stats);
+        assert_eq!(stats.count, 4);
+        assert_eq!(stats.key_sum, 20);
+        assert_eq!(stats.value_sum, 4);
+    }
+
+    #[test]
+    fn range_respects_bounds_and_signals_stop() {
+        let mut c = chunk();
+        for k in 0..6i64 {
+            assert_eq!(c.try_insert(k, k), ChunkInsert::Inserted);
+        }
+        // Spread over segments so the range crosses segment boundaries, then
+        // add a few more keys that land in later segments.
+        c.rebalance_local(0, 4, false);
+        for k in 6..10i64 {
+            assert_eq!(c.try_insert(k, k), ChunkInsert::Inserted);
+        }
+        assert_eq!(c.cardinality(), 10);
+        let mut seen = Vec::new();
+        let keep_going = c.range(3, 6, &mut |k, _| seen.push(k));
+        assert_eq!(seen, vec![3, 4, 5, 6]);
+        assert!(!keep_going, "hi bound inside the chunk must stop the scan");
+        let mut seen = Vec::new();
+        let keep_going = c.range(8, 100, &mut |k, _| seen.push(k));
+        assert_eq!(seen, vec![8, 9]);
+        assert!(keep_going, "scan may continue past this chunk");
+    }
+
+    #[test]
+    fn collect_into_returns_sorted_elements() {
+        let mut c = chunk();
+        for k in [9i64, 1, 5, 3, 7] {
+            c.try_insert(k, -k);
+        }
+        let (mut ks, mut vs) = (Vec::new(), Vec::new());
+        c.collect_into(&mut ks, &mut vs);
+        assert_eq!(ks, vec![1, 3, 5, 7, 9]);
+        assert_eq!(vs, vec![-1, -3, -5, -7, -9]);
+    }
+
+    #[test]
+    fn merge_batch_adds_and_overwrites() {
+        let mut c = chunk();
+        for k in [2i64, 4, 6] {
+            c.try_insert(k, k);
+        }
+        let added = c.merge_batch(&[(1, 11), (4, 44), (5, 55), (9, 99)]);
+        assert_eq!(added, 3, "key 4 already existed");
+        assert_eq!(c.cardinality(), 6);
+        assert_eq!(c.get(4), Some(44));
+        assert_eq!(c.get(5), Some(55));
+        assert_eq!(c.get(1), Some(11));
+        assert_eq!(c.get(9), Some(99));
+        c.check_invariants();
+    }
+
+    #[test]
+    fn merge_batch_with_duplicate_batch_keys_keeps_last() {
+        let mut c = chunk();
+        let added = c.merge_batch(&[(1, 10), (1, 20), (2, 30)]);
+        assert_eq!(added, 2);
+        assert_eq!(c.get(1), Some(20));
+        assert_eq!(c.get(2), Some(30));
+    }
+
+    #[test]
+    fn from_stream_builds_requested_layout() {
+        let elements: Vec<(Key, Value)> = (0..10).map(|k| (k, k * 2)).collect();
+        let mut it = elements.iter().copied();
+        let c = ChunkData::from_stream(4, 4, &[3, 3, 2, 2], &mut it);
+        assert_eq!(c.cardinality(), 10);
+        assert_eq!(c.card(0), 3);
+        assert_eq!(c.card(3), 2);
+        assert_eq!(c.get(7), Some(14));
+        c.check_invariants();
+        assert!(it.next().is_none());
+    }
+
+    #[test]
+    fn window_cardinality_sums_segments() {
+        let elements: Vec<(Key, Value)> = (0..10).map(|k| (k, k)).collect();
+        let mut it = elements.iter().copied();
+        let c = ChunkData::from_stream(4, 4, &[3, 3, 2, 2], &mut it);
+        assert_eq!(c.window_cardinality(0, 2), 6);
+        assert_eq!(c.window_cardinality(2, 2), 4);
+        assert_eq!(c.window_cardinality(0, 4), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn merge_batch_overflow_panics() {
+        let mut c = ChunkData::new(1, 4);
+        for k in 0..4i64 {
+            c.try_insert(k, k);
+        }
+        let _ = c.merge_batch(&[(10, 1)]);
+    }
+}

@@ -1,0 +1,375 @@
+//! Epoch-based centralized garbage collection (paper section 3.4).
+//!
+//! When the sparse array is resized, a brand-new instance (array + gates +
+//! static index) is published through the single entry pointer and the old
+//! instance must eventually be freed. Clients may still be traversing the old
+//! gates, so the rebalancer *retires* the old instance into a centralized
+//! garbage list together with the current epoch; a collector periodically
+//! frees every retired item whose epoch precedes the minimum epoch among all
+//! active clients.
+//!
+//! Every client operation is bracketed by [`EpochRegistry::pin`] /
+//! [`EpochGuard::drop`]: while pinned, the client's slot advertises the epoch
+//! at which its operation started, which prevents reclamation of anything it
+//! can still observe.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Maximum number of threads that may operate on a single PMA concurrently.
+///
+/// Slots are claimed lazily and never released (a thread keeps its slot for
+/// the lifetime of the registry); 256 comfortably covers the paper's 16-thread
+/// experiments and typical many-core machines.
+pub const MAX_THREADS: usize = 256;
+
+/// Value advertising "not inside any operation".
+const INACTIVE: u64 = 0;
+
+/// Per-registry table of active epochs, one cache-line-padded slot per thread.
+pub struct EpochRegistry {
+    /// Unique id used by the thread-local slot cache.
+    id: usize,
+    /// Global epoch counter; starts at 1 so that `INACTIVE` (0) is never a
+    /// valid epoch.
+    global_epoch: AtomicU64,
+    /// Epoch currently advertised by each registered thread (0 = inactive).
+    slots: Box<[PaddedAtomicU64]>,
+    /// Number of slots that have been claimed so far.
+    claimed: AtomicUsize,
+}
+
+#[repr(align(64))]
+struct PaddedAtomicU64(AtomicU64);
+
+impl std::fmt::Debug for EpochRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochRegistry")
+            .field("id", &self.id)
+            .field("global_epoch", &self.global_epoch.load(Ordering::Relaxed))
+            .field("claimed", &self.claimed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+static REGISTRY_IDS: AtomicUsize = AtomicUsize::new(1);
+
+thread_local! {
+    /// Maps registry id -> (slot index claimed by this thread, pin nesting
+    /// depth). The depth makes pins reentrant: only the outermost pin
+    /// publishes/clears the epoch, so nested operations (e.g. the rebalancer
+    /// re-applying queued updates) remain protected by the original epoch.
+    static SLOT_CACHE: std::cell::RefCell<Vec<(usize, usize, u32)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+impl Default for EpochRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EpochRegistry {
+    /// Creates a registry with [`MAX_THREADS`] slots.
+    pub fn new() -> Self {
+        let slots = (0..MAX_THREADS)
+            .map(|_| PaddedAtomicU64(AtomicU64::new(INACTIVE)))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self {
+            id: REGISTRY_IDS.fetch_add(1, Ordering::Relaxed),
+            global_epoch: AtomicU64::new(1),
+            slots,
+            claimed: AtomicUsize::new(0),
+        }
+    }
+
+    /// Current value of the global epoch counter.
+    pub fn current_epoch(&self) -> u64 {
+        self.global_epoch.load(Ordering::Acquire)
+    }
+
+    /// Advances the global epoch and returns the new value. Called whenever
+    /// something is retired, so that future pins are distinguishable from
+    /// pins that may still observe the retired memory.
+    pub fn advance(&self) -> u64 {
+        self.global_epoch.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Enters an epoch-protected critical section. While the returned guard
+    /// is alive, memory retired after this call will not be freed. Pins are
+    /// reentrant: nested pins from the same thread keep the epoch of the
+    /// outermost pin.
+    pub fn pin(&self) -> EpochGuard<'_> {
+        let slot = SLOT_CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some(entry) = cache.iter_mut().find(|(id, _, _)| *id == self.id) {
+                if entry.2 == 0 {
+                    let epoch = self.global_epoch.load(Ordering::Acquire);
+                    self.slots[entry.1].0.store(epoch, Ordering::SeqCst);
+                }
+                entry.2 += 1;
+                return entry.1;
+            }
+            let slot = self.claimed.fetch_add(1, Ordering::Relaxed);
+            assert!(
+                slot < MAX_THREADS,
+                "more than {MAX_THREADS} threads registered with one PMA"
+            );
+            let epoch = self.global_epoch.load(Ordering::Acquire);
+            self.slots[slot].0.store(epoch, Ordering::SeqCst);
+            cache.push((self.id, slot, 1));
+            slot
+        });
+        EpochGuard {
+            registry: self,
+            slot,
+        }
+    }
+
+    /// Minimum epoch advertised by any active thread. Retired items stamped
+    /// with an epoch *older* than this value can be freed. When no thread is
+    /// active nothing is protected and `u64::MAX` is returned.
+    pub fn min_active_epoch(&self) -> u64 {
+        let claimed = self.claimed.load(Ordering::Acquire).min(MAX_THREADS);
+        let mut min = u64::MAX;
+        for slot in &self.slots[..claimed] {
+            let e = slot.0.load(Ordering::SeqCst);
+            if e != INACTIVE && e < min {
+                min = e;
+            }
+        }
+        min
+    }
+
+    /// Number of threads currently inside an epoch-protected section.
+    pub fn active_threads(&self) -> usize {
+        let claimed = self.claimed.load(Ordering::Acquire).min(MAX_THREADS);
+        self.slots[..claimed]
+            .iter()
+            .filter(|s| s.0.load(Ordering::Relaxed) != INACTIVE)
+            .count()
+    }
+}
+
+/// RAII guard marking the calling thread as active in the registry.
+#[must_use = "the epoch protection ends when the guard is dropped"]
+pub struct EpochGuard<'a> {
+    registry: &'a EpochRegistry,
+    slot: usize,
+}
+
+impl std::fmt::Debug for EpochGuard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochGuard").field("slot", &self.slot).finish()
+    }
+}
+
+impl Drop for EpochGuard<'_> {
+    fn drop(&mut self) {
+        let clear = SLOT_CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            let entry = cache
+                .iter_mut()
+                .find(|(id, _, _)| *id == self.registry.id)
+                .expect("an EpochGuard exists, so its slot entry must exist");
+            entry.2 -= 1;
+            entry.2 == 0
+        });
+        if clear {
+            self.registry.slots[self.slot]
+                .0
+                .store(INACTIVE, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Centralized garbage list of retired allocations (paper section 3.4).
+pub struct GarbageBin<T> {
+    items: Mutex<Vec<(u64, T)>>,
+}
+
+impl<T> Default for GarbageBin<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> std::fmt::Debug for GarbageBin<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GarbageBin")
+            .field("len", &self.items.lock().len())
+            .finish()
+    }
+}
+
+impl<T> GarbageBin<T> {
+    /// Creates an empty bin.
+    pub fn new() -> Self {
+        Self {
+            items: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Adds `item` to the garbage, stamped with the epoch at which it was
+    /// retired, and advances the registry's epoch so that pins taken after
+    /// this call are distinguishable from pins that may still observe the
+    /// item. The caller must have unlinked the item (made it unreachable from
+    /// the entry pointer) *before* retiring it.
+    pub fn retire(&self, registry: &EpochRegistry, item: T) {
+        let epoch = registry.current_epoch();
+        self.items.lock().push((epoch, item));
+        registry.advance();
+    }
+
+    /// Frees every retired item whose epoch strictly precedes the minimum
+    /// epoch of all active threads (every thread still pinned at the item's
+    /// retirement epoch keeps it alive). Returns how many items were dropped.
+    pub fn collect(&self, registry: &EpochRegistry) -> usize {
+        let min = registry.min_active_epoch();
+        let mut items = self.items.lock();
+        let before = items.len();
+        items.retain(|(epoch, _)| *epoch >= min);
+        before - items.len()
+    }
+
+    /// Frees everything unconditionally (only safe when no client can be
+    /// active any more, e.g. on drop of the owning structure).
+    pub fn clear(&self) -> usize {
+        let mut items = self.items.lock();
+        let n = items.len();
+        items.clear();
+        n
+    }
+
+    /// Number of retired items not yet freed.
+    pub fn len(&self) -> usize {
+        self.items.lock().len()
+    }
+
+    /// Whether the bin is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    #[test]
+    fn pin_and_unpin_toggle_activity() {
+        let reg = EpochRegistry::new();
+        assert_eq!(reg.active_threads(), 0);
+        {
+            let _g = reg.pin();
+            assert_eq!(reg.active_threads(), 1);
+        }
+        assert_eq!(reg.active_threads(), 0);
+    }
+
+    #[test]
+    fn min_active_epoch_tracks_oldest_pin() {
+        let reg = EpochRegistry::new();
+        let g = reg.pin();
+        let pinned_at = reg.current_epoch();
+        reg.advance();
+        reg.advance();
+        assert_eq!(reg.min_active_epoch(), pinned_at);
+        drop(g);
+        // With no active pin nothing is protected.
+        assert_eq!(reg.min_active_epoch(), u64::MAX);
+    }
+
+    #[test]
+    fn garbage_is_not_collected_while_a_pin_predates_it() {
+        struct NoisyDrop(Arc<AtomicBool>);
+        impl Drop for NoisyDrop {
+            fn drop(&mut self) {
+                self.0.store(true, Ordering::SeqCst);
+            }
+        }
+        let reg = EpochRegistry::new();
+        let bin: GarbageBin<NoisyDrop> = GarbageBin::new();
+        let dropped = Arc::new(AtomicBool::new(false));
+
+        let guard = reg.pin();
+        bin.retire(&reg, NoisyDrop(dropped.clone()));
+        assert_eq!(bin.collect(&reg), 0, "pinned thread must protect the item");
+        assert!(!dropped.load(Ordering::SeqCst));
+        drop(guard);
+        assert_eq!(bin.collect(&reg), 1);
+        assert!(dropped.load(Ordering::SeqCst));
+        assert!(bin.is_empty());
+    }
+
+    #[test]
+    fn pins_started_after_retirement_do_not_block_collection() {
+        let reg = EpochRegistry::new();
+        let bin: GarbageBin<u64> = GarbageBin::new();
+        bin.retire(&reg, 1);
+        let _late = reg.pin();
+        assert_eq!(bin.collect(&reg), 1);
+    }
+
+    #[test]
+    fn clear_drops_everything() {
+        let reg = EpochRegistry::new();
+        let bin: GarbageBin<u64> = GarbageBin::new();
+        bin.retire(&reg, 1);
+        bin.retire(&reg, 2);
+        assert_eq!(bin.len(), 2);
+        assert_eq!(bin.clear(), 2);
+        assert!(bin.is_empty());
+    }
+
+    #[test]
+    fn nested_pins_keep_the_outer_epoch() {
+        let reg = EpochRegistry::new();
+        let bin: GarbageBin<u64> = GarbageBin::new();
+        let outer = reg.pin();
+        let outer_epoch = reg.min_active_epoch();
+        bin.retire(&reg, 42);
+        {
+            let _inner = reg.pin();
+            assert_eq!(reg.min_active_epoch(), outer_epoch);
+        }
+        // Dropping the inner pin must NOT release the protection.
+        assert_eq!(reg.active_threads(), 1);
+        assert_eq!(bin.collect(&reg), 0);
+        drop(outer);
+        assert_eq!(reg.active_threads(), 0);
+        assert_eq!(bin.collect(&reg), 1);
+    }
+
+    #[test]
+    fn concurrent_pins_from_many_threads() {
+        let reg = Arc::new(EpochRegistry::new());
+        let bin = Arc::new(GarbageBin::<usize>::new());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let reg = reg.clone();
+            let bin = bin.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200 {
+                    let _g = reg.pin();
+                    if i % 50 == 0 {
+                        bin.retire(&reg, t * 1000 + i);
+                    }
+                    if i % 70 == 0 {
+                        bin.collect(&reg);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // With no pins outstanding everything must be collectable.
+        bin.collect(&reg);
+        assert!(bin.is_empty());
+    }
+}

@@ -1,0 +1,366 @@
+//! Gates: the per-chunk latches and metadata of the parallel sparse array
+//! (paper section 3.1).
+//!
+//! Each gate protects one chunk (a fixed number of consecutive segments) and
+//! stores:
+//! * a read-write latch, modelled as a small state machine (`Free`,
+//!   `Read(n)`, `Write`, `Rebalance`) behind a mutex + condvar, so that latch
+//!   ownership can be *transferred* to the rebalancer service;
+//! * the pair of fence keys bounding the keys that may live in the chunk;
+//! * the combining queue (`pQ` in the paper) used by the asynchronous update
+//!   modes;
+//! * book-keeping for resize invalidation and the `t_delay` throttle.
+//!
+//! The chunk payload itself lives in an [`UnsafeCell`]: it may only be
+//! accessed while the gate latch is held in the appropriate mode. That
+//! protocol is enforced by the callers in [`crate::concurrent`]; the unsafe
+//! accessors here document the precondition.
+
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use pma_common::{Key, Value, KEY_MAX, KEY_MIN};
+
+use super::chunk::ChunkData;
+
+/// An update forwarded through a combining queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateOp {
+    /// Insert (or overwrite) a key/value pair.
+    Insert(Key, Value),
+    /// Remove a key.
+    Delete(Key),
+}
+
+impl UpdateOp {
+    /// The key the operation refers to.
+    #[inline]
+    pub fn key(&self) -> Key {
+        match self {
+            UpdateOp::Insert(k, _) | UpdateOp::Delete(k) => *k,
+        }
+    }
+}
+
+/// Latch state of a gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateMode {
+    /// No thread holds the latch.
+    Free,
+    /// Held in shared mode by `n` readers.
+    Read(u32),
+    /// Held exclusively by one writer.
+    Write,
+    /// Held by the rebalancer service (or handed over to it).
+    Rebalance,
+}
+
+/// Mutable metadata of a gate, all protected by the gate's mutex.
+#[derive(Debug)]
+pub struct GateState {
+    /// Current latch state.
+    pub mode: GateMode,
+    /// Smallest key that may be stored in this gate's chunk (inclusive).
+    pub fence_lo: Key,
+    /// Largest key that may be stored in this gate's chunk (inclusive).
+    pub fence_hi: Key,
+    /// Set when the instance this gate belongs to has been replaced by a
+    /// resize; clients must restart from the new entry pointer.
+    pub invalidated: bool,
+    /// The latch has been handed over to the rebalancer service.
+    pub service_owned: bool,
+    /// The combining queue has been handed to the rebalancer (batch mode,
+    /// `t_delay` not yet elapsed); arriving writers keep appending to it.
+    pub delegated: bool,
+    /// A writer is active and accepts forwarded operations (paper: `pQ` set).
+    pub queue_open: bool,
+    /// Operations forwarded by other writers (the combining queue).
+    pub pending: VecDeque<UpdateOp>,
+    /// When this gate last took part in a global rebalance (for `t_delay`).
+    pub last_global_rebalance: Instant,
+    /// Monotonic counter bumped every time a rebalance involving this gate
+    /// completes; used by handed-off writers to wait for completion.
+    pub rebalance_epoch: u64,
+}
+
+impl GateState {
+    fn new(fence_lo: Key, fence_hi: Key) -> Self {
+        Self {
+            mode: GateMode::Free,
+            fence_lo,
+            fence_hi,
+            invalidated: false,
+            service_owned: false,
+            delegated: false,
+            queue_open: false,
+            pending: VecDeque::new(),
+            last_global_rebalance: Instant::now(),
+            rebalance_epoch: 0,
+        }
+    }
+
+    /// Whether `key` falls within this gate's fences.
+    #[inline]
+    pub fn covers(&self, key: Key) -> bool {
+        key >= self.fence_lo && key <= self.fence_hi
+    }
+}
+
+/// One gate: latch + metadata + the chunk it protects.
+pub struct Gate {
+    /// Position of the gate in the instance's gate array.
+    pub id: usize,
+    state: Mutex<GateState>,
+    cond: Condvar,
+    chunk: UnsafeCell<ChunkData>,
+}
+
+// SAFETY: the `UnsafeCell<ChunkData>` is only accessed through the unsafe
+// accessors below, whose contract requires the caller to hold the gate latch
+// in the appropriate mode (shared for `chunk()`, exclusive — `Write` or
+// `Rebalance` ownership — for `chunk_mut()`/`replace_chunk()`). The latch
+// state itself is protected by the internal mutex.
+unsafe impl Sync for Gate {}
+unsafe impl Send for Gate {}
+
+impl std::fmt::Debug for Gate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("Gate")
+            .field("id", &self.id)
+            .field("mode", &st.mode)
+            .field("fence_lo", &st.fence_lo)
+            .field("fence_hi", &st.fence_hi)
+            .field("invalidated", &st.invalidated)
+            .finish()
+    }
+}
+
+impl Gate {
+    /// Creates a gate protecting an empty chunk with the given fences.
+    pub fn new(id: usize, num_segments: usize, segment_capacity: usize) -> Self {
+        Self::with_chunk(
+            id,
+            ChunkData::new(num_segments, segment_capacity),
+            KEY_MIN,
+            KEY_MAX,
+        )
+    }
+
+    /// Creates a gate around an existing chunk with the given fences.
+    pub fn with_chunk(id: usize, chunk: ChunkData, fence_lo: Key, fence_hi: Key) -> Self {
+        Self {
+            id,
+            state: Mutex::new(GateState::new(fence_lo, fence_hi)),
+            cond: Condvar::new(),
+            chunk: UnsafeCell::new(chunk),
+        }
+    }
+
+    /// Locks the gate's metadata.
+    pub fn lock(&self) -> MutexGuard<'_, GateState> {
+        self.state.lock()
+    }
+
+    /// Blocks on the gate's condition variable until notified. The guard must
+    /// belong to this gate's mutex.
+    pub fn wait(&self, guard: &mut MutexGuard<'_, GateState>) {
+        self.cond.wait(guard);
+    }
+
+    /// Wakes every thread blocked on this gate.
+    pub fn notify_all(&self) {
+        self.cond.notify_all();
+    }
+
+    /// Shared access to the chunk.
+    ///
+    /// # Safety
+    /// The caller must hold this gate's latch in `Read`, `Write` or
+    /// `Rebalance` mode (i.e. no other thread may mutate the chunk for the
+    /// duration of the returned borrow).
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn chunk(&self) -> &ChunkData {
+        &*self.chunk.get()
+    }
+
+    /// Exclusive access to the chunk.
+    ///
+    /// # Safety
+    /// The caller must hold this gate's latch exclusively (`Write` mode, or
+    /// `Rebalance` mode owned by the rebalancer service).
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn chunk_mut(&self) -> &mut ChunkData {
+        &mut *self.chunk.get()
+    }
+
+    /// Swaps the gate's chunk with `new`, returning the old one. This is the
+    /// "memory rewiring" publication step of a rebalance: workers build the
+    /// new chunk in a staging buffer and the master installs it with a
+    /// pointer-sized swap.
+    ///
+    /// # Safety
+    /// Same contract as [`Gate::chunk_mut`].
+    pub unsafe fn replace_chunk(&self, new: ChunkData) -> ChunkData {
+        std::mem::replace(&mut *self.chunk.get(), new)
+    }
+
+    /// Releases a shared (read) acquisition.
+    pub fn release_read(&self) {
+        let mut st = self.lock();
+        match st.mode {
+            GateMode::Read(1) => {
+                st.mode = GateMode::Free;
+                drop(st);
+                self.notify_all();
+            }
+            GateMode::Read(n) => st.mode = GateMode::Read(n - 1),
+            ref other => unreachable!("release_read while in mode {other:?}"),
+        }
+    }
+
+    /// Releases an exclusive (write) acquisition and wakes waiters.
+    pub fn release_write(&self) {
+        let mut st = self.lock();
+        debug_assert_eq!(st.mode, GateMode::Write);
+        st.mode = GateMode::Free;
+        st.queue_open = false;
+        drop(st);
+        self.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn update_op_key() {
+        assert_eq!(UpdateOp::Insert(5, 1).key(), 5);
+        assert_eq!(UpdateOp::Delete(-3).key(), -3);
+    }
+
+    #[test]
+    fn new_gate_covers_whole_key_space() {
+        let g = Gate::new(0, 2, 8);
+        let st = g.lock();
+        assert_eq!(st.mode, GateMode::Free);
+        assert!(st.covers(KEY_MIN));
+        assert!(st.covers(0));
+        assert!(st.covers(KEY_MAX));
+        assert!(!st.invalidated);
+    }
+
+    #[test]
+    fn fence_covering() {
+        let g = Gate::with_chunk(1, ChunkData::new(1, 4), 10, 20);
+        let st = g.lock();
+        assert!(!st.covers(9));
+        assert!(st.covers(10));
+        assert!(st.covers(20));
+        assert!(!st.covers(21));
+    }
+
+    #[test]
+    fn read_acquire_release_cycle() {
+        let g = Gate::new(0, 1, 4);
+        {
+            let mut st = g.lock();
+            st.mode = GateMode::Read(2);
+        }
+        g.release_read();
+        assert_eq!(g.lock().mode, GateMode::Read(1));
+        g.release_read();
+        assert_eq!(g.lock().mode, GateMode::Free);
+    }
+
+    #[test]
+    fn write_release_clears_queue_flag() {
+        let g = Gate::new(0, 1, 4);
+        {
+            let mut st = g.lock();
+            st.mode = GateMode::Write;
+            st.queue_open = true;
+        }
+        g.release_write();
+        let st = g.lock();
+        assert_eq!(st.mode, GateMode::Free);
+        assert!(!st.queue_open);
+    }
+
+    #[test]
+    fn chunk_access_under_exclusive_latch() {
+        let g = Gate::new(0, 2, 8);
+        {
+            let mut st = g.lock();
+            st.mode = GateMode::Write;
+        }
+        // SAFETY: we set (and logically hold) Write mode above; no other
+        // thread exists in this test.
+        unsafe {
+            g.chunk_mut().try_insert(7, 70);
+            assert_eq!(g.chunk().get(7), Some(70));
+        }
+        g.release_write();
+    }
+
+    #[test]
+    fn replace_chunk_swaps_payload() {
+        let g = Gate::new(0, 1, 4);
+        {
+            let mut st = g.lock();
+            st.mode = GateMode::Write;
+        }
+        let mut staged = ChunkData::new(1, 4);
+        staged.try_insert(1, 1);
+        // SAFETY: exclusive latch held as above.
+        let old = unsafe { g.replace_chunk(staged) };
+        assert_eq!(old.cardinality(), 0);
+        unsafe {
+            assert_eq!(g.chunk().get(1), Some(1));
+        }
+        g.release_write();
+    }
+
+    #[test]
+    fn writer_wakes_blocked_reader() {
+        let g = Arc::new(Gate::new(0, 1, 4));
+        {
+            let mut st = g.lock();
+            st.mode = GateMode::Write;
+        }
+        let g2 = g.clone();
+        let reader = std::thread::spawn(move || {
+            let mut st = g2.lock();
+            while !matches!(st.mode, GateMode::Free | GateMode::Read(_)) {
+                g2.wait(&mut st);
+            }
+            let n = match st.mode {
+                GateMode::Read(n) => n + 1,
+                _ => 1,
+            };
+            st.mode = GateMode::Read(n);
+            drop(st);
+            g2.release_read();
+            true
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        g.release_write();
+        assert!(reader.join().unwrap());
+        assert_eq!(g.lock().mode, GateMode::Free);
+    }
+
+    #[test]
+    fn pending_queue_fifo() {
+        let g = Gate::new(0, 1, 4);
+        let mut st = g.lock();
+        st.pending.push_back(UpdateOp::Insert(1, 1));
+        st.pending.push_back(UpdateOp::Delete(2));
+        assert_eq!(st.pending.pop_front(), Some(UpdateOp::Insert(1, 1)));
+        assert_eq!(st.pending.pop_front(), Some(UpdateOp::Delete(2)));
+        assert_eq!(st.pending.pop_front(), None);
+    }
+}

@@ -1,0 +1,919 @@
+//! The concurrent Packed Memory Array (paper section 3).
+//!
+//! The sparse array is split into chunks protected by [`gate::Gate`]s; a
+//! [`static_index::StaticIndex`] routes keys to gates; rebalances spanning
+//! multiple gates are executed by the [`rebalancer`] service; resizes publish
+//! a new [`instance::PmaInstance`] through a single entry pointer and reclaim
+//! the old one with [`epoch`]-based garbage collection; and contended writers
+//! combine their updates asynchronously ([`crate::params::UpdateMode`]).
+//!
+//! # Concurrency protocol (summary)
+//!
+//! * Clients hold **at most one gate latch** at a time. Readers take a gate in
+//!   shared mode, writers in exclusive mode.
+//! * A client reaches a gate through the static index, then validates the
+//!   gate's *fence keys*; on a mismatch (stale index read or concurrent
+//!   rebalance) it walks to the neighbouring gate.
+//! * A writer whose insertion overflows a segment first tries to rebalance a
+//!   window *inside* its gate; if no in-gate window is within threshold it
+//!   hands the gate over to the rebalancer and waits (its own operation is
+//!   retried afterwards).
+//! * With the asynchronous update modes, a writer that finds another writer
+//!   active on its gate appends its operation to that writer's combining
+//!   queue and returns immediately.
+
+pub mod chunk;
+pub mod epoch;
+pub mod gate;
+pub mod instance;
+mod rebalancer;
+mod shared;
+pub mod static_index;
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use pma_common::{ConcurrentMap, Key, PmaError, ScanStats, Value};
+
+use crate::params::{PmaParams, RebalancePolicy, UpdateMode};
+use crate::stats::{Stats, StatsSnapshot};
+
+use chunk::ChunkInsert;
+use gate::{GateMode, UpdateOp};
+use instance::PmaInstance;
+use rebalancer::{RebalancerHandle, Request};
+use shared::Shared;
+
+/// Result of trying to acquire a gate for a write.
+enum WriteAcquire {
+    /// The gate is held in `Write` mode by the caller.
+    Acquired(usize),
+    /// The operation was appended to another writer's combining queue.
+    Queued,
+    /// The instance was resized; the caller must restart.
+    Restart,
+}
+
+/// Result of applying an operation while holding a gate in `Write` mode.
+enum ApplyResult {
+    /// The operation completed; the previous value (for upserts/deletes).
+    Done(Option<Value>),
+    /// The operation needs a rebalance that spans multiple gates.
+    NeedsGlobal,
+}
+
+/// A thread-safe Packed Memory Array storing 8-byte integer keys and values,
+/// as evaluated in the paper.
+///
+/// # Examples
+/// ```
+/// use pma_core::{ConcurrentPma, PmaParams};
+///
+/// let pma = ConcurrentPma::new(PmaParams::small()).unwrap();
+/// pma.insert(1, 100);
+/// pma.insert(2, 200);
+/// assert_eq!(pma.get(1), Some(100));
+/// assert_eq!(pma.remove(2), Some(200));
+/// assert_eq!(pma.len(), 1);
+/// ```
+pub struct ConcurrentPma {
+    shared: Arc<Shared>,
+    rebalancer: RebalancerHandle,
+}
+
+impl std::fmt::Debug for ConcurrentPma {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConcurrentPma")
+            .field("len", &self.len())
+            .field("params", &self.shared.params)
+            .finish()
+    }
+}
+
+impl ConcurrentPma {
+    /// Creates a concurrent PMA with the given parameters and starts its
+    /// rebalancer service.
+    pub fn new(params: PmaParams) -> Result<Self, PmaError> {
+        params.validate()?;
+        let shared = Arc::new(Shared::new(params));
+        let rebalancer = RebalancerHandle::start(Arc::clone(&shared));
+        Ok(Self { shared, rebalancer })
+    }
+
+    /// Creates a concurrent PMA with the paper's default configuration
+    /// (128-element segments, 8 segments per gate, batch updates with
+    /// `t_delay` = 100 ms, 8 rebalancer workers).
+    pub fn with_defaults() -> Self {
+        Self::new(PmaParams::default()).expect("default parameters are valid")
+    }
+
+    /// The configuration this PMA was created with.
+    pub fn params(&self) -> &PmaParams {
+        &self.shared.params
+    }
+
+    /// Number of stored elements.
+    ///
+    /// With an asynchronous update mode, operations still sitting in
+    /// combining queues are not counted yet; call [`ConcurrentPma::flush`]
+    /// first for an exact answer.
+    pub fn len(&self) -> usize {
+        self.shared.element_count()
+    }
+
+    /// Whether the PMA stores no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of element slots currently allocated (including gaps).
+    pub fn capacity(&self) -> usize {
+        let _pin = self.shared.pin();
+        // SAFETY: pinned above.
+        unsafe { self.shared.instance_ref() }.capacity()
+    }
+
+    /// Number of gates (latches) the array is currently divided into.
+    pub fn num_gates(&self) -> usize {
+        let _pin = self.shared.pin();
+        // SAFETY: pinned above.
+        unsafe { self.shared.instance_ref() }.num_gates()
+    }
+
+    /// Snapshot of the operation counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Inserts `key` with `value` (upsert). With an asynchronous update mode
+    /// the operation may be executed later by another thread.
+    pub fn insert(&self, key: Key, value: Value) {
+        let allow_queue = self.shared.params.update_mode != UpdateMode::Synchronous;
+        self.update(UpdateOp::Insert(key, value), allow_queue);
+    }
+
+    /// Removes `key`. Returns the removed value when the removal was executed
+    /// synchronously; returns `None` when the key was absent *or* when the
+    /// operation was delegated to another writer's combining queue.
+    pub fn remove(&self, key: Key) -> Option<Value> {
+        let allow_queue = self.shared.params.update_mode != UpdateMode::Synchronous;
+        self.update(UpdateOp::Delete(key), allow_queue)
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: Key) -> Option<Value> {
+        Stats::bump(&self.shared.stats.lookups);
+        loop {
+            let _pin = self.shared.pin();
+            // SAFETY: pinned above.
+            let inst = unsafe { self.shared.instance_ref() };
+            match self.acquire_read(inst, key) {
+                Some(g) => {
+                    // SAFETY: gate `g` is held in shared mode.
+                    let result = unsafe { inst.gates[g].chunk() }.get(key);
+                    inst.gates[g].release_read();
+                    return result;
+                }
+                None => {
+                    Stats::bump(&self.shared.stats.resize_restarts);
+                    continue;
+                }
+            }
+        }
+    }
+
+    /// Whether `key` is stored.
+    pub fn contains_key(&self, key: Key) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Scans every element in ascending key order, folding it into
+    /// [`ScanStats`]. Scans run concurrently with updates and do not provide
+    /// snapshot isolation (as in the paper): elements moved by a concurrent
+    /// rebalance may be observed at their old or new position.
+    pub fn scan_all(&self) -> ScanStats {
+        'restart: loop {
+            let _pin = self.shared.pin();
+            // SAFETY: pinned above.
+            let inst = unsafe { self.shared.instance_ref() };
+            let mut stats = ScanStats::default();
+            for g in 0..inst.num_gates() {
+                let gate = &inst.gates[g];
+                {
+                    let mut st = gate.lock();
+                    loop {
+                        if st.invalidated {
+                            Stats::bump(&self.shared.stats.resize_restarts);
+                            continue 'restart;
+                        }
+                        match st.mode {
+                            GateMode::Free => {
+                                st.mode = GateMode::Read(1);
+                                break;
+                            }
+                            GateMode::Read(n) => {
+                                st.mode = GateMode::Read(n + 1);
+                                break;
+                            }
+                            _ => gate.wait(&mut st),
+                        }
+                    }
+                }
+                // SAFETY: gate `g` is held in shared mode.
+                unsafe { gate.chunk() }.scan(&mut stats);
+                gate.release_read();
+            }
+            return stats;
+        }
+    }
+
+    /// Visits every element with key in `[lo, hi]` (inclusive) in ascending
+    /// key order.
+    pub fn range(&self, lo: Key, hi: Key, visitor: &mut dyn FnMut(Key, Value)) {
+        if lo > hi {
+            return;
+        }
+        // If a resize interrupts the scan we restart from just after the last
+        // visited key, so no element is visited twice.
+        let mut cursor = lo;
+        'restart: loop {
+            let _pin = self.shared.pin();
+            // SAFETY: pinned above.
+            let inst = unsafe { self.shared.instance_ref() };
+            let Some(mut g) = self.acquire_read(inst, cursor) else {
+                Stats::bump(&self.shared.stats.resize_restarts);
+                continue 'restart;
+            };
+            loop {
+                let gate = &inst.gates[g];
+                // SAFETY: gate `g` is held in shared mode.
+                let keep_going = unsafe { gate.chunk() }.range(cursor, hi, &mut |k, v| {
+                    visitor(k, v);
+                });
+                {
+                    let st = gate.lock();
+                    // Everything up to this gate's upper fence has been
+                    // covered (elements can only live inside their fences).
+                    cursor = cursor.max(st.fence_hi.saturating_add(1));
+                }
+                let next_needed = keep_going && cursor <= hi;
+                gate.release_read();
+                if !next_needed || g + 1 >= inst.num_gates() {
+                    return;
+                }
+                g += 1;
+                // Acquire the next gate in shared mode.
+                let gate = &inst.gates[g];
+                let mut st = gate.lock();
+                loop {
+                    if st.invalidated {
+                        Stats::bump(&self.shared.stats.resize_restarts);
+                        continue 'restart;
+                    }
+                    match st.mode {
+                        GateMode::Free => {
+                            st.mode = GateMode::Read(1);
+                            break;
+                        }
+                        GateMode::Read(n) => {
+                            st.mode = GateMode::Read(n + 1);
+                            break;
+                        }
+                        _ => gate.wait(&mut st),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Waits until every pending asynchronous update (combining queues,
+    /// delegated batches, parked rebalances) has been applied. Useful before
+    /// validating the contents or shutting down.
+    pub fn flush(&self) {
+        loop {
+            self.rebalancer.flush();
+            let mut leftovers: Vec<UpdateOp> = Vec::new();
+            let clean = {
+                let _pin = self.shared.pin();
+                // SAFETY: pinned above.
+                let inst = unsafe { self.shared.instance_ref() };
+                let mut clean = true;
+                for g in 0..inst.num_gates() {
+                    let mut st = inst.gates[g].lock();
+                    if st.invalidated {
+                        clean = false;
+                        break;
+                    }
+                    if st.delegated || st.queue_open {
+                        clean = false;
+                        continue;
+                    }
+                    match st.mode {
+                        GateMode::Free | GateMode::Read(_) => {
+                            if !st.pending.is_empty() {
+                                leftovers.extend(st.pending.drain(..));
+                            }
+                        }
+                        _ => clean = false,
+                    }
+                }
+                clean && leftovers.is_empty()
+            };
+            for op in leftovers {
+                self.update(op, false);
+            }
+            if clean {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Write path
+    // ------------------------------------------------------------------
+
+    /// Applies an update, possibly enqueueing it to another writer
+    /// (`allow_queue`). Returns the previous value when the operation was
+    /// applied synchronously.
+    fn update(&self, op: UpdateOp, allow_queue: bool) -> Option<Value> {
+        loop {
+            let mut leftovers: Vec<UpdateOp> = Vec::new();
+            let outcome = {
+                let _pin = self.shared.pin();
+                // SAFETY: pinned above.
+                let inst = unsafe { self.shared.instance_ref() };
+                match self.acquire_for_write(inst, op, allow_queue) {
+                    WriteAcquire::Queued => {
+                        Stats::bump(&self.shared.stats.combined_ops);
+                        Some(None)
+                    }
+                    WriteAcquire::Restart => {
+                        Stats::bump(&self.shared.stats.resize_restarts);
+                        None
+                    }
+                    WriteAcquire::Acquired(g) => match self.apply_on_gate(inst, g, op) {
+                        ApplyResult::Done(old) => {
+                            leftovers = self.finish_writer(inst, g);
+                            Some(old)
+                        }
+                        ApplyResult::NeedsGlobal => {
+                            self.hand_over_and_wait(inst, g);
+                            None
+                        }
+                    },
+                }
+            };
+            // Re-apply any operations that could not be completed on that
+            // gate, outside the epoch pin of the main operation.
+            for leftover in leftovers {
+                self.update(leftover, false);
+            }
+            match outcome {
+                Some(old) => return old,
+                None => continue,
+            }
+        }
+    }
+
+    /// Routes `op` to the gate covering its key and acquires that gate in
+    /// `Write` mode (or enqueues the op / reports a restart).
+    fn acquire_for_write(
+        &self,
+        inst: &PmaInstance,
+        op: UpdateOp,
+        allow_queue: bool,
+    ) -> WriteAcquire {
+        let key = op.key();
+        let mut g = inst.index.find_gate(key);
+        loop {
+            let gate = &inst.gates[g];
+            let mut st = gate.lock();
+            loop {
+                if st.invalidated {
+                    return WriteAcquire::Restart;
+                }
+                if key < st.fence_lo && g > 0 {
+                    Stats::bump(&self.shared.stats.gate_misses);
+                    g -= 1;
+                    break;
+                }
+                if key > st.fence_hi && g + 1 < inst.num_gates() {
+                    Stats::bump(&self.shared.stats.gate_misses);
+                    g += 1;
+                    break;
+                }
+                // This is the right gate (or the edge of the array).
+                if allow_queue && st.delegated {
+                    // The combining queue was handed to the rebalancer; keep
+                    // appending to it (paper section 3.5).
+                    st.pending.push_back(op);
+                    return WriteAcquire::Queued;
+                }
+                match st.mode {
+                    GateMode::Free => {
+                        st.mode = GateMode::Write;
+                        if allow_queue {
+                            st.queue_open = true;
+                        }
+                        return WriteAcquire::Acquired(g);
+                    }
+                    GateMode::Write if allow_queue && st.queue_open => {
+                        st.pending.push_back(op);
+                        return WriteAcquire::Queued;
+                    }
+                    _ => gate.wait(&mut st),
+                }
+            }
+        }
+    }
+
+    /// Applies `op` to gate `g`, which the caller holds in `Write` mode.
+    fn apply_on_gate(&self, inst: &PmaInstance, g: usize, op: UpdateOp) -> ApplyResult {
+        let gate = &inst.gates[g];
+        match op {
+            UpdateOp::Delete(key) => {
+                // SAFETY: the caller holds the gate in `Write` mode.
+                let old = unsafe { gate.chunk_mut() }.remove(key);
+                if old.is_some() {
+                    self.shared.len.fetch_sub(1, Ordering::Relaxed);
+                    Stats::bump(&self.shared.stats.deletes);
+                    self.maybe_request_downsize(inst);
+                }
+                ApplyResult::Done(old)
+            }
+            UpdateOp::Insert(key, value) => {
+                // SAFETY: the caller holds the gate in `Write` mode.
+                let chunk = unsafe { gate.chunk_mut() };
+                let adaptive = self.shared.params.rebalance_policy == RebalancePolicy::Adaptive;
+                loop {
+                    match chunk.try_insert(key, value) {
+                        ChunkInsert::Inserted => {
+                            self.shared.len.fetch_add(1, Ordering::Relaxed);
+                            Stats::bump(&self.shared.stats.inserts);
+                            return ApplyResult::Done(None);
+                        }
+                        ChunkInsert::Replaced(old) => return ApplyResult::Done(Some(old)),
+                        ChunkInsert::SegmentFull(seg) => {
+                            match find_local_window(inst, chunk, seg) {
+                                Some((start, count)) => {
+                                    chunk.rebalance_local(start, count, adaptive);
+                                    Stats::bump(&self.shared.stats.local_rebalances);
+                                    // Retry the insertion on the rebalanced chunk.
+                                }
+                                None => return ApplyResult::NeedsGlobal,
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Hands gate `g` (currently held in `Write` mode) over to the rebalancer
+    /// and waits until the global rebalance (or a resize) completes.
+    fn hand_over_and_wait(&self, inst: &PmaInstance, g: usize) {
+        let gate = &inst.gates[g];
+        let epoch_before = {
+            let mut st = gate.lock();
+            st.mode = GateMode::Rebalance;
+            st.service_owned = true;
+            st.queue_open = false;
+            st.rebalance_epoch
+        };
+        self.rebalancer.send(Request::GlobalRebalance { gate_id: g, extra: 1 });
+        let mut st = gate.lock();
+        while st.rebalance_epoch == epoch_before && st.service_owned && !st.invalidated {
+            gate.wait(&mut st);
+        }
+    }
+
+    /// Requests a downsize check when the array has become under-full.
+    fn maybe_request_downsize(&self, inst: &PmaInstance) {
+        if inst.num_gates() <= 1 {
+            return;
+        }
+        let len = self.shared.element_count();
+        if (len as f64) < self.shared.params.downsize_at * inst.capacity() as f64 {
+            self.rebalancer.send(Request::MaybeDownsize);
+        }
+    }
+
+    /// Drains the gate's combining queue according to the configured update
+    /// mode and releases the `Write` latch. Returns operations that must be
+    /// re-applied through the normal path (fence mismatches, overflow batches
+    /// in synchronous handling, ...).
+    fn finish_writer(&self, inst: &PmaInstance, g: usize) -> Vec<UpdateOp> {
+        match self.shared.params.update_mode {
+            UpdateMode::Synchronous => {
+                // Queueing is disabled in this mode; just release.
+                let gate = &inst.gates[g];
+                let leftovers: Vec<UpdateOp> = {
+                    let mut st = gate.lock();
+                    st.queue_open = false;
+                    st.mode = GateMode::Free;
+                    st.pending.drain(..).collect()
+                };
+                gate.notify_all();
+                leftovers
+            }
+            UpdateMode::OneByOne => self.drain_one_by_one(inst, g),
+            UpdateMode::Batch { t_delay } => self.drain_batch(inst, g, t_delay),
+        }
+    }
+
+    /// One-by-one combining (paper section 3.5): process the forwarded
+    /// operations in order while holding the gate.
+    fn drain_one_by_one(&self, inst: &PmaInstance, g: usize) -> Vec<UpdateOp> {
+        let gate = &inst.gates[g];
+        let mut leftovers: Vec<UpdateOp> = Vec::new();
+        loop {
+            let op = {
+                let mut st = gate.lock();
+                match st.pending.pop_front() {
+                    Some(op) => op,
+                    None => {
+                        st.queue_open = false;
+                        st.mode = GateMode::Free;
+                        drop(st);
+                        gate.notify_all();
+                        return leftovers;
+                    }
+                }
+            };
+            let (lo, hi) = {
+                let st = gate.lock();
+                (st.fence_lo, st.fence_hi)
+            };
+            if op.key() < lo || op.key() > hi {
+                // The key no longer belongs to this gate (a rebalance moved
+                // the fences while the op sat in the queue).
+                leftovers.push(op);
+                continue;
+            }
+            match self.apply_on_gate(inst, g, op) {
+                ApplyResult::Done(_) => {}
+                ApplyResult::NeedsGlobal => {
+                    // Stop accepting new work, move the rest of the queue to
+                    // the leftovers and re-apply them through the normal
+                    // (waiting) path.
+                    leftovers.push(op);
+                    let mut st = gate.lock();
+                    st.queue_open = false;
+                    leftovers.extend(st.pending.drain(..));
+                    st.mode = GateMode::Free;
+                    drop(st);
+                    gate.notify_all();
+                    return leftovers;
+                }
+            }
+        }
+    }
+
+    /// Batch combining (paper section 3.5): deletions first, then all
+    /// insertions merged in one rebalance; oversized batches go to the
+    /// rebalancer, throttled by `t_delay`.
+    fn drain_batch(&self, inst: &PmaInstance, g: usize, t_delay: Duration) -> Vec<UpdateOp> {
+        let gate = &inst.gates[g];
+        let mut leftovers: Vec<UpdateOp> = Vec::new();
+        loop {
+            let ops: Vec<UpdateOp> = {
+                let mut st = gate.lock();
+                if st.pending.is_empty() {
+                    st.queue_open = false;
+                    st.mode = GateMode::Free;
+                    drop(st);
+                    gate.notify_all();
+                    return leftovers;
+                }
+                st.pending.drain(..).collect()
+            };
+            Stats::bump(&self.shared.stats.batches_processed);
+            let (lo, hi) = {
+                let st = gate.lock();
+                (st.fence_lo, st.fence_hi)
+            };
+            // First pass: deletions (they always make room); collect the
+            // insertions for the second pass.
+            let mut inserts: Vec<(Key, Value)> = Vec::new();
+            let mut removed = 0usize;
+            // SAFETY: the gate is held in `Write` mode by this writer.
+            let chunk = unsafe { gate.chunk_mut() };
+            for op in ops {
+                let key = op.key();
+                if key < lo || key > hi {
+                    leftovers.push(op);
+                    continue;
+                }
+                match op {
+                    UpdateOp::Delete(k) => {
+                        if chunk.remove(k).is_some() {
+                            removed += 1;
+                            Stats::bump(&self.shared.stats.deletes);
+                        }
+                    }
+                    UpdateOp::Insert(k, v) => inserts.push((k, v)),
+                }
+            }
+            if removed > 0 {
+                self.shared.len.fetch_sub(removed, Ordering::Relaxed);
+            }
+            if inserts.is_empty() {
+                continue;
+            }
+            inserts.sort_unstable_by_key(|&(k, _)| k);
+
+            // Second pass: find the smallest window that fits all insertions.
+            // If the whole gate fits them, merge locally; otherwise the batch
+            // must go through the rebalancer, subject to `t_delay`.
+            let gate_capacity = inst.gate_capacity();
+            let tau_gate = inst.calibrator.upper_threshold(inst.gate_level);
+            let fits_locally = chunk.cardinality() + inserts.len() <= gate_capacity
+                && (chunk.cardinality() + inserts.len()) as f64 <= tau_gate * gate_capacity as f64;
+            if fits_locally {
+                let added = chunk.merge_batch(&inserts);
+                if added > 0 {
+                    self.shared.len.fetch_add(added, Ordering::Relaxed);
+                    Stats::add(&self.shared.stats.inserts, added as u64);
+                }
+                Stats::bump(&self.shared.stats.local_rebalances);
+                continue;
+            }
+
+            let mut st = gate.lock();
+            let elapsed = st.last_global_rebalance.elapsed();
+            if elapsed >= t_delay {
+                // Hand the gate and the batch to the rebalancer; we do not
+                // wait (asynchronous processing).
+                st.mode = GateMode::Rebalance;
+                st.service_owned = true;
+                st.queue_open = false;
+                drop(st);
+                self.rebalancer.send(Request::GlobalBatch {
+                    gate_id: g,
+                    inserts,
+                });
+                return leftovers;
+            }
+            // `t_delay` has not elapsed: park the batch at the rebalancer and
+            // leave the queue open (`pQ` stays set) so later writers keep
+            // appending to it.
+            for (k, v) in inserts {
+                st.pending.push_back(UpdateOp::Insert(k, v));
+            }
+            st.delegated = true;
+            st.queue_open = false;
+            st.mode = GateMode::Free;
+            let due = st.last_global_rebalance + t_delay;
+            drop(st);
+            gate.notify_all();
+            self.rebalancer.send(Request::DelayedBatch { gate_id: g, due });
+            return leftovers;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Read path
+    // ------------------------------------------------------------------
+
+    /// Routes `key` to the gate covering it and acquires that gate in shared
+    /// mode. Returns `None` when the instance was invalidated by a resize.
+    fn acquire_read(&self, inst: &PmaInstance, key: Key) -> Option<usize> {
+        let mut g = inst.index.find_gate(key);
+        loop {
+            let gate = &inst.gates[g];
+            let mut st = gate.lock();
+            loop {
+                if st.invalidated {
+                    return None;
+                }
+                if key < st.fence_lo && g > 0 {
+                    Stats::bump(&self.shared.stats.gate_misses);
+                    g -= 1;
+                    break;
+                }
+                if key > st.fence_hi && g + 1 < inst.num_gates() {
+                    Stats::bump(&self.shared.stats.gate_misses);
+                    g += 1;
+                    break;
+                }
+                match st.mode {
+                    GateMode::Free => {
+                        st.mode = GateMode::Read(1);
+                        return Some(g);
+                    }
+                    GateMode::Read(n) => {
+                        st.mode = GateMode::Read(n + 1);
+                        return Some(g);
+                    }
+                    _ => gate.wait(&mut st),
+                }
+            }
+        }
+    }
+}
+
+/// Finds the smallest calibrator window *inside* the gate whose density —
+/// counting one more element — is within its threshold. Returns the local
+/// segment range, or `None` when the rebalance must span multiple gates.
+fn find_local_window(
+    inst: &PmaInstance,
+    chunk: &chunk::ChunkData,
+    seg_local: usize,
+) -> Option<(usize, usize)> {
+    let spg = inst.segments_per_gate;
+    let seg_cap = chunk.segment_capacity();
+    for level in 2..=inst.gate_level {
+        let size = 1usize << (level - 1);
+        if size > spg {
+            break;
+        }
+        let start = (seg_local / size) * size;
+        let cardinality = chunk.window_cardinality(start, size);
+        let tau = inst.calibrator.upper_threshold(level);
+        // Besides the density threshold, the window must be able to leave at
+        // least one gap in every segment: the redistribution leaves a gap per
+        // segment whenever possible, which guarantees the retried insertion
+        // finds room wherever its key routes (no rebalance/retry livelock).
+        if (cardinality + 1) as f64 <= tau * (size * seg_cap) as f64
+            && cardinality < size * (seg_cap - 1)
+        {
+            return Some((start, size));
+        }
+    }
+    None
+}
+
+impl Drop for ConcurrentPma {
+    fn drop(&mut self) {
+        self.rebalancer.shutdown();
+    }
+}
+
+impl ConcurrentMap for ConcurrentPma {
+    fn insert(&self, key: Key, value: Value) {
+        ConcurrentPma::insert(self, key, value)
+    }
+
+    fn remove(&self, key: Key) -> Option<Value> {
+        ConcurrentPma::remove(self, key)
+    }
+
+    fn get(&self, key: Key) -> Option<Value> {
+        ConcurrentPma::get(self, key)
+    }
+
+    fn len(&self) -> usize {
+        ConcurrentPma::len(self)
+    }
+
+    fn scan_all(&self) -> ScanStats {
+        ConcurrentPma::scan_all(self)
+    }
+
+    fn range(&self, lo: Key, hi: Key, visitor: &mut dyn FnMut(Key, Value)) {
+        ConcurrentPma::range(self, lo, hi, visitor)
+    }
+
+    fn flush(&self) {
+        ConcurrentPma::flush(self)
+    }
+
+    fn name(&self) -> &'static str {
+        match self.shared.params.update_mode {
+            UpdateMode::Synchronous => "PMA (sync)",
+            UpdateMode::OneByOne => "PMA (1by1)",
+            UpdateMode::Batch { .. } => "PMA (batch)",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pma(mode: UpdateMode) -> ConcurrentPma {
+        let params = PmaParams {
+            update_mode: mode,
+            ..PmaParams::small()
+        };
+        ConcurrentPma::new(params).unwrap()
+    }
+
+    #[test]
+    fn empty_pma_basics() {
+        let p = pma(UpdateMode::Synchronous);
+        assert_eq!(p.len(), 0);
+        assert!(p.is_empty());
+        assert_eq!(p.get(5), None);
+        assert_eq!(p.remove(5), None);
+        assert_eq!(p.scan_all().count, 0);
+        assert_eq!(p.num_gates(), 1);
+    }
+
+    #[test]
+    fn insert_get_remove_synchronous() {
+        let p = pma(UpdateMode::Synchronous);
+        for k in 0..2000i64 {
+            p.insert(k, k * 3);
+        }
+        assert_eq!(p.len(), 2000);
+        for k in 0..2000i64 {
+            assert_eq!(p.get(k), Some(k * 3), "key {k}");
+        }
+        assert_eq!(p.get(5000), None);
+        for k in (0..2000i64).step_by(2) {
+            assert_eq!(p.remove(k), Some(k * 3));
+        }
+        assert_eq!(p.len(), 1000);
+        let stats = p.scan_all();
+        assert_eq!(stats.count, 1000);
+        assert!(p.stats().total_rebalances() > 0, "growth requires rebalances/resizes");
+    }
+
+    #[test]
+    fn reverse_and_random_insert_order() {
+        let p = pma(UpdateMode::Synchronous);
+        for k in (0..1500i64).rev() {
+            p.insert(k, -k);
+        }
+        // Interleave a second pass of overwrites.
+        for k in 0..1500i64 {
+            p.insert(k, k);
+        }
+        assert_eq!(p.len(), 1500);
+        let stats = p.scan_all();
+        assert_eq!(stats.count, 1500);
+        assert_eq!(stats.key_sum, (0..1500i64).sum::<i64>() as i128);
+        assert_eq!(stats.value_sum, (0..1500i64).sum::<i64>() as i128);
+    }
+
+    #[test]
+    fn range_scan_inclusive() {
+        let p = pma(UpdateMode::Synchronous);
+        for k in 0..3000i64 {
+            p.insert(k * 2, k);
+        }
+        let mut seen = Vec::new();
+        p.range(100, 120, &mut |k, _| seen.push(k));
+        assert_eq!(seen, (100..=120).filter(|k| k % 2 == 0).collect::<Vec<_>>());
+        let mut count = 0u64;
+        p.range(i64::MIN, i64::MAX, &mut |_, _| count += 1);
+        assert_eq!(count, 3000);
+    }
+
+    #[test]
+    fn one_by_one_mode_single_thread() {
+        let p = pma(UpdateMode::OneByOne);
+        for k in 0..3000i64 {
+            p.insert(k, k);
+        }
+        p.flush();
+        assert_eq!(p.len(), 3000);
+        assert_eq!(p.scan_all().count, 3000);
+        for k in (0..3000i64).step_by(3) {
+            p.remove(k);
+        }
+        p.flush();
+        assert_eq!(p.len(), 2000);
+    }
+
+    #[test]
+    fn batch_mode_single_thread() {
+        let p = pma(UpdateMode::Batch {
+            t_delay: Duration::from_millis(1),
+        });
+        for k in 0..3000i64 {
+            p.insert(k, k);
+        }
+        p.flush();
+        assert_eq!(p.len(), 3000);
+        for k in 0..3000i64 {
+            assert_eq!(p.get(k), Some(k), "key {k}");
+        }
+    }
+
+    #[test]
+    fn resize_restarts_are_transparent() {
+        let p = pma(UpdateMode::Synchronous);
+        // Small gates force several resizes while we keep reading.
+        for k in 0..5000i64 {
+            p.insert(k, k);
+            if k % 97 == 0 {
+                assert_eq!(p.get(k / 2), Some(k / 2));
+            }
+        }
+        assert!(p.stats().resizes > 0);
+        assert!(p.num_gates() > 1);
+        assert_eq!(p.len(), 5000);
+    }
+
+    #[test]
+    fn trait_object_usage() {
+        let p: Box<dyn ConcurrentMap> = Box::new(pma(UpdateMode::Synchronous));
+        p.insert(1, 10);
+        assert_eq!(p.get(1), Some(10));
+        assert_eq!(p.name(), "PMA (sync)");
+    }
+}

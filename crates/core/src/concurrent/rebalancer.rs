@@ -1,0 +1,940 @@
+//! The rebalancer service (paper section 3.3).
+//!
+//! Rebalances that span a single gate are executed by the writer that
+//! triggered them. Everything larger is delegated to this service: a single
+//! *master* thread receives requests, computes the window to rebalance by
+//! walking the calibrator tree over gates (acquiring their latches along the
+//! way), splits the window into per-gate partitions and hands them to a pool
+//! of *worker* threads. Each worker rebuilds one gate's chunk into a staging
+//! buffer; the master then installs the staged chunks ("memory rewiring" — a
+//! pointer swap per chunk), updates fence keys and the static index, and
+//! wakes the waiting clients.
+//!
+//! The master also owns resizes (section 3.4), the `t_delay` parking of
+//! delegated batches (section 3.5), downsize checks and epoch-based garbage
+//! collection.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use pma_common::{Key, Value};
+
+use crate::stats::Stats;
+
+use super::chunk::{ChunkData, ChunkInsert};
+use super::gate::{GateMode, UpdateOp};
+use super::instance::{compute_window_fences, PmaInstance};
+use super::shared::Shared;
+
+/// Requests accepted by the rebalancer master.
+#[derive(Debug)]
+pub(crate) enum Request {
+    /// A writer handed over `gate_id` (latch in `Rebalance` mode,
+    /// `service_owned` set) because the rebalance window exceeds the gate.
+    /// `extra` is the number of elements the writer still wants to insert.
+    GlobalRebalance { gate_id: usize, extra: usize },
+    /// A batch of insertions destined to `gate_id` that does not fit in the
+    /// gate; the gate has been handed over like `GlobalRebalance`.
+    GlobalBatch {
+        /// The handed-over gate.
+        gate_id: usize,
+        /// Sorted insertions to merge during the rebalance.
+        inserts: Vec<(Key, Value)>,
+    },
+    /// A combining queue delegated to the service because `t_delay` has not
+    /// elapsed yet (the gate is *not* handed over; its `delegated` flag is
+    /// set and other writers keep appending to its pending queue).
+    DelayedBatch { gate_id: usize, due: Instant },
+    /// Re-check whether the array should shrink.
+    MaybeDownsize,
+    /// Process all parked work immediately and acknowledge.
+    Flush(Sender<()>),
+    /// Terminate the service.
+    Shutdown,
+}
+
+/// A staging job for one worker: rebuild one gate's chunk from the merged
+/// element stream of the window.
+struct BuildJob {
+    source: Arc<WindowSource>,
+    /// Rank (within the merged stream) of the first element of this chunk.
+    elem_start: usize,
+    /// Per-segment element counts for the chunk being built.
+    targets: Vec<usize>,
+    /// Window-relative index of the output gate.
+    out_idx: usize,
+    reply: Sender<(usize, ChunkData)>,
+}
+
+enum WorkerMsg {
+    Build(BuildJob),
+    Shutdown,
+}
+
+/// Read-only view of the chunks of a window under rebalance, plus the batch of
+/// insertions to merge in. Sent to the workers.
+///
+/// SAFETY: the raw chunk pointers are only dereferenced while the master holds
+/// every gate of the window in `Rebalance` mode, which it does for the whole
+/// lifetime of the jobs referencing this source. The pointed-to chunks are not
+/// mutated until all workers have replied.
+pub(crate) struct WindowSource {
+    chunks: Vec<*const ChunkData>,
+    batch: Vec<(Key, Value)>,
+}
+
+unsafe impl Send for WindowSource {}
+unsafe impl Sync for WindowSource {}
+
+impl WindowSource {
+    fn new(chunks: Vec<*const ChunkData>, batch: Vec<(Key, Value)>) -> Self {
+        debug_assert!(batch.windows(2).all(|w| w[0].0 < w[1].0));
+        Self { chunks, batch }
+    }
+
+    /// Iterates over the merged (existing ∪ batch) elements in ascending key
+    /// order, starting at rank `start`. On key collisions the batch value
+    /// wins and a single element is emitted (upsert semantics).
+    fn iter_from(&self, start: usize) -> impl Iterator<Item = (Key, Value)> + '_ {
+        // SAFETY: see the type-level contract — the chunks are alive and
+        // unmutated while any job holds this source.
+        let existing = self
+            .chunks
+            .iter()
+            .flat_map(|&c| unsafe { &*c }.iter());
+        MergeIter {
+            a: existing.peekable(),
+            b: self.batch.iter().copied().peekable(),
+        }
+        .skip(start)
+    }
+}
+
+/// Merge of two ascending streams with upsert semantics (`b` wins ties).
+struct MergeIter<A, B>
+where
+    A: Iterator<Item = (Key, Value)>,
+    B: Iterator<Item = (Key, Value)>,
+{
+    a: std::iter::Peekable<A>,
+    b: std::iter::Peekable<B>,
+}
+
+impl<A, B> Iterator for MergeIter<A, B>
+where
+    A: Iterator<Item = (Key, Value)>,
+    B: Iterator<Item = (Key, Value)>,
+{
+    type Item = (Key, Value);
+
+    fn next(&mut self) -> Option<(Key, Value)> {
+        match (self.a.peek().copied(), self.b.peek().copied()) {
+            (None, None) => None,
+            (Some(_), None) => self.a.next(),
+            (None, Some(_)) => self.b.next(),
+            (Some((ka, _)), Some((kb, _))) => {
+                if ka < kb {
+                    self.a.next()
+                } else if kb < ka {
+                    self.b.next()
+                } else {
+                    // Same key: the batch element replaces the stored one.
+                    self.a.next();
+                    self.b.next()
+                }
+            }
+        }
+    }
+}
+
+/// Handle owned by [`super::ConcurrentPma`] to reach the service.
+pub(crate) struct RebalancerHandle {
+    tx: Sender<Request>,
+    master: Option<JoinHandle<()>>,
+}
+
+impl RebalancerHandle {
+    /// Starts the master thread (which in turn starts the worker pool).
+    pub fn start(shared: Arc<Shared>) -> Self {
+        let (tx, rx) = unbounded();
+        let master = std::thread::Builder::new()
+            .name("pma-rebalancer-master".to_string())
+            .spawn(move || Master::new(shared, rx).run())
+            .expect("failed to spawn the rebalancer master thread");
+        Self {
+            tx,
+            master: Some(master),
+        }
+    }
+
+    /// Sends a request to the master (never blocks).
+    pub fn send(&self, request: Request) {
+        // The only way the channel can be disconnected is during shutdown, in
+        // which case dropping the request is fine.
+        let _ = self.tx.send(request);
+    }
+
+    /// Asks the master to process all parked work and waits for completion.
+    pub fn flush(&self) {
+        let (ack_tx, ack_rx) = unbounded();
+        if self.tx.send(Request::Flush(ack_tx)).is_ok() {
+            let _ = ack_rx.recv();
+        }
+    }
+
+    /// Stops the master and the workers.
+    pub fn shutdown(&mut self) {
+        let _ = self.tx.send(Request::Shutdown);
+        if let Some(handle) = self.master.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for RebalancerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for RebalancerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RebalancerHandle").finish()
+    }
+}
+
+/// The master thread state.
+struct Master {
+    shared: Arc<Shared>,
+    rx: Receiver<Request>,
+    workers: Vec<JoinHandle<()>>,
+    job_tx: Sender<WorkerMsg>,
+    /// Delegated batches waiting for their `t_delay` to elapse.
+    parked: Vec<(Instant, usize)>,
+}
+
+impl Master {
+    fn new(shared: Arc<Shared>, rx: Receiver<Request>) -> Self {
+        let (job_tx, job_rx) = unbounded::<WorkerMsg>();
+        let workers = (0..shared.params.rebalancer_workers)
+            .map(|i| {
+                let job_rx = job_rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("pma-rebalancer-worker-{i}"))
+                    .spawn(move || worker_loop(job_rx))
+                    .expect("failed to spawn a rebalancer worker")
+            })
+            .collect();
+        Self {
+            shared,
+            rx,
+            workers,
+            job_tx,
+            parked: Vec::new(),
+        }
+    }
+
+    fn run(mut self) {
+        loop {
+            let timeout = self
+                .parked
+                .iter()
+                .map(|(due, _)| due.saturating_duration_since(Instant::now()))
+                .min()
+                .unwrap_or(Duration::from_millis(50));
+            let request = match self.rx.recv_timeout(timeout.max(Duration::from_millis(1))) {
+                Ok(r) => Some(r),
+                Err(RecvTimeoutError::Timeout) => None,
+                Err(RecvTimeoutError::Disconnected) => break,
+            };
+            match request {
+                Some(Request::Shutdown) => break,
+                Some(Request::GlobalRebalance { gate_id, extra }) => {
+                    self.handle_handed_over_gate(gate_id, extra, Vec::new());
+                }
+                Some(Request::GlobalBatch { gate_id, inserts }) => {
+                    let extra = inserts.len();
+                    self.handle_handed_over_gate(gate_id, extra, inserts);
+                }
+                Some(Request::DelayedBatch { gate_id, due }) => {
+                    self.parked.push((due, gate_id));
+                    Stats::bump(&self.shared.stats.batches_delayed);
+                }
+                Some(Request::MaybeDownsize) => self.maybe_downsize(),
+                Some(Request::Flush(ack)) => {
+                    let parked = std::mem::take(&mut self.parked);
+                    for (_, gate_id) in parked {
+                        self.process_delegated_batch(gate_id);
+                    }
+                    self.shared.garbage.collect(&self.shared.registry);
+                    let _ = ack.send(());
+                }
+                None => {}
+            }
+            // Process parked batches that have become due.
+            let now = Instant::now();
+            let due: Vec<usize> = {
+                let (ready, waiting): (Vec<_>, Vec<_>) =
+                    std::mem::take(&mut self.parked).into_iter().partition(|(d, _)| *d <= now);
+                self.parked = waiting;
+                ready.into_iter().map(|(_, g)| g).collect()
+            };
+            for gate_id in due {
+                self.process_delegated_batch(gate_id);
+            }
+            self.shared.garbage.collect(&self.shared.registry);
+        }
+        // Drain leftover parked work before terminating so no update is lost.
+        let parked = std::mem::take(&mut self.parked);
+        for (_, gate_id) in parked {
+            self.process_delegated_batch(gate_id);
+        }
+        for _ in &self.workers {
+            let _ = self.job_tx.send(WorkerMsg::Shutdown);
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    /// Waits for gate `g` to become acquirable by the service and claims it.
+    /// Gates already handed over (`Rebalance` + `service_owned`) are claimed
+    /// immediately: the stale hand-over request will notice and skip.
+    fn acquire_gate(&self, inst: &PmaInstance, g: usize) {
+        let gate = &inst.gates[g];
+        let mut st = gate.lock();
+        loop {
+            match st.mode {
+                GateMode::Free => {
+                    st.mode = GateMode::Rebalance;
+                    st.service_owned = true;
+                    return;
+                }
+                GateMode::Rebalance if st.service_owned => return,
+                _ => gate.wait(&mut st),
+            }
+        }
+    }
+
+    /// Releases the service-owned gates `[g_lo, g_hi)`, bumping their
+    /// rebalance epoch and waking every waiter.
+    fn release_gates(&self, inst: &PmaInstance, g_lo: usize, g_hi: usize) {
+        let now = Instant::now();
+        for g in g_lo..g_hi {
+            let gate = &inst.gates[g];
+            {
+                let mut st = gate.lock();
+                st.mode = GateMode::Free;
+                st.service_owned = false;
+                st.rebalance_epoch += 1;
+                st.last_global_rebalance = now;
+            }
+            gate.notify_all();
+        }
+    }
+
+    /// Entry point for `GlobalRebalance` / `GlobalBatch`: the gate was handed
+    /// over by a writer.
+    fn handle_handed_over_gate(&self, gate_id: usize, extra: usize, batch: Vec<(Key, Value)>) {
+        let _pin = self.shared.pin();
+        // SAFETY: pinned above.
+        let inst = unsafe { self.shared.instance_ref() };
+        if gate_id >= inst.num_gates() {
+            return;
+        }
+        {
+            let st = inst.gates[gate_id].lock();
+            if st.invalidated || !(st.mode == GateMode::Rebalance && st.service_owned) {
+                // Stale request: the gate was already handled as part of
+                // another window or a resize. An unapplied `extra` element is
+                // retried by its writer; a batch must be re-applied here.
+                if batch.is_empty() {
+                    return;
+                }
+                // A batch must never be dropped: reapply it directly.
+                drop(st);
+                self.reapply_ops(
+                    batch
+                        .into_iter()
+                        .map(|(k, v)| UpdateOp::Insert(k, v))
+                        .collect(),
+                );
+                return;
+            }
+        }
+        self.rebalance_from(inst, gate_id, extra, batch);
+    }
+
+    /// Core global-rebalance routine. `gate_id` must already be owned by the
+    /// service. Expands the window gate by gate until the density fits, then
+    /// redistributes (merging `batch`), or resizes when even the root window
+    /// is over threshold.
+    fn rebalance_from(
+        &self,
+        inst: &PmaInstance,
+        gate_id: usize,
+        extra: usize,
+        batch: Vec<(Key, Value)>,
+    ) {
+        let spg = inst.segments_per_gate;
+        let seg_cap = inst.segment_capacity;
+        let seg0 = inst.first_segment_of_gate(gate_id);
+        // Gates currently owned by the service for this operation.
+        let mut owned_lo = gate_id;
+        let mut owned_hi = gate_id + 1;
+        let mut window = None;
+        for level in (inst.gate_level + 1)..=inst.calibrator.height() {
+            let w = inst.calibrator.window_at(seg0, level);
+            let g_lo = w.start_segment / spg;
+            let g_hi = w.end_segment().div_ceil(spg).max(g_lo + 1);
+            for g in (g_lo..owned_lo).chain(owned_hi..g_hi) {
+                self.acquire_gate(inst, g);
+            }
+            owned_lo = owned_lo.min(g_lo);
+            owned_hi = owned_hi.max(g_hi);
+            let cardinality: usize = (g_lo..g_hi)
+                // SAFETY: all gates in [g_lo, g_hi) are service-owned.
+                .map(|g| unsafe { inst.gates[g].chunk() }.cardinality())
+                .sum();
+            let capacity = w.num_segments * seg_cap;
+            let density = (cardinality + extra) as f64 / capacity as f64;
+            // The window is acceptable when it is within its density threshold
+            // *and* large enough to keep one gap per segment after merging the
+            // pending insertions; the gap guarantees that writers retrying
+            // after this rebalance make progress instead of immediately
+            // handing the gate back (livelock).
+            if density <= inst.calibrator.upper_threshold(level)
+                && cardinality + extra <= w.num_segments * (seg_cap - 1)
+            {
+                window = Some((g_lo, g_hi, cardinality));
+                break;
+            }
+        }
+        match window {
+            Some((g_lo, g_hi, cardinality)) => {
+                self.redistribute(inst, g_lo, g_hi, cardinality, batch);
+                // Release everything we acquired (the window plus any gates
+                // acquired at intermediate levels — with gate-aligned windows
+                // these coincide, but be defensive).
+                self.release_gates(inst, g_lo.min(owned_lo), g_hi.max(owned_hi));
+                Stats::bump(&self.shared.stats.global_rebalances);
+            }
+            None => {
+                self.resize(inst, owned_lo, owned_hi, batch, false);
+            }
+        }
+    }
+
+    /// Redistributes the elements of gates `[g_lo, g_hi)` evenly over their
+    /// segments, merging `batch`, using the worker pool. The caller owns all
+    /// the gates and releases them afterwards.
+    fn redistribute(
+        &self,
+        inst: &PmaInstance,
+        g_lo: usize,
+        g_hi: usize,
+        cardinality: usize,
+        batch: Vec<(Key, Value)>,
+    ) {
+        let spg = inst.segments_per_gate;
+        let seg_cap = inst.segment_capacity;
+        let num_gates = g_hi - g_lo;
+        let num_segments = num_gates * spg;
+
+        let batch = normalise_batch(batch);
+        // Count how many batch keys are new (for the element counter).
+        let mut new_keys = 0usize;
+        for &(k, _) in &batch {
+            let mut found = false;
+            for g in g_lo..g_hi {
+                // SAFETY: gates are service-owned by the caller.
+                if unsafe { inst.gates[g].chunk() }.get(k).is_some() {
+                    found = true;
+                    break;
+                }
+            }
+            if !found {
+                new_keys += 1;
+            }
+        }
+        let total = cardinality + new_keys;
+        debug_assert!(total <= num_segments * seg_cap);
+        let targets = crate::sequential::even_targets(total, num_segments, seg_cap);
+
+        // SAFETY (WindowSource contract): the chunks stay alive and unmutated
+        // until every worker replied, which `collect` below waits for.
+        let chunks: Vec<*const ChunkData> = (g_lo..g_hi)
+            .map(|g| unsafe { inst.gates[g].chunk() } as *const ChunkData)
+            .collect();
+        let source = Arc::new(WindowSource::new(chunks, batch));
+
+        let (reply_tx, reply_rx) = unbounded();
+        let mut elem_start = 0usize;
+        for out_idx in 0..num_gates {
+            let gate_targets = targets[out_idx * spg..(out_idx + 1) * spg].to_vec();
+            let gate_total: usize = gate_targets.iter().sum();
+            let job = BuildJob {
+                source: Arc::clone(&source),
+                elem_start,
+                targets: gate_targets,
+                out_idx,
+                reply: reply_tx.clone(),
+            };
+            elem_start += gate_total;
+            let _ = self.job_tx.send(WorkerMsg::Build(job));
+        }
+        drop(reply_tx);
+        debug_assert_eq!(elem_start, total);
+
+        let mut staged: Vec<Option<ChunkData>> = (0..num_gates).map(|_| None).collect();
+        for _ in 0..num_gates {
+            let (idx, chunk) = reply_rx
+                .recv()
+                .expect("a rebalancer worker died while building a partition");
+            staged[idx] = Some(chunk);
+        }
+
+        // Install the staged chunks ("rewiring": a swap per gate), then update
+        // fences and separators.
+        let outer_lo = inst.gates[g_lo].lock().fence_lo;
+        let outer_hi = inst.gates[g_hi - 1].lock().fence_hi;
+        let mut mins = Vec::with_capacity(num_gates);
+        for (i, staged_chunk) in staged.into_iter().enumerate() {
+            let chunk = staged_chunk.expect("every partition must be staged");
+            mins.push(chunk.min_key());
+            // SAFETY: gate is service-owned.
+            let _old = unsafe { inst.gates[g_lo + i].replace_chunk(chunk) };
+        }
+        let fences = compute_window_fences(outer_lo, outer_hi, &mins);
+        for (i, &(lo, hi)) in fences.iter().enumerate() {
+            let g = g_lo + i;
+            {
+                let mut st = inst.gates[g].lock();
+                st.fence_lo = lo;
+                st.fence_hi = hi;
+            }
+            inst.index.update_separator(g, lo);
+        }
+        if new_keys > 0 {
+            self.shared.len.fetch_add(new_keys, Ordering::Relaxed);
+        }
+    }
+
+    /// Rebuilds the whole array with a capacity fitted to the current element
+    /// count (paper sections 3.4). `owned_lo..owned_hi` are gates already
+    /// owned by the service; the remaining gates are acquired here. `batch`
+    /// is merged into the new instance. When `shrink_check` is set the resize
+    /// is abandoned if the array is no longer under-full.
+    fn resize(
+        &self,
+        inst: &PmaInstance,
+        owned_lo: usize,
+        owned_hi: usize,
+        batch: Vec<(Key, Value)>,
+        shrink_check: bool,
+    ) {
+        // Acquire every gate of the instance.
+        for g in (0..owned_lo).chain(owned_hi..inst.num_gates()) {
+            self.acquire_gate(inst, g);
+        }
+
+        // Collect all elements and all pending (combined) operations.
+        let mut keys: Vec<Key> = Vec::new();
+        let mut values: Vec<Value> = Vec::new();
+        let mut pending_ops: Vec<UpdateOp> = Vec::new();
+        for g in 0..inst.num_gates() {
+            // SAFETY: every gate is now service-owned.
+            unsafe { inst.gates[g].chunk() }.collect_into(&mut keys, &mut values);
+            let mut st = inst.gates[g].lock();
+            pending_ops.extend(st.pending.drain(..));
+            st.delegated = false;
+        }
+
+        if shrink_check {
+            let capacity = inst.capacity();
+            let still_underfull =
+                (keys.len() as f64) < self.shared.params.downsize_at * capacity as f64;
+            if !still_underfull || inst.num_gates() == 1 {
+                self.release_gates(inst, 0, inst.num_gates());
+                self.reapply_ops(pending_ops);
+                return;
+            }
+        }
+
+        // Merge the batch (upsert semantics).
+        let batch = normalise_batch(batch);
+        let (merged_keys, merged_values) = merge_sorted(&keys, &values, &batch);
+        let new_len = merged_keys.len();
+
+        // Paper: C' = 2 N / (rho_h + tau_h), rounded up to a power-of-two
+        // number of gates.
+        let t = &self.shared.params.thresholds;
+        let target_density = (t.rho_root + t.tau_root).max(0.1);
+        let needed_slots = ((2.0 * new_len as f64) / target_density).ceil() as usize;
+        let gate_capacity = inst.gate_capacity();
+        let mut num_gates = needed_slots.div_ceil(gate_capacity).max(1).next_power_of_two();
+        while num_gates * gate_capacity < new_len + 1 {
+            num_gates *= 2;
+        }
+
+        let new_instance = Box::new(PmaInstance::from_sorted(
+            &merged_keys,
+            &merged_values,
+            num_gates,
+            &self.shared.params,
+        ));
+        let old = self.shared.publish_instance(new_instance);
+        self.shared.len.store(new_len, Ordering::Relaxed);
+
+        // Invalidate the old gates and wake everyone blocked on them, then
+        // retire the old instance.
+        for gate in old.gates.iter() {
+            {
+                let mut st = gate.lock();
+                st.invalidated = true;
+                st.service_owned = false;
+                st.mode = GateMode::Free;
+                st.rebalance_epoch += 1;
+            }
+            gate.notify_all();
+        }
+        self.shared.garbage.retire(&self.shared.registry, old);
+        Stats::bump(&self.shared.stats.resizes);
+
+        // Re-apply the combined operations that were still queued at the old
+        // gates; they now target the new instance.
+        self.reapply_ops(pending_ops);
+    }
+
+    /// Handles a delegated combining queue once its `t_delay` has elapsed:
+    /// acquires the gate, drains the queue, applies deletions directly and
+    /// merges insertions (locally if they fit, through a global rebalance
+    /// otherwise).
+    fn process_delegated_batch(&self, gate_id: usize) {
+        let _pin = self.shared.pin();
+        // SAFETY: pinned above.
+        let inst = unsafe { self.shared.instance_ref() };
+        if gate_id >= inst.num_gates() {
+            return;
+        }
+        self.acquire_gate(inst, gate_id);
+        let gate = &inst.gates[gate_id];
+        let (ops, invalid) = {
+            let mut st = gate.lock();
+            let invalid = st.invalidated;
+            st.delegated = false;
+            (st.pending.drain(..).collect::<Vec<_>>(), invalid)
+        };
+        if invalid {
+            self.release_gates(inst, gate_id, gate_id + 1);
+            self.reapply_ops(ops);
+            return;
+        }
+        if ops.is_empty() {
+            self.release_gates(inst, gate_id, gate_id + 1);
+            return;
+        }
+        Stats::bump(&self.shared.stats.batches_processed);
+
+        // Split the queue: apply deletions first (paper section 3.5), then the
+        // insertions as a batch. Operations whose key no longer falls within
+        // the gate's fences are re-applied through the normal path.
+        let (fence_lo, fence_hi) = {
+            let st = gate.lock();
+            (st.fence_lo, st.fence_hi)
+        };
+        let mut inserts: Vec<(Key, Value)> = Vec::new();
+        let mut leftovers: Vec<UpdateOp> = Vec::new();
+        let mut removed = 0usize;
+        for op in ops {
+            let k = op.key();
+            if k < fence_lo || k > fence_hi {
+                leftovers.push(op);
+                continue;
+            }
+            match op {
+                UpdateOp::Delete(k) => {
+                    // SAFETY: gate is service-owned.
+                    if unsafe { gate.chunk_mut() }.remove(k).is_some() {
+                        removed += 1;
+                        Stats::bump(&self.shared.stats.deletes);
+                    }
+                }
+                UpdateOp::Insert(k, v) => inserts.push((k, v)),
+            }
+        }
+        if removed > 0 {
+            self.shared.len.fetch_sub(removed, Ordering::Relaxed);
+        }
+        inserts.sort_unstable_by_key(|&(k, _)| k);
+
+        if inserts.is_empty() {
+            self.release_gates(inst, gate_id, gate_id + 1);
+        } else {
+            // SAFETY: gate is service-owned.
+            let chunk = unsafe { gate.chunk_mut() };
+            let gate_capacity = inst.gate_capacity();
+            let fits_locally = {
+                let level = inst.gate_level;
+                let tau = inst.calibrator.upper_threshold(level);
+                (chunk.cardinality() + inserts.len()) as f64 <= tau * gate_capacity as f64
+                    && chunk.cardinality() + inserts.len() <= gate_capacity
+            };
+            if fits_locally {
+                let added = chunk.merge_batch(&inserts);
+                if added > 0 {
+                    self.shared.len.fetch_add(added, Ordering::Relaxed);
+                }
+                Stats::add(&self.shared.stats.inserts, added as u64);
+                self.release_gates(inst, gate_id, gate_id + 1);
+            } else {
+                let extra = inserts.len();
+                Stats::add(&self.shared.stats.inserts, extra as u64);
+                self.rebalance_from(inst, gate_id, extra, inserts);
+            }
+        }
+        self.reapply_ops(leftovers);
+    }
+
+    /// Checks whether the array has become under-full and shrinks it if so.
+    fn maybe_downsize(&self) {
+        let _pin = self.shared.pin();
+        // SAFETY: pinned above.
+        let inst = unsafe { self.shared.instance_ref() };
+        if inst.num_gates() == 1 {
+            return;
+        }
+        let len = self.shared.element_count();
+        if (len as f64) >= self.shared.params.downsize_at * inst.capacity() as f64 {
+            return;
+        }
+        // Own a gate as the starting point, then resize with a re-check.
+        self.acquire_gate(inst, 0);
+        self.resize(inst, 0, 1, Vec::new(), true);
+    }
+
+    /// Re-applies operations that could not be completed in place (pending
+    /// queues drained by a resize, fence-mismatched batch entries, ...).
+    fn reapply_ops(&self, ops: Vec<UpdateOp>) {
+        for op in ops {
+            self.apply_op_direct(op);
+        }
+    }
+
+    /// Applies a single operation through a minimal synchronous path: acquire
+    /// the right gate as the service, update the chunk, rebalance locally or
+    /// globally as needed.
+    fn apply_op_direct(&self, op: UpdateOp) {
+        loop {
+            let _pin = self.shared.pin();
+            // SAFETY: pinned above.
+            let inst = unsafe { self.shared.instance_ref() };
+            let mut gate_id = inst.index.find_gate(op.key());
+            // Walk to the gate whose fences cover the key.
+            let gate_id = loop {
+                self.acquire_gate(inst, gate_id);
+                let st = inst.gates[gate_id].lock();
+                if st.invalidated {
+                    drop(st);
+                    self.release_gates(inst, gate_id, gate_id + 1);
+                    break None;
+                }
+                if op.key() < st.fence_lo && gate_id > 0 {
+                    drop(st);
+                    self.release_gates(inst, gate_id, gate_id + 1);
+                    gate_id -= 1;
+                } else if op.key() > st.fence_hi && gate_id + 1 < inst.num_gates() {
+                    drop(st);
+                    self.release_gates(inst, gate_id, gate_id + 1);
+                    gate_id += 1;
+                } else {
+                    break Some(gate_id);
+                }
+            };
+            let Some(gate_id) = gate_id else {
+                continue; // restart on the new instance
+            };
+            let gate = &inst.gates[gate_id];
+            match op {
+                UpdateOp::Delete(k) => {
+                    // SAFETY: gate is service-owned.
+                    if unsafe { gate.chunk_mut() }.remove(k).is_some() {
+                        self.shared.len.fetch_sub(1, Ordering::Relaxed);
+                        Stats::bump(&self.shared.stats.deletes);
+                    }
+                    self.release_gates(inst, gate_id, gate_id + 1);
+                    return;
+                }
+                UpdateOp::Insert(k, v) => {
+                    // SAFETY: gate is service-owned.
+                    let chunk = unsafe { gate.chunk_mut() };
+                    match chunk.try_insert(k, v) {
+                        ChunkInsert::Inserted => {
+                            self.shared.len.fetch_add(1, Ordering::Relaxed);
+                            Stats::bump(&self.shared.stats.inserts);
+                            self.release_gates(inst, gate_id, gate_id + 1);
+                            return;
+                        }
+                        ChunkInsert::Replaced(_) => {
+                            self.release_gates(inst, gate_id, gate_id + 1);
+                            return;
+                        }
+                        ChunkInsert::SegmentFull(_) => {
+                            if chunk.cardinality() < chunk.capacity() {
+                                chunk.rebalance_local(0, chunk.num_segments(), false);
+                                Stats::bump(&self.shared.stats.local_rebalances);
+                                match chunk.try_insert(k, v) {
+                                    ChunkInsert::Inserted => {
+                                        self.shared.len.fetch_add(1, Ordering::Relaxed);
+                                        Stats::bump(&self.shared.stats.inserts);
+                                        self.release_gates(inst, gate_id, gate_id + 1);
+                                        return;
+                                    }
+                                    ChunkInsert::Replaced(_) => {
+                                        self.release_gates(inst, gate_id, gate_id + 1);
+                                        return;
+                                    }
+                                    ChunkInsert::SegmentFull(_) => {
+                                        // The chunk is so full that even an
+                                        // even redistribution leaves the
+                                        // routed segment at capacity:
+                                        // escalate to a global rebalance and
+                                        // retry from scratch.
+                                        self.rebalance_from(inst, gate_id, 1, Vec::new());
+                                    }
+                                }
+                            } else {
+                                // The whole gate is full: global rebalance.
+                                self.rebalance_from(inst, gate_id, 1, Vec::new());
+                            }
+                            // Retry from scratch (the instance may have been
+                            // resized).
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Sorts a batch by key and keeps only the last occurrence of each key.
+fn normalise_batch(mut batch: Vec<(Key, Value)>) -> Vec<(Key, Value)> {
+    if batch.is_empty() {
+        return batch;
+    }
+    batch.sort_by_key(|&(k, _)| k);
+    // Keep the *last* entry for every key: iterate backwards.
+    let mut out: Vec<(Key, Value)> = Vec::with_capacity(batch.len());
+    for &(k, v) in batch.iter().rev() {
+        if out.last().map(|&(lk, _)| lk) != Some(k) {
+            out.push((k, v));
+        }
+    }
+    out.reverse();
+    out
+}
+
+/// Merges sorted `(keys, values)` with a sorted, deduplicated batch; batch
+/// entries win on key collisions.
+fn merge_sorted(keys: &[Key], values: &[Value], batch: &[(Key, Value)]) -> (Vec<Key>, Vec<Value>) {
+    let mut out_k = Vec::with_capacity(keys.len() + batch.len());
+    let mut out_v = Vec::with_capacity(keys.len() + batch.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < keys.len() || j < batch.len() {
+        if j >= batch.len() || (i < keys.len() && keys[i] < batch[j].0) {
+            out_k.push(keys[i]);
+            out_v.push(values[i]);
+            i += 1;
+        } else if i >= keys.len() || keys[i] > batch[j].0 {
+            out_k.push(batch[j].0);
+            out_v.push(batch[j].1);
+            j += 1;
+        } else {
+            out_k.push(batch[j].0);
+            out_v.push(batch[j].1);
+            i += 1;
+            j += 1;
+        }
+    }
+    (out_k, out_v)
+}
+
+fn worker_loop(rx: Receiver<WorkerMsg>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            WorkerMsg::Shutdown => break,
+            WorkerMsg::Build(job) => {
+                let mut stream = job.source.iter_from(job.elem_start);
+                let chunk = ChunkData::from_stream(
+                    job.targets.len(),
+                    job.source_segment_capacity(),
+                    &job.targets,
+                    &mut stream,
+                );
+                let _ = job.reply.send((job.out_idx, chunk));
+            }
+        }
+    }
+}
+
+impl BuildJob {
+    /// Segment capacity of the chunks being rebuilt (all chunks of a window
+    /// share it).
+    fn source_segment_capacity(&self) -> usize {
+        // SAFETY: WindowSource contract (chunks alive while jobs exist).
+        unsafe { &*self.source.chunks[0] }.segment_capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalise_batch_sorts_and_dedupes_keeping_last() {
+        let b = normalise_batch(vec![(5, 50), (1, 10), (5, 55), (3, 30), (1, 11)]);
+        assert_eq!(b, vec![(1, 11), (3, 30), (5, 55)]);
+        assert!(normalise_batch(vec![]).is_empty());
+    }
+
+    #[test]
+    fn merge_sorted_upserts() {
+        let (k, v) = merge_sorted(&[1, 3, 5], &[10, 30, 50], &[(2, 20), (3, 33), (9, 90)]);
+        assert_eq!(k, vec![1, 2, 3, 5, 9]);
+        assert_eq!(v, vec![10, 20, 33, 50, 90]);
+    }
+
+    #[test]
+    fn merge_sorted_with_empty_sides() {
+        let (k, v) = merge_sorted(&[], &[], &[(1, 1)]);
+        assert_eq!(k, vec![1]);
+        assert_eq!(v, vec![1]);
+        let (k, v) = merge_sorted(&[1, 2], &[10, 20], &[]);
+        assert_eq!(k, vec![1, 2]);
+        assert_eq!(v, vec![10, 20]);
+    }
+
+    #[test]
+    fn window_source_merges_chunks_and_batch() {
+        let mut c1 = ChunkData::new(2, 4);
+        for k in [1i64, 3, 5] {
+            c1.try_insert(k, k * 10);
+        }
+        let mut c2 = ChunkData::new(2, 4);
+        for k in [7i64, 9] {
+            c2.try_insert(k, k * 10);
+        }
+        let chunks: Vec<*const ChunkData> = vec![&c1, &c2];
+        let source = WindowSource::new(chunks, vec![(4, 400), (7, 777)]);
+        let merged: Vec<(Key, Value)> = source.iter_from(0).collect();
+        assert_eq!(
+            merged,
+            vec![(1, 10), (3, 30), (4, 400), (5, 50), (7, 777), (9, 90)]
+        );
+        let tail: Vec<(Key, Value)> = source.iter_from(4).collect();
+        assert_eq!(tail, vec![(7, 777), (9, 90)]);
+    }
+}

@@ -1,0 +1,225 @@
+//! The static index over the gates (paper section 3.2).
+//!
+//! A small static B+-tree whose indexed elements are the gates, with each
+//! gate's *minimum fence key* acting as its separator key. The number of
+//! separators only changes when the whole sparse array is resized (the index
+//! is then rebuilt from scratch), but the separator *values* change during
+//! rebalances.
+//!
+//! The tree is stored without pointers: every level is a dense array and a
+//! node's children are located by pure arithmetic. Updating the separator of
+//! a gate touches the leaf entry and, only when the gate is the first child
+//! of its ancestors, the corresponding ancestor entries — an `O(1)` operation
+//! in the common case.
+//!
+//! Traversals are deliberately unsynchronised: a reader may observe a stale
+//! separator and land on the wrong gate. That is fine — the caller validates
+//! the gate's fence keys after acquiring its latch and walks to a neighbour
+//! if the check fails, exactly as described in the paper.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+
+use pma_common::Key;
+
+/// Pointer-free static B+-tree over the gates' separator keys.
+pub struct StaticIndex {
+    fanout: usize,
+    num_gates: usize,
+    /// `levels[0]` holds one separator per gate; `levels[l][i]` summarises the
+    /// children `levels[l-1][i * fanout ..]` by their first (minimum) entry.
+    /// The last level always has at most `fanout` entries.
+    levels: Vec<Box<[AtomicI64]>>,
+}
+
+impl std::fmt::Debug for StaticIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StaticIndex")
+            .field("fanout", &self.fanout)
+            .field("num_gates", &self.num_gates)
+            .field("height", &self.levels.len())
+            .finish()
+    }
+}
+
+impl StaticIndex {
+    /// Builds the index from the separator key (minimum fence key) of every
+    /// gate, in gate order.
+    pub fn new(fanout: usize, separators: &[Key]) -> Self {
+        assert!(fanout >= 2, "index fanout must be at least 2");
+        assert!(!separators.is_empty(), "at least one gate is required");
+        let mut levels: Vec<Box<[AtomicI64]>> = Vec::new();
+        let leaf: Box<[AtomicI64]> = separators.iter().map(|&k| AtomicI64::new(k)).collect();
+        levels.push(leaf);
+        while levels.last().unwrap().len() > fanout {
+            let child = levels.last().unwrap();
+            let parent: Box<[AtomicI64]> = child
+                .chunks(fanout)
+                .map(|group| AtomicI64::new(group[0].load(Ordering::Relaxed)))
+                .collect();
+            levels.push(parent);
+        }
+        Self {
+            fanout,
+            num_gates: separators.len(),
+            levels,
+        }
+    }
+
+    /// Number of indexed gates.
+    #[inline]
+    pub fn num_gates(&self) -> usize {
+        self.num_gates
+    }
+
+    /// Number of levels of the tree (1 = a single leaf level).
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Within `[start, end)` of `level`, index of the last entry `<= key`,
+    /// or `start` when every entry is greater.
+    #[inline]
+    fn scan(&self, level: usize, start: usize, end: usize, key: Key) -> usize {
+        let entries = &self.levels[level];
+        let mut best = start;
+        for (i, entry) in entries[start..end].iter().enumerate() {
+            if entry.load(Ordering::Relaxed) <= key {
+                best = start + i;
+            } else {
+                break;
+            }
+        }
+        best
+    }
+
+    /// Returns the gate that *probably* covers `key`. The result must be
+    /// validated against the gate's fence keys: concurrent separator updates
+    /// may make it stale by a few gates.
+    pub fn find_gate(&self, key: Key) -> usize {
+        let top = self.levels.len() - 1;
+        let mut idx = self.scan(top, 0, self.levels[top].len(), key);
+        for level in (0..top).rev() {
+            let start = idx * self.fanout;
+            let end = (start + self.fanout).min(self.levels[level].len());
+            idx = self.scan(level, start, end, key);
+        }
+        idx
+    }
+
+    /// Updates the separator key of `gate`. Requires the caller to hold the
+    /// gate's latch exclusively (paper section 3.2); readers racing with this
+    /// update simply observe one of the two values.
+    pub fn update_separator(&self, gate: usize, key: Key) {
+        debug_assert!(gate < self.num_gates);
+        self.levels[0][gate].store(key, Ordering::Release);
+        let mut idx = gate;
+        let mut level = 0;
+        while level + 1 < self.levels.len() && idx % self.fanout == 0 {
+            idx /= self.fanout;
+            level += 1;
+            self.levels[level][idx].store(key, Ordering::Release);
+        }
+    }
+
+    /// Current separator of `gate` (test hook).
+    pub fn separator(&self, gate: usize) -> Key {
+        self.levels[0][gate].load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seps(n: usize, stride: i64) -> Vec<Key> {
+        (0..n as i64).map(|i| i * stride).collect()
+    }
+
+    #[test]
+    fn single_gate_index() {
+        let idx = StaticIndex::new(8, &[i64::MIN]);
+        assert_eq!(idx.height(), 1);
+        assert_eq!(idx.find_gate(-100), 0);
+        assert_eq!(idx.find_gate(0), 0);
+        assert_eq!(idx.find_gate(i64::MAX), 0);
+    }
+
+    #[test]
+    fn flat_index_routes_by_separator() {
+        // Gates covering [0,10), [10,20), [20,30), [30,..).
+        let idx = StaticIndex::new(8, &seps(4, 10));
+        assert_eq!(idx.find_gate(-5), 0, "keys below the first separator");
+        assert_eq!(idx.find_gate(0), 0);
+        assert_eq!(idx.find_gate(9), 0);
+        assert_eq!(idx.find_gate(10), 1);
+        assert_eq!(idx.find_gate(29), 2);
+        assert_eq!(idx.find_gate(30), 3);
+        assert_eq!(idx.find_gate(1_000_000), 3);
+    }
+
+    #[test]
+    fn multi_level_index_matches_linear_search() {
+        let separators = seps(1000, 7);
+        let idx = StaticIndex::new(8, &separators);
+        assert!(idx.height() > 2);
+        for probe in [-1i64, 0, 1, 6, 7, 35, 333, 3500, 6993, 7000, 100_000] {
+            let expected = match separators.binary_search(&probe) {
+                Ok(i) => i,
+                Err(0) => 0,
+                Err(i) => i - 1,
+            };
+            assert_eq!(idx.find_gate(probe), expected, "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_small_index() {
+        let separators = seps(37, 3);
+        let idx = StaticIndex::new(4, &separators);
+        for probe in -3..120i64 {
+            let expected = match separators.binary_search(&probe) {
+                Ok(i) => i,
+                Err(0) => 0,
+                Err(i) => i - 1,
+            };
+            assert_eq!(idx.find_gate(probe), expected, "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn update_separator_changes_routing() {
+        let idx = StaticIndex::new(4, &seps(8, 10));
+        assert_eq!(idx.find_gate(15), 1);
+        // Gate 2 now starts at 14 instead of 20.
+        idx.update_separator(2, 14);
+        assert_eq!(idx.separator(2), 14);
+        assert_eq!(idx.find_gate(15), 2);
+        assert_eq!(idx.find_gate(13), 1);
+    }
+
+    #[test]
+    fn update_separator_of_first_child_propagates() {
+        // 16 gates with fanout 4: updating gate 4 (first child of its parent)
+        // must update the parent so upper-level routing stays consistent.
+        let idx = StaticIndex::new(4, &seps(16, 10));
+        idx.update_separator(4, 35);
+        assert_eq!(idx.find_gate(34), 3);
+        assert_eq!(idx.find_gate(35), 4);
+        assert_eq!(idx.find_gate(39), 4);
+        assert_eq!(idx.find_gate(40), 4, "old separator no longer routes to 4");
+        assert_eq!(idx.find_gate(50), 5);
+    }
+
+    #[test]
+    fn keys_below_every_separator_route_to_gate_zero() {
+        let idx = StaticIndex::new(4, &seps(16, 10));
+        assert_eq!(idx.find_gate(i64::MIN), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one gate")]
+    fn empty_separator_list_panics() {
+        let _ = StaticIndex::new(4, &[]);
+    }
+}

@@ -1,0 +1,46 @@
+//! # Packed Memory Arrays — sequential and concurrent
+//!
+//! This crate implements the data structures of the paper *Fast Concurrent
+//! Reads and Updates with PMAs* (Dean De Leo and Peter Boncz, GRADES-NDA
+//! 2019):
+//!
+//! * [`sequential::PackedMemoryArray`] — the classic single-threaded PMA
+//!   (paper section 2): a sorted array with gaps, a calibrator tree with
+//!   interpolated density thresholds, traditional and adaptive rebalancing,
+//!   and resizing.
+//! * [`concurrent::ConcurrentPma`] — the paper's contribution (section 3): the
+//!   PMA is split into chunks protected by *gates*, point operations hold at
+//!   most one gate latch, a *static index* routes lookups to gates in
+//!   `O(log_B N)`, a master/worker *rebalancer service* executes rebalances
+//!   that span multiple gates, resizes are published through a single entry
+//!   pointer and reclaimed with epoch-based garbage collection, and contended
+//!   writers combine their updates asynchronously (one-by-one or batched with
+//!   a `t_delay` throttle).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pma_core::concurrent::ConcurrentPma;
+//! use pma_core::params::PmaParams;
+//! use pma_common::ConcurrentMap;
+//!
+//! let pma = ConcurrentPma::new(PmaParams::small()).unwrap();
+//! pma.insert(10, 100);
+//! pma.insert(20, 200);
+//! assert_eq!(pma.get(10), Some(100));
+//! let stats = pma.scan_all();
+//! assert_eq!(stats.count, 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod calibrator;
+pub mod concurrent;
+pub mod params;
+pub mod sequential;
+pub mod stats;
+
+pub use concurrent::ConcurrentPma;
+pub use params::{DensityThresholds, PmaParams, RebalancePolicy, UpdateMode};
+pub use sequential::PackedMemoryArray;
+pub use stats::{Stats, StatsSnapshot};

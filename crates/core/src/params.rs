@@ -1,0 +1,333 @@
+//! Configuration parameters of the Packed Memory Array.
+//!
+//! The defaults follow the configuration used in the paper's evaluation
+//! (section 4): segments of 128 elements, gates of 8 segments, density
+//! thresholds `rho_1 = 0 (relaxed), tau_1 = 1, rho_h = tau_h = 0.75`,
+//! 8 rebalancer workers and batch processing with `t_delay = 100 ms`.
+
+use std::time::Duration;
+
+use pma_common::PmaError;
+
+/// How updates that contend on the same gate are processed (paper section 3.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateMode {
+    /// Every writer waits for exclusive access to the gate; no combining.
+    /// This is the "baseline" of Figure 4.
+    Synchronous,
+    /// A single writer is active per gate; contending writers append their
+    /// operations to the active writer's queue, which drains them one by one,
+    /// preserving order (so adaptive rebalancing stays effective).
+    OneByOne,
+    /// As `OneByOne`, but the queue owner merges the queued operations into a
+    /// batch: deletions first, then one rebalance of the smallest window that
+    /// fits all insertions. Windows larger than a gate are handed to the
+    /// rebalancer, throttled so that at least `t_delay` elapses between
+    /// consecutive global rebalances of the same gate.
+    Batch {
+        /// Minimum time between global rebalances of the same gate.
+        t_delay: Duration,
+    },
+}
+
+impl Default for UpdateMode {
+    fn default() -> Self {
+        // The paper's plots refer to the asynchronous PMA with batch
+        // processing and t_delay = 100 ms.
+        UpdateMode::Batch {
+            t_delay: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Which rebalancing policy distributes elements over a window (section 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RebalancePolicy {
+    /// All segments of the window receive the same number of elements.
+    #[default]
+    Traditional,
+    /// Segments that recently absorbed many insertions receive fewer elements
+    /// (more gaps), in anticipation of further skewed insertions (APMA,
+    /// Bender & Hu 2007).
+    Adaptive,
+}
+
+/// Density thresholds of the calibrator tree (section 2).
+///
+/// `rho_leaf`/`tau_leaf` apply at height 1 (single segments) and
+/// `rho_root`/`tau_root` at the root; intermediate heights are linearly
+/// interpolated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DensityThresholds {
+    /// Lower density threshold for a single segment (`rho_1`).
+    pub rho_leaf: f64,
+    /// Upper density threshold for a single segment (`tau_1`).
+    pub tau_leaf: f64,
+    /// Lower density threshold for the whole array (`rho_h`).
+    pub rho_root: f64,
+    /// Upper density threshold for the whole array (`tau_h`).
+    pub tau_root: f64,
+}
+
+impl Default for DensityThresholds {
+    fn default() -> Self {
+        // Paper section 4: rho_1 relaxed to 0, tau_1 = 1, rho_h = tau_h = 0.75.
+        Self {
+            rho_leaf: 0.0,
+            tau_leaf: 1.0,
+            rho_root: 0.75,
+            tau_root: 0.75,
+        }
+    }
+}
+
+impl DensityThresholds {
+    /// The strict textbook thresholds (`rho_1 = 0.5`) described in section 2,
+    /// used by the sequential PMA tests to exercise lower-threshold
+    /// rebalancing.
+    pub fn strict() -> Self {
+        Self {
+            rho_leaf: 0.5,
+            tau_leaf: 1.0,
+            rho_root: 0.75,
+            tau_root: 0.75,
+        }
+    }
+
+    /// Validates the ordering constraint `0 <= rho_1 < rho_h <= tau_h < tau_1 <= 1`
+    /// (with equality tolerated where the paper's own configuration uses it).
+    pub fn validate(&self) -> Result<(), PmaError> {
+        let ok = self.rho_leaf >= 0.0
+            && self.rho_leaf <= self.rho_root
+            && self.rho_root <= self.tau_root
+            && self.tau_root <= self.tau_leaf
+            && self.tau_leaf <= 1.0
+            && self.tau_root > 0.0;
+        if ok {
+            Ok(())
+        } else {
+            Err(PmaError::invalid(
+                "density_thresholds",
+                format!(
+                    "requires 0 <= rho_leaf <= rho_root <= tau_root <= tau_leaf <= 1, got {self:?}"
+                ),
+            ))
+        }
+    }
+}
+
+/// Full configuration of a (sequential or concurrent) PMA.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PmaParams {
+    /// Number of element slots per segment. Must be a power of two >= 4.
+    /// Paper default: 128.
+    pub segment_capacity: usize,
+    /// Number of segments covered by one gate (one latch). Must be a power of
+    /// two >= 1. Paper default: 8.
+    pub segments_per_gate: usize,
+    /// Density thresholds of the calibrator tree.
+    pub thresholds: DensityThresholds,
+    /// Number of worker threads in the rebalancer service. Paper default: 8.
+    pub rebalancer_workers: usize,
+    /// How contended updates are processed.
+    pub update_mode: UpdateMode,
+    /// Element-distribution policy used by rebalances.
+    pub rebalance_policy: RebalancePolicy,
+    /// Downsize the array when fewer than this fraction of slots are used.
+    /// Paper default: 0.5.
+    pub downsize_at: f64,
+    /// Fanout of the static index nodes (separator keys per node).
+    pub index_node_fanout: usize,
+}
+
+impl Default for PmaParams {
+    fn default() -> Self {
+        Self {
+            segment_capacity: 128,
+            segments_per_gate: 8,
+            thresholds: DensityThresholds::default(),
+            rebalancer_workers: 8,
+            update_mode: UpdateMode::default(),
+            rebalance_policy: RebalancePolicy::Traditional,
+            downsize_at: 0.5,
+            index_node_fanout: 8,
+        }
+    }
+}
+
+impl PmaParams {
+    /// Parameters suitable for small unit tests: tiny segments and gates so
+    /// that rebalances, global rebalances and resizes all trigger quickly.
+    pub fn small() -> Self {
+        Self {
+            segment_capacity: 8,
+            segments_per_gate: 2,
+            rebalancer_workers: 2,
+            ..Self::default()
+        }
+    }
+
+    /// Synchronous-update variant of `self` (Figure 4 "Baseline").
+    pub fn synchronous(mut self) -> Self {
+        self.update_mode = UpdateMode::Synchronous;
+        self
+    }
+
+    /// One-by-one asynchronous variant of `self` (Figure 4 "1by1").
+    pub fn one_by_one(mut self) -> Self {
+        self.update_mode = UpdateMode::OneByOne;
+        self.rebalance_policy = RebalancePolicy::Adaptive;
+        self
+    }
+
+    /// Batch asynchronous variant of `self` with the given delay (Figure 4
+    /// "Batch ...ms").
+    pub fn batched(mut self, t_delay: Duration) -> Self {
+        self.update_mode = UpdateMode::Batch { t_delay };
+        self
+    }
+
+    /// Number of element slots per gate chunk.
+    #[inline]
+    pub fn gate_capacity(&self) -> usize {
+        self.segment_capacity * self.segments_per_gate
+    }
+
+    /// Validates every parameter, returning a descriptive error for the first
+    /// violated constraint.
+    pub fn validate(&self) -> Result<(), PmaError> {
+        if !self.segment_capacity.is_power_of_two() || self.segment_capacity < 4 {
+            return Err(PmaError::invalid(
+                "segment_capacity",
+                format!(
+                    "must be a power of two >= 4, got {}",
+                    self.segment_capacity
+                ),
+            ));
+        }
+        if !self.segments_per_gate.is_power_of_two() {
+            return Err(PmaError::invalid(
+                "segments_per_gate",
+                format!("must be a power of two, got {}", self.segments_per_gate),
+            ));
+        }
+        if self.rebalancer_workers == 0 {
+            return Err(PmaError::invalid(
+                "rebalancer_workers",
+                "must be at least 1".to_string(),
+            ));
+        }
+        if !(0.0..1.0).contains(&self.downsize_at) {
+            return Err(PmaError::invalid(
+                "downsize_at",
+                format!("must be in [0, 1), got {}", self.downsize_at),
+            ));
+        }
+        if self.index_node_fanout < 2 {
+            return Err(PmaError::invalid(
+                "index_node_fanout",
+                format!("must be at least 2, got {}", self.index_node_fanout),
+            ));
+        }
+        self.thresholds.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_match_paper_configuration() {
+        let p = PmaParams::default();
+        assert_eq!(p.segment_capacity, 128);
+        assert_eq!(p.segments_per_gate, 8);
+        assert_eq!(p.gate_capacity(), 1024);
+        assert_eq!(p.rebalancer_workers, 8);
+        assert_eq!(
+            p.update_mode,
+            UpdateMode::Batch {
+                t_delay: Duration::from_millis(100)
+            }
+        );
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn default_thresholds_match_paper() {
+        let t = DensityThresholds::default();
+        assert_eq!(t.rho_leaf, 0.0);
+        assert_eq!(t.tau_leaf, 1.0);
+        assert_eq!(t.rho_root, 0.75);
+        assert_eq!(t.tau_root, 0.75);
+        assert!(t.validate().is_ok());
+        assert!(DensityThresholds::strict().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_segment_capacity_is_rejected() {
+        let p = PmaParams {
+            segment_capacity: 100,
+            ..PmaParams::default()
+        };
+        assert!(p.validate().is_err());
+        let p = PmaParams {
+            segment_capacity: 2,
+            ..PmaParams::default()
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn invalid_thresholds_are_rejected() {
+        let t = DensityThresholds {
+            rho_leaf: 0.9,
+            tau_leaf: 1.0,
+            rho_root: 0.5,
+            tau_root: 0.75,
+        };
+        assert!(t.validate().is_err());
+        let t = DensityThresholds {
+            rho_leaf: 0.0,
+            tau_leaf: 1.5,
+            rho_root: 0.5,
+            tau_root: 0.75,
+        };
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn invalid_workers_and_fanout_rejected() {
+        let p = PmaParams {
+            rebalancer_workers: 0,
+            ..PmaParams::default()
+        };
+        assert!(p.validate().is_err());
+        let p = PmaParams {
+            index_node_fanout: 1,
+            ..PmaParams::default()
+        };
+        assert!(p.validate().is_err());
+        let p = PmaParams {
+            downsize_at: 1.0,
+            ..PmaParams::default()
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn mode_builders() {
+        let p = PmaParams::small().synchronous();
+        assert_eq!(p.update_mode, UpdateMode::Synchronous);
+        let p = PmaParams::small().one_by_one();
+        assert_eq!(p.update_mode, UpdateMode::OneByOne);
+        assert_eq!(p.rebalance_policy, RebalancePolicy::Adaptive);
+        let p = PmaParams::small().batched(Duration::from_millis(5));
+        assert_eq!(
+            p.update_mode,
+            UpdateMode::Batch {
+                t_delay: Duration::from_millis(5)
+            }
+        );
+    }
+}

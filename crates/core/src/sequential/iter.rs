@@ -1,0 +1,201 @@
+//! Ordered iterators over the sequential PMA.
+//!
+//! Scans are the PMA's strength: elements are visited by walking the slot
+//! array segment by segment, skipping the gaps at each segment's tail, so the
+//! memory access pattern is sequential.
+
+use super::PackedMemoryArray;
+
+/// Iterator over all elements of a [`PackedMemoryArray`] in ascending key
+/// order. Yields copies of the stored pairs.
+#[derive(Debug)]
+pub struct Iter<'a, K, V> {
+    pma: &'a PackedMemoryArray<K, V>,
+    segment: usize,
+    offset: usize,
+}
+
+impl<'a, K, V> Iter<'a, K, V>
+where
+    K: Ord + Copy + Default,
+    V: Copy + Default,
+{
+    pub(crate) fn new(pma: &'a PackedMemoryArray<K, V>) -> Self {
+        Self {
+            pma,
+            segment: 0,
+            offset: 0,
+        }
+    }
+}
+
+impl<K, V> Iterator for Iter<'_, K, V>
+where
+    K: Ord + Copy + Default,
+    V: Copy + Default,
+{
+    type Item = (K, V);
+
+    fn next(&mut self) -> Option<(K, V)> {
+        while self.segment < self.pma.num_segments() {
+            if self.offset < self.pma.cards[self.segment] {
+                let idx = self.segment * self.pma.params().segment_capacity + self.offset;
+                self.offset += 1;
+                return Some((self.pma.keys[idx], self.pma.values[idx]));
+            }
+            self.segment += 1;
+            self.offset = 0;
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // Cheap bounds: at most the whole PMA.
+        (0, Some(self.pma.len()))
+    }
+}
+
+/// Iterator over the elements of a [`PackedMemoryArray`] with keys in
+/// `[lo, hi]`, in ascending key order.
+#[derive(Debug)]
+pub struct RangeIter<'a, K, V> {
+    pma: &'a PackedMemoryArray<K, V>,
+    segment: usize,
+    offset: usize,
+    hi: K,
+    done: bool,
+}
+
+impl<'a, K, V> RangeIter<'a, K, V>
+where
+    K: Ord + Copy + Default,
+    V: Copy + Default,
+{
+    pub(crate) fn new(pma: &'a PackedMemoryArray<K, V>, lo: K, hi: K) -> Self {
+        if pma.is_empty() || lo > hi {
+            return Self {
+                pma,
+                segment: 0,
+                offset: 0,
+                hi,
+                done: true,
+            };
+        }
+        // Position on the first element >= lo.
+        let segment = pma.find_segment(&lo);
+        let offset = match pma.seg_keys(segment).binary_search(&lo) {
+            Ok(p) | Err(p) => p,
+        };
+        Self {
+            pma,
+            segment,
+            offset,
+            hi,
+            done: false,
+        }
+    }
+}
+
+impl<K, V> Iterator for RangeIter<'_, K, V>
+where
+    K: Ord + Copy + Default,
+    V: Copy + Default,
+{
+    type Item = (K, V);
+
+    fn next(&mut self) -> Option<(K, V)> {
+        if self.done {
+            return None;
+        }
+        while self.segment < self.pma.num_segments() {
+            if self.offset < self.pma.cards[self.segment] {
+                let idx = self.segment * self.pma.params().segment_capacity + self.offset;
+                let key = self.pma.keys[idx];
+                if key > self.hi {
+                    self.done = true;
+                    return None;
+                }
+                self.offset += 1;
+                return Some((key, self.pma.values[idx]));
+            }
+            self.segment += 1;
+            self.offset = 0;
+        }
+        self.done = true;
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::params::PmaParams;
+    use crate::sequential::PackedMemoryArray;
+
+    fn filled(n: i64) -> PackedMemoryArray<i64, i64> {
+        let mut pma = PackedMemoryArray::new(PmaParams::small()).unwrap();
+        for k in 0..n {
+            pma.insert(k * 2, k);
+        }
+        pma
+    }
+
+    #[test]
+    fn iter_visits_everything_in_order() {
+        let pma = filled(500);
+        let v: Vec<_> = pma.iter().collect();
+        assert_eq!(v.len(), 500);
+        assert!(v.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(v[0], (0, 0));
+        assert_eq!(v[499], (998, 499));
+    }
+
+    #[test]
+    fn iter_on_empty_pma() {
+        let pma = PackedMemoryArray::<i64, i64>::new(PmaParams::small()).unwrap();
+        assert_eq!(pma.iter().count(), 0);
+    }
+
+    #[test]
+    fn range_inclusive_bounds() {
+        let pma = filled(100); // keys 0, 2, 4, ..., 198
+        let v: Vec<_> = pma.range(10, 20).map(|(k, _)| k).collect();
+        assert_eq!(v, vec![10, 12, 14, 16, 18, 20]);
+    }
+
+    #[test]
+    fn range_with_bounds_not_present() {
+        let pma = filled(100);
+        let v: Vec<_> = pma.range(9, 21).map(|(k, _)| k).collect();
+        assert_eq!(v, vec![10, 12, 14, 16, 18, 20]);
+    }
+
+    #[test]
+    fn range_outside_key_space() {
+        let pma = filled(100);
+        assert_eq!(pma.range(1000, 2000).count(), 0);
+        assert_eq!(pma.range(-50, -1).count(), 0);
+        let all: Vec<_> = pma.range(i64::MIN, i64::MAX).collect();
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn range_empty_when_lo_greater_than_hi() {
+        let pma = filled(100);
+        assert_eq!(pma.range(20, 10).count(), 0);
+    }
+
+    #[test]
+    fn range_single_element() {
+        let pma = filled(100);
+        let v: Vec<_> = pma.range(42, 42).collect();
+        assert_eq!(v, vec![(42, 21)]);
+    }
+
+    #[test]
+    fn range_spans_many_segments() {
+        let pma = filled(5000);
+        let v: Vec<_> = pma.range(100, 7000).map(|(k, _)| k).collect();
+        assert_eq!(v.len(), (7000 - 100) / 2 + 1);
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,135 @@
+//! Operation counters exposed by the PMA implementations.
+//!
+//! The counters are used by the experiment harness (e.g. to report how many
+//! global rebalances or resizes a workload triggered) and by tests that assert
+//! a specific code path was exercised.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal atomic counters. All increments use relaxed ordering: the counters
+/// are diagnostics, not synchronisation.
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// Successful insertions applied to the array.
+    pub inserts: AtomicU64,
+    /// Successful deletions applied to the array.
+    pub deletes: AtomicU64,
+    /// Point lookups served.
+    pub lookups: AtomicU64,
+    /// Rebalances fully contained in one gate, executed by the writer itself.
+    pub local_rebalances: AtomicU64,
+    /// Rebalances spanning multiple gates, executed by the rebalancer service.
+    pub global_rebalances: AtomicU64,
+    /// Full reconstructions of the array (capacity changes).
+    pub resizes: AtomicU64,
+    /// Operations appended to another writer's combining queue.
+    pub combined_ops: AtomicU64,
+    /// Batches processed by the batch update mode.
+    pub batches_processed: AtomicU64,
+    /// Batches whose global rebalance was postponed because of `t_delay`.
+    pub batches_delayed: AtomicU64,
+    /// Times a client had to walk to a neighbouring gate after a fence-key
+    /// mismatch (stale static-index read or concurrent rebalance).
+    pub gate_misses: AtomicU64,
+    /// Times a client restarted an operation because the array was resized.
+    pub resize_restarts: AtomicU64,
+}
+
+impl Stats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            inserts: self.inserts.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            lookups: self.lookups.load(Ordering::Relaxed),
+            local_rebalances: self.local_rebalances.load(Ordering::Relaxed),
+            global_rebalances: self.global_rebalances.load(Ordering::Relaxed),
+            resizes: self.resizes.load(Ordering::Relaxed),
+            combined_ops: self.combined_ops.load(Ordering::Relaxed),
+            batches_processed: self.batches_processed.load(Ordering::Relaxed),
+            batches_delayed: self.batches_delayed.load(Ordering::Relaxed),
+            gate_misses: self.gate_misses.load(Ordering::Relaxed),
+            resize_restarts: self.resize_restarts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of the [`Stats`] counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Successful insertions applied to the array.
+    pub inserts: u64,
+    /// Successful deletions applied to the array.
+    pub deletes: u64,
+    /// Point lookups served.
+    pub lookups: u64,
+    /// Rebalances fully contained in one gate.
+    pub local_rebalances: u64,
+    /// Rebalances spanning multiple gates.
+    pub global_rebalances: u64,
+    /// Full reconstructions of the array.
+    pub resizes: u64,
+    /// Operations appended to another writer's combining queue.
+    pub combined_ops: u64,
+    /// Batches processed by the batch update mode.
+    pub batches_processed: u64,
+    /// Batches postponed because of `t_delay`.
+    pub batches_delayed: u64,
+    /// Fence-key mismatches resolved by walking to a neighbour gate.
+    pub gate_misses: u64,
+    /// Operation restarts caused by resizes.
+    pub resize_restarts: u64,
+}
+
+impl StatsSnapshot {
+    /// Total rebalances of any kind (local + global + resizes).
+    pub fn total_rebalances(&self) -> u64 {
+        self.local_rebalances + self.global_rebalances + self.resizes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_increments() {
+        let s = Stats::new();
+        Stats::bump(&s.inserts);
+        Stats::bump(&s.inserts);
+        Stats::add(&s.combined_ops, 5);
+        Stats::bump(&s.resizes);
+        let snap = s.snapshot();
+        assert_eq!(snap.inserts, 2);
+        assert_eq!(snap.combined_ops, 5);
+        assert_eq!(snap.resizes, 1);
+        assert_eq!(snap.deletes, 0);
+        assert_eq!(snap.total_rebalances(), 1);
+    }
+
+    #[test]
+    fn counters_are_independent() {
+        let s = Stats::new();
+        Stats::bump(&s.local_rebalances);
+        Stats::bump(&s.global_rebalances);
+        let snap = s.snapshot();
+        assert_eq!(snap.local_rebalances, 1);
+        assert_eq!(snap.global_rebalances, 1);
+        assert_eq!(snap.total_rebalances(), 2);
+    }
+}

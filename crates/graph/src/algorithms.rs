@@ -1,0 +1,168 @@
+//! Graph analytics over the PMA-backed dynamic graph: the kind of
+//! navigation-heavy, scan-heavy workloads the paper's introduction motivates
+//! (dashboards over constantly changing graphs).
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::graph::{DynamicGraph, VertexId};
+
+/// Breadth-first search from `start`; returns the hop distance of every
+/// reachable vertex (including `start` at distance 0).
+pub fn bfs(graph: &DynamicGraph, start: VertexId) -> HashMap<VertexId, u32> {
+    let mut dist: HashMap<VertexId, u32> = HashMap::new();
+    if !graph.has_vertex(start) {
+        return dist;
+    }
+    let mut queue = VecDeque::new();
+    dist.insert(start, 0);
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[&v];
+        graph.for_each_neighbour(v, &mut |dst, _| {
+            if !dist.contains_key(&dst) {
+                dist.insert(dst, d + 1);
+                queue.push_back(dst);
+            }
+        });
+    }
+    dist
+}
+
+/// PageRank with the classic damping iteration. Returns the score of every
+/// vertex; scores sum to (approximately) 1.
+pub fn pagerank(graph: &DynamicGraph, iterations: usize, damping: f64) -> HashMap<VertexId, f64> {
+    let vertices = graph.vertices();
+    let n = vertices.len();
+    if n == 0 {
+        return HashMap::new();
+    }
+    let mut rank: HashMap<VertexId, f64> =
+        vertices.iter().map(|&v| (v, 1.0 / n as f64)).collect();
+    let out_degree: HashMap<VertexId, usize> =
+        vertices.iter().map(|&v| (v, graph.out_degree(v))).collect();
+
+    for _ in 0..iterations {
+        let mut next: HashMap<VertexId, f64> = vertices
+            .iter()
+            .map(|&v| (v, (1.0 - damping) / n as f64))
+            .collect();
+        let mut dangling_mass = 0.0;
+        for &v in &vertices {
+            let share = rank[&v];
+            let degree = out_degree[&v];
+            if degree == 0 {
+                dangling_mass += share;
+                continue;
+            }
+            let contribution = damping * share / degree as f64;
+            graph.for_each_neighbour(v, &mut |dst, _| {
+                *next.entry(dst).or_insert((1.0 - damping) / n as f64) += contribution;
+            });
+        }
+        // Spread the rank of dangling vertices evenly.
+        let dangling_share = damping * dangling_mass / n as f64;
+        for value in next.values_mut() {
+            *value += dangling_share;
+        }
+        rank = next;
+    }
+    rank
+}
+
+/// Counts directed triangles `a -> b -> c -> a` (each triangle counted once
+/// per rotation). A cheap connectivity statistic used by the example
+/// workloads.
+pub fn directed_triangles(graph: &DynamicGraph) -> u64 {
+    let mut count = 0u64;
+    for a in graph.vertices() {
+        graph.for_each_neighbour(a, &mut |b, _| {
+            graph.for_each_neighbour(b, &mut |c, _| {
+                if graph.has_edge(c, a) {
+                    count += 1;
+                }
+            });
+        });
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pma_core::PmaParams;
+
+    fn line_graph(n: u32) -> DynamicGraph {
+        let g = DynamicGraph::with_params(PmaParams::small()).unwrap();
+        for v in 0..n.saturating_sub(1) {
+            g.add_edge(v, v + 1, 1).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn bfs_on_a_line() {
+        let g = line_graph(10);
+        let dist = bfs(&g, 0);
+        assert_eq!(dist.len(), 10);
+        for v in 0..10u32 {
+            assert_eq!(dist[&v], v);
+        }
+        // Starting from the middle only reaches the tail (directed edges).
+        let dist = bfs(&g, 5);
+        assert_eq!(dist.len(), 5);
+        assert_eq!(dist[&9], 4);
+    }
+
+    #[test]
+    fn bfs_from_missing_vertex_is_empty() {
+        let g = line_graph(3);
+        assert!(bfs(&g, 99).is_empty());
+    }
+
+    #[test]
+    fn bfs_handles_cycles() {
+        let g = DynamicGraph::with_params(PmaParams::small()).unwrap();
+        g.add_edge(0, 1, 1).unwrap();
+        g.add_edge(1, 2, 1).unwrap();
+        g.add_edge(2, 0, 1).unwrap();
+        let dist = bfs(&g, 0);
+        assert_eq!(dist[&0], 0);
+        assert_eq!(dist[&1], 1);
+        assert_eq!(dist[&2], 2);
+    }
+
+    #[test]
+    fn pagerank_sums_to_one_and_prefers_sinks_of_mass() {
+        let g = DynamicGraph::with_params(PmaParams::small()).unwrap();
+        // Star: every vertex points at vertex 0.
+        for v in 1..20u32 {
+            g.add_edge(v, 0, 1).unwrap();
+        }
+        let pr = pagerank(&g, 20, 0.85);
+        let total: f64 = pr.values().sum();
+        assert!((total - 1.0).abs() < 1e-6, "total rank {total}");
+        let centre = pr[&0];
+        for v in 1..20u32 {
+            assert!(centre > pr[&v], "centre must dominate vertex {v}");
+        }
+    }
+
+    #[test]
+    fn pagerank_on_empty_graph() {
+        let g = DynamicGraph::with_params(PmaParams::small()).unwrap();
+        assert!(pagerank(&g, 5, 0.85).is_empty());
+    }
+
+    #[test]
+    fn triangle_counting() {
+        let g = DynamicGraph::with_params(PmaParams::small()).unwrap();
+        g.add_edge(0, 1, 1).unwrap();
+        g.add_edge(1, 2, 1).unwrap();
+        g.add_edge(2, 0, 1).unwrap();
+        // One directed triangle, counted once per rotation.
+        assert_eq!(directed_triangles(&g), 3);
+        g.add_edge(2, 1, 1).unwrap();
+        // Still only rotations of the same directed cycle.
+        assert_eq!(directed_triangles(&g), 3);
+    }
+}

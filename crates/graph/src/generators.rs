@@ -1,0 +1,114 @@
+//! Synthetic graph generators for the examples and benchmarks.
+//!
+//! The paper's follow-up work evaluates dynamic graphs on the LDBC social
+//! network benchmark; as a stand-in that needs no external data, these
+//! generators produce uniformly random and preferential-attachment
+//! (scale-free, social-network-like) edge streams.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::VertexId;
+
+/// A generated edge stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeList {
+    /// Number of vertices referenced by the edges (`0..num_vertices`).
+    pub num_vertices: u32,
+    /// Directed edges `(src, dst)`.
+    pub edges: Vec<(VertexId, VertexId)>,
+}
+
+/// Uniformly random directed graph: `num_edges` edges with endpoints drawn
+/// uniformly from `0..num_vertices`. Self-loops are skipped.
+pub fn uniform_random(num_vertices: u32, num_edges: usize, seed: u64) -> EdgeList {
+    assert!(num_vertices >= 2);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(num_edges);
+    while edges.len() < num_edges {
+        let src = rng.gen_range(0..num_vertices);
+        let dst = rng.gen_range(0..num_vertices);
+        if src != dst {
+            edges.push((src, dst));
+        }
+    }
+    EdgeList {
+        num_vertices,
+        edges,
+    }
+}
+
+/// Preferential-attachment (Barabási–Albert-style) graph: each new vertex
+/// attaches `edges_per_vertex` out-edges to targets chosen proportionally to
+/// their current degree, producing the skewed degree distribution of social
+/// networks — and therefore skewed update patterns on the edge array, the
+/// scenario the paper's asynchronous update modes target.
+pub fn preferential_attachment(num_vertices: u32, edges_per_vertex: usize, seed: u64) -> EdgeList {
+    assert!(num_vertices >= 2);
+    assert!(edges_per_vertex >= 1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    // Endpoint pool: every time a vertex gains an edge it is pushed once, so
+    // sampling the pool uniformly is degree-proportional sampling.
+    let mut pool: Vec<VertexId> = vec![0, 1];
+    edges.push((1, 0));
+    for v in 2..num_vertices {
+        for _ in 0..edges_per_vertex {
+            let target = pool[rng.gen_range(0..pool.len())];
+            if target != v {
+                edges.push((v, target));
+                pool.push(target);
+                pool.push(v);
+            }
+        }
+    }
+    EdgeList {
+        num_vertices,
+        edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn uniform_random_has_requested_size_and_no_self_loops() {
+        let g = uniform_random(100, 1000, 7);
+        assert_eq!(g.edges.len(), 1000);
+        assert!(g.edges.iter().all(|&(s, d)| s != d));
+        assert!(g.edges.iter().all(|&(s, d)| s < 100 && d < 100));
+    }
+
+    #[test]
+    fn uniform_random_is_deterministic_per_seed() {
+        assert_eq!(uniform_random(50, 200, 1), uniform_random(50, 200, 1));
+        assert_ne!(uniform_random(50, 200, 1), uniform_random(50, 200, 2));
+    }
+
+    #[test]
+    fn preferential_attachment_is_skewed() {
+        let g = preferential_attachment(2000, 4, 11);
+        assert!(g.edges.len() > 2000);
+        let mut in_degree: HashMap<VertexId, usize> = HashMap::new();
+        for &(_, dst) in &g.edges {
+            *in_degree.entry(dst).or_default() += 1;
+        }
+        let max_in = *in_degree.values().max().unwrap();
+        let avg_in = g.edges.len() as f64 / g.num_vertices as f64;
+        assert!(
+            (max_in as f64) > 8.0 * avg_in,
+            "expected a heavy-tailed in-degree distribution: max {max_in}, avg {avg_in:.1}"
+        );
+    }
+
+    #[test]
+    fn preferential_attachment_references_valid_vertices() {
+        let g = preferential_attachment(100, 2, 3);
+        assert!(g
+            .edges
+            .iter()
+            .all(|&(s, d)| s < 100 && d < 100 && s != d));
+    }
+}

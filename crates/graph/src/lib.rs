@@ -1,0 +1,23 @@
+//! Dynamic graph storage on Packed Memory Arrays (paper section 6).
+//!
+//! The CRS (compressed row storage) format keeps a graph navigable in `O(1)`
+//! but is read-only; this crate replaces its dense edge array with the
+//! concurrent PMA so the graph supports concurrent edge insertions, deletions
+//! and analytical scans at the same time.
+//!
+//! * [`graph::DynamicGraph`] — edges keyed by `(src, dst)` in one sparse
+//!   array, vertex set alongside.
+//! * [`algorithms`] — BFS, PageRank and triangle counting over the dynamic
+//!   graph.
+//! * [`generators`] — synthetic uniform and scale-free edge streams used by
+//!   the examples and benches.
+
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod generators;
+pub mod graph;
+
+pub use algorithms::{bfs, directed_triangles, pagerank};
+pub use generators::{preferential_attachment, uniform_random, EdgeList};
+pub use graph::{edge_key, unpack_edge, DynamicGraph, VertexId, Weight};

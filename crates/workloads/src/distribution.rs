@@ -1,0 +1,180 @@
+//! Key distributions used by the paper's evaluation (section 4): uniform and
+//! Zipfian over a key range of `beta = 2^27`, with Zipf factors between 1
+//! (mild skew) and 2 (high skew).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use pma_common::Key;
+
+/// Default key range of the paper's workloads (`beta = 2^27`).
+pub const DEFAULT_KEY_RANGE: u64 = 1 << 27;
+
+/// The shape of the key distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Distribution {
+    /// Keys drawn uniformly from `[0, range)`.
+    Uniform,
+    /// Keys drawn from a (bounded, continuous-approximation) Zipf
+    /// distribution over `[1, range]`: small keys are drawn most often, so
+    /// skewed updates hammer neighbouring PMA segments — the worst case the
+    /// paper studies.
+    Zipf {
+        /// The Zipf exponent `alpha` (1 = mild skew, 2 = high skew).
+        alpha: f64,
+    },
+}
+
+impl Distribution {
+    /// Short label used in benchmark tables ("Uniform", "Zipf a=1.5", ...).
+    pub fn label(&self) -> String {
+        match self {
+            Distribution::Uniform => "Uniform".to_string(),
+            Distribution::Zipf { alpha } => format!("Zipf a={alpha}"),
+        }
+    }
+
+    /// The four distributions of Figures 3 and 4.
+    pub fn paper_set() -> Vec<Distribution> {
+        vec![
+            Distribution::Uniform,
+            Distribution::Zipf { alpha: 1.0 },
+            Distribution::Zipf { alpha: 1.5 },
+            Distribution::Zipf { alpha: 2.0 },
+        ]
+    }
+}
+
+/// A seeded stream of keys following a [`Distribution`].
+///
+/// The Zipf sampler uses the standard bounded-Pareto (continuous) inverse-CDF
+/// approximation of the Zipf ranks: `O(1)` per sample, no precomputed zeta
+/// tables, and the same heavy skew towards small keys. This is a documented
+/// substitution for an exact discrete Zipf sampler — workload generation only
+/// needs the skew shape, not exact rank probabilities.
+#[derive(Debug, Clone)]
+pub struct KeyGenerator {
+    distribution: Distribution,
+    range: u64,
+    rng: SmallRng,
+}
+
+impl KeyGenerator {
+    /// Creates a generator over `[0, range)` with the given seed.
+    pub fn new(distribution: Distribution, range: u64, seed: u64) -> Self {
+        assert!(range >= 2, "the key range must contain at least two keys");
+        if let Distribution::Zipf { alpha } = distribution {
+            assert!(alpha > 0.0, "the Zipf exponent must be positive");
+        }
+        Self {
+            distribution,
+            range,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The distribution this generator samples from.
+    pub fn distribution(&self) -> Distribution {
+        self.distribution
+    }
+
+    /// Draws the next key.
+    #[inline]
+    pub fn next_key(&mut self) -> Key {
+        match self.distribution {
+            Distribution::Uniform => self.rng.gen_range(0..self.range) as Key,
+            Distribution::Zipf { alpha } => {
+                let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+                let n = self.range as f64;
+                let x = if (alpha - 1.0).abs() < 1e-9 {
+                    // alpha == 1: F(x) = ln(x) / ln(n)  =>  x = n^u.
+                    n.powf(u)
+                } else {
+                    // alpha != 1: F(x) = (1 - x^(1-a)) / (1 - n^(1-a)).
+                    let one_minus_a = 1.0 - alpha;
+                    let tail = n.powf(one_minus_a);
+                    (1.0 - u * (1.0 - tail)).powf(1.0 / one_minus_a)
+                };
+                let key = x.floor() as u64;
+                (key.clamp(1, self.range) - 1) as Key
+            }
+        }
+    }
+
+    /// Draws `n` keys into a vector.
+    pub fn take(&mut self, n: usize) -> Vec<Key> {
+        (0..n).map(|_| self.next_key()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_keys_stay_in_range_and_spread() {
+        let mut g = KeyGenerator::new(Distribution::Uniform, 1000, 42);
+        let keys = g.take(10_000);
+        assert!(keys.iter().all(|&k| (0..1000).contains(&k)));
+        // Rough uniformity: both halves of the domain are hit.
+        let low = keys.iter().filter(|&&k| k < 500).count();
+        assert!(low > 3500 && low < 6500, "low half got {low} of 10000");
+    }
+
+    #[test]
+    fn zipf_is_skewed_towards_small_keys() {
+        let mut g = KeyGenerator::new(Distribution::Zipf { alpha: 1.5 }, 1 << 20, 7);
+        let keys = g.take(20_000);
+        assert!(keys.iter().all(|&k| k >= 0 && k < (1 << 20)));
+        let tiny = keys.iter().filter(|&&k| k < 100).count();
+        assert!(
+            tiny > 10_000,
+            "alpha=1.5 should put most mass on the smallest keys, got {tiny}/20000"
+        );
+    }
+
+    #[test]
+    fn higher_alpha_means_more_skew() {
+        let count_small = |alpha: f64| {
+            let mut g = KeyGenerator::new(Distribution::Zipf { alpha }, 1 << 20, 99);
+            g.take(20_000).iter().filter(|&&k| k < 10).count()
+        };
+        let mild = count_small(1.0);
+        let heavy = count_small(2.0);
+        assert!(
+            heavy > mild,
+            "alpha=2 ({heavy}) must be more skewed than alpha=1 ({mild})"
+        );
+    }
+
+    #[test]
+    fn zipf_alpha_one_covers_the_whole_range() {
+        let mut g = KeyGenerator::new(Distribution::Zipf { alpha: 1.0 }, 1 << 16, 3);
+        let keys = g.take(50_000);
+        let max = *keys.iter().max().unwrap();
+        assert!(max > (1 << 14), "alpha=1 has a heavy tail, max was {max}");
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let mut a = KeyGenerator::new(Distribution::Zipf { alpha: 1.5 }, 1000, 5);
+        let mut b = KeyGenerator::new(Distribution::Zipf { alpha: 1.5 }, 1000, 5);
+        let mut c = KeyGenerator::new(Distribution::Zipf { alpha: 1.5 }, 1000, 6);
+        let ka = a.take(100);
+        assert_eq!(ka, b.take(100));
+        assert_ne!(ka, c.take(100));
+    }
+
+    #[test]
+    fn labels_and_paper_set() {
+        assert_eq!(Distribution::Uniform.label(), "Uniform");
+        assert_eq!(Distribution::Zipf { alpha: 2.0 }.label(), "Zipf a=2");
+        assert_eq!(Distribution::paper_set().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two keys")]
+    fn tiny_range_is_rejected() {
+        let _ = KeyGenerator::new(Distribution::Uniform, 1, 0);
+    }
+}

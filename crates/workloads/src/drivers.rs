@@ -1,0 +1,272 @@
+//! Multi-threaded workload drivers reproducing the experimental setup of the
+//! paper's section 4: a set of updater threads inserting/deleting keys drawn
+//! from a distribution while the remaining threads continuously scan all
+//! elements in sorted order.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use pma_common::{ConcurrentMap, Key};
+
+use crate::distribution::KeyGenerator;
+use crate::spec::{UpdatePattern, WorkloadSpec};
+
+/// Result of running one workload against one data structure.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Measurement {
+    /// Update operations issued (insertions + deletions).
+    pub update_ops: u64,
+    /// Wall-clock duration of the update phase in seconds.
+    pub update_seconds: f64,
+    /// Total elements visited by the scanner threads.
+    pub scanned_elements: u64,
+    /// Cumulative busy time of the scanner threads in seconds.
+    pub scan_seconds: f64,
+    /// Number of complete scans performed.
+    pub scans_completed: u64,
+    /// Elements stored in the structure after the run (after a flush).
+    pub final_len: usize,
+}
+
+impl Measurement {
+    /// Updates per second (the unit of Figure 3's upper plots, elements/sec).
+    pub fn update_throughput(&self) -> f64 {
+        if self.update_seconds <= 0.0 {
+            0.0
+        } else {
+            self.update_ops as f64 / self.update_seconds
+        }
+    }
+
+    /// Elements scanned per second of scanner busy time (Figure 3's lower
+    /// plots).
+    pub fn scan_throughput(&self) -> f64 {
+        if self.scan_seconds <= 0.0 {
+            0.0
+        } else {
+            self.scanned_elements as f64 / self.scan_seconds
+        }
+    }
+}
+
+/// Runs `spec` against `map` and measures throughput.
+///
+/// Updater threads issue operations according to `spec.pattern`; scanner
+/// threads run [`ConcurrentMap::scan_all`] in a loop until the updaters are
+/// done. The structure is flushed before the final length is read.
+pub fn run_workload<M: ConcurrentMap + ?Sized>(map: &M, spec: &WorkloadSpec) -> Measurement {
+    match spec.pattern {
+        UpdatePattern::InsertOnly => run_insert_only(map, spec),
+        UpdatePattern::MixedUpdates => run_mixed_updates(map, spec),
+    }
+}
+
+/// Figure 3 a–c: start empty, insert `total_elements` keys.
+pub fn run_insert_only<M: ConcurrentMap + ?Sized>(map: &M, spec: &WorkloadSpec) -> Measurement {
+    let ops_per_thread = spec.ops_per_update_thread();
+    run_phases(map, spec, move |map, spec, tid| {
+        let mut generator = KeyGenerator::new(
+            spec.distribution,
+            spec.key_range,
+            spec.seed ^ (tid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let mut ops = 0u64;
+        for _ in 0..ops_per_thread {
+            let key = generator.next_key();
+            map.insert(key, key.wrapping_mul(2));
+            ops += 1;
+        }
+        ops
+    })
+}
+
+/// Figure 3 d–f: preload `total_elements` keys, then run rounds that insert a
+/// small batch of new keys and delete it again.
+pub fn run_mixed_updates<M: ConcurrentMap + ?Sized>(map: &M, spec: &WorkloadSpec) -> Measurement {
+    preload(map, spec);
+    let batch_per_thread = ((spec.total_elements as f64 * spec.batch_fraction) as usize)
+        .div_ceil(spec.threads.update_threads.max(1))
+        .max(1);
+    let rounds = spec.rounds.max(1);
+    run_phases(map, spec, move |map, spec, tid| {
+        let mut generator = KeyGenerator::new(
+            spec.distribution,
+            spec.key_range,
+            spec.seed ^ 0xABCD ^ (tid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let mut ops = 0u64;
+        for _ in 0..rounds {
+            let batch = generator.take(batch_per_thread);
+            for &key in &batch {
+                map.insert(key, key);
+                ops += 1;
+            }
+            for &key in &batch {
+                map.remove(key);
+                ops += 1;
+            }
+        }
+        ops
+    })
+}
+
+/// Preloads the structure with `total_elements` distinct keys spread evenly
+/// over the key range (not part of the measured phase).
+pub fn preload<M: ConcurrentMap + ?Sized>(map: &M, spec: &WorkloadSpec) {
+    let n = spec.total_elements as u64;
+    let stride = (spec.key_range / n.max(1)).max(1);
+    std::thread::scope(|scope| {
+        let threads = spec.threads.update_threads.max(1);
+        for tid in 0..threads {
+            let map_ref = &map;
+            scope.spawn(move || {
+                let mut i = tid as u64;
+                while i < n {
+                    let key = (i * stride) as Key;
+                    map_ref.insert(key, key);
+                    i += threads as u64;
+                }
+            });
+        }
+    });
+    map.flush();
+}
+
+/// Shared skeleton: spawns scanners and updaters, times both phases.
+fn run_phases<M, F>(map: &M, spec: &WorkloadSpec, update_fn: F) -> Measurement
+where
+    M: ConcurrentMap + ?Sized,
+    F: Fn(&M, &WorkloadSpec, usize) -> u64 + Send + Sync,
+{
+    let stop = AtomicBool::new(false);
+    let update_fn = &update_fn;
+    let stop_ref = &stop;
+    let mut measurement = Measurement::default();
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        // Scanner threads: scan until the updaters finish.
+        let scanners: Vec<_> = (0..spec.threads.scan_threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut elements = 0u64;
+                    let mut scans = 0u64;
+                    let scan_start = Instant::now();
+                    while !stop_ref.load(Ordering::Relaxed) {
+                        let stats = map.scan_all();
+                        elements += stats.count;
+                        scans += 1;
+                    }
+                    (elements, scans, scan_start.elapsed().as_secs_f64())
+                })
+            })
+            .collect();
+
+        // Updater threads.
+        let updaters: Vec<_> = (0..spec.threads.update_threads)
+            .map(|tid| scope.spawn(move || update_fn(map, spec, tid)))
+            .collect();
+
+        for handle in updaters {
+            measurement.update_ops += handle.join().expect("an updater thread panicked");
+        }
+        measurement.update_seconds = start.elapsed().as_secs_f64();
+        stop.store(true, Ordering::Relaxed);
+
+        for handle in scanners {
+            let (elements, scans, seconds) = handle.join().expect("a scanner thread panicked");
+            measurement.scanned_elements += elements;
+            measurement.scans_completed += scans;
+            measurement.scan_seconds += seconds;
+        }
+    });
+
+    map.flush();
+    measurement.final_len = map.len();
+    measurement
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::Distribution;
+    use crate::spec::ThreadSplit;
+    use pma_baselines::btree::BPlusTree;
+    use pma_core::{ConcurrentPma, PmaParams};
+
+    fn tiny_spec(pattern: UpdatePattern, scan_threads: usize) -> WorkloadSpec {
+        WorkloadSpec {
+            distribution: Distribution::Uniform,
+            key_range: 1 << 16,
+            total_elements: 20_000,
+            batch_fraction: 0.05,
+            rounds: 2,
+            threads: ThreadSplit {
+                update_threads: 4,
+                scan_threads,
+            },
+            pattern,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn insert_only_on_btree_counts_ops() {
+        let map = BPlusTree::with_defaults();
+        let spec = tiny_spec(UpdatePattern::InsertOnly, 0);
+        let m = run_insert_only(&map, &spec);
+        assert_eq!(m.update_ops, 20_000);
+        assert!(m.update_seconds > 0.0);
+        assert!(m.update_throughput() > 0.0);
+        // Uniform keys over 2^16 with 20k draws: duplicates exist, so the
+        // structure holds at most update_ops elements.
+        assert!(m.final_len > 0 && m.final_len <= 20_000);
+        assert_eq!(map.len(), m.final_len);
+    }
+
+    #[test]
+    fn insert_only_on_pma_with_scanners() {
+        let map = ConcurrentPma::new(PmaParams::small()).unwrap();
+        let spec = tiny_spec(UpdatePattern::InsertOnly, 2);
+        let m = run_insert_only(&map, &spec);
+        assert_eq!(m.update_ops, 20_000);
+        assert!(m.scans_completed > 0, "scanners must have run");
+        assert!(m.scan_seconds > 0.0);
+        assert_eq!(m.final_len, map.len());
+        // Scan after the run sees exactly the stored elements.
+        assert_eq!(map.scan_all().count as usize, m.final_len);
+    }
+
+    #[test]
+    fn mixed_updates_preloads_and_returns_to_preload_size() {
+        let map = BPlusTree::with_defaults();
+        let spec = tiny_spec(UpdatePattern::MixedUpdates, 0);
+        let m = run_mixed_updates(&map, &spec);
+        assert!(m.update_ops > 0);
+        // Every inserted batch is deleted again, so the final size is at most
+        // preload + (keys that collided with preload and were deleted): the
+        // final length can only have shrunk or stayed equal.
+        assert!(m.final_len <= 20_000);
+        assert!(m.final_len > 0);
+    }
+
+    #[test]
+    fn preload_inserts_distinct_keys() {
+        let map = BPlusTree::with_defaults();
+        let spec = WorkloadSpec {
+            total_elements: 5000,
+            key_range: 1 << 20,
+            ..tiny_spec(UpdatePattern::MixedUpdates, 0)
+        };
+        preload(&map, &spec);
+        assert_eq!(map.len(), 5000);
+    }
+
+    #[test]
+    fn workload_dispatch_matches_pattern() {
+        let map = BPlusTree::with_defaults();
+        let spec = tiny_spec(UpdatePattern::InsertOnly, 0);
+        let m = run_workload(&map, &spec);
+        assert_eq!(m.update_ops, 20_000);
+    }
+}

@@ -1,0 +1,177 @@
+//! Factory for the data structures compared in the paper's evaluation, so the
+//! experiment binaries can build them by name.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use pma_baselines::{ArtIndex, BPlusTree, BTreeConfig, BwTreeLike, MasstreeLike};
+use pma_common::ConcurrentMap;
+use pma_core::{ConcurrentPma, PmaParams, RebalancePolicy, UpdateMode};
+
+/// The data structures of Figure 3 plus the variants used by Figure 4 and the
+/// section 4.1 ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StructureKind {
+    /// Masstree-like write-optimised tree.
+    Masstree,
+    /// Bw-Tree-like delta structure.
+    BwTree,
+    /// ART / B+-tree: lock-coupled B+-tree with 4 KiB leaves.
+    ArtBTree,
+    /// The 8 KiB-leaf B+-tree variant (section 4.1 ablation).
+    ArtBTreeLargeLeaves,
+    /// Standalone ART index (coarse-grained readers-writer lock).
+    Art,
+    /// Concurrent PMA, synchronous updates (Figure 4 "Baseline").
+    PmaSynchronous,
+    /// Concurrent PMA, one-by-one asynchronous updates (Figure 4 "1by1").
+    PmaOneByOne,
+    /// Concurrent PMA, batch asynchronous updates with the given `t_delay`
+    /// in milliseconds (Figure 4 "Batch ...ms"). The paper's headline PMA
+    /// configuration is `PmaBatch(100)`.
+    PmaBatch(u64),
+    /// PMA with 256-element segments (section 4.1 ablation).
+    PmaLargeSegments,
+}
+
+impl StructureKind {
+    /// The four structures of Figure 3.
+    pub fn figure3_set() -> Vec<StructureKind> {
+        vec![
+            StructureKind::Masstree,
+            StructureKind::BwTree,
+            StructureKind::ArtBTree,
+            StructureKind::PmaBatch(100),
+        ]
+    }
+
+    /// The PMA variants of Figure 4.
+    pub fn figure4_set() -> Vec<StructureKind> {
+        vec![
+            StructureKind::PmaSynchronous,
+            StructureKind::PmaOneByOne,
+            StructureKind::PmaBatch(0),
+            StructureKind::PmaBatch(100),
+            StructureKind::PmaBatch(200),
+            StructureKind::PmaBatch(400),
+            StructureKind::PmaBatch(800),
+        ]
+    }
+
+    /// Display label matching the paper's figures.
+    pub fn label(&self) -> String {
+        match self {
+            StructureKind::Masstree => "MassTree".to_string(),
+            StructureKind::BwTree => "BwTree".to_string(),
+            StructureKind::ArtBTree => "ART/B+tree".to_string(),
+            StructureKind::ArtBTreeLargeLeaves => "ART/B+tree 8KB".to_string(),
+            StructureKind::Art => "ART".to_string(),
+            StructureKind::PmaSynchronous => "PMA Baseline".to_string(),
+            StructureKind::PmaOneByOne => "PMA 1by1".to_string(),
+            StructureKind::PmaBatch(ms) => format!("PMA Batch {ms}ms"),
+            StructureKind::PmaLargeSegments => "PMA seg=256".to_string(),
+        }
+    }
+
+    /// Builds a fresh instance of the structure.
+    pub fn build(&self) -> Arc<dyn ConcurrentMap> {
+        match self {
+            StructureKind::Masstree => Arc::new(MasstreeLike::new()),
+            StructureKind::BwTree => Arc::new(BwTreeLike::new()),
+            StructureKind::ArtBTree => Arc::new(BPlusTree::with_defaults()),
+            StructureKind::ArtBTreeLargeLeaves => Arc::new(BPlusTree::with_name(
+                BTreeConfig::large_leaves(),
+                "B+tree 8KB",
+            )),
+            StructureKind::Art => Arc::new(ArtIndex::new()),
+            StructureKind::PmaSynchronous => Arc::new(
+                ConcurrentPma::new(pma_params(UpdateMode::Synchronous, 128))
+                    .expect("valid parameters"),
+            ),
+            StructureKind::PmaOneByOne => {
+                let mut params = pma_params(UpdateMode::OneByOne, 128);
+                params.rebalance_policy = RebalancePolicy::Adaptive;
+                Arc::new(ConcurrentPma::new(params).expect("valid parameters"))
+            }
+            StructureKind::PmaBatch(ms) => Arc::new(
+                ConcurrentPma::new(pma_params(
+                    UpdateMode::Batch {
+                        t_delay: Duration::from_millis(*ms),
+                    },
+                    128,
+                ))
+                .expect("valid parameters"),
+            ),
+            StructureKind::PmaLargeSegments => Arc::new(
+                ConcurrentPma::new(pma_params(
+                    UpdateMode::Batch {
+                        t_delay: Duration::from_millis(100),
+                    },
+                    256,
+                ))
+                .expect("valid parameters"),
+            ),
+        }
+    }
+}
+
+/// The paper's PMA configuration with a configurable segment capacity and
+/// update mode, sized for laptop-scale runs (the worker count adapts to the
+/// available cores instead of being fixed at 8).
+fn pma_params(update_mode: UpdateMode, segment_capacity: usize) -> PmaParams {
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get().min(8))
+        .unwrap_or(4)
+        .max(1);
+    PmaParams {
+        segment_capacity,
+        segments_per_gate: 8,
+        rebalancer_workers: workers,
+        update_mode,
+        ..PmaParams::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_sets_have_expected_sizes() {
+        assert_eq!(StructureKind::figure3_set().len(), 4);
+        assert_eq!(StructureKind::figure4_set().len(), 7);
+    }
+
+    #[test]
+    fn every_kind_builds_and_works() {
+        let kinds = [
+            StructureKind::Masstree,
+            StructureKind::BwTree,
+            StructureKind::ArtBTree,
+            StructureKind::ArtBTreeLargeLeaves,
+            StructureKind::Art,
+            StructureKind::PmaSynchronous,
+            StructureKind::PmaOneByOne,
+            StructureKind::PmaBatch(10),
+            StructureKind::PmaLargeSegments,
+        ];
+        for kind in kinds {
+            let map = kind.build();
+            for k in 0..500i64 {
+                map.insert(k, k);
+            }
+            map.flush();
+            assert_eq!(map.len(), 500, "{}", kind.label());
+            assert_eq!(map.get(123), Some(123), "{}", kind.label());
+            assert_eq!(map.scan_all().count, 500, "{}", kind.label());
+            assert!(!kind.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_names() {
+        assert_eq!(StructureKind::Masstree.label(), "MassTree");
+        assert_eq!(StructureKind::PmaBatch(100).label(), "PMA Batch 100ms");
+        assert_eq!(StructureKind::PmaLargeSegments.label(), "PMA seg=256");
+    }
+}

@@ -1,0 +1,23 @@
+//! Workload generators, multi-threaded drivers and the measurement harness
+//! used to reproduce the paper's evaluation (section 4).
+//!
+//! * [`distribution`] — uniform and Zipfian key streams over `beta = 2^27`.
+//! * [`spec`] — experiment descriptions (thread splits, update patterns).
+//! * [`drivers`] — the measured insert-only and mixed-update phases with
+//!   concurrent scanner threads.
+//! * [`harness`] — median-of-repeats measurement and paper-style tables.
+//! * [`factory`] — builds every structure of the evaluation by name.
+
+#![warn(missing_docs)]
+
+pub mod distribution;
+pub mod drivers;
+pub mod factory;
+pub mod harness;
+pub mod spec;
+
+pub use distribution::{Distribution, KeyGenerator, DEFAULT_KEY_RANGE};
+pub use drivers::{preload, run_insert_only, run_mixed_updates, run_workload, Measurement};
+pub use factory::StructureKind;
+pub use harness::{measure_median, render_speedup_table, render_table, ResultRow};
+pub use spec::{ThreadSplit, UpdatePattern, WorkloadSpec};

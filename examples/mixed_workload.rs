@@ -1,0 +1,69 @@
+//! Concurrent reads and updates under skew: compares the PMA's update modes
+//! (synchronous, one-by-one, batch) and a tree baseline on the same skewed
+//! workload — a miniature of the paper's Figure 4 experiment.
+//!
+//! ```text
+//! cargo run --release --example mixed_workload
+//! ```
+
+use rma_concurrent::workloads::{
+    measure_median, render_speedup_table, Distribution, ResultRow, StructureKind, ThreadSplit,
+    UpdatePattern, WorkloadSpec,
+};
+
+fn main() {
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .clamp(2, 8);
+    let spec_for = |distribution: Distribution| WorkloadSpec {
+        distribution,
+        key_range: 1 << 24,
+        total_elements: 400_000,
+        threads: ThreadSplit {
+            update_threads: threads - threads / 4,
+            scan_threads: threads / 4,
+        },
+        pattern: UpdatePattern::InsertOnly,
+        ..WorkloadSpec::default()
+    };
+
+    let kinds = [
+        StructureKind::PmaSynchronous,
+        StructureKind::PmaOneByOne,
+        StructureKind::PmaBatch(100),
+        StructureKind::ArtBTree,
+    ];
+
+    let mut rows = Vec::new();
+    for distribution in [
+        Distribution::Uniform,
+        Distribution::Zipf { alpha: 1.0 },
+        Distribution::Zipf { alpha: 2.0 },
+    ] {
+        for kind in kinds {
+            let spec = spec_for(distribution);
+            let measurement = measure_median(|| kind.build(), &spec, 1);
+            println!(
+                "{:<16} {:<12} {:>8.2} M updates/s, {:>7} elements stored",
+                kind.label(),
+                distribution.label(),
+                measurement.update_throughput() / 1.0e6,
+                measurement.final_len
+            );
+            rows.push(ResultRow {
+                structure: kind.label(),
+                workload: distribution.label(),
+                measurement,
+            });
+        }
+    }
+    println!(
+        "{}",
+        render_speedup_table(
+            "Asynchronous PMA updates under skew",
+            &rows,
+            "PMA Baseline"
+        )
+    );
+}

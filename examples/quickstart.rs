@@ -1,0 +1,70 @@
+//! Quickstart: the sequential and the concurrent Packed Memory Array.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rma_concurrent::common::ConcurrentMap;
+use rma_concurrent::core::{ConcurrentPma, PackedMemoryArray, PmaParams};
+
+fn main() {
+    // ---------------------------------------------------------------
+    // 1. The sequential PMA: a sorted array with gaps (paper section 2).
+    // ---------------------------------------------------------------
+    let mut pma = PackedMemoryArray::<i64, i64>::with_defaults();
+    for k in (0..1_000i64).rev() {
+        pma.insert(k, k * 10);
+    }
+    println!(
+        "sequential PMA: {} elements in {} slots ({} segments, density {:.2})",
+        pma.len(),
+        pma.capacity(),
+        pma.num_segments(),
+        pma.density()
+    );
+    let first_five: Vec<i64> = pma.iter().take(5).map(|(k, _)| k).collect();
+    println!("  first five keys (always sorted): {first_five:?}");
+    println!("  range 10..=15 -> {:?}", pma.range(10, 15).collect::<Vec<_>>());
+
+    // ---------------------------------------------------------------
+    // 2. The concurrent PMA (paper section 3): gates, a static index, a
+    //    rebalancer service and asynchronous updates, all behind a simple
+    //    thread-safe map API.
+    // ---------------------------------------------------------------
+    let pma = ConcurrentPma::new(PmaParams::default()).expect("valid parameters");
+    std::thread::scope(|scope| {
+        for tid in 0..4i64 {
+            let pma = &pma;
+            scope.spawn(move || {
+                for i in 0..50_000i64 {
+                    let key = i * 4 + tid;
+                    pma.insert(key, key);
+                }
+            });
+        }
+        // A reader scans concurrently with the writers.
+        let pma = &pma;
+        scope.spawn(move || {
+            for _ in 0..5 {
+                let stats = pma.scan_all();
+                println!("  concurrent scan observed {} elements", stats.count);
+            }
+        });
+    });
+    pma.flush();
+
+    println!(
+        "concurrent PMA: {} elements across {} gates, capacity {}",
+        pma.len(),
+        pma.num_gates(),
+        pma.capacity()
+    );
+    let stats = pma.stats();
+    println!(
+        "  rebalances: {} local, {} global, {} resizes; combined ops: {}",
+        stats.local_rebalances, stats.global_rebalances, stats.resizes, stats.combined_ops
+    );
+    assert_eq!(pma.len(), 200_000);
+    assert_eq!(pma.get(400), Some(400));
+    println!("quickstart finished successfully");
+}

@@ -1,0 +1,130 @@
+//! Cross-crate integration: the dynamic graph layer over the concurrent PMA
+//! together with the workload drivers, and the experiment plumbing end to end
+//! (a miniature of the figure-reproduction binaries).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rma_concurrent::graph::{bfs, pagerank, preferential_attachment, uniform_random, DynamicGraph};
+use rma_concurrent::workloads::{
+    measure_median, render_speedup_table, render_table, Distribution, ResultRow, StructureKind,
+    ThreadSplit, UpdatePattern, WorkloadSpec,
+};
+
+#[test]
+fn graph_built_from_generated_stream_matches_adjacency_model() {
+    let stream = uniform_random(300, 5_000, 99);
+    let graph = DynamicGraph::new();
+    let mut model: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
+    for &(src, dst) in &stream.edges {
+        graph.add_edge(src, dst, 1).unwrap();
+        model.entry(src).or_default().insert(dst);
+    }
+    graph.flush();
+    let expected_edges: usize = model.values().map(|s| s.len()).sum();
+    assert_eq!(graph.num_edges(), expected_edges);
+    for (&src, dsts) in &model {
+        let neighbours: Vec<u32> = graph.neighbours(src).into_iter().map(|(d, _)| d).collect();
+        let expected: Vec<u32> = dsts.iter().copied().collect();
+        assert_eq!(neighbours, expected, "adjacency of vertex {src}");
+    }
+}
+
+#[test]
+fn concurrent_graph_ingestion_with_analytics() {
+    let stream = preferential_attachment(3_000, 4, 7);
+    let graph = DynamicGraph::new();
+    std::thread::scope(|scope| {
+        let chunk_size = stream.edges.len().div_ceil(4);
+        for chunk in stream.edges.chunks(chunk_size) {
+            let graph = &graph;
+            scope.spawn(move || {
+                for &(src, dst) in chunk {
+                    graph.add_edge(src, dst, 1).unwrap();
+                }
+            });
+        }
+        // Run analytics while edges are still arriving.
+        let graph = &graph;
+        scope.spawn(move || {
+            for _ in 0..5 {
+                let _ = bfs(graph, 0);
+            }
+        });
+    });
+    graph.flush();
+
+    // Deduplicate the stream the same way the graph does (upserts).
+    let distinct: BTreeSet<(u32, u32)> = stream.edges.iter().copied().collect();
+    assert_eq!(graph.num_edges(), distinct.len());
+
+    let ranks = pagerank(&graph, 5, 0.85);
+    let total: f64 = ranks.values().sum();
+    assert!((total - 1.0).abs() < 1e-6);
+    // The earliest vertices accumulate the most attachment, so vertex 0 must
+    // rank above the median vertex.
+    let mut sorted: Vec<f64> = ranks.values().copied().collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = sorted[sorted.len() / 2];
+    assert!(ranks[&0] > median);
+}
+
+#[test]
+fn experiment_pipeline_end_to_end_smoke() {
+    // A miniature Figure 3 cell + Figure 4 row, exactly as the binaries do it.
+    let spec = WorkloadSpec {
+        distribution: Distribution::Zipf { alpha: 1.0 },
+        key_range: 1 << 18,
+        total_elements: 30_000,
+        threads: ThreadSplit {
+            update_threads: 3,
+            scan_threads: 1,
+        },
+        pattern: UpdatePattern::InsertOnly,
+        ..WorkloadSpec::default()
+    };
+    let mut rows = Vec::new();
+    for kind in [
+        StructureKind::ArtBTree,
+        StructureKind::PmaSynchronous,
+        StructureKind::PmaBatch(10),
+    ] {
+        let measurement = measure_median(|| kind.build(), &spec, 1);
+        assert_eq!(measurement.update_ops, 30_000, "{}", kind.label());
+        assert!(measurement.update_throughput() > 0.0, "{}", kind.label());
+        assert!(measurement.final_len > 0, "{}", kind.label());
+        rows.push(ResultRow {
+            structure: kind.label(),
+            workload: spec.distribution.label(),
+            measurement,
+        });
+    }
+    let table = render_table("integration smoke", &rows);
+    assert!(table.contains("ART/B+tree"));
+    assert!(table.contains("PMA Batch 10ms"));
+    let speedup = render_speedup_table("integration smoke", &rows, "PMA Baseline");
+    assert!(speedup.contains("1.00x"), "baseline row must be 1.00x:\n{speedup}");
+}
+
+#[test]
+fn mixed_update_workload_on_the_pma_preserves_contents() {
+    let spec = WorkloadSpec {
+        distribution: Distribution::Uniform,
+        key_range: 1 << 16,
+        total_elements: 20_000,
+        batch_fraction: 0.02,
+        rounds: 3,
+        threads: ThreadSplit {
+            update_threads: 4,
+            scan_threads: 0,
+        },
+        pattern: UpdatePattern::MixedUpdates,
+        ..WorkloadSpec::default()
+    };
+    let map = StructureKind::PmaBatch(5).build();
+    let m = rma_concurrent::workloads::run_workload(&*map, &spec);
+    assert!(m.update_ops > 0);
+    // Whatever ended up stored must be observable by both lookups and scans.
+    let scan = map.scan_all();
+    assert_eq!(scan.count as usize, map.len());
+    assert_eq!(map.len(), m.final_len);
+}

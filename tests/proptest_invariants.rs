@@ -1,0 +1,166 @@
+//! Property-based tests (proptest) for the core data-structure invariants:
+//! the sequential PMA against a `BTreeMap` model, the concurrent PMA against
+//! the sequential one, structural invariants after arbitrary operation
+//! sequences, and the calibrator-tree threshold algebra.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use rma_concurrent::common::ConcurrentMap;
+use rma_concurrent::core::calibrator::CalibratorTree;
+use rma_concurrent::core::{
+    ConcurrentPma, DensityThresholds, PackedMemoryArray, PmaParams, RebalancePolicy, UpdateMode,
+};
+
+/// One operation of a generated sequence.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert(i16, i64),
+    Remove(i16),
+    Lookup(i16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (any::<i16>(), any::<i64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        1 => any::<i16>().prop_map(Op::Remove),
+        1 => any::<i16>().prop_map(Op::Lookup),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The sequential PMA behaves exactly like `BTreeMap` and keeps its
+    /// structural invariants after every operation sequence.
+    #[test]
+    fn sequential_pma_matches_btreemap(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+        let mut pma = PackedMemoryArray::<i64, i64>::new(PmaParams::small()).unwrap();
+        let mut model: BTreeMap<i64, i64> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    prop_assert_eq!(pma.insert(k as i64, v), model.insert(k as i64, v));
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(pma.remove(&(k as i64)), model.remove(&(k as i64)));
+                }
+                Op::Lookup(k) => {
+                    prop_assert_eq!(pma.get(&(k as i64)), model.get(&(k as i64)).copied());
+                }
+            }
+        }
+        pma.check_invariants();
+        prop_assert_eq!(pma.len(), model.len());
+        let collected: Vec<(i64, i64)> = pma.iter().collect();
+        let expected: Vec<(i64, i64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(collected, expected);
+    }
+
+    /// The adaptive rebalancing policy and the strict thresholds preserve the
+    /// same observable behaviour.
+    #[test]
+    fn sequential_pma_policies_agree(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+        let mut traditional = PackedMemoryArray::<i64, i64>::new(PmaParams::small()).unwrap();
+        let adaptive_params = PmaParams {
+            rebalance_policy: RebalancePolicy::Adaptive,
+            thresholds: DensityThresholds::strict(),
+            ..PmaParams::small()
+        };
+        let mut adaptive = PackedMemoryArray::<i64, i64>::new(adaptive_params).unwrap();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    traditional.insert(k as i64, v);
+                    adaptive.insert(k as i64, v);
+                }
+                Op::Remove(k) => {
+                    traditional.remove(&(k as i64));
+                    adaptive.remove(&(k as i64));
+                }
+                Op::Lookup(_) => {}
+            }
+        }
+        traditional.check_invariants();
+        adaptive.check_invariants();
+        prop_assert_eq!(traditional.len(), adaptive.len());
+        prop_assert_eq!(traditional.to_vec(), adaptive.to_vec());
+    }
+
+    /// The concurrent PMA (in every update mode) agrees with the sequential
+    /// PMA on single-threaded operation sequences.
+    #[test]
+    fn concurrent_pma_matches_sequential(ops in proptest::collection::vec(op_strategy(), 1..250)) {
+        for mode in [
+            UpdateMode::Synchronous,
+            UpdateMode::OneByOne,
+            UpdateMode::Batch { t_delay: std::time::Duration::from_millis(1) },
+        ] {
+            let params = PmaParams { update_mode: mode, ..PmaParams::small() };
+            let concurrent = ConcurrentPma::new(params).unwrap();
+            let mut model: BTreeMap<i64, i64> = BTreeMap::new();
+            for &op in &ops {
+                match op {
+                    Op::Insert(k, v) => {
+                        concurrent.insert(k as i64, v);
+                        model.insert(k as i64, v);
+                    }
+                    Op::Remove(k) => {
+                        concurrent.remove(k as i64);
+                        model.remove(&(k as i64));
+                    }
+                    Op::Lookup(_) => {}
+                }
+            }
+            concurrent.flush();
+            prop_assert_eq!(concurrent.len(), model.len());
+            for (&k, &v) in &model {
+                prop_assert_eq!(concurrent.get(k), Some(v));
+            }
+            let stats = concurrent.scan_all();
+            prop_assert_eq!(stats.count as usize, model.len());
+            prop_assert_eq!(stats.key_sum, model.keys().map(|&k| k as i128).sum::<i128>());
+        }
+    }
+
+    /// Calibrator-tree thresholds always interpolate monotonically between the
+    /// leaf and root values, and windows always contain their pivot segment.
+    #[test]
+    fn calibrator_threshold_algebra(
+        segments_log in 0u32..10,
+        capacity in 4usize..256,
+        pivot in 0usize..1024,
+    ) {
+        let segments = 1usize << segments_log;
+        let pivot = pivot % segments;
+        let tree = CalibratorTree::new(segments, capacity, DensityThresholds::strict());
+        for level in 1..=tree.height() {
+            let tau = tree.upper_threshold(level);
+            let rho = tree.lower_threshold(level);
+            prop_assert!(rho <= tau, "rho {rho} > tau {tau} at level {level}");
+            prop_assert!((0.0..=1.0).contains(&tau));
+            prop_assert!((0.0..=1.0).contains(&rho));
+            let window = tree.window_at(pivot, level);
+            prop_assert!(window.contains(pivot));
+            prop_assert_eq!(window.num_segments, 1usize << (level - 1));
+            prop_assert_eq!(window.start_segment % window.num_segments, 0);
+        }
+    }
+
+    /// Uniform workload generation stays inside the requested key range and
+    /// Zipf generation is reproducible.
+    #[test]
+    fn key_generators_respect_their_domain(seed in any::<u64>(), range_log in 4u32..24) {
+        use rma_concurrent::workloads::{Distribution, KeyGenerator};
+        let range = 1u64 << range_log;
+        let mut uniform = KeyGenerator::new(Distribution::Uniform, range, seed);
+        let mut zipf = KeyGenerator::new(Distribution::Zipf { alpha: 1.5 }, range, seed);
+        for _ in 0..200 {
+            let u = uniform.next_key();
+            let z = zipf.next_key();
+            prop_assert!((0..range as i64).contains(&u));
+            prop_assert!((0..range as i64).contains(&z));
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Cross-crate integration test: every data structure of the evaluation
+//! (concurrent PMA in all update modes, B+-tree, ART, Masstree-like,
+//! Bw-Tree-like) must agree with a `BTreeMap` model on the same operation
+//! sequence.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use rma_concurrent::common::ConcurrentMap;
+use rma_concurrent::workloads::StructureKind;
+
+fn all_kinds() -> Vec<StructureKind> {
+    vec![
+        StructureKind::Masstree,
+        StructureKind::BwTree,
+        StructureKind::ArtBTree,
+        StructureKind::ArtBTreeLargeLeaves,
+        StructureKind::Art,
+        StructureKind::PmaSynchronous,
+        StructureKind::PmaOneByOne,
+        StructureKind::PmaBatch(1),
+        StructureKind::PmaLargeSegments,
+    ]
+}
+
+/// Applies a mixed random operation sequence to the structure and the model,
+/// then compares the full contents.
+fn run_model_check(kind: StructureKind, seed: u64, ops: usize) {
+    let map = kind.build();
+    let mut model: BTreeMap<i64, i64> = BTreeMap::new();
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    for i in 0..ops {
+        let key = rng.gen_range(0..2_000i64);
+        let value = i as i64;
+        if rng.gen_bool(0.7) {
+            map.insert(key, value);
+            model.insert(key, value);
+        } else {
+            map.remove(key);
+            model.remove(&key);
+        }
+    }
+    map.flush();
+
+    assert_eq!(map.len(), model.len(), "{}: length mismatch", kind.label());
+    // Point lookups agree.
+    for key in 0..2_000i64 {
+        assert_eq!(
+            map.get(key),
+            model.get(&key).copied(),
+            "{}: lookup mismatch for key {key}",
+            kind.label()
+        );
+    }
+    // Ordered scan agrees (count and checksums).
+    let stats = map.scan_all();
+    assert_eq!(stats.count as usize, model.len(), "{}", kind.label());
+    let expected_key_sum: i128 = model.keys().map(|&k| k as i128).sum();
+    let expected_value_sum: i128 = model.values().map(|&v| v as i128).sum();
+    assert_eq!(stats.key_sum, expected_key_sum, "{}", kind.label());
+    assert_eq!(stats.value_sum, expected_value_sum, "{}", kind.label());
+    // Range scans agree on an arbitrary sub-range.
+    let mut got = Vec::new();
+    map.range(250, 1_750, &mut |k, v| got.push((k, v)));
+    let expected: Vec<(i64, i64)> = model
+        .range(250..=1_750)
+        .map(|(&k, &v)| (k, v))
+        .collect();
+    assert_eq!(got, expected, "{}: range mismatch", kind.label());
+}
+
+#[test]
+fn every_structure_matches_the_model_on_random_operations() {
+    for kind in all_kinds() {
+        run_model_check(kind, 0xDEADBEEF, 10_000);
+    }
+}
+
+#[test]
+fn every_structure_matches_the_model_on_a_second_seed() {
+    for kind in all_kinds() {
+        run_model_check(kind, 42, 6_000);
+    }
+}
+
+#[test]
+fn structures_handle_bulk_build_then_drain() {
+    for kind in all_kinds() {
+        let map = kind.build();
+        for k in 0..5_000i64 {
+            map.insert(k, -k);
+        }
+        map.flush();
+        assert_eq!(map.len(), 5_000, "{}", kind.label());
+        for k in 0..5_000i64 {
+            map.remove(k);
+        }
+        map.flush();
+        assert_eq!(map.len(), 0, "{}", kind.label());
+        assert_eq!(map.scan_all().count, 0, "{}", kind.label());
+    }
+}
