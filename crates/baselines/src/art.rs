@@ -29,6 +29,12 @@ fn key_bytes(key: Key) -> [u8; KEY_LEN] {
 }
 
 /// One node of the radix tree.
+//
+// The size difference between `Leaf` and `Node256` is intentional: nodes are
+// always held through `Box<ArtNode>` (see the `children` arrays), so every
+// variant costs one allocation of exactly its own size, and boxing the large
+// variants again would only add a pointer chase on the descent path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 enum ArtNode {
     /// A full key/value pair.
@@ -72,14 +78,24 @@ impl ArtNode {
     fn child(&self, byte: u8) -> Option<&ArtNode> {
         match self {
             ArtNode::Leaf { .. } => None,
-            ArtNode::Node4 { len, keys, children } => (0..*len as usize)
+            ArtNode::Node4 {
+                len,
+                keys,
+                children,
+            } => (0..*len as usize)
                 .find(|&i| keys[i] == byte)
                 .and_then(|i| children[i].as_deref()),
-            ArtNode::Node16 { len, keys, children } => keys[..*len as usize]
+            ArtNode::Node16 {
+                len,
+                keys,
+                children,
+            } => keys[..*len as usize]
                 .binary_search(&byte)
                 .ok()
                 .and_then(|i| children[i].as_deref()),
-            ArtNode::Node48 { index, children, .. } => {
+            ArtNode::Node48 {
+                index, children, ..
+            } => {
                 let slot = index[byte as usize];
                 if slot == 0 {
                     None
@@ -94,14 +110,24 @@ impl ArtNode {
     fn child_mut(&mut self, byte: u8) -> Option<&mut Box<ArtNode>> {
         match self {
             ArtNode::Leaf { .. } => None,
-            ArtNode::Node4 { len, keys, children } => (0..*len as usize)
+            ArtNode::Node4 {
+                len,
+                keys,
+                children,
+            } => (0..*len as usize)
                 .find(|&i| keys[i] == byte)
                 .and_then(move |i| children[i].as_mut()),
-            ArtNode::Node16 { len, keys, children } => keys[..*len as usize]
+            ArtNode::Node16 {
+                len,
+                keys,
+                children,
+            } => keys[..*len as usize]
                 .binary_search(&byte)
                 .ok()
                 .and_then(move |i| children[i].as_mut()),
-            ArtNode::Node48 { index, children, .. } => {
+            ArtNode::Node48 {
+                index, children, ..
+            } => {
                 let slot = index[byte as usize];
                 if slot == 0 {
                     None
@@ -126,10 +152,13 @@ impl ArtNode {
     /// Grows the node to the next larger type, preserving all children.
     fn grow(&mut self) {
         let grown = match self {
-            ArtNode::Node4 { len, keys, children } => {
+            ArtNode::Node4 {
+                len,
+                keys,
+                children,
+            } => {
                 let mut new_keys = [0u8; 16];
-                let mut new_children: [Option<Box<ArtNode>>; 16] =
-                    std::array::from_fn(|_| None);
+                let mut new_children: [Option<Box<ArtNode>>; 16] = std::array::from_fn(|_| None);
                 for i in 0..*len as usize {
                     new_keys[i] = keys[i];
                     new_children[i] = children[i].take();
@@ -140,10 +169,13 @@ impl ArtNode {
                     children: new_children,
                 }
             }
-            ArtNode::Node16 { len, keys, children } => {
+            ArtNode::Node16 {
+                len,
+                keys,
+                children,
+            } => {
                 let mut index = [0u8; 256];
-                let mut new_children: [Option<Box<ArtNode>>; 48] =
-                    std::array::from_fn(|_| None);
+                let mut new_children: [Option<Box<ArtNode>>; 48] = std::array::from_fn(|_| None);
                 for i in 0..*len as usize {
                     index[keys[i] as usize] = (i + 1) as u8;
                     new_children[i] = children[i].take();
@@ -154,9 +186,12 @@ impl ArtNode {
                     children: new_children,
                 }
             }
-            ArtNode::Node48 { len, index, children } => {
-                let mut new_children: [Option<Box<ArtNode>>; 256] =
-                    std::array::from_fn(|_| None);
+            ArtNode::Node48 {
+                len,
+                index,
+                children,
+            } => {
+                let mut new_children: [Option<Box<ArtNode>>; 256] = std::array::from_fn(|_| None);
                 for byte in 0..256usize {
                     let slot = index[byte];
                     if slot != 0 {
@@ -177,7 +212,11 @@ impl ArtNode {
     /// and the byte is not present.
     fn add_child(&mut self, byte: u8, child: Box<ArtNode>) {
         match self {
-            ArtNode::Node4 { len, keys, children } => {
+            ArtNode::Node4 {
+                len,
+                keys,
+                children,
+            } => {
                 let n = *len as usize;
                 let pos = keys[..n].iter().position(|&k| k > byte).unwrap_or(n);
                 for i in (pos..n).rev() {
@@ -188,7 +227,11 @@ impl ArtNode {
                 children[pos] = Some(child);
                 *len += 1;
             }
-            ArtNode::Node16 { len, keys, children } => {
+            ArtNode::Node16 {
+                len,
+                keys,
+                children,
+            } => {
                 let n = *len as usize;
                 let pos = keys[..n].binary_search(&byte).unwrap_err();
                 for i in (pos..n).rev() {
@@ -199,8 +242,14 @@ impl ArtNode {
                 children[pos] = Some(child);
                 *len += 1;
             }
-            ArtNode::Node48 { len, index, children } => {
-                let slot = (0..48).position(|i| children[i].is_none()).expect("node48 has room");
+            ArtNode::Node48 {
+                len,
+                index,
+                children,
+            } => {
+                let slot = (0..48)
+                    .position(|i| children[i].is_none())
+                    .expect("node48 has room");
                 children[slot] = Some(child);
                 index[byte as usize] = (slot + 1) as u8;
                 *len += 1;
@@ -218,7 +267,11 @@ impl ArtNode {
     fn remove_child(&mut self, byte: u8) -> Option<Box<ArtNode>> {
         match self {
             ArtNode::Leaf { .. } => None,
-            ArtNode::Node4 { len, keys, children } => {
+            ArtNode::Node4 {
+                len,
+                keys,
+                children,
+            } => {
                 let n = *len as usize;
                 let pos = keys[..n].iter().position(|&k| k == byte)?;
                 let removed = children[pos].take();
@@ -229,7 +282,11 @@ impl ArtNode {
                 *len -= 1;
                 removed
             }
-            ArtNode::Node16 { len, keys, children } => {
+            ArtNode::Node16 {
+                len,
+                keys,
+                children,
+            } => {
                 let n = *len as usize;
                 let pos = keys[..n].binary_search(&byte).ok()?;
                 let removed = children[pos].take();
@@ -240,7 +297,11 @@ impl ArtNode {
                 *len -= 1;
                 removed
             }
-            ArtNode::Node48 { len, index, children } => {
+            ArtNode::Node48 {
+                len,
+                index,
+                children,
+            } => {
                 let slot = index[byte as usize];
                 if slot == 0 {
                     return None;
@@ -263,9 +324,9 @@ impl ArtNode {
     fn child_count(&self) -> usize {
         match self {
             ArtNode::Leaf { .. } => 0,
-            ArtNode::Node4 { len, .. } | ArtNode::Node16 { len, .. } | ArtNode::Node48 { len, .. } => {
-                *len as usize
-            }
+            ArtNode::Node4 { len, .. }
+            | ArtNode::Node16 { len, .. }
+            | ArtNode::Node48 { len, .. } => *len as usize,
             ArtNode::Node256 { len, .. } => *len as usize,
         }
     }
@@ -284,9 +345,12 @@ impl ArtNode {
                     child.for_each(f);
                 }
             }
-            ArtNode::Node48 { index, children, .. } => {
-                for byte in 0..256usize {
-                    let slot = index[byte];
+            ArtNode::Node48 {
+                index, children, ..
+            } => {
+                // `index` is scanned in byte order so children are visited in
+                // ascending key order.
+                for &slot in index.iter() {
                     if slot != 0 {
                         if let Some(child) = &children[slot as usize - 1] {
                             child.for_each(f);
@@ -356,7 +420,11 @@ impl ArtTree {
         // If we hit a leaf before exhausting the key, either replace its value
         // (same key) or split it into a chain of inner nodes until the two
         // keys diverge (lazy expansion).
-        if let ArtNode::Leaf { key: existing_key, value: existing_value } = &mut **node {
+        if let ArtNode::Leaf {
+            key: existing_key,
+            value: existing_value,
+        } = &mut **node
+        {
             if *existing_key == key {
                 return Some(std::mem::replace(existing_value, value));
             }
@@ -425,7 +493,12 @@ impl ArtTree {
         Some(removed)
     }
 
-    fn remove_rec(node: &mut Box<ArtNode>, bytes: &[u8; KEY_LEN], depth: usize, key: Key) -> Option<Value> {
+    fn remove_rec(
+        node: &mut Box<ArtNode>,
+        bytes: &[u8; KEY_LEN],
+        depth: usize,
+        key: Key,
+    ) -> Option<Value> {
         let byte = bytes[depth];
         let child_is_match_leaf = matches!(
             node.child(byte),

@@ -1,0 +1,113 @@
+//! Registry entries for the tree baselines of the paper's evaluation.
+//!
+//! [`register_backends`] installs the four competitors — the Masstree-like
+//! tree, the Bw-Tree-like delta structure, the lock-coupled B+-tree
+//! ("ART/B+tree" in the figures) and the standalone ART — into a
+//! [`Registry`], so they are constructible by spec string (`"masstree"`,
+//! `"btree:8k"`, ...).
+
+use std::sync::Arc;
+
+use pma_common::registry::{BackendDef, BackendSpec, Registry};
+use pma_common::{ConcurrentMap, PmaError};
+
+use crate::art::ArtIndex;
+use crate::btree::{BPlusTree, BTreeConfig};
+use crate::bwtree::BwTreeLike;
+use crate::masstree::MasstreeLike;
+
+fn leaf_variant(spec: &BackendSpec<'_>) -> Result<bool, PmaError> {
+    match spec.arg {
+        None | Some("4k") | Some("4K") | Some("4096") => Ok(false),
+        Some("8k") | Some("8K") | Some("8192") => Ok(true),
+        Some(other) => Err(PmaError::invalid(
+            "backend_spec",
+            format!(
+                "`{}`: unknown leaf size `{other}` (expected 4k or 8k)",
+                spec.raw
+            ),
+        )),
+    }
+}
+
+fn build_btree(spec: &BackendSpec<'_>) -> Result<Arc<dyn ConcurrentMap>, PmaError> {
+    Ok(if leaf_variant(spec)? {
+        Arc::new(BPlusTree::with_name(
+            BTreeConfig::large_leaves(),
+            "B+tree 8KB",
+        ))
+    } else {
+        Arc::new(BPlusTree::with_defaults())
+    })
+}
+
+/// Registers every tree baseline: `masstree`, `bwtree`, `art` and
+/// `btree[:4k|8k]`.
+pub fn register_backends(registry: &Registry) {
+    registry.register(BackendDef {
+        name: "masstree",
+        description: "Masstree-like write-optimised tree",
+        label: |_| "MassTree".to_string(),
+        build: |_| Ok(Arc::new(MasstreeLike::new())),
+    });
+    registry.register(BackendDef {
+        name: "bwtree",
+        description: "Bw-Tree-like delta structure",
+        label: |_| "BwTree".to_string(),
+        build: |_| Ok(Arc::new(BwTreeLike::new())),
+    });
+    registry.register(BackendDef {
+        name: "art",
+        description: "standalone Adaptive Radix Tree (coarse readers-writer lock)",
+        label: |_| "ART".to_string(),
+        build: |_| Ok(Arc::new(ArtIndex::new())),
+    });
+    registry.register(BackendDef {
+        name: "btree",
+        description: "ART/B+-tree: lock-coupled B+-tree; arg = leaf size, 4k (default) or 8k \
+                      (section 4.1 ablation)",
+        label: |spec| match leaf_variant(spec) {
+            Ok(true) => "ART/B+tree 8KB".to_string(),
+            _ => "ART/B+tree".to_string(),
+        },
+        build: build_btree,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_baseline_builds_and_works() {
+        let registry = Registry::new();
+        register_backends(&registry);
+        for spec in ["masstree", "bwtree", "art", "btree", "btree:8k"] {
+            let map = registry.build(spec).unwrap();
+            for k in 0..300i64 {
+                map.insert(k, -k);
+            }
+            assert_eq!(map.len(), 300, "{spec}");
+            assert_eq!(map.get(123), Some(-123), "{spec}");
+            assert_eq!(map.scan_range(0, 99).count, 100, "{spec}");
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_names() {
+        let registry = Registry::new();
+        register_backends(&registry);
+        assert_eq!(registry.label("masstree").unwrap(), "MassTree");
+        assert_eq!(registry.label("bwtree").unwrap(), "BwTree");
+        assert_eq!(registry.label("art").unwrap(), "ART");
+        assert_eq!(registry.label("btree").unwrap(), "ART/B+tree");
+        assert_eq!(registry.label("btree:8k").unwrap(), "ART/B+tree 8KB");
+    }
+
+    #[test]
+    fn bad_leaf_size_is_rejected() {
+        let registry = Registry::new();
+        register_backends(&registry);
+        assert!(registry.build("btree:16k").is_err());
+    }
+}

@@ -280,7 +280,10 @@ impl ConcurrentMap for BwTreeLike {
                     page.deltas.push(Delta::Delete(key));
                     self.len.fetch_sub(1, Ordering::Relaxed);
                 }
-                (old, page.deltas.len() >= self.config.consolidation_threshold)
+                (
+                    old,
+                    page.deltas.len() >= self.config.consolidation_threshold,
+                )
             };
             if needs_maintenance {
                 self.maintain(page_id);

@@ -10,11 +10,13 @@
 #![warn(missing_docs)]
 
 pub mod art;
+pub mod backends;
 pub mod btree;
 pub mod bwtree;
 pub mod masstree;
 
 pub use art::ArtIndex;
+pub use backends::register_backends;
 pub use btree::{BPlusTree, BTreeConfig};
 pub use bwtree::{BwTreeConfig, BwTreeLike};
 pub use masstree::MasstreeLike;

@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criteri
 use rand::rngs::SmallRng;
 use rand::{seq::SliceRandom, SeedableRng};
 
-use pma_workloads::StructureKind;
+use pma_workloads::{build_or_panic, label};
 
 const N: usize = 50_000;
 
@@ -19,21 +19,20 @@ fn tune(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTi
         .measurement_time(Duration::from_secs(2));
 }
 
-
 fn shuffled_keys() -> Vec<i64> {
     let mut keys: Vec<i64> = (0..N as i64).map(|k| k * 3).collect();
     keys.shuffle(&mut SmallRng::seed_from_u64(42));
     keys
 }
 
-fn all_kinds() -> Vec<StructureKind> {
+fn all_specs() -> Vec<&'static str> {
     vec![
-        StructureKind::Masstree,
-        StructureKind::BwTree,
-        StructureKind::ArtBTree,
-        StructureKind::Art,
-        StructureKind::PmaBatch(100),
-        StructureKind::PmaSynchronous,
+        "masstree",
+        "bwtree",
+        "btree",
+        "art",
+        "pma-batch:100",
+        "pma-sync",
     ]
 }
 
@@ -42,20 +41,24 @@ fn bench_insert(c: &mut Criterion) {
     group.sample_size(10);
     tune(&mut group);
     let data = shuffled_keys();
-    for kind in all_kinds() {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &data, |b, data| {
-            b.iter_batched(
-                || kind.build(),
-                |map| {
-                    for &k in data {
-                        map.insert(k, k);
-                    }
-                    map.flush();
-                    map
-                },
-                BatchSize::LargeInput,
-            );
-        });
+    for spec in all_specs() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label(spec)),
+            &data,
+            |b, data| {
+                b.iter_batched(
+                    || build_or_panic(spec),
+                    |map| {
+                        for &k in data {
+                            map.insert(k, k);
+                        }
+                        map.flush();
+                        map
+                    },
+                    BatchSize::LargeInput,
+                );
+            },
+        );
     }
     group.finish();
 }
@@ -65,23 +68,27 @@ fn bench_get(c: &mut Criterion) {
     group.sample_size(20);
     tune(&mut group);
     let data = shuffled_keys();
-    for kind in all_kinds() {
-        let map = kind.build();
+    for spec in all_specs() {
+        let map = build_or_panic(spec);
         for &k in &data {
             map.insert(k, k);
         }
         map.flush();
-        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &data, |b, data| {
-            b.iter(|| {
-                let mut hits = 0u64;
-                for &k in data.iter().step_by(9) {
-                    if map.get(k).is_some() {
-                        hits += 1;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label(spec)),
+            &data,
+            |b, data| {
+                b.iter(|| {
+                    let mut hits = 0u64;
+                    for &k in data.iter().step_by(9) {
+                        if map.get(k).is_some() {
+                            hits += 1;
+                        }
                     }
-                }
-                hits
-            });
-        });
+                    hits
+                });
+            },
+        );
     }
     group.finish();
 }

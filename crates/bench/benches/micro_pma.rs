@@ -7,7 +7,6 @@ use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criteri
 use rand::rngs::SmallRng;
 use rand::{seq::SliceRandom, SeedableRng};
 
-use pma_common::ConcurrentMap;
 use pma_core::{ConcurrentPma, PackedMemoryArray, PmaParams, UpdateMode};
 
 const N: usize = 100_000;
@@ -36,7 +35,7 @@ fn bench_sequential_insert(c: &mut Criterion) {
         let data = keys(shuffled);
         group.bench_with_input(BenchmarkId::from_parameter(label), &data, |b, data| {
             b.iter_batched(
-                || PackedMemoryArray::<i64, i64>::with_defaults(),
+                PackedMemoryArray::<i64, i64>::with_defaults,
                 |mut pma| {
                     for &k in data {
                         pma.insert(k, k);
@@ -134,7 +133,9 @@ fn bench_ordered_scan(c: &mut Criterion) {
     group.bench_function("sequential_iter", |b| {
         b.iter(|| seq.iter().map(|(k, _)| k as i128).sum::<i128>())
     });
-    group.bench_function("concurrent_scan_all", |b| b.iter(|| conc.scan_all().key_sum));
+    group.bench_function("concurrent_scan_all", |b| {
+        b.iter(|| conc.scan_all().key_sum)
+    });
     group.finish();
 }
 

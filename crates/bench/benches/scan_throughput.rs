@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use pma_workloads::StructureKind;
+use pma_workloads::{build_or_panic, label};
 
 const N: usize = 200_000;
 
@@ -18,14 +18,8 @@ fn tune(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTi
         .measurement_time(Duration::from_secs(2));
 }
 
-
-fn kinds() -> Vec<StructureKind> {
-    vec![
-        StructureKind::Masstree,
-        StructureKind::BwTree,
-        StructureKind::ArtBTree,
-        StructureKind::PmaBatch(100),
-    ]
+fn specs() -> Vec<&'static str> {
+    vec!["masstree", "bwtree", "btree", "pma-batch:100"]
 }
 
 fn bench_full_scan(c: &mut Criterion) {
@@ -33,14 +27,14 @@ fn bench_full_scan(c: &mut Criterion) {
     group.sample_size(15);
     tune(&mut group);
     group.throughput(Throughput::Elements(N as u64));
-    for kind in kinds() {
-        let map = kind.build();
+    for spec in specs() {
+        let map = build_or_panic(spec);
         for k in 0..N as i64 {
             map.insert(k * 7, k);
         }
         map.flush();
         assert_eq!(map.len(), N);
-        group.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
+        group.bench_function(BenchmarkId::from_parameter(label(spec)), |b| {
             b.iter(|| {
                 let stats = map.scan_all();
                 assert_eq!(stats.count, N as u64);
@@ -56,13 +50,13 @@ fn bench_range_scan(c: &mut Criterion) {
     group.sample_size(20);
     tune(&mut group);
     group.throughput(Throughput::Elements(10_000));
-    for kind in kinds() {
-        let map = kind.build();
+    for spec in specs() {
+        let map = build_or_panic(spec);
         for k in 0..N as i64 {
             map.insert(k, k);
         }
         map.flush();
-        group.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
+        group.bench_function(BenchmarkId::from_parameter(label(spec)), |b| {
             b.iter(|| {
                 let mut sum = 0i64;
                 map.range(50_000, 59_999, &mut |k, _| sum += k);
@@ -73,5 +67,34 @@ fn bench_range_scan(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_full_scan, bench_range_scan);
+/// The trait-level ranged scan (`scan_range`), which the PMA serves natively
+/// through its static index.
+fn bench_scan_range_stats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan_range_10k_stats");
+    group.sample_size(20);
+    tune(&mut group);
+    group.throughput(Throughput::Elements(10_000));
+    for spec in specs() {
+        let map = build_or_panic(spec);
+        for k in 0..N as i64 {
+            map.insert(k, k);
+        }
+        map.flush();
+        group.bench_function(BenchmarkId::from_parameter(label(spec)), |b| {
+            b.iter(|| {
+                let stats = map.scan_range(50_000, 59_999);
+                assert_eq!(stats.count, 10_000);
+                stats.key_sum
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_full_scan,
+    bench_range_scan,
+    bench_scan_range_stats
+);
 criterion_main!(benches);

@@ -3,6 +3,10 @@
 //! B+-tree leaves from 4 KiB to 8 KiB — both trade update throughput for scan
 //! throughput.
 //!
+//! Structures are resolved through the backend registry; `--structures`
+//! replaces both ablation sets with a custom comparison (e.g.
+//! `--structures pma-seg:128,pma-seg:512`).
+//!
 //! ```text
 //! cargo run --release -p pma-bench --bin ablation -- --scenario segment-size
 //! cargo run --release -p pma-bench --bin ablation -- --scenario leaf-size
@@ -10,8 +14,8 @@
 
 use pma_bench::ExperimentOptions;
 use pma_workloads::{
-    measure_median, render_table, Distribution, ResultRow, StructureKind, ThreadSplit,
-    UpdatePattern,
+    ablation_leaf_specs, ablation_segment_specs, build_or_panic, label, measure_median,
+    render_table, Distribution, ResultRow, ThreadSplit, UpdatePattern,
 };
 
 fn main() {
@@ -29,40 +33,45 @@ fn main() {
         scan_threads: total - total / 2,
     };
 
-    let mut experiments: Vec<(&str, Vec<StructureKind>)> = Vec::new();
-    if which == "all" || which == "segment-size" {
+    let mut experiments: Vec<(String, Vec<String>)> = Vec::new();
+    if let Some(custom) = &options.structures {
         experiments.push((
-            "Section 4.1 ablation: PMA segment size 128 vs 256",
-            vec![StructureKind::PmaBatch(100), StructureKind::PmaLargeSegments],
+            "Custom ablation (via --structures)".to_string(),
+            options.resolve_structures(custom.clone()),
         ));
-    }
-    if which == "all" || which == "leaf-size" {
-        experiments.push((
-            "Section 4.1 ablation: B+-tree leaf size 4KiB vs 8KiB",
-            vec![
-                StructureKind::ArtBTree,
-                StructureKind::ArtBTreeLargeLeaves,
-            ],
-        ));
-    }
-    if experiments.is_empty() {
-        eprintln!("unknown --scenario '{which}', expected segment-size, leaf-size or all");
-        return;
+    } else {
+        if which == "all" || which == "segment-size" {
+            experiments.push((
+                "Section 4.1 ablation: PMA segment size 128 vs 256".to_string(),
+                options.resolve_structures(ablation_segment_specs()),
+            ));
+        }
+        if which == "all" || which == "leaf-size" {
+            experiments.push((
+                "Section 4.1 ablation: B+-tree leaf size 4KiB vs 8KiB".to_string(),
+                options.resolve_structures(ablation_leaf_specs()),
+            ));
+        }
+        if experiments.is_empty() {
+            eprintln!("unknown --scenario '{which}', expected segment-size, leaf-size or all");
+            return;
+        }
     }
 
-    for (title, kinds) in experiments {
+    for (title, specs) in experiments {
         let mut rows = Vec::new();
         for distribution in [Distribution::Uniform, Distribution::Zipf { alpha: 1.5 }] {
-            for kind in &kinds {
-                let spec = options.spec(distribution, split, UpdatePattern::InsertOnly);
-                let measurement = measure_median(|| kind.build(), &spec, options.repeats);
+            for spec_name in &specs {
+                let workload = options.spec(distribution, split, UpdatePattern::InsertOnly);
+                let measurement =
+                    measure_median(|| build_or_panic(spec_name), &workload, options.repeats);
                 rows.push(ResultRow {
-                    structure: kind.label(),
+                    structure: label(spec_name),
                     workload: distribution.label(),
                     measurement,
                 });
             }
         }
-        println!("{}", render_table(title, &rows));
+        println!("{}", render_table(&title, &rows));
     }
 }

@@ -7,18 +7,22 @@
 //! half insert + half scan (insert-only, Figure 3 a–c); `d`/`e`/`f` = the same
 //! splits with the mixed insert+delete workload (Figure 3 d–f).
 //!
+//! Structures are resolved through the backend registry; override the default
+//! Figure 3 set with `--structures` (e.g. `--structures btree,pma-batch:50`).
+//!
 //! ```text
 //! cargo run --release -p pma-bench --bin fig3 -- --scenario a --elements 4000000
 //! ```
 
 use pma_bench::ExperimentOptions;
 use pma_workloads::{
-    measure_median, render_table, Distribution, ResultRow, StructureKind, ThreadSplit,
-    UpdatePattern,
+    build_or_panic, figure3_specs, label, measure_median, render_table, Distribution, ResultRow,
+    ThreadSplit, UpdatePattern,
 };
 
 fn main() {
     let options = ExperimentOptions::parse(std::env::args().skip(1));
+    let structures = options.resolve_structures(figure3_specs());
     let scenarios: Vec<char> = match options.scenario.as_deref() {
         Some(s) => s.chars().collect(),
         None => vec!['a', 'b', 'c', 'd', 'e', 'f'],
@@ -28,11 +32,27 @@ fn main() {
     for scenario in scenarios {
         let (split_idx, pattern, figure) = match scenario {
             'a' => (0, UpdatePattern::InsertOnly, "Figure 3a: insertions only"),
-            'b' => (1, UpdatePattern::InsertOnly, "Figure 3b: insertions + scans (3/4 : 1/4)"),
-            'c' => (2, UpdatePattern::InsertOnly, "Figure 3c: insertions + scans (1/2 : 1/2)"),
+            'b' => (
+                1,
+                UpdatePattern::InsertOnly,
+                "Figure 3b: insertions + scans (3/4 : 1/4)",
+            ),
+            'c' => (
+                2,
+                UpdatePattern::InsertOnly,
+                "Figure 3c: insertions + scans (1/2 : 1/2)",
+            ),
             'd' => (0, UpdatePattern::MixedUpdates, "Figure 3d: updates only"),
-            'e' => (1, UpdatePattern::MixedUpdates, "Figure 3e: updates + scans (3/4 : 1/4)"),
-            'f' => (2, UpdatePattern::MixedUpdates, "Figure 3f: updates + scans (1/2 : 1/2)"),
+            'e' => (
+                1,
+                UpdatePattern::MixedUpdates,
+                "Figure 3e: updates + scans (3/4 : 1/4)",
+            ),
+            'f' => (
+                2,
+                UpdatePattern::MixedUpdates,
+                "Figure 3f: updates + scans (1/2 : 1/2)",
+            ),
             other => {
                 eprintln!("unknown scenario '{other}', expected a-f");
                 continue;
@@ -41,11 +61,12 @@ fn main() {
         let split = splits[split_idx];
         let mut rows = Vec::new();
         for distribution in Distribution::paper_set() {
-            for kind in StructureKind::figure3_set() {
-                let spec = options.spec(distribution, split, pattern);
-                let measurement = measure_median(|| kind.build(), &spec, options.repeats);
+            for spec_name in &structures {
+                let workload = options.spec(distribution, split, pattern);
+                let measurement =
+                    measure_median(|| build_or_panic(spec_name), &workload, options.repeats);
                 rows.push(ResultRow {
-                    structure: kind.label(),
+                    structure: label(spec_name),
                     workload: distribution.label(),
                     measurement,
                 });

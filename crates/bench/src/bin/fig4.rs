@@ -3,18 +3,23 @@
 //! relative to the synchronous PMA baseline, under increasing skew, for three
 //! updater-thread counts.
 //!
+//! Structures are resolved through the backend registry; override the default
+//! Figure 4 set with `--structures` (the speed-up column stays relative to
+//! the "PMA Baseline" row, so keep `pma-sync` in custom sets).
+//!
 //! ```text
 //! cargo run --release -p pma-bench --bin fig4 -- --elements 4000000
 //! ```
 
 use pma_bench::ExperimentOptions;
 use pma_workloads::{
-    measure_median, render_speedup_table, Distribution, ResultRow, StructureKind, ThreadSplit,
-    UpdatePattern,
+    build_or_panic, figure4_specs, label, measure_median, render_speedup_table, Distribution,
+    ResultRow, ThreadSplit, UpdatePattern,
 };
 
 fn main() {
     let options = ExperimentOptions::parse(std::env::args().skip(1));
+    let structures = options.resolve_structures(figure4_specs());
     // Figure 4 a/b/c: 16, 12 and 8 updater threads (scaled to this machine),
     // with the remaining threads scanning.
     let total = options.threads.max(2);
@@ -32,11 +37,12 @@ fn main() {
         };
         let mut rows = Vec::new();
         for distribution in Distribution::paper_set() {
-            for kind in StructureKind::figure4_set() {
-                let spec = options.spec(distribution, split, UpdatePattern::InsertOnly);
-                let measurement = measure_median(|| kind.build(), &spec, options.repeats);
+            for spec_name in &structures {
+                let workload = options.spec(distribution, split, UpdatePattern::InsertOnly);
+                let measurement =
+                    measure_median(|| build_or_panic(spec_name), &workload, options.repeats);
                 rows.push(ResultRow {
-                    structure: kind.label(),
+                    structure: label(spec_name),
                     workload: distribution.label(),
                     measurement,
                 });
@@ -45,7 +51,10 @@ fn main() {
         println!(
             "{}",
             render_speedup_table(
-                &format!("Figure 4{plot}: asynchronous updates [{} updaters]", split.update_threads),
+                &format!(
+                    "Figure 4{plot}: asynchronous updates [{} updaters]",
+                    split.update_threads
+                ),
                 &rows,
                 "PMA Baseline",
             )

@@ -19,6 +19,9 @@ pub struct ExperimentOptions {
     pub key_range: u64,
     /// Restrict to a single scenario (binary-specific meaning).
     pub scenario: Option<String>,
+    /// Structures to evaluate, as registry backend specs (`--structures
+    /// a,b,c`); `None` keeps the binary's default set.
+    pub structures: Option<Vec<String>>,
     /// Quick smoke-test mode (drastically smaller workloads).
     pub quick: bool,
 }
@@ -35,6 +38,7 @@ impl Default for ExperimentOptions {
             repeats: 1,
             key_range: pma_workloads::DEFAULT_KEY_RANGE,
             scenario: None,
+            structures: None,
             quick: false,
         }
     }
@@ -42,8 +46,9 @@ impl Default for ExperimentOptions {
 
 impl ExperimentOptions {
     /// Parses `--elements N --threads N --repeats N --key-range N
-    /// --scenario X --quick` from the given iterator (typically
-    /// `std::env::args().skip(1)`). Unknown flags abort with a usage message.
+    /// --scenario X --structures a,b,c --quick` from the given iterator
+    /// (typically `std::env::args().skip(1)`). Unknown flags abort with a
+    /// usage message.
     pub fn parse<I: Iterator<Item = String>>(mut args: I) -> Self {
         let mut options = Self::default();
         while let Some(flag) = args.next() {
@@ -59,12 +64,30 @@ impl ExperimentOptions {
                     options.key_range = value("--key-range").parse().expect("--key-range")
                 }
                 "--scenario" => options.scenario = Some(value("--scenario")),
+                "--structures" => {
+                    let specs: Vec<String> = value("--structures")
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect();
+                    assert!(
+                        !specs.is_empty(),
+                        "--structures: expected a comma-separated list of backend specs \
+                         (try --help for the registered names)"
+                    );
+                    options.structures = Some(specs);
+                }
                 "--quick" => options.quick = true,
                 "--help" | "-h" => {
                     println!(
                         "usage: [--elements N] [--threads N] [--repeats N] \
-                         [--key-range N] [--scenario S] [--quick]"
+                         [--key-range N] [--scenario S] [--structures a,b,c] [--quick]"
                     );
+                    println!("\nregistered structure backends (for --structures):");
+                    pma_workloads::ensure_builtin_backends();
+                    for (name, description) in pma_common::Registry::global().entries() {
+                        println!("  {name:<12} {description}");
+                    }
                     std::process::exit(0);
                 }
                 other => panic!("unknown flag: {other} (try --help)"),
@@ -81,6 +104,24 @@ impl ExperimentOptions {
     /// Effective element count for one experiment cell.
     pub fn cell_elements(&self) -> usize {
         self.elements.max(1)
+    }
+
+    /// The structure specs to evaluate: the `--structures` override when
+    /// given (validated against the registry, aborting with the registry's
+    /// descriptive error on an unknown name or malformed argument),
+    /// otherwise `default`.
+    pub fn resolve_structures(&self, default: Vec<String>) -> Vec<String> {
+        pma_workloads::ensure_builtin_backends();
+        let specs = self.structures.clone().unwrap_or(default);
+        for spec in &specs {
+            // A full trial build (immediately dropped) also rejects malformed
+            // arguments, which label() alone would silently default away —
+            // better to abort here than minutes into the experiment.
+            if let Err(e) = pma_common::Registry::global().build(spec) {
+                panic!("--structures: {e}");
+            }
+        }
+        specs
     }
 
     /// Builds the workload spec for one cell.
@@ -149,6 +190,30 @@ mod tests {
     #[should_panic(expected = "unknown flag")]
     fn unknown_flag_panics() {
         let _ = parse(&["--bogus"]);
+    }
+
+    #[test]
+    fn structures_flag_splits_and_resolves() {
+        let o = parse(&["--structures", "pma-batch:5, btree:8k"]);
+        assert_eq!(
+            o.structures,
+            Some(vec!["pma-batch:5".to_string(), "btree:8k".to_string()])
+        );
+        let resolved = o.resolve_structures(vec!["masstree".to_string()]);
+        assert_eq!(resolved, vec!["pma-batch:5", "btree:8k"]);
+        // Without the flag the default set is kept.
+        let o = parse(&[]);
+        assert_eq!(
+            o.resolve_structures(vec!["masstree".to_string()]),
+            vec!["masstree"]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "--structures")]
+    fn unknown_structure_panics_with_registry_error() {
+        let o = parse(&["--structures", "warp-drive"]);
+        let _ = o.resolve_structures(vec![]);
     }
 
     #[test]

@@ -10,9 +10,11 @@
 
 pub mod error;
 pub mod map;
+pub mod registry;
 pub mod types;
 pub mod util;
 
 pub use error::PmaError;
 pub use map::{ConcurrentMap, ScanStats};
+pub use registry::{BackendDef, BackendSpec, Registry};
 pub use types::{Key, KeyValue, Value, KEY_MAX, KEY_MIN};

@@ -74,6 +74,35 @@ pub trait ConcurrentMap: Send + Sync {
     /// key order.
     fn range(&self, lo: Key, hi: Key, visitor: &mut dyn FnMut(Key, Value));
 
+    /// Scans every element with key in `[lo, hi]` (inclusive) in ascending
+    /// key order, folding into [`ScanStats`]. An inverted range (`lo > hi`)
+    /// is empty.
+    ///
+    /// The default implementation drives [`ConcurrentMap::range`];
+    /// implementations with a cheaper ranged path (the concurrent PMA routes
+    /// the scan through its static index straight to the first covering gate)
+    /// override it.
+    fn scan_range(&self, lo: Key, hi: Key) -> ScanStats {
+        let mut stats = ScanStats::default();
+        if lo > hi {
+            return stats;
+        }
+        self.range(lo, hi, &mut |key, value| stats.visit(key, value));
+        stats
+    }
+
+    /// Inserts every pair of `items` (upsert semantics, later entries win on
+    /// duplicate keys).
+    ///
+    /// The default implementation issues the insertions one by one;
+    /// implementations with a native batch path (the concurrent PMA merges
+    /// per-gate runs through its asynchronous-update machinery) override it.
+    fn insert_batch(&self, items: &[(Key, Value)]) {
+        for &(key, value) in items {
+            self.insert(key, value);
+        }
+    }
+
     /// Waits until all asynchronously accepted updates have been applied.
     ///
     /// The concurrent PMA's asynchronous update modes may defer operations to
@@ -107,6 +136,12 @@ impl<M: ConcurrentMap + ?Sized> ConcurrentMap for std::sync::Arc<M> {
     fn range(&self, lo: Key, hi: Key, visitor: &mut dyn FnMut(Key, Value)) {
         (**self).range(lo, hi, visitor)
     }
+    fn scan_range(&self, lo: Key, hi: Key) -> ScanStats {
+        (**self).scan_range(lo, hi)
+    }
+    fn insert_batch(&self, items: &[(Key, Value)]) {
+        (**self).insert_batch(items)
+    }
     fn flush(&self) {
         (**self).flush()
     }
@@ -118,6 +153,65 @@ impl<M: ConcurrentMap + ?Sized> ConcurrentMap for std::sync::Arc<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// A trivially-correct reference structure exercising the trait defaults.
+    #[derive(Default)]
+    struct ModelMap {
+        inner: std::sync::Mutex<std::collections::BTreeMap<Key, Value>>,
+    }
+
+    impl ConcurrentMap for ModelMap {
+        fn insert(&self, key: Key, value: Value) {
+            self.inner.lock().unwrap().insert(key, value);
+        }
+        fn remove(&self, key: Key) -> Option<Value> {
+            self.inner.lock().unwrap().remove(&key)
+        }
+        fn get(&self, key: Key) -> Option<Value> {
+            self.inner.lock().unwrap().get(&key).copied()
+        }
+        fn len(&self) -> usize {
+            self.inner.lock().unwrap().len()
+        }
+        fn scan_all(&self) -> ScanStats {
+            self.scan_range(Key::MIN, Key::MAX)
+        }
+        fn range(&self, lo: Key, hi: Key, visitor: &mut dyn FnMut(Key, Value)) {
+            if lo > hi {
+                return;
+            }
+            for (&k, &v) in self.inner.lock().unwrap().range(lo..=hi) {
+                visitor(k, v);
+            }
+        }
+        fn name(&self) -> &'static str {
+            "model"
+        }
+    }
+
+    #[test]
+    fn default_scan_range_folds_the_range() {
+        let map = ModelMap::default();
+        for k in 0..10 {
+            map.insert(k, k * 10);
+        }
+        let stats = map.scan_range(3, 5);
+        assert_eq!(stats.count, 3);
+        assert_eq!(stats.key_sum, 12);
+        assert_eq!(stats.value_sum, 120);
+        assert_eq!(map.scan_range(7, 3), ScanStats::default());
+    }
+
+    #[test]
+    fn default_insert_batch_upserts_in_order() {
+        let map = ModelMap::default();
+        map.insert_batch(&[(1, 10), (2, 20), (1, 11)]);
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.get(1), Some(11), "later duplicates must win");
+        let arc = std::sync::Arc::new(map);
+        arc.insert_batch(&[(3, 30)]);
+        assert_eq!(arc.scan_range(1, 3).count, 3);
+    }
 
     #[test]
     fn scan_stats_visit_accumulates() {

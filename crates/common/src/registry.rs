@@ -1,0 +1,322 @@
+//! String-addressable registry of [`ConcurrentMap`] backends.
+//!
+//! Every data structure evaluated in the workspace registers itself here as a
+//! `(name, description, labeler, builder)` entry; consumers — the workload
+//! drivers, the `fig3`/`fig4`/`ablation` experiment binaries, the Criterion
+//! benches, the examples and the cross-structure tests — construct instances
+//! exclusively through [`Registry::build`] with a *backend spec* string.
+//! Adding a new structure (or a new ablation of an existing one) is therefore
+//! one `register` call at startup, not a new enum variant matched across
+//! crates.
+//!
+//! # Spec strings
+//!
+//! A spec is `name` or `name:arg`, where `name` selects the registered entry
+//! and the optional `arg` parameterises it (each backend documents its own
+//! argument in its description). Examples from the built-in set:
+//!
+//! * `"pma-batch:100"` — concurrent PMA, batch asynchronous updates with a
+//!   `t_delay` of 100 ms (the paper's headline configuration);
+//! * `"pma-sync"` — the synchronous-update PMA (Figure 4's baseline);
+//! * `"btree:8k"` — the lock-coupled B+-tree with 8 KiB leaves (section 4.1
+//!   ablation);
+//! * `"masstree"` — the Masstree-like write-optimised tree.
+//!
+//! # Registration
+//!
+//! Provider crates expose a `register_backends(&Registry)` function (see
+//! `pma_core` and `pma_baselines`); the workload factory installs the
+//! built-in set into [`Registry::global`] exactly once. Downstream code —
+//! including tests and examples — can register additional backends directly:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use pma_common::registry::{BackendDef, BackendSpec, Registry};
+//!
+//! let registry = Registry::new();
+//! registry.register(BackendDef {
+//!     name: "null",
+//!     description: "discards everything (demo)",
+//!     label: |spec| format!("Null[{}]", spec.raw),
+//!     build: |_spec| Err(pma_common::PmaError::NotFound("demo only".into())),
+//! });
+//! assert!(registry.contains("null"));
+//! assert_eq!(registry.label("null:x").unwrap(), "Null[null:x]");
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+use crate::error::PmaError;
+use crate::map::ConcurrentMap;
+
+/// A parsed backend spec string: `name` or `name:arg`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackendSpec<'a> {
+    /// The spec as written (for labels and error messages).
+    pub raw: &'a str,
+    /// The registry entry name (everything before the first `:`).
+    pub name: &'a str,
+    /// The backend-specific argument (everything after the first `:`).
+    pub arg: Option<&'a str>,
+}
+
+impl<'a> BackendSpec<'a> {
+    /// Splits `raw` at the first `:` into name and argument.
+    pub fn parse(raw: &'a str) -> Self {
+        match raw.split_once(':') {
+            Some((name, arg)) => Self {
+                raw,
+                name: name.trim(),
+                arg: Some(arg.trim()),
+            },
+            None => Self {
+                raw,
+                name: raw.trim(),
+                arg: None,
+            },
+        }
+    }
+
+    /// Parses the argument as a `u64`, with a default when absent.
+    pub fn u64_arg(&self, default: u64) -> Result<u64, PmaError> {
+        match self.arg {
+            None => Ok(default),
+            Some(arg) => arg.parse().map_err(|_| {
+                PmaError::invalid(
+                    "backend_spec",
+                    format!("`{}`: argument `{arg}` is not an integer", self.raw),
+                )
+            }),
+        }
+    }
+}
+
+/// Builds one backend instance from a parsed spec.
+pub type BuildFn = fn(&BackendSpec<'_>) -> Result<Arc<dyn ConcurrentMap>, PmaError>;
+
+/// Renders the display label (matching the paper's figures) for a spec.
+pub type LabelFn = fn(&BackendSpec<'_>) -> String;
+
+/// One registered backend.
+#[derive(Clone, Copy)]
+pub struct BackendDef {
+    /// Registry name, the part of a spec before `:`.
+    pub name: &'static str,
+    /// Human-readable description, including the accepted argument.
+    pub description: &'static str,
+    /// Display-label renderer.
+    pub label: LabelFn,
+    /// Instance builder.
+    pub build: BuildFn,
+}
+
+impl std::fmt::Debug for BackendDef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BackendDef")
+            .field("name", &self.name)
+            .field("description", &self.description)
+            .finish()
+    }
+}
+
+/// A set of named backends, addressable by spec string.
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: RwLock<BTreeMap<&'static str, BackendDef>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide registry used by the experiment harness.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Registers (or replaces) a backend definition.
+    pub fn register(&self, def: BackendDef) {
+        self.entries
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(def.name, def);
+    }
+
+    /// Whether a backend with `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .contains_key(name)
+    }
+
+    /// Names of all registered backends, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.entries
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .keys()
+            .map(|n| n.to_string())
+            .collect()
+    }
+
+    /// `(name, description)` of every registered backend, sorted by name.
+    pub fn entries(&self) -> Vec<(String, String)> {
+        self.entries
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .map(|d| (d.name.to_string(), d.description.to_string()))
+            .collect()
+    }
+
+    fn lookup(&self, spec: &BackendSpec<'_>) -> Result<BackendDef, PmaError> {
+        self.entries
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(spec.name)
+            .copied()
+            .ok_or_else(|| {
+                PmaError::NotFound(format!(
+                    "backend `{}` (from spec `{}`); registered: {}",
+                    spec.name,
+                    spec.raw,
+                    self.names().join(", ")
+                ))
+            })
+    }
+
+    /// The display label for `spec` (e.g. `"pma-batch:100"` → "PMA Batch
+    /// 100ms"), matching the paper's figures.
+    pub fn label(&self, spec: &str) -> Result<String, PmaError> {
+        let spec = BackendSpec::parse(spec);
+        Ok((self.lookup(&spec)?.label)(&spec))
+    }
+
+    /// Builds a fresh instance of the backend selected by `spec`.
+    pub fn build(&self, spec: &str) -> Result<Arc<dyn ConcurrentMap>, PmaError> {
+        let spec = BackendSpec::parse(spec);
+        (self.lookup(&spec)?.build)(&spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::ScanStats;
+    use crate::types::{Key, Value};
+
+    #[derive(Default)]
+    struct Dummy(std::sync::Mutex<std::collections::BTreeMap<Key, Value>>);
+
+    impl ConcurrentMap for Dummy {
+        fn insert(&self, key: Key, value: Value) {
+            self.0.lock().unwrap().insert(key, value);
+        }
+        fn remove(&self, key: Key) -> Option<Value> {
+            self.0.lock().unwrap().remove(&key)
+        }
+        fn get(&self, key: Key) -> Option<Value> {
+            self.0.lock().unwrap().get(&key).copied()
+        }
+        fn len(&self) -> usize {
+            self.0.lock().unwrap().len()
+        }
+        fn scan_all(&self) -> ScanStats {
+            self.scan_range(Key::MIN, Key::MAX)
+        }
+        fn range(&self, lo: Key, hi: Key, visitor: &mut dyn FnMut(Key, Value)) {
+            if lo > hi {
+                return;
+            }
+            for (&k, &v) in self.0.lock().unwrap().range(lo..=hi) {
+                visitor(k, v);
+            }
+        }
+        fn name(&self) -> &'static str {
+            "dummy"
+        }
+    }
+
+    fn dummy_def() -> BackendDef {
+        BackendDef {
+            name: "dummy",
+            description: "test backend; arg = ignored",
+            label: |spec| match spec.arg {
+                Some(arg) => format!("Dummy {arg}"),
+                None => "Dummy".to_string(),
+            },
+            build: |_| Ok(Arc::new(Dummy::default())),
+        }
+    }
+
+    #[test]
+    fn parse_splits_on_first_colon() {
+        let spec = BackendSpec::parse("pma-batch:100");
+        assert_eq!(spec.name, "pma-batch");
+        assert_eq!(spec.arg, Some("100"));
+        let spec = BackendSpec::parse("masstree");
+        assert_eq!(spec.name, "masstree");
+        assert_eq!(spec.arg, None);
+        let spec = BackendSpec::parse("a:b:c");
+        assert_eq!(spec.name, "a");
+        assert_eq!(spec.arg, Some("b:c"));
+    }
+
+    #[test]
+    fn u64_arg_parses_with_default() {
+        assert_eq!(BackendSpec::parse("x").u64_arg(7).unwrap(), 7);
+        assert_eq!(BackendSpec::parse("x:42").u64_arg(7).unwrap(), 42);
+        assert!(BackendSpec::parse("x:no").u64_arg(7).is_err());
+    }
+
+    #[test]
+    fn register_build_label_roundtrip() {
+        let registry = Registry::new();
+        registry.register(dummy_def());
+        assert!(registry.contains("dummy"));
+        assert_eq!(registry.names(), vec!["dummy".to_string()]);
+        assert_eq!(registry.label("dummy:8k").unwrap(), "Dummy 8k");
+        let map = registry.build("dummy").unwrap();
+        map.insert(1, 2);
+        assert_eq!(map.get(1), Some(2));
+    }
+
+    #[test]
+    fn unknown_backend_lists_registered_names() {
+        let registry = Registry::new();
+        registry.register(dummy_def());
+        let msg = match registry.build("nope:1") {
+            Ok(_) => panic!("unknown backend must not build"),
+            Err(e) => e.to_string(),
+        };
+        assert!(msg.contains("nope"), "{msg}");
+        assert!(msg.contains("dummy"), "{msg}");
+    }
+
+    #[test]
+    fn re_registering_replaces() {
+        let registry = Registry::new();
+        registry.register(dummy_def());
+        registry.register(BackendDef {
+            description: "replacement",
+            ..dummy_def()
+        });
+        assert_eq!(registry.entries()[0].1, "replacement");
+        assert_eq!(registry.entries().len(), 1);
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        // Use a unique name so other tests' registrations don't interfere.
+        Registry::global().register(BackendDef {
+            name: "registry-test-unique",
+            ..dummy_def()
+        });
+        assert!(Registry::global().contains("registry-test-unique"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Registry entries for the concurrent PMA variants evaluated in the paper.
+//!
+//! [`register_backends`] installs the PMA configurations of Figures 3/4 and
+//! the section 4.1 ablation into a [`Registry`]; they are then constructible
+//! by spec string (`"pma-batch:100"`, `"pma-sync"`, ...) without any consumer
+//! naming a concrete type.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use pma_common::registry::{BackendDef, BackendSpec, Registry};
+use pma_common::{ConcurrentMap, PmaError};
+
+use crate::concurrent::ConcurrentPma;
+use crate::params::{PmaParams, RebalancePolicy, UpdateMode};
+
+/// The paper's PMA configuration with a configurable segment capacity and
+/// update mode, sized for laptop-scale runs (the worker count adapts to the
+/// available cores instead of being fixed at 8).
+pub fn paper_pma_params(update_mode: UpdateMode, segment_capacity: usize) -> PmaParams {
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get().min(8))
+        .unwrap_or(4)
+        .max(1);
+    PmaParams {
+        segment_capacity,
+        segments_per_gate: 8,
+        rebalancer_workers: workers,
+        update_mode,
+        ..PmaParams::default()
+    }
+}
+
+fn build_pma(params: PmaParams) -> Result<Arc<dyn ConcurrentMap>, PmaError> {
+    Ok(Arc::new(ConcurrentPma::new(params)?))
+}
+
+fn build_sync(_spec: &BackendSpec<'_>) -> Result<Arc<dyn ConcurrentMap>, PmaError> {
+    build_pma(paper_pma_params(UpdateMode::Synchronous, 128))
+}
+
+fn build_one_by_one(_spec: &BackendSpec<'_>) -> Result<Arc<dyn ConcurrentMap>, PmaError> {
+    let mut params = paper_pma_params(UpdateMode::OneByOne, 128);
+    params.rebalance_policy = RebalancePolicy::Adaptive;
+    build_pma(params)
+}
+
+fn build_batch(spec: &BackendSpec<'_>) -> Result<Arc<dyn ConcurrentMap>, PmaError> {
+    let t_delay = Duration::from_millis(spec.u64_arg(100)?);
+    build_pma(paper_pma_params(UpdateMode::Batch { t_delay }, 128))
+}
+
+fn build_seg(spec: &BackendSpec<'_>) -> Result<Arc<dyn ConcurrentMap>, PmaError> {
+    let segment_capacity = spec.u64_arg(256)? as usize;
+    build_pma(paper_pma_params(
+        UpdateMode::Batch {
+            t_delay: Duration::from_millis(100),
+        },
+        segment_capacity,
+    ))
+}
+
+/// Registers every PMA variant: `pma-sync`, `pma-1by1`, `pma-batch[:ms]` and
+/// `pma-seg[:capacity]`.
+pub fn register_backends(registry: &Registry) {
+    registry.register(BackendDef {
+        name: "pma-sync",
+        description: "concurrent PMA, synchronous updates (Figure 4 baseline)",
+        label: |_| "PMA Baseline".to_string(),
+        build: build_sync,
+    });
+    registry.register(BackendDef {
+        name: "pma-1by1",
+        description: "concurrent PMA, one-by-one asynchronous updates (Figure 4 \"1by1\")",
+        label: |_| "PMA 1by1".to_string(),
+        build: build_one_by_one,
+    });
+    registry.register(BackendDef {
+        name: "pma-batch",
+        description:
+            "concurrent PMA, batch asynchronous updates; arg = t_delay in ms (default 100)",
+        label: |spec| format!("PMA Batch {}ms", spec.u64_arg(100).unwrap_or(100)),
+        build: build_batch,
+    });
+    registry.register(BackendDef {
+        name: "pma-seg",
+        description: "concurrent PMA, batch updates with a custom segment capacity; \
+                      arg = elements per segment (default 256, section 4.1 ablation)",
+        label: |spec| format!("PMA seg={}", spec.u64_arg(256).unwrap_or(256)),
+        build: build_seg,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_pma_backend_builds_and_works() {
+        let registry = Registry::new();
+        register_backends(&registry);
+        for spec in ["pma-sync", "pma-1by1", "pma-batch:1", "pma-seg:64"] {
+            let map = registry.build(spec).unwrap();
+            for k in 0..300i64 {
+                map.insert(k, k);
+            }
+            map.flush();
+            assert_eq!(map.len(), 300, "{spec}");
+            assert_eq!(map.scan_range(10, 19).count, 10, "{spec}");
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_names() {
+        let registry = Registry::new();
+        register_backends(&registry);
+        assert_eq!(registry.label("pma-sync").unwrap(), "PMA Baseline");
+        assert_eq!(registry.label("pma-1by1").unwrap(), "PMA 1by1");
+        assert_eq!(registry.label("pma-batch:100").unwrap(), "PMA Batch 100ms");
+        assert_eq!(registry.label("pma-batch").unwrap(), "PMA Batch 100ms");
+        assert_eq!(registry.label("pma-seg:256").unwrap(), "PMA seg=256");
+    }
+
+    #[test]
+    fn invalid_arguments_are_rejected() {
+        let registry = Registry::new();
+        register_backends(&registry);
+        assert!(registry.build("pma-batch:abc").is_err());
+        assert!(
+            registry.build("pma-seg:0").is_err(),
+            "capacity 0 is invalid"
+        );
+    }
+}

@@ -197,11 +197,7 @@ impl CalibratorTree {
     /// density — after removing `removed` elements — is at least the lower
     /// threshold of its level. Returns `None` when even the root is under
     /// threshold, i.e. the array should be downsized.
-    pub fn find_window_for_delete<F>(
-        &self,
-        segment: usize,
-        mut cardinality_of: F,
-    ) -> Option<Window>
+    pub fn find_window_for_delete<F>(&self, segment: usize, mut cardinality_of: F) -> Option<Window>
     where
         F: FnMut(usize) -> usize,
     {

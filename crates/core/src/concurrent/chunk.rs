@@ -139,10 +139,13 @@ impl ChunkData {
 
     /// Maximum key stored anywhere in the chunk.
     pub fn max_key(&self) -> Option<Key> {
-        (0..self.num_segments()).rev().find(|&s| self.cards[s] > 0).map(|s| {
-            let start = self.seg_start(s);
-            self.keys[start + self.card(s) - 1]
-        })
+        (0..self.num_segments())
+            .rev()
+            .find(|&s| self.cards[s] > 0)
+            .map(|s| {
+                let start = self.seg_start(s);
+                self.keys[start + self.card(s) - 1]
+            })
     }
 
     /// Returns the segment that should contain `key`: the last non-empty
@@ -196,7 +199,8 @@ impl ChunkData {
                 if card == self.segment_capacity {
                     return ChunkInsert::SegmentFull(s);
                 }
-                self.keys.copy_within(start + pos..start + card, start + pos + 1);
+                self.keys
+                    .copy_within(start + pos..start + card, start + pos + 1);
                 self.values
                     .copy_within(start + pos..start + card, start + pos + 1);
                 self.keys[start + pos] = key;
@@ -218,7 +222,8 @@ impl ChunkData {
         let pos = self.seg_keys(s).binary_search(&key).ok()?;
         let old = self.values[start + pos];
         let card = self.card(s);
-        self.keys.copy_within(start + pos + 1..start + card, start + pos);
+        self.keys
+            .copy_within(start + pos + 1..start + card, start + pos);
         self.values
             .copy_within(start + pos + 1..start + card, start + pos);
         self.cards[s] -= 1;

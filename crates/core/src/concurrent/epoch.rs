@@ -162,7 +162,9 @@ pub struct EpochGuard<'a> {
 
 impl std::fmt::Debug for EpochGuard<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("EpochGuard").field("slot", &self.slot).finish()
+        f.debug_struct("EpochGuard")
+            .field("slot", &self.slot)
+            .finish()
     }
 }
 

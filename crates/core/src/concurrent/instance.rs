@@ -47,15 +47,26 @@ impl PmaInstance {
     /// # Panics
     /// Panics if `num_gates` is not a power of two, the keys are not strictly
     /// increasing, or the elements do not fit.
-    pub fn from_sorted(keys: &[Key], values: &[Value], num_gates: usize, params: &PmaParams) -> Self {
-        assert!(num_gates.is_power_of_two(), "num_gates must be a power of two");
+    pub fn from_sorted(
+        keys: &[Key],
+        values: &[Value],
+        num_gates: usize,
+        params: &PmaParams,
+    ) -> Self {
+        assert!(
+            num_gates.is_power_of_two(),
+            "num_gates must be a power of two"
+        );
         assert_eq!(keys.len(), values.len());
         debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be sorted");
         let segments_per_gate = params.segments_per_gate;
         let segment_capacity = params.segment_capacity;
         let num_segments = num_gates * segments_per_gate;
         let capacity = num_segments * segment_capacity;
-        assert!(keys.len() <= capacity, "elements do not fit in the instance");
+        assert!(
+            keys.len() <= capacity,
+            "elements do not fit in the instance"
+        );
 
         let targets = even_targets(keys.len(), num_segments, segment_capacity);
         let mut stream = keys.iter().copied().zip(values.iter().copied());

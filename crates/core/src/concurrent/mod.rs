@@ -287,6 +287,100 @@ impl ConcurrentPma {
         }
     }
 
+    /// Scans every element with key in `[lo, hi]` (inclusive) in ascending
+    /// key order, folding into [`ScanStats`].
+    ///
+    /// Drives [`ConcurrentPma::range`], whose walk is routed through the
+    /// static index straight to the first gate whose fences cover `lo` and
+    /// then proceeds gate by gate, holding one shared latch at a time — it
+    /// never touches the gates below `lo` or above `hi`. Like
+    /// [`ConcurrentPma::scan_all`] it runs concurrently with updates without
+    /// snapshot isolation; a resize restarts the walk just after the last
+    /// visited key, so no element is counted twice.
+    pub fn scan_range(&self, lo: Key, hi: Key) -> ScanStats {
+        let mut stats = ScanStats::default();
+        self.range(lo, hi, &mut |k, v| stats.visit(k, v));
+        stats
+    }
+
+    /// Inserts a batch of pairs (upsert semantics, later duplicates win).
+    ///
+    /// The batch is sorted and split into per-gate runs: each run is merged
+    /// into its gate's chunk with a single latch acquisition and one local
+    /// redistribution (the same combining primitive the asynchronous update
+    /// queue uses), instead of one routing walk and one rebalance check per
+    /// element. Runs that exceed a gate's density threshold fall back to the
+    /// ordinary insertion path, which triggers the required rebalances.
+    pub fn insert_batch(&self, items: &[(Key, Value)]) {
+        // Route like a point insert: honouring delegated combining queues is
+        // required for ordering — merging directly while an older same-key
+        // entry sits in a gate's queue would let that stale entry overwrite
+        // the batch's value when the queue drains.
+        let allow_queue = self.shared.params.update_mode != UpdateMode::Synchronous;
+        let batch = rebalancer::normalise_batch(items.to_vec());
+        let mut i = 0usize;
+        while i < batch.len() {
+            let (key, value) = batch[i];
+            let mut advance = 0usize;
+            let mut fallback_single = false;
+            let mut leftovers: Vec<UpdateOp> = Vec::new();
+            {
+                let _pin = self.shared.pin();
+                // SAFETY: pinned above.
+                let inst = unsafe { self.shared.instance_ref() };
+                match self.acquire_for_write(inst, UpdateOp::Insert(key, value), allow_queue) {
+                    WriteAcquire::Queued => {
+                        // The gate is delegated or under a service rebalance:
+                        // this element joined the FIFO combining queue exactly
+                        // like a point insert would.
+                        Stats::bump(&self.shared.stats.combined_ops);
+                        advance = 1;
+                    }
+                    WriteAcquire::Restart => {
+                        Stats::bump(&self.shared.stats.resize_restarts);
+                    }
+                    WriteAcquire::Acquired(g) => {
+                        let gate = &inst.gates[g];
+                        let fence_hi = gate.lock().fence_hi;
+                        let run_end = i + batch[i..].partition_point(|&(k, _)| k <= fence_hi);
+                        // SAFETY: the gate is held in `Write` mode.
+                        let chunk = unsafe { gate.chunk_mut() };
+                        let gate_capacity = inst.gate_capacity();
+                        let tau_gate = inst.calibrator.upper_threshold(inst.gate_level);
+                        let max_total =
+                            gate_capacity.min((tau_gate * gate_capacity as f64).floor() as usize);
+                        let room = max_total.saturating_sub(chunk.cardinality());
+                        let take = (run_end - i).min(room);
+                        if take > 0 {
+                            let added = chunk.merge_batch(&batch[i..i + take]);
+                            if added > 0 {
+                                self.shared.len.fetch_add(added, Ordering::Relaxed);
+                                Stats::add(&self.shared.stats.inserts, added as u64);
+                            }
+                            advance = take;
+                        } else {
+                            // The gate is at its threshold: release and push
+                            // one element through the rebalancing insert path.
+                            fallback_single = true;
+                        }
+                        // Drain anything forwarded to us while we held the
+                        // latch, then release (mode-appropriate).
+                        leftovers = self.finish_writer(inst, g);
+                    }
+                }
+            }
+            for op in leftovers {
+                self.update(op, false);
+            }
+            if fallback_single {
+                self.insert(key, value);
+                i += 1;
+            } else {
+                i += advance;
+            }
+        }
+    }
+
     /// Waits until every pending asynchronous update (combining queues,
     /// delegated batches, parked rebalances) has been applied. Useful before
     /// validating the contents or shutting down.
@@ -423,6 +517,26 @@ impl ConcurrentPma {
                         st.pending.push_back(op);
                         return WriteAcquire::Queued;
                     }
+                    // The gate is being rebalanced by the service: instead of
+                    // blocking for the (potentially wide) rebalance, append to
+                    // the combining queue and return (paper section 3.5).
+                    // Marking the gate `delegated` keeps every later operation
+                    // on this gate queueing FIFO behind this one until the
+                    // service drains the queue (`process_delegated_batch`) —
+                    // without it, a later same-key operation could apply
+                    // directly and then be overwritten by this older entry
+                    // when the queue finally drains.
+                    GateMode::Rebalance if allow_queue && st.service_owned => {
+                        st.pending.push_back(op);
+                        if !st.delegated {
+                            st.delegated = true;
+                            self.rebalancer.send(Request::DelayedBatch {
+                                gate_id: g,
+                                due: std::time::Instant::now(),
+                            });
+                        }
+                        return WriteAcquire::Queued;
+                    }
                     _ => gate.wait(&mut st),
                 }
             }
@@ -482,7 +596,15 @@ impl ConcurrentPma {
             st.queue_open = false;
             st.rebalance_epoch
         };
-        self.rebalancer.send(Request::GlobalRebalance { gate_id: g, extra: 1 });
+        // The Write -> Rebalance transition makes the gate claimable by the
+        // rebalancer: wake it in case it is already blocked on this gate
+        // (e.g. expanding another window). Without this wakeup the master can
+        // sleep forever on a gate whose writer has just handed it over.
+        gate.notify_all();
+        self.rebalancer.send(Request::GlobalRebalance {
+            gate_id: g,
+            extra: 1,
+        });
         let mut st = gate.lock();
         while st.rebalance_epoch == epoch_before && st.service_owned && !st.invalidated {
             gate.wait(&mut st);
@@ -589,6 +711,10 @@ impl ConcurrentPma {
                 }
                 st.pending.drain(..).collect()
             };
+            // The deletions-first processing below would reorder same-key
+            // operations, so first reduce the FIFO queue to the last
+            // operation per key (earlier ones are superseded upserts).
+            let ops = dedup_last_op_per_key(ops);
             Stats::bump(&self.shared.stats.batches_processed);
             let (lo, hi) = {
                 let st = gate.lock();
@@ -622,7 +748,10 @@ impl ConcurrentPma {
             if inserts.is_empty() {
                 continue;
             }
-            inserts.sort_unstable_by_key(|&(k, _)| k);
+            // Stable sort: the queue may contain several upserts of the same
+            // key, and `merge_batch` keeps the last equal-key entry — which
+            // must be the one appended last, not an arbitrary one.
+            inserts.sort_by_key(|&(k, _)| k);
 
             // Second pass: find the smallest window that fits all insertions.
             // If the whole gate fits them, merge locally; otherwise the batch
@@ -650,6 +779,9 @@ impl ConcurrentPma {
                 st.service_owned = true;
                 st.queue_open = false;
                 drop(st);
+                // Wake a master potentially blocked on this gate (see
+                // `hand_over_and_wait`): the hand-over makes it claimable.
+                gate.notify_all();
                 self.rebalancer.send(Request::GlobalBatch {
                     gate_id: g,
                     inserts,
@@ -668,7 +800,8 @@ impl ConcurrentPma {
             let due = st.last_global_rebalance + t_delay;
             drop(st);
             gate.notify_all();
-            self.rebalancer.send(Request::DelayedBatch { gate_id: g, due });
+            self.rebalancer
+                .send(Request::DelayedBatch { gate_id: g, due });
             return leftovers;
         }
     }
@@ -712,6 +845,24 @@ impl ConcurrentPma {
             }
         }
     }
+}
+
+/// Reduces a FIFO run of queued operations to the last operation per key
+/// (upsert semantics: an earlier same-key operation is superseded by a later
+/// one), preserving the relative order of the surviving entries. Batch drains
+/// apply deletions before insertions, which is only order-safe once every key
+/// occurs at most once.
+pub(crate) fn dedup_last_op_per_key(ops: Vec<UpdateOp>) -> Vec<UpdateOp> {
+    let mut seen: std::collections::HashSet<Key> =
+        std::collections::HashSet::with_capacity(ops.len());
+    let mut kept: Vec<UpdateOp> = Vec::with_capacity(ops.len());
+    for op in ops.into_iter().rev() {
+        if seen.insert(op.key()) {
+            kept.push(op);
+        }
+    }
+    kept.reverse();
+    kept
 }
 
 /// Finds the smallest calibrator window *inside* the gate whose density —
@@ -776,6 +927,14 @@ impl ConcurrentMap for ConcurrentPma {
         ConcurrentPma::range(self, lo, hi, visitor)
     }
 
+    fn scan_range(&self, lo: Key, hi: Key) -> ScanStats {
+        ConcurrentPma::scan_range(self, lo, hi)
+    }
+
+    fn insert_batch(&self, items: &[(Key, Value)]) {
+        ConcurrentPma::insert_batch(self, items)
+    }
+
     fn flush(&self) {
         ConcurrentPma::flush(self)
     }
@@ -829,7 +988,10 @@ mod tests {
         assert_eq!(p.len(), 1000);
         let stats = p.scan_all();
         assert_eq!(stats.count, 1000);
-        assert!(p.stats().total_rebalances() > 0, "growth requires rebalances/resizes");
+        assert!(
+            p.stats().total_rebalances() > 0,
+            "growth requires rebalances/resizes"
+        );
     }
 
     #[test]
@@ -907,6 +1069,64 @@ mod tests {
         assert!(p.stats().resizes > 0);
         assert!(p.num_gates() > 1);
         assert_eq!(p.len(), 5000);
+    }
+
+    #[test]
+    fn scan_range_matches_range_visits() {
+        let p = pma(UpdateMode::Synchronous);
+        for k in 0..4000i64 {
+            p.insert(k * 3, k);
+        }
+        for (lo, hi) in [
+            (0, 11_999),
+            (100, 101),
+            (5_000, 5_000),
+            (300, 299),
+            (-50, 40),
+        ] {
+            let mut expected = ScanStats::default();
+            p.range(lo, hi, &mut |k, v| expected.visit(k, v));
+            assert_eq!(p.scan_range(lo, hi), expected, "range [{lo}, {hi}]");
+        }
+        assert_eq!(p.scan_range(i64::MIN, i64::MAX).count, 4000);
+    }
+
+    #[test]
+    fn insert_batch_equivalent_to_single_inserts() {
+        for mode in [
+            UpdateMode::Synchronous,
+            UpdateMode::OneByOne,
+            UpdateMode::Batch {
+                t_delay: Duration::from_millis(1),
+            },
+        ] {
+            let batched = pma(mode);
+            let single = pma(UpdateMode::Synchronous);
+            // Unsorted input with duplicate keys: the last duplicate must win.
+            let items: Vec<(i64, i64)> = (0..5000i64).map(|i| ((i * 37) % 2500, i)).collect();
+            batched.insert_batch(&items);
+            for &(k, v) in &items {
+                single.insert(k, v);
+            }
+            batched.flush();
+            single.flush();
+            assert_eq!(batched.len(), single.len());
+            assert_eq!(batched.scan_all(), single.scan_all());
+            assert_eq!(batched.get(0), single.get(0));
+        }
+    }
+
+    #[test]
+    fn insert_batch_grows_past_many_gates() {
+        let p = pma(UpdateMode::Synchronous);
+        let items: Vec<(i64, i64)> = (0..20_000i64).map(|k| (k, -k)).collect();
+        p.insert_batch(&items);
+        p.flush();
+        assert_eq!(p.len(), 20_000);
+        assert!(p.num_gates() > 1, "growth must have split the array");
+        let stats = p.scan_range(10_000, 10_009);
+        assert_eq!(stats.count, 10);
+        assert_eq!(stats.key_sum, (10_000i64..10_010).sum::<i64>() as i128);
     }
 
     #[test]

@@ -56,10 +56,14 @@ pub(crate) enum Request {
     Shutdown,
 }
 
-/// A staging job for one worker: rebuild one gate's chunk from the merged
-/// element stream of the window.
+/// A staging job for one worker: rebuild one gate's chunk from its partition
+/// of the window's merged element stream.
 struct BuildJob {
-    source: Arc<WindowSource>,
+    /// The window's merged elements, materialised once by the master; each
+    /// job covers the disjoint slice `[elem_start, elem_start + sum(targets))`.
+    elements: Arc<Vec<(Key, Value)>>,
+    /// Segment capacity of the chunk being built.
+    segment_capacity: usize,
     /// Rank (within the merged stream) of the first element of this chunk.
     elem_start: usize,
     /// Per-segment element counts for the chunk being built.
@@ -74,43 +78,25 @@ enum WorkerMsg {
     Shutdown,
 }
 
-/// Read-only view of the chunks of a window under rebalance, plus the batch of
-/// insertions to merge in. Sent to the workers.
+/// Merges the chunks of a window with a sorted, deduplicated batch of
+/// insertions into one ascending element stream (upsert semantics: the batch
+/// value wins on key collisions).
 ///
-/// SAFETY: the raw chunk pointers are only dereferenced while the master holds
-/// every gate of the window in `Rebalance` mode, which it does for the whole
-/// lifetime of the jobs referencing this source. The pointed-to chunks are not
-/// mutated until all workers have replied.
-pub(crate) struct WindowSource {
-    chunks: Vec<*const ChunkData>,
-    batch: Vec<(Key, Value)>,
-}
-
-unsafe impl Send for WindowSource {}
-unsafe impl Sync for WindowSource {}
-
-impl WindowSource {
-    fn new(chunks: Vec<*const ChunkData>, batch: Vec<(Key, Value)>) -> Self {
-        debug_assert!(batch.windows(2).all(|w| w[0].0 < w[1].0));
-        Self { chunks, batch }
-    }
-
-    /// Iterates over the merged (existing ∪ batch) elements in ascending key
-    /// order, starting at rank `start`. On key collisions the batch value
-    /// wins and a single element is emitted (upsert semantics).
-    fn iter_from(&self, start: usize) -> impl Iterator<Item = (Key, Value)> + '_ {
-        // SAFETY: see the type-level contract — the chunks are alive and
-        // unmutated while any job holds this source.
-        let existing = self
-            .chunks
-            .iter()
-            .flat_map(|&c| unsafe { &*c }.iter());
-        MergeIter {
-            a: existing.peekable(),
-            b: self.batch.iter().copied().peekable(),
-        }
-        .skip(start)
-    }
+/// The master materialises the merged window exactly once before fanning the
+/// per-gate build jobs out to the workers — each job then slices its disjoint
+/// partition in O(1). (An earlier design handed the workers a lazily merged
+/// iterator with a `skip(rank)` per job, which made wide redistributes
+/// quadratic in the window size and effectively stalled root-window
+/// rebalances.)
+pub(crate) fn merge_window(chunks: &[&ChunkData], batch: Vec<(Key, Value)>) -> Vec<(Key, Value)> {
+    debug_assert!(batch.windows(2).all(|w| w[0].0 < w[1].0));
+    let cardinality: usize = chunks.iter().map(|c| c.cardinality()).sum();
+    let mut merged = Vec::with_capacity(cardinality + batch.len());
+    merged.extend(MergeIter {
+        a: chunks.iter().flat_map(|c| c.iter()).peekable(),
+        b: batch.into_iter().peekable(),
+    });
+    merged
 }
 
 /// Merge of two ascending streams with upsert semantics (`b` wins ties).
@@ -277,8 +263,9 @@ impl Master {
             // Process parked batches that have become due.
             let now = Instant::now();
             let due: Vec<usize> = {
-                let (ready, waiting): (Vec<_>, Vec<_>) =
-                    std::mem::take(&mut self.parked).into_iter().partition(|(d, _)| *d <= now);
+                let (ready, waiting): (Vec<_>, Vec<_>) = std::mem::take(&mut self.parked)
+                    .into_iter()
+                    .partition(|(d, _)| *d <= now);
                 self.parked = waiting;
                 ready.into_iter().map(|(_, g)| g).collect()
             };
@@ -445,31 +432,19 @@ impl Master {
         let num_segments = num_gates * spg;
 
         let batch = normalise_batch(batch);
-        // Count how many batch keys are new (for the element counter).
-        let mut new_keys = 0usize;
-        for &(k, _) in &batch {
-            let mut found = false;
-            for g in g_lo..g_hi {
-                // SAFETY: gates are service-owned by the caller.
-                if unsafe { inst.gates[g].chunk() }.get(k).is_some() {
-                    found = true;
-                    break;
-                }
-            }
-            if !found {
-                new_keys += 1;
-            }
-        }
-        let total = cardinality + new_keys;
+        // Materialise the merged window once; the workers slice it. The merge
+        // dedupes colliding keys, so the number of *new* keys (for the element
+        // counter) falls out of the length difference.
+        let chunks: Vec<&ChunkData> = (g_lo..g_hi)
+            // SAFETY: gates are service-owned by the caller.
+            .map(|g| unsafe { inst.gates[g].chunk() })
+            .collect();
+        let elements = Arc::new(merge_window(&chunks, batch));
+        drop(chunks);
+        let total = elements.len();
+        let new_keys = total - cardinality;
         debug_assert!(total <= num_segments * seg_cap);
         let targets = crate::sequential::even_targets(total, num_segments, seg_cap);
-
-        // SAFETY (WindowSource contract): the chunks stay alive and unmutated
-        // until every worker replied, which `collect` below waits for.
-        let chunks: Vec<*const ChunkData> = (g_lo..g_hi)
-            .map(|g| unsafe { inst.gates[g].chunk() } as *const ChunkData)
-            .collect();
-        let source = Arc::new(WindowSource::new(chunks, batch));
 
         let (reply_tx, reply_rx) = unbounded();
         let mut elem_start = 0usize;
@@ -477,7 +452,8 @@ impl Master {
             let gate_targets = targets[out_idx * spg..(out_idx + 1) * spg].to_vec();
             let gate_total: usize = gate_targets.iter().sum();
             let job = BuildJob {
-                source: Arc::clone(&source),
+                elements: Arc::clone(&elements),
+                segment_capacity: seg_cap,
                 elem_start,
                 targets: gate_targets,
                 out_idx,
@@ -575,7 +551,10 @@ impl Master {
         let target_density = (t.rho_root + t.tau_root).max(0.1);
         let needed_slots = ((2.0 * new_len as f64) / target_density).ceil() as usize;
         let gate_capacity = inst.gate_capacity();
-        let mut num_gates = needed_slots.div_ceil(gate_capacity).max(1).next_power_of_two();
+        let mut num_gates = needed_slots
+            .div_ceil(gate_capacity)
+            .max(1)
+            .next_power_of_two();
         while num_gates * gate_capacity < new_len + 1 {
             num_gates *= 2;
         }
@@ -590,7 +569,10 @@ impl Master {
         self.shared.len.store(new_len, Ordering::Relaxed);
 
         // Invalidate the old gates and wake everyone blocked on them, then
-        // retire the old instance.
+        // retire the old instance. Writers may have appended to the combining
+        // queues while the gates were service-owned (between the drain above
+        // and this invalidation); those entries would be stranded on the dead
+        // instance, so collect them for re-application too.
         for gate in old.gates.iter() {
             {
                 let mut st = gate.lock();
@@ -598,6 +580,7 @@ impl Master {
                 st.service_owned = false;
                 st.mode = GateMode::Free;
                 st.rebalance_epoch += 1;
+                pending_ops.extend(st.pending.drain(..));
             }
             gate.notify_all();
         }
@@ -628,6 +611,10 @@ impl Master {
             st.delegated = false;
             (st.pending.drain(..).collect::<Vec<_>>(), invalid)
         };
+        // Deletions are applied before insertions below; reduce the FIFO
+        // queue to the last operation per key first so that split cannot
+        // reorder same-key operations.
+        let ops = super::dedup_last_op_per_key(ops);
         if invalid {
             self.release_gates(inst, gate_id, gate_id + 1);
             self.reapply_ops(ops);
@@ -669,7 +656,9 @@ impl Master {
         if removed > 0 {
             self.shared.len.fetch_sub(removed, Ordering::Relaxed);
         }
-        inserts.sort_unstable_by_key(|&(k, _)| k);
+        // Stable sort so that duplicate-key upserts resolve to the entry
+        // appended last (see the matching sort in `drain_batch`).
+        inserts.sort_by_key(|&(k, _)| k);
 
         if inserts.is_empty() {
             self.release_gates(inst, gate_id, gate_id + 1);
@@ -821,7 +810,7 @@ impl Master {
 }
 
 /// Sorts a batch by key and keeps only the last occurrence of each key.
-fn normalise_batch(mut batch: Vec<(Key, Value)>) -> Vec<(Key, Value)> {
+pub(crate) fn normalise_batch(mut batch: Vec<(Key, Value)>) -> Vec<(Key, Value)> {
     if batch.is_empty() {
         return batch;
     }
@@ -867,25 +856,19 @@ fn worker_loop(rx: Receiver<WorkerMsg>) {
         match msg {
             WorkerMsg::Shutdown => break,
             WorkerMsg::Build(job) => {
-                let mut stream = job.source.iter_from(job.elem_start);
+                let gate_total: usize = job.targets.iter().sum();
+                let mut stream = job.elements[job.elem_start..job.elem_start + gate_total]
+                    .iter()
+                    .copied();
                 let chunk = ChunkData::from_stream(
                     job.targets.len(),
-                    job.source_segment_capacity(),
+                    job.segment_capacity,
                     &job.targets,
                     &mut stream,
                 );
                 let _ = job.reply.send((job.out_idx, chunk));
             }
         }
-    }
-}
-
-impl BuildJob {
-    /// Segment capacity of the chunks being rebuilt (all chunks of a window
-    /// share it).
-    fn source_segment_capacity(&self) -> usize {
-        // SAFETY: WindowSource contract (chunks alive while jobs exist).
-        unsafe { &*self.source.chunks[0] }.segment_capacity()
     }
 }
 
@@ -918,7 +901,7 @@ mod tests {
     }
 
     #[test]
-    fn window_source_merges_chunks_and_batch() {
+    fn merge_window_merges_chunks_and_batch() {
         let mut c1 = ChunkData::new(2, 4);
         for k in [1i64, 3, 5] {
             c1.try_insert(k, k * 10);
@@ -927,14 +910,11 @@ mod tests {
         for k in [7i64, 9] {
             c2.try_insert(k, k * 10);
         }
-        let chunks: Vec<*const ChunkData> = vec![&c1, &c2];
-        let source = WindowSource::new(chunks, vec![(4, 400), (7, 777)]);
-        let merged: Vec<(Key, Value)> = source.iter_from(0).collect();
+        let merged = merge_window(&[&c1, &c2], vec![(4, 400), (7, 777)]);
         assert_eq!(
             merged,
             vec![(1, 10), (3, 30), (4, 400), (5, 50), (7, 777), (9, 90)]
         );
-        let tail: Vec<(Key, Value)> = source.iter_from(4).collect();
-        assert_eq!(tail, vec![(7, 777), (9, 90)]);
+        assert_eq!(merge_window(&[&c1], vec![]).len(), 3);
     }
 }

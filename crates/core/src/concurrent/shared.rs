@@ -62,9 +62,7 @@ impl Shared {
     /// for retirement. Only the rebalancer master calls this (resizes are
     /// serialised through it).
     pub fn publish_instance(&self, new: Box<PmaInstance>) -> Box<PmaInstance> {
-        let old = self
-            .instance
-            .swap(Box::into_raw(new), Ordering::AcqRel);
+        let old = self.instance.swap(Box::into_raw(new), Ordering::AcqRel);
         // SAFETY: `old` was produced by `Box::into_raw` in `new()` or a
         // previous `publish_instance` call and has not been freed: retirement
         // goes through the garbage bin, and this method returns before the

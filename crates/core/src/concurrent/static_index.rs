@@ -115,7 +115,7 @@ impl StaticIndex {
         self.levels[0][gate].store(key, Ordering::Release);
         let mut idx = gate;
         let mut level = 0;
-        while level + 1 < self.levels.len() && idx % self.fanout == 0 {
+        while level + 1 < self.levels.len() && idx.is_multiple_of(self.fanout) {
             idx /= self.fanout;
             level += 1;
             self.levels[level][idx].store(key, Ordering::Release);

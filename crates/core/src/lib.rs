@@ -34,12 +34,14 @@
 
 #![warn(missing_docs)]
 
+pub mod backends;
 pub mod calibrator;
 pub mod concurrent;
 pub mod params;
 pub mod sequential;
 pub mod stats;
 
+pub use backends::register_backends;
 pub use concurrent::ConcurrentPma;
 pub use params::{DensityThresholds, PmaParams, RebalancePolicy, UpdateMode};
 pub use sequential::PackedMemoryArray;

@@ -199,10 +199,7 @@ impl PmaParams {
         if !self.segment_capacity.is_power_of_two() || self.segment_capacity < 4 {
             return Err(PmaError::invalid(
                 "segment_capacity",
-                format!(
-                    "must be a power of two >= 4, got {}",
-                    self.segment_capacity
-                ),
+                format!("must be a power of two >= 4, got {}", self.segment_capacity),
             ));
         }
         if !self.segments_per_gate.is_power_of_two() {

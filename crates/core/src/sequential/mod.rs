@@ -70,7 +70,8 @@ where
     pub fn new(params: PmaParams) -> Result<Self, PmaError> {
         params.validate()?;
         let num_segments = 1usize;
-        let calibrator = CalibratorTree::new(num_segments, params.segment_capacity, params.thresholds);
+        let calibrator =
+            CalibratorTree::new(num_segments, params.segment_capacity, params.thresholds);
         let slots = num_segments * params.segment_capacity;
         Ok(Self {
             predictor: AdaptivePredictor::new(num_segments),
@@ -225,7 +226,8 @@ where
                     }
                     // Shift the tail of the segment one slot to the right.
                     let card = self.cards[s];
-                    self.keys.copy_within(start + pos..start + card, start + pos + 1);
+                    self.keys
+                        .copy_within(start + pos..start + card, start + pos + 1);
                     self.values
                         .copy_within(start + pos..start + card, start + pos + 1);
                     self.keys[start + pos] = key;
@@ -255,7 +257,8 @@ where
         };
         let old = self.values[start + pos];
         let card = self.cards[s];
-        self.keys.copy_within(start + pos + 1..start + card, start + pos);
+        self.keys
+            .copy_within(start + pos + 1..start + card, start + pos);
         self.values
             .copy_within(start + pos + 1..start + card, start + pos);
         self.cards[s] -= 1;
@@ -296,7 +299,9 @@ where
 
     /// Largest stored key/value pair.
     pub fn last(&self) -> Option<(K, V)> {
-        let s = (0..self.num_segments()).rev().find(|&s| self.cards[s] > 0)?;
+        let s = (0..self.num_segments())
+            .rev()
+            .find(|&s| self.cards[s] > 0)?;
         let idx = self.seg_start(s) + self.cards[s] - 1;
         Some((self.keys[idx], self.values[idx]))
     }
@@ -320,9 +325,7 @@ where
     /// rebalancing the smallest in-threshold window or by resizing the array.
     fn make_room(&mut self, s: usize) {
         let cards = &self.cards;
-        let window = self
-            .calibrator
-            .find_window_for_insert(s, 1, |i| cards[i]);
+        let window = self.calibrator.find_window_for_insert(s, 1, |i| cards[i]);
         match window {
             Some(w) if w.level > 1 => self.rebalance_window(&w),
             Some(_) => {
@@ -405,12 +408,8 @@ where
                 } else {
                     self.seg_cap()
                 };
-                self.predictor.targets(
-                    window.start_segment,
-                    window.num_segments,
-                    total,
-                    capacity,
-                )
+                self.predictor
+                    .targets(window.start_segment, window.num_segments, total, capacity)
             }
         }
     }
@@ -491,10 +490,7 @@ where
         assert_eq!(total, self.len, "len does not match sum of cardinalities");
         let mut prev: Option<K> = None;
         for s in 0..self.num_segments() {
-            assert!(
-                self.cards[s] <= self.seg_cap(),
-                "segment {s} over capacity"
-            );
+            assert!(self.cards[s] <= self.seg_cap(), "segment {s} over capacity");
             for &k in self.seg_keys(s) {
                 if let Some(p) = prev {
                     assert!(p < k, "keys are not strictly increasing");

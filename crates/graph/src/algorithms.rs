@@ -19,8 +19,8 @@ pub fn bfs(graph: &DynamicGraph, start: VertexId) -> HashMap<VertexId, u32> {
     while let Some(v) = queue.pop_front() {
         let d = dist[&v];
         graph.for_each_neighbour(v, &mut |dst, _| {
-            if !dist.contains_key(&dst) {
-                dist.insert(dst, d + 1);
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(dst) {
+                e.insert(d + 1);
                 queue.push_back(dst);
             }
         });
@@ -36,8 +36,7 @@ pub fn pagerank(graph: &DynamicGraph, iterations: usize, damping: f64) -> HashMa
     if n == 0 {
         return HashMap::new();
     }
-    let mut rank: HashMap<VertexId, f64> =
-        vertices.iter().map(|&v| (v, 1.0 / n as f64)).collect();
+    let mut rank: HashMap<VertexId, f64> = vertices.iter().map(|&v| (v, 1.0 / n as f64)).collect();
     let out_degree: HashMap<VertexId, usize> =
         vertices.iter().map(|&v| (v, graph.out_degree(v))).collect();
 

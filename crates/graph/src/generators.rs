@@ -106,9 +106,6 @@ mod tests {
     #[test]
     fn preferential_attachment_references_valid_vertices() {
         let g = preferential_attachment(100, 2, 3);
-        assert!(g
-            .edges
-            .iter()
-            .all(|&(s, d)| s < 100 && d < 100 && s != d));
+        assert!(g.edges.iter().all(|&(s, d)| s < 100 && d < 100 && s != d));
     }
 }

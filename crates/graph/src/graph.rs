@@ -266,6 +266,9 @@ mod tests {
                     .unwrap();
             }
         }
+        // The default update mode is asynchronous: settle the combining
+        // queues before validating the adjacency lists.
+        g.flush();
         for src in 0..10u32 {
             let neigh = g.neighbours(src);
             assert_eq!(neigh.len(), 200, "source {src}");

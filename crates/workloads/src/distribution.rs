@@ -125,7 +125,7 @@ mod tests {
     fn zipf_is_skewed_towards_small_keys() {
         let mut g = KeyGenerator::new(Distribution::Zipf { alpha: 1.5 }, 1 << 20, 7);
         let keys = g.take(20_000);
-        assert!(keys.iter().all(|&k| k >= 0 && k < (1 << 20)));
+        assert!(keys.iter().all(|&k| (0..(1 << 20)).contains(&k)));
         let tiny = keys.iter().filter(|&&k| k < 100).count();
         assert!(
             tiny > 10_000,

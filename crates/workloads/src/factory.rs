@@ -1,135 +1,86 @@
-//! Factory for the data structures compared in the paper's evaluation, so the
-//! experiment binaries can build them by name.
+//! Registry-backed construction of the structures compared in the paper's
+//! evaluation.
+//!
+//! The experiment binaries, benches, examples and tests select structures by
+//! *backend spec string* (see [`pma_common::registry`]) — e.g.
+//! `"pma-batch:100"`, `"btree:8k"` — and this module provides:
+//!
+//! * [`ensure_builtin_backends`] — one-time installation of every built-in
+//!   backend (the PMA variants from `pma_core` and the tree baselines from
+//!   `pma_baselines`) into the global [`Registry`];
+//! * [`build`] / [`label`] — convenience wrappers over the global registry;
+//! * the spec sets of the paper's figures ([`figure3_specs`],
+//!   [`figure4_specs`], [`ablation_segment_specs`], [`ablation_leaf_specs`]).
+//!
+//! Adding a brand-new backend does **not** require touching this crate:
+//! register it on [`Registry::global`] at startup and select it by name
+//! (e.g. via the experiment binaries' `--structures` flag).
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::sync::Once;
 
-use pma_baselines::{ArtIndex, BPlusTree, BTreeConfig, BwTreeLike, MasstreeLike};
-use pma_common::ConcurrentMap;
-use pma_core::{ConcurrentPma, PmaParams, RebalancePolicy, UpdateMode};
+use pma_common::{ConcurrentMap, PmaError, Registry};
 
-/// The data structures of Figure 3 plus the variants used by Figure 4 and the
-/// section 4.1 ablations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum StructureKind {
-    /// Masstree-like write-optimised tree.
-    Masstree,
-    /// Bw-Tree-like delta structure.
-    BwTree,
-    /// ART / B+-tree: lock-coupled B+-tree with 4 KiB leaves.
-    ArtBTree,
-    /// The 8 KiB-leaf B+-tree variant (section 4.1 ablation).
-    ArtBTreeLargeLeaves,
-    /// Standalone ART index (coarse-grained readers-writer lock).
-    Art,
-    /// Concurrent PMA, synchronous updates (Figure 4 "Baseline").
-    PmaSynchronous,
-    /// Concurrent PMA, one-by-one asynchronous updates (Figure 4 "1by1").
-    PmaOneByOne,
-    /// Concurrent PMA, batch asynchronous updates with the given `t_delay`
-    /// in milliseconds (Figure 4 "Batch ...ms"). The paper's headline PMA
-    /// configuration is `PmaBatch(100)`.
-    PmaBatch(u64),
-    /// PMA with 256-element segments (section 4.1 ablation).
-    PmaLargeSegments,
+/// Installs the built-in backends into [`Registry::global`] (idempotent).
+pub fn ensure_builtin_backends() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        pma_core::register_backends(Registry::global());
+        pma_baselines::register_backends(Registry::global());
+    });
 }
 
-impl StructureKind {
-    /// The four structures of Figure 3.
-    pub fn figure3_set() -> Vec<StructureKind> {
-        vec![
-            StructureKind::Masstree,
-            StructureKind::BwTree,
-            StructureKind::ArtBTree,
-            StructureKind::PmaBatch(100),
-        ]
-    }
-
-    /// The PMA variants of Figure 4.
-    pub fn figure4_set() -> Vec<StructureKind> {
-        vec![
-            StructureKind::PmaSynchronous,
-            StructureKind::PmaOneByOne,
-            StructureKind::PmaBatch(0),
-            StructureKind::PmaBatch(100),
-            StructureKind::PmaBatch(200),
-            StructureKind::PmaBatch(400),
-            StructureKind::PmaBatch(800),
-        ]
-    }
-
-    /// Display label matching the paper's figures.
-    pub fn label(&self) -> String {
-        match self {
-            StructureKind::Masstree => "MassTree".to_string(),
-            StructureKind::BwTree => "BwTree".to_string(),
-            StructureKind::ArtBTree => "ART/B+tree".to_string(),
-            StructureKind::ArtBTreeLargeLeaves => "ART/B+tree 8KB".to_string(),
-            StructureKind::Art => "ART".to_string(),
-            StructureKind::PmaSynchronous => "PMA Baseline".to_string(),
-            StructureKind::PmaOneByOne => "PMA 1by1".to_string(),
-            StructureKind::PmaBatch(ms) => format!("PMA Batch {ms}ms"),
-            StructureKind::PmaLargeSegments => "PMA seg=256".to_string(),
-        }
-    }
-
-    /// Builds a fresh instance of the structure.
-    pub fn build(&self) -> Arc<dyn ConcurrentMap> {
-        match self {
-            StructureKind::Masstree => Arc::new(MasstreeLike::new()),
-            StructureKind::BwTree => Arc::new(BwTreeLike::new()),
-            StructureKind::ArtBTree => Arc::new(BPlusTree::with_defaults()),
-            StructureKind::ArtBTreeLargeLeaves => Arc::new(BPlusTree::with_name(
-                BTreeConfig::large_leaves(),
-                "B+tree 8KB",
-            )),
-            StructureKind::Art => Arc::new(ArtIndex::new()),
-            StructureKind::PmaSynchronous => Arc::new(
-                ConcurrentPma::new(pma_params(UpdateMode::Synchronous, 128))
-                    .expect("valid parameters"),
-            ),
-            StructureKind::PmaOneByOne => {
-                let mut params = pma_params(UpdateMode::OneByOne, 128);
-                params.rebalance_policy = RebalancePolicy::Adaptive;
-                Arc::new(ConcurrentPma::new(params).expect("valid parameters"))
-            }
-            StructureKind::PmaBatch(ms) => Arc::new(
-                ConcurrentPma::new(pma_params(
-                    UpdateMode::Batch {
-                        t_delay: Duration::from_millis(*ms),
-                    },
-                    128,
-                ))
-                .expect("valid parameters"),
-            ),
-            StructureKind::PmaLargeSegments => Arc::new(
-                ConcurrentPma::new(pma_params(
-                    UpdateMode::Batch {
-                        t_delay: Duration::from_millis(100),
-                    },
-                    256,
-                ))
-                .expect("valid parameters"),
-            ),
-        }
-    }
+/// Builds the structure selected by `spec` via the global registry.
+pub fn build(spec: &str) -> Result<Arc<dyn ConcurrentMap>, PmaError> {
+    ensure_builtin_backends();
+    Registry::global().build(spec)
 }
 
-/// The paper's PMA configuration with a configurable segment capacity and
-/// update mode, sized for laptop-scale runs (the worker count adapts to the
-/// available cores instead of being fixed at 8).
-fn pma_params(update_mode: UpdateMode, segment_capacity: usize) -> PmaParams {
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get().min(8))
-        .unwrap_or(4)
-        .max(1);
-    PmaParams {
-        segment_capacity,
-        segments_per_gate: 8,
-        rebalancer_workers: workers,
-        update_mode,
-        ..PmaParams::default()
-    }
+/// Builds the structure selected by `spec`, panicking with the registry's
+/// descriptive error on failure (for binaries and tests).
+pub fn build_or_panic(spec: &str) -> Arc<dyn ConcurrentMap> {
+    build(spec).unwrap_or_else(|e| panic!("cannot build `{spec}`: {e}"))
+}
+
+/// Display label for `spec`, matching the paper's figures; falls back to the
+/// spec itself for unknown backends.
+pub fn label(spec: &str) -> String {
+    ensure_builtin_backends();
+    Registry::global()
+        .label(spec)
+        .unwrap_or_else(|_| spec.to_string())
+}
+
+/// The four structures of Figure 3.
+pub fn figure3_specs() -> Vec<String> {
+    ["masstree", "bwtree", "btree", "pma-batch:100"]
+        .map(String::from)
+        .to_vec()
+}
+
+/// The PMA variants of Figure 4.
+pub fn figure4_specs() -> Vec<String> {
+    [
+        "pma-sync",
+        "pma-1by1",
+        "pma-batch:0",
+        "pma-batch:100",
+        "pma-batch:200",
+        "pma-batch:400",
+        "pma-batch:800",
+    ]
+    .map(String::from)
+    .to_vec()
+}
+
+/// The section 4.1 segment-size ablation (128 vs 256 elements per segment).
+pub fn ablation_segment_specs() -> Vec<String> {
+    ["pma-batch:100", "pma-seg:256"].map(String::from).to_vec()
+}
+
+/// The section 4.1 B+-tree leaf-size ablation (4 KiB vs 8 KiB leaves).
+pub fn ablation_leaf_specs() -> Vec<String> {
+    ["btree:4k", "btree:8k"].map(String::from).to_vec()
 }
 
 #[cfg(test)]
@@ -138,40 +89,47 @@ mod tests {
 
     #[test]
     fn figure_sets_have_expected_sizes() {
-        assert_eq!(StructureKind::figure3_set().len(), 4);
-        assert_eq!(StructureKind::figure4_set().len(), 7);
+        assert_eq!(figure3_specs().len(), 4);
+        assert_eq!(figure4_specs().len(), 7);
+        assert_eq!(ablation_segment_specs().len(), 2);
+        assert_eq!(ablation_leaf_specs().len(), 2);
     }
 
     #[test]
-    fn every_kind_builds_and_works() {
-        let kinds = [
-            StructureKind::Masstree,
-            StructureKind::BwTree,
-            StructureKind::ArtBTree,
-            StructureKind::ArtBTreeLargeLeaves,
-            StructureKind::Art,
-            StructureKind::PmaSynchronous,
-            StructureKind::PmaOneByOne,
-            StructureKind::PmaBatch(10),
-            StructureKind::PmaLargeSegments,
-        ];
-        for kind in kinds {
-            let map = kind.build();
+    fn every_registered_backend_builds_and_works() {
+        ensure_builtin_backends();
+        for name in Registry::global().names() {
+            let map = build_or_panic(&name);
             for k in 0..500i64 {
                 map.insert(k, k);
             }
             map.flush();
-            assert_eq!(map.len(), 500, "{}", kind.label());
-            assert_eq!(map.get(123), Some(123), "{}", kind.label());
-            assert_eq!(map.scan_all().count, 500, "{}", kind.label());
-            assert!(!kind.label().is_empty());
+            assert_eq!(map.len(), 500, "{name}");
+            assert_eq!(map.get(123), Some(123), "{name}");
+            assert_eq!(map.scan_all().count, 500, "{name}");
+            assert!(!label(&name).is_empty());
         }
     }
 
     #[test]
     fn labels_match_paper_names() {
-        assert_eq!(StructureKind::Masstree.label(), "MassTree");
-        assert_eq!(StructureKind::PmaBatch(100).label(), "PMA Batch 100ms");
-        assert_eq!(StructureKind::PmaLargeSegments.label(), "PMA seg=256");
+        assert_eq!(label("masstree"), "MassTree");
+        assert_eq!(label("pma-batch:100"), "PMA Batch 100ms");
+        assert_eq!(label("pma-seg:256"), "PMA seg=256");
+        assert_eq!(label("btree:8k"), "ART/B+tree 8KB");
+        // Unknown specs fall back to themselves so tables stay renderable.
+        assert_eq!(label("not-a-backend:3"), "not-a-backend:3");
+    }
+
+    #[test]
+    fn figure_specs_resolve_through_the_registry() {
+        for spec in figure3_specs()
+            .into_iter()
+            .chain(figure4_specs())
+            .chain(ablation_segment_specs())
+            .chain(ablation_leaf_specs())
+        {
+            assert!(build(&spec).is_ok(), "{spec}");
+        }
     }
 }

@@ -147,12 +147,16 @@ mod tests {
 
     #[test]
     fn speedup_table_is_relative_to_baseline() {
-        let mut fast = Measurement::default();
-        fast.update_ops = 200;
-        fast.update_seconds = 1.0;
-        let mut slow = Measurement::default();
-        slow.update_ops = 100;
-        slow.update_seconds = 1.0;
+        let fast = Measurement {
+            update_ops: 200,
+            update_seconds: 1.0,
+            ..Measurement::default()
+        };
+        let slow = Measurement {
+            update_ops: 100,
+            update_seconds: 1.0,
+            ..Measurement::default()
+        };
         let rows = vec![
             ResultRow {
                 structure: "Baseline".to_string(),

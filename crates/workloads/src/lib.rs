@@ -6,7 +6,8 @@
 //! * [`drivers`] — the measured insert-only and mixed-update phases with
 //!   concurrent scanner threads.
 //! * [`harness`] — median-of-repeats measurement and paper-style tables.
-//! * [`factory`] — builds every structure of the evaluation by name.
+//! * [`factory`] — registry-backed construction of every structure of the
+//!   evaluation by spec string (see [`pma_common::registry`]).
 
 #![warn(missing_docs)]
 
@@ -18,6 +19,9 @@ pub mod spec;
 
 pub use distribution::{Distribution, KeyGenerator, DEFAULT_KEY_RANGE};
 pub use drivers::{preload, run_insert_only, run_mixed_updates, run_workload, Measurement};
-pub use factory::StructureKind;
+pub use factory::{
+    ablation_leaf_specs, ablation_segment_specs, build, build_or_panic, ensure_builtin_backends,
+    figure3_specs, figure4_specs, label,
+};
 pub use harness::{measure_median, render_speedup_table, render_table, ResultRow};
 pub use spec::{ThreadSplit, UpdatePattern, WorkloadSpec};

@@ -102,7 +102,8 @@ impl WorkloadSpec {
     /// Number of operations per updater thread (rounded up so every element
     /// is covered).
     pub fn ops_per_update_thread(&self) -> usize {
-        self.total_elements.div_ceil(self.threads.update_threads.max(1))
+        self.total_elements
+            .div_ceil(self.threads.update_threads.max(1))
     }
 
     /// Short human-readable description.

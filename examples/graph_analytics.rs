@@ -9,7 +9,9 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
-use rma_concurrent::graph::{bfs, directed_triangles, pagerank, preferential_attachment, DynamicGraph};
+use rma_concurrent::graph::{
+    bfs, directed_triangles, pagerank, preferential_attachment, DynamicGraph,
+};
 
 fn main() {
     let num_vertices = 20_000u32;
@@ -18,13 +20,25 @@ fn main() {
     let stream = preferential_attachment(num_vertices, edges_per_vertex, 42);
     println!("  {} edges generated", stream.edges.len());
 
+    // `add_edge` upserts, so the ingestion target is the number of *distinct*
+    // edges in the stream (scale-free streams repeat hub edges frequently).
+    let distinct_edges = stream
+        .edges
+        .iter()
+        .copied()
+        .collect::<std::collections::BTreeSet<_>>()
+        .len();
+
     let graph = DynamicGraph::new();
     let stop = AtomicBool::new(false);
     let start = Instant::now();
 
     std::thread::scope(|scope| {
         // Four writer threads ingest the edge stream concurrently.
-        let chunks: Vec<&[(u32, u32)]> = stream.edges.chunks(stream.edges.len().div_ceil(4)).collect();
+        let chunks: Vec<&[(u32, u32)]> = stream
+            .edges
+            .chunks(stream.edges.len().div_ceil(4))
+            .collect();
         for chunk in chunks {
             let graph = &graph;
             scope.spawn(move || {
@@ -50,8 +64,9 @@ fn main() {
         });
         // Wait for the writers (they are the first 4 spawned threads); the
         // scope joins everything, so just signal the analytics thread once
-        // the writers are done by watching the edge count.
-        while graph.num_edges() < stream.edges.len() - 100 {
+        // the writers are done by watching the distinct-edge count.
+        while graph.num_edges() < distinct_edges {
+            graph.flush();
             std::thread::sleep(std::time::Duration::from_millis(10));
         }
         stop.store(true, Ordering::Relaxed);

@@ -7,8 +7,8 @@
 //! ```
 
 use rma_concurrent::workloads::{
-    measure_median, render_speedup_table, Distribution, ResultRow, StructureKind, ThreadSplit,
-    UpdatePattern, WorkloadSpec,
+    build_or_panic, label, measure_median, render_speedup_table, Distribution, ResultRow,
+    ThreadSplit, UpdatePattern, WorkloadSpec,
 };
 
 fn main() {
@@ -28,12 +28,9 @@ fn main() {
         ..WorkloadSpec::default()
     };
 
-    let kinds = [
-        StructureKind::PmaSynchronous,
-        StructureKind::PmaOneByOne,
-        StructureKind::PmaBatch(100),
-        StructureKind::ArtBTree,
-    ];
+    // Structures are selected by registry spec string: swap any of these for
+    // another registered backend (see `Registry::global().entries()`).
+    let structures = ["pma-sync", "pma-1by1", "pma-batch:100", "btree"];
 
     let mut rows = Vec::new();
     for distribution in [
@@ -41,18 +38,18 @@ fn main() {
         Distribution::Zipf { alpha: 1.0 },
         Distribution::Zipf { alpha: 2.0 },
     ] {
-        for kind in kinds {
+        for structure in structures {
             let spec = spec_for(distribution);
-            let measurement = measure_median(|| kind.build(), &spec, 1);
+            let measurement = measure_median(|| build_or_panic(structure), &spec, 1);
             println!(
                 "{:<16} {:<12} {:>8.2} M updates/s, {:>7} elements stored",
-                kind.label(),
+                label(structure),
                 distribution.label(),
                 measurement.update_throughput() / 1.0e6,
                 measurement.final_len
             );
             rows.push(ResultRow {
-                structure: kind.label(),
+                structure: label(structure),
                 workload: distribution.label(),
                 measurement,
             });
@@ -60,10 +57,6 @@ fn main() {
     }
     println!(
         "{}",
-        render_speedup_table(
-            "Asynchronous PMA updates under skew",
-            &rows,
-            "PMA Baseline"
-        )
+        render_speedup_table("Asynchronous PMA updates under skew", &rows, "PMA Baseline")
     );
 }

@@ -6,8 +6,8 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use rma_concurrent::graph::{bfs, pagerank, preferential_attachment, uniform_random, DynamicGraph};
 use rma_concurrent::workloads::{
-    measure_median, render_speedup_table, render_table, Distribution, ResultRow, StructureKind,
-    ThreadSplit, UpdatePattern, WorkloadSpec,
+    build_or_panic, label, measure_median, render_speedup_table, render_table, Distribution,
+    ResultRow, ThreadSplit, UpdatePattern, WorkloadSpec,
 };
 
 #[test]
@@ -83,17 +83,13 @@ fn experiment_pipeline_end_to_end_smoke() {
         ..WorkloadSpec::default()
     };
     let mut rows = Vec::new();
-    for kind in [
-        StructureKind::ArtBTree,
-        StructureKind::PmaSynchronous,
-        StructureKind::PmaBatch(10),
-    ] {
-        let measurement = measure_median(|| kind.build(), &spec, 1);
-        assert_eq!(measurement.update_ops, 30_000, "{}", kind.label());
-        assert!(measurement.update_throughput() > 0.0, "{}", kind.label());
-        assert!(measurement.final_len > 0, "{}", kind.label());
+    for structure in ["btree", "pma-sync", "pma-batch:10"] {
+        let measurement = measure_median(|| build_or_panic(structure), &spec, 1);
+        assert_eq!(measurement.update_ops, 30_000, "{structure}");
+        assert!(measurement.update_throughput() > 0.0, "{structure}");
+        assert!(measurement.final_len > 0, "{structure}");
         rows.push(ResultRow {
-            structure: kind.label(),
+            structure: label(structure),
             workload: spec.distribution.label(),
             measurement,
         });
@@ -102,7 +98,10 @@ fn experiment_pipeline_end_to_end_smoke() {
     assert!(table.contains("ART/B+tree"));
     assert!(table.contains("PMA Batch 10ms"));
     let speedup = render_speedup_table("integration smoke", &rows, "PMA Baseline");
-    assert!(speedup.contains("1.00x"), "baseline row must be 1.00x:\n{speedup}");
+    assert!(
+        speedup.contains("1.00x"),
+        "baseline row must be 1.00x:\n{speedup}"
+    );
 }
 
 #[test]
@@ -120,7 +119,7 @@ fn mixed_update_workload_on_the_pma_preserves_contents() {
         pattern: UpdatePattern::MixedUpdates,
         ..WorkloadSpec::default()
     };
-    let map = StructureKind::PmaBatch(5).build();
+    let map = build_or_panic("pma-batch:5");
     let m = rma_concurrent::workloads::run_workload(&*map, &spec);
     assert!(m.update_ops > 0);
     // Whatever ended up stored must be observable by both lookups and scans.

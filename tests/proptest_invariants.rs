@@ -7,7 +7,6 @@ use std::collections::BTreeMap;
 
 use proptest::prelude::*;
 
-use rma_concurrent::common::ConcurrentMap;
 use rma_concurrent::core::calibrator::CalibratorTree;
 use rma_concurrent::core::{
     ConcurrentPma, DensityThresholds, PackedMemoryArray, PmaParams, RebalancePolicy, UpdateMode,
@@ -145,6 +144,39 @@ proptest! {
             prop_assert!(window.contains(pivot));
             prop_assert_eq!(window.num_segments, 1usize << (level - 1));
             prop_assert_eq!(window.start_segment % window.num_segments, 0);
+        }
+    }
+
+    /// `insert_batch` is equivalent to issuing the same insertions one by
+    /// one: after a flush, the final contents (length and `scan_all`
+    /// checksums) match, in every update mode. Duplicate keys inside the
+    /// batch must resolve to the last occurrence, matching sequential upsert
+    /// order.
+    #[test]
+    fn insert_batch_equivalent_to_single_inserts(
+        items in proptest::collection::vec((any::<i16>(), any::<i64>()), 1..600),
+    ) {
+        for mode in [
+            UpdateMode::Synchronous,
+            UpdateMode::OneByOne,
+            UpdateMode::Batch { t_delay: std::time::Duration::from_millis(1) },
+        ] {
+            let params = PmaParams { update_mode: mode, ..PmaParams::small() };
+            let batched = ConcurrentPma::new(params.clone()).unwrap();
+            let single = ConcurrentPma::new(params).unwrap();
+            let items: Vec<(i64, i64)> = items.iter().map(|&(k, v)| (k as i64, v)).collect();
+            batched.insert_batch(&items);
+            for &(k, v) in &items {
+                single.insert(k, v);
+            }
+            batched.flush();
+            single.flush();
+            prop_assert_eq!(batched.len(), single.len());
+            prop_assert_eq!(batched.scan_all(), single.scan_all());
+            prop_assert_eq!(
+                batched.scan_range(-100, 100),
+                single.scan_range(-100, 100)
+            );
         }
     }
 

@@ -1,34 +1,37 @@
-//! Cross-crate integration test: every data structure of the evaluation
-//! (concurrent PMA in all update modes, B+-tree, ART, Masstree-like,
-//! Bw-Tree-like) must agree with a `BTreeMap` model on the same operation
-//! sequence.
+//! Cross-crate integration test: **every backend in the registry** (the
+//! concurrent PMA in all update modes, B+-tree, ART, Masstree-like,
+//! Bw-Tree-like, plus anything registered later) must agree with a `BTreeMap`
+//! model on the same operation sequence — point operations, full scans, and
+//! ranged scans (`range` and `scan_range`) over random intervals.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use rma_concurrent::common::ConcurrentMap;
-use rma_concurrent::workloads::StructureKind;
+use rma_concurrent::common::{ConcurrentMap, Registry};
+use rma_concurrent::workloads::ensure_builtin_backends;
 
-fn all_kinds() -> Vec<StructureKind> {
-    vec![
-        StructureKind::Masstree,
-        StructureKind::BwTree,
-        StructureKind::ArtBTree,
-        StructureKind::ArtBTreeLargeLeaves,
-        StructureKind::Art,
-        StructureKind::PmaSynchronous,
-        StructureKind::PmaOneByOne,
-        StructureKind::PmaBatch(1),
-        StructureKind::PmaLargeSegments,
-    ]
+/// Every backend name in the registry, instantiated with its default
+/// argument, plus the paper-relevant parameterisations.
+fn all_specs() -> Vec<String> {
+    ensure_builtin_backends();
+    let mut specs = Registry::global().names();
+    for extra in ["pma-batch:1", "pma-seg:128", "btree:8k"] {
+        specs.push(extra.to_string());
+    }
+    specs
+}
+
+fn build(spec: &str) -> Arc<dyn ConcurrentMap> {
+    rma_concurrent::workloads::build(spec).unwrap_or_else(|e| panic!("cannot build `{spec}`: {e}"))
 }
 
 /// Applies a mixed random operation sequence to the structure and the model,
 /// then compares the full contents.
-fn run_model_check(kind: StructureKind, seed: u64, ops: usize) {
-    let map = kind.build();
+fn run_model_check(spec: &str, seed: u64, ops: usize) {
+    let map = build(spec);
     let mut model: BTreeMap<i64, i64> = BTreeMap::new();
     let mut rng = SmallRng::seed_from_u64(seed);
 
@@ -45,61 +48,143 @@ fn run_model_check(kind: StructureKind, seed: u64, ops: usize) {
     }
     map.flush();
 
-    assert_eq!(map.len(), model.len(), "{}: length mismatch", kind.label());
+    assert_eq!(map.len(), model.len(), "{spec}: length mismatch");
     // Point lookups agree.
     for key in 0..2_000i64 {
         assert_eq!(
             map.get(key),
             model.get(&key).copied(),
-            "{}: lookup mismatch for key {key}",
-            kind.label()
+            "{spec}: lookup mismatch for key {key}"
         );
     }
     // Ordered scan agrees (count and checksums).
     let stats = map.scan_all();
-    assert_eq!(stats.count as usize, model.len(), "{}", kind.label());
+    assert_eq!(stats.count as usize, model.len(), "{spec}");
     let expected_key_sum: i128 = model.keys().map(|&k| k as i128).sum();
     let expected_value_sum: i128 = model.values().map(|&v| v as i128).sum();
-    assert_eq!(stats.key_sum, expected_key_sum, "{}", kind.label());
-    assert_eq!(stats.value_sum, expected_value_sum, "{}", kind.label());
+    assert_eq!(stats.key_sum, expected_key_sum, "{spec}");
+    assert_eq!(stats.value_sum, expected_value_sum, "{spec}");
     // Range scans agree on an arbitrary sub-range.
     let mut got = Vec::new();
     map.range(250, 1_750, &mut |k, v| got.push((k, v)));
-    let expected: Vec<(i64, i64)> = model
-        .range(250..=1_750)
-        .map(|(&k, &v)| (k, v))
-        .collect();
-    assert_eq!(got, expected, "{}: range mismatch", kind.label());
-}
-
-#[test]
-fn every_structure_matches_the_model_on_random_operations() {
-    for kind in all_kinds() {
-        run_model_check(kind, 0xDEADBEEF, 10_000);
+    let expected: Vec<(i64, i64)> = model.range(250..=1_750).map(|(&k, &v)| (k, v)).collect();
+    assert_eq!(got, expected, "{spec}: range mismatch");
+    // `scan_range` agrees with BTreeMap reference semantics on random
+    // (including empty and out-of-domain) intervals.
+    for _ in 0..40 {
+        let a = rng.gen_range(-100..2_200i64);
+        let b = rng.gen_range(-100..2_200i64);
+        let (lo, hi) = (a.min(b), a.max(b));
+        let stats = map.scan_range(lo, hi);
+        let mut count = 0u64;
+        let mut key_sum = 0i128;
+        let mut value_sum = 0i128;
+        for (&k, &v) in model.range(lo..=hi) {
+            count += 1;
+            key_sum += k as i128;
+            value_sum += v as i128;
+        }
+        assert_eq!(stats.count, count, "{spec}: scan_range [{lo}, {hi}] count");
+        assert_eq!(
+            stats.key_sum, key_sum,
+            "{spec}: scan_range [{lo}, {hi}] keys"
+        );
+        assert_eq!(
+            stats.value_sum, value_sum,
+            "{spec}: scan_range [{lo}, {hi}] values"
+        );
+        // Inverted ranges are empty.
+        if lo < hi {
+            assert_eq!(map.scan_range(hi, lo).count, 0, "{spec}: inverted range");
+        }
     }
 }
 
 #[test]
-fn every_structure_matches_the_model_on_a_second_seed() {
-    for kind in all_kinds() {
-        run_model_check(kind, 42, 6_000);
+fn every_registry_backend_matches_the_model_on_random_operations() {
+    for spec in all_specs() {
+        run_model_check(&spec, 0xDEADBEEF, 10_000);
+    }
+}
+
+#[test]
+fn every_registry_backend_matches_the_model_on_a_second_seed() {
+    for spec in all_specs() {
+        run_model_check(&spec, 42, 6_000);
     }
 }
 
 #[test]
 fn structures_handle_bulk_build_then_drain() {
-    for kind in all_kinds() {
-        let map = kind.build();
-        for k in 0..5_000i64 {
+    for spec in all_specs() {
+        let map = build(&spec);
+        // Exercise the batch-insertion path for half the load, then the
+        // point path for the rest.
+        let batch: Vec<(i64, i64)> = (0..2_500i64).map(|k| (k, -k)).collect();
+        map.insert_batch(&batch);
+        for k in 2_500..5_000i64 {
             map.insert(k, -k);
         }
         map.flush();
-        assert_eq!(map.len(), 5_000, "{}", kind.label());
+        assert_eq!(map.len(), 5_000, "{spec}");
+        assert_eq!(map.scan_range(0, 4_999).count, 5_000, "{spec}");
         for k in 0..5_000i64 {
             map.remove(k);
         }
         map.flush();
-        assert_eq!(map.len(), 0, "{}", kind.label());
-        assert_eq!(map.scan_all().count, 0, "{}", kind.label());
+        assert_eq!(map.len(), 0, "{spec}");
+        assert_eq!(map.scan_all().count, 0, "{spec}");
     }
+}
+
+#[test]
+fn a_backend_registered_at_runtime_is_selectable_by_string() {
+    // Simulates a downstream crate adding a structure without touching
+    // pma_workloads: register on the global registry, then build by name.
+    use pma_common::registry::BackendDef;
+    use pma_common::ScanStats;
+
+    #[derive(Default)]
+    struct VecMap(std::sync::Mutex<BTreeMap<i64, i64>>);
+    impl ConcurrentMap for VecMap {
+        fn insert(&self, key: i64, value: i64) {
+            self.0.lock().unwrap().insert(key, value);
+        }
+        fn remove(&self, key: i64) -> Option<i64> {
+            self.0.lock().unwrap().remove(&key)
+        }
+        fn get(&self, key: i64) -> Option<i64> {
+            self.0.lock().unwrap().get(&key).copied()
+        }
+        fn len(&self) -> usize {
+            self.0.lock().unwrap().len()
+        }
+        fn scan_all(&self) -> ScanStats {
+            self.scan_range(i64::MIN, i64::MAX)
+        }
+        fn range(&self, lo: i64, hi: i64, visitor: &mut dyn FnMut(i64, i64)) {
+            if lo > hi {
+                return;
+            }
+            for (&k, &v) in self.0.lock().unwrap().range(lo..=hi) {
+                visitor(k, v);
+            }
+        }
+        fn name(&self) -> &'static str {
+            "locked-btreemap"
+        }
+    }
+
+    ensure_builtin_backends();
+    Registry::global().register(BackendDef {
+        name: "locked-btreemap",
+        description: "std BTreeMap behind a mutex (test-registered)",
+        label: |_| "LockedBTreeMap".to_string(),
+        build: |_| Ok(Arc::new(VecMap::default())),
+    });
+    run_model_check("locked-btreemap", 7, 4_000);
+    assert_eq!(
+        rma_concurrent::workloads::label("locked-btreemap"),
+        "LockedBTreeMap"
+    );
 }
