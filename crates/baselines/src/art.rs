@@ -530,6 +530,36 @@ impl ArtTree {
             root.for_each(f);
         }
     }
+
+    /// Builds the subtree over `items` (strictly increasing keys that all
+    /// share their first `depth` encoded bytes) in one recursive pass.
+    ///
+    /// Because the keys are sorted and the encoding is order-preserving, the
+    /// children at `depth` are contiguous runs of the slice: each run becomes
+    /// one child, and the node starts as a `Node4` and grows to exactly the
+    /// adaptive node type its fanout needs — the same shapes point insertion
+    /// produces, without any per-key descent.
+    fn build_rec(items: &[(Key, Value)], depth: usize) -> Box<ArtNode> {
+        debug_assert!(!items.is_empty());
+        if items.len() == 1 {
+            let (key, value) = items[0];
+            return Box::new(ArtNode::Leaf { key, value });
+        }
+        debug_assert!(depth < KEY_LEN, "distinct keys diverge within 8 bytes");
+        let mut node = ArtNode::new_node4();
+        let mut start = 0usize;
+        while start < items.len() {
+            let byte = key_bytes(items[start].0)[depth];
+            let run = items[start..].partition_point(|&(k, _)| key_bytes(k)[depth] == byte);
+            let child = Self::build_rec(&items[start..start + run], depth + 1);
+            if node.is_full() {
+                node.grow();
+            }
+            node.add_child(byte, child);
+            start += run;
+        }
+        Box::new(node)
+    }
 }
 
 /// A concurrent ART index: the radix tree guarded by a readers-writer lock.
@@ -554,6 +584,28 @@ impl ArtIndex {
     /// Creates an empty index.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Builds an index pre-populated with `items`, which must be sorted by
+    /// key in non-decreasing order (the last entry wins on duplicate keys).
+    ///
+    /// The radix tree is constructed recursively from the sorted run —
+    /// children of a node are contiguous sub-runs sharing a key byte — so the
+    /// load is a single O(N) pass instead of N root-to-leaf descents.
+    pub fn from_sorted(items: &[(Key, Value)]) -> Result<Self, pma_common::PmaError> {
+        pma_common::check_sorted(items)?;
+        let items = pma_common::dedup_sorted_last_wins(items);
+        let tree = ArtTree {
+            root: if items.is_empty() {
+                None
+            } else {
+                Some(ArtTree::build_rec(&items, 0))
+            },
+            len: items.len(),
+        };
+        Ok(Self {
+            tree: RwLock::new(tree),
+        })
     }
 }
 
@@ -591,6 +643,13 @@ impl ConcurrentMap for ArtIndex {
         });
     }
 
+    fn from_sorted(items: &[(Key, Value)]) -> Result<Self, pma_common::PmaError>
+    where
+        Self: Sized + Default,
+    {
+        ArtIndex::from_sorted(items)
+    }
+
     fn name(&self) -> &'static str {
         "ART"
     }
@@ -600,6 +659,35 @@ impl ConcurrentMap for ArtIndex {
 mod tests {
     use super::*;
     use std::sync::Arc;
+
+    #[test]
+    fn bulk_load_builds_adaptive_nodes_and_matches_point_inserts() {
+        // Keys engineered to exercise every node fanout class at the deepest
+        // byte: 0..N spans runs of 4, 16, 48 and 256 children.
+        let items: Vec<(i64, i64)> = (0..4_000i64).map(|k| (k * 3 - 1_000, k)).collect();
+        let bulk = ArtIndex::from_sorted(&items).unwrap();
+        let pointwise = ArtIndex::new();
+        for &(k, v) in &items {
+            pointwise.insert(k, v);
+        }
+        assert_eq!(bulk.len(), pointwise.len());
+        assert_eq!(bulk.scan_all(), pointwise.scan_all());
+        for k in (0..4_000i64).step_by(37) {
+            assert_eq!(bulk.get(k * 3 - 1_000), Some(k));
+            assert_eq!(bulk.get(k * 3 - 999), None);
+        }
+        // The loaded tree accepts updates through the ordinary path.
+        bulk.insert(i64::MIN + 1, 7);
+        assert_eq!(bulk.get(i64::MIN + 1), Some(7));
+        assert_eq!(bulk.remove(-1_000), Some(0));
+        assert_eq!(bulk.len(), 4_000);
+        // Edge cases.
+        let empty = ArtIndex::from_sorted(&[]).unwrap();
+        assert_eq!(empty.len(), 0);
+        let dup = ArtIndex::from_sorted(&[(9, 1), (9, 2)]).unwrap();
+        assert_eq!(dup.get(9), Some(2));
+        assert!(ArtIndex::from_sorted(&[(2, 0), (1, 0)]).is_err());
+    }
 
     #[test]
     fn key_encoding_preserves_order() {

@@ -30,37 +30,52 @@ fn leaf_variant(spec: &BackendSpec<'_>) -> Result<bool, PmaError> {
     }
 }
 
-fn build_btree(spec: &BackendSpec<'_>) -> Result<Arc<dyn ConcurrentMap>, PmaError> {
+/// `(config, display name)` for a `btree[:4k|8k]` spec, shared by the plain
+/// and the bulk-loading builder.
+fn btree_variant(spec: &BackendSpec<'_>) -> Result<(BTreeConfig, &'static str), PmaError> {
     Ok(if leaf_variant(spec)? {
-        Arc::new(BPlusTree::with_name(
-            BTreeConfig::large_leaves(),
-            "B+tree 8KB",
-        ))
+        (BTreeConfig::large_leaves(), "B+tree 8KB")
     } else {
-        Arc::new(BPlusTree::with_defaults())
+        (BTreeConfig::default(), "B+tree")
     })
 }
 
+fn build_btree(spec: &BackendSpec<'_>) -> Result<Arc<dyn ConcurrentMap>, PmaError> {
+    let (config, name) = btree_variant(spec)?;
+    Ok(Arc::new(BPlusTree::with_name(config, name)))
+}
+
 /// Registers every tree baseline: `masstree`, `bwtree`, `art` and
-/// `btree[:4k|8k]`.
+/// `btree[:4k|8k]`. Every entry registers its native bulk loader, so
+/// `Registry::build_loaded` comparisons against the PMA's `from_sorted` stay
+/// apples-to-apples (each structure loads through its own bottom-up
+/// construction, not through point inserts).
 pub fn register_backends(registry: &Registry) {
     registry.register(BackendDef {
         name: "masstree",
         description: "Masstree-like write-optimised tree",
         label: |_| "MassTree".to_string(),
         build: |_| Ok(Arc::new(MasstreeLike::new())),
+        build_loaded: Some(|_, items| Ok(Arc::new(MasstreeLike::from_sorted(items)?))),
     });
     registry.register(BackendDef {
         name: "bwtree",
         description: "Bw-Tree-like delta structure",
         label: |_| "BwTree".to_string(),
         build: |_| Ok(Arc::new(BwTreeLike::new())),
+        build_loaded: Some(|_, items| {
+            Ok(Arc::new(BwTreeLike::from_sorted(
+                crate::bwtree::BwTreeConfig::default(),
+                items,
+            )?))
+        }),
     });
     registry.register(BackendDef {
         name: "art",
         description: "standalone Adaptive Radix Tree (coarse readers-writer lock)",
         label: |_| "ART".to_string(),
         build: |_| Ok(Arc::new(ArtIndex::new())),
+        build_loaded: Some(|_, items| Ok(Arc::new(ArtIndex::from_sorted(items)?))),
     });
     registry.register(BackendDef {
         name: "btree",
@@ -71,6 +86,10 @@ pub fn register_backends(registry: &Registry) {
             _ => "ART/B+tree".to_string(),
         },
         build: build_btree,
+        build_loaded: Some(|spec, items| {
+            let (config, name) = btree_variant(spec)?;
+            Ok(Arc::new(BPlusTree::from_sorted(config, name, items)?))
+        }),
     });
 }
 
@@ -90,6 +109,22 @@ mod tests {
             assert_eq!(map.len(), 300, "{spec}");
             assert_eq!(map.get(123), Some(-123), "{spec}");
             assert_eq!(map.scan_range(0, 99).count, 100, "{spec}");
+        }
+    }
+
+    #[test]
+    fn every_baseline_bulk_loads_natively() {
+        let registry = Registry::new();
+        register_backends(&registry);
+        let items: Vec<(i64, i64)> = (0..2_000i64).map(|k| (k * 2, -k)).collect();
+        for spec in ["masstree", "bwtree", "art", "btree", "btree:8k"] {
+            let map = registry.build_loaded(spec, &items).unwrap();
+            assert_eq!(map.len(), 2_000, "{spec}");
+            assert_eq!(map.get(100), Some(-50), "{spec}");
+            assert_eq!(map.scan_range(0, 199).count, 100, "{spec}");
+            // The loaded structure accepts ordinary updates.
+            map.insert(1, 1);
+            assert_eq!(map.get(1), Some(1), "{spec}");
         }
     }
 

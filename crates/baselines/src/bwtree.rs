@@ -19,7 +19,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use parking_lot::RwLock;
-use pma_common::{ConcurrentMap, Key, ScanStats, Value, KEY_MIN};
+use pma_common::{ConcurrentMap, Key, PmaError, ScanStats, Value, KEY_MIN};
 
 /// A single delta record prepended by an update.
 #[derive(Debug, Clone, Copy)]
@@ -173,6 +173,44 @@ impl BwTreeLike {
             }]),
             len: AtomicUsize::new(0),
         }
+    }
+
+    /// Builds a tree pre-populated with `items`, which must be sorted by key
+    /// in non-decreasing order (the last entry wins on duplicate keys).
+    ///
+    /// The sorted run is chunked straight into half-full base pages (so later
+    /// updates have delta headroom before the first split) and the page
+    /// directory is written out in one pass — no delta chains, no
+    /// consolidations, no splits during the load.
+    pub fn from_sorted(config: BwTreeConfig, items: &[(Key, Value)]) -> Result<Self, PmaError> {
+        pma_common::check_sorted(items)?;
+        let items = pma_common::dedup_sorted_last_wins(items);
+        if items.is_empty() {
+            return Ok(Self::with_config(config));
+        }
+        let per_page = (config.page_capacity / 2).max(1);
+        let mut mapping = Vec::with_capacity(items.len().div_ceil(per_page));
+        let mut directory = Vec::with_capacity(mapping.capacity());
+        for chunk in items.chunks(per_page) {
+            let page = Page {
+                base_keys: chunk.iter().map(|&(k, _)| k).collect(),
+                base_values: chunk.iter().map(|&(_, v)| v).collect(),
+                deltas: Vec::new(),
+            };
+            let page_id = mapping.len();
+            directory.push(DirEntry {
+                // The first page routes everything below the loaded keys.
+                low_key: if page_id == 0 { KEY_MIN } else { chunk[0].0 },
+                page_id,
+            });
+            mapping.push(std::sync::Arc::new(RwLock::new(page)));
+        }
+        Ok(Self {
+            config,
+            mapping: RwLock::new(mapping),
+            directory: RwLock::new(directory),
+            len: AtomicUsize::new(items.len()),
+        })
     }
 
     /// Number of physical pages currently allocated (test hook).
@@ -354,6 +392,13 @@ impl ConcurrentMap for BwTreeLike {
         }
     }
 
+    fn from_sorted(items: &[(Key, Value)]) -> Result<Self, PmaError>
+    where
+        Self: Sized + Default,
+    {
+        BwTreeLike::from_sorted(BwTreeConfig::default(), items)
+    }
+
     fn name(&self) -> &'static str {
         "Bw-Tree-like"
     }
@@ -369,6 +414,43 @@ mod tests {
             consolidation_threshold: 4,
             page_capacity: 16,
         })
+    }
+
+    #[test]
+    fn bulk_load_builds_pages_and_keeps_working() {
+        let items: Vec<(i64, i64)> = (0..3_000i64).map(|k| (k * 2, -k)).collect();
+        let t = BwTreeLike::from_sorted(
+            BwTreeConfig {
+                consolidation_threshold: 4,
+                page_capacity: 16,
+            },
+            &items,
+        )
+        .unwrap();
+        assert_eq!(t.len(), 3_000);
+        assert!(t.page_count() > 1, "chunked into multiple base pages");
+        for k in (0..3_000i64).step_by(101) {
+            assert_eq!(t.get(k * 2), Some(-k));
+            assert_eq!(t.get(k * 2 + 1), None);
+        }
+        assert_eq!(t.scan_all().count, 3_000);
+        // Keys below the loaded range route to the first page.
+        t.insert(-5, 55);
+        assert_eq!(t.get(-5), Some(55));
+        // Updates keep working (delta chains, consolidation, splits).
+        for k in 0..500i64 {
+            t.insert(k * 2 + 1, k);
+        }
+        assert_eq!(t.remove(0), Some(0));
+        assert_eq!(t.scan_all().count as usize, t.len());
+        // Edge cases: empty, duplicates, unsorted.
+        let empty = BwTreeLike::from_sorted(BwTreeConfig::default(), &[]).unwrap();
+        assert_eq!(empty.len(), 0);
+        empty.insert(1, 1);
+        assert_eq!(empty.get(1), Some(1));
+        let dup = BwTreeLike::from_sorted(BwTreeConfig::default(), &[(1, 1), (1, 2)]).unwrap();
+        assert_eq!(dup.get(1), Some(2));
+        assert!(BwTreeLike::from_sorted(BwTreeConfig::default(), &[(2, 0), (1, 0)]).is_err());
     }
 
     #[test]

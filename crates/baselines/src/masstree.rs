@@ -58,6 +58,16 @@ impl MasstreeLike {
     pub fn config(&self) -> &BTreeConfig {
         self.inner.config()
     }
+
+    /// Builds a tree pre-populated with `items`, which must be sorted by key
+    /// in non-decreasing order (the last entry wins on duplicate keys).
+    /// Delegates to the B+-tree's bottom-up bulk load with the Masstree node
+    /// layout (tiny leaves, identity permutation).
+    pub fn from_sorted(items: &[(Key, Value)]) -> Result<Self, pma_common::PmaError> {
+        Ok(Self {
+            inner: BPlusTree::from_sorted(BTreeConfig::masstree_like(), "Masstree-like", items)?,
+        })
+    }
 }
 
 impl ConcurrentMap for MasstreeLike {
@@ -83,6 +93,13 @@ impl ConcurrentMap for MasstreeLike {
 
     fn range(&self, lo: Key, hi: Key, visitor: &mut dyn FnMut(Key, Value)) {
         self.inner.range(lo, hi, visitor)
+    }
+
+    fn from_sorted(items: &[(Key, Value)]) -> Result<Self, pma_common::PmaError>
+    where
+        Self: Sized + Default,
+    {
+        MasstreeLike::from_sorted(items)
     }
 
     fn name(&self) -> &'static str {

@@ -1,0 +1,76 @@
+//! Criterion benchmark for the bulk-load subsystem: constructing a structure
+//! pre-populated with a sorted run (`Registry::build_loaded`, backed by each
+//! backend's native `from_sorted`) versus the cold-ingestion baseline of
+//! looping `insert` over the same keys.
+//!
+//! The PR's acceptance bar — bulk load ≥ 5× faster than looped insert at 1M
+//! keys on the PMA — can be checked directly with
+//! `cargo bench -p pma-bench --bench bulk_load`; the default element count is
+//! kept smaller so the suite stays CI-friendly.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use pma_workloads::{build_loaded, build_or_panic, label};
+
+const N: usize = 200_000;
+
+/// Short measurement windows keep the full suite runnable in CI; raise them
+/// for publication-quality numbers.
+fn tune(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(2));
+}
+
+fn specs() -> Vec<&'static str> {
+    vec!["pma-batch:100", "btree", "masstree", "bwtree", "art"]
+}
+
+fn sorted_items(n: usize) -> Vec<(i64, i64)> {
+    (0..n as i64).map(|k| (k * 7, k)).collect()
+}
+
+fn bench_bulk_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bulk_load_from_sorted");
+    group.sample_size(10);
+    tune(&mut group);
+    group.throughput(Throughput::Elements(N as u64));
+    let items = sorted_items(N);
+    for spec in specs() {
+        group.bench_function(BenchmarkId::from_parameter(label(spec)), |b| {
+            b.iter(|| {
+                let map = build_loaded(spec, &items).expect("bulk load");
+                assert_eq!(map.len(), N);
+                map
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_looped_insert_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bulk_load_looped_insert_baseline");
+    group.sample_size(10);
+    tune(&mut group);
+    group.throughput(Throughput::Elements(N as u64));
+    let items = sorted_items(N);
+    for spec in specs() {
+        group.bench_function(BenchmarkId::from_parameter(label(spec)), |b| {
+            b.iter(|| {
+                let map = build_or_panic(spec);
+                for &(k, v) in &items {
+                    map.insert(k, v);
+                }
+                map.flush();
+                assert_eq!(map.len(), N);
+                map
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bulk_load, bench_looped_insert_baseline);
+criterion_main!(benches);

@@ -3,7 +3,9 @@
 //! This crate defines the key/value types used by the evaluation of the paper
 //! *Fast Concurrent Reads and Updates with PMAs* (De Leo & Boncz, GRADES-NDA
 //! 2019), the [`ConcurrentMap`] trait that every data structure in the
-//! workspace implements (the concurrent PMA and all tree baselines), and a few
+//! workspace implements (the concurrent PMA and all tree baselines) —
+//! including the bulk-load constructor `from_sorted` — the string-addressable
+//! backend [`registry`] with its `build`/`build_loaded` dispatch, and a few
 //! small utilities shared by the workload drivers and tests.
 
 #![warn(missing_docs)]
@@ -15,6 +17,6 @@ pub mod types;
 pub mod util;
 
 pub use error::PmaError;
-pub use map::{ConcurrentMap, ScanStats};
+pub use map::{check_sorted, dedup_sorted_last_wins, ConcurrentMap, ScanStats};
 pub use registry::{BackendDef, BackendSpec, Registry};
 pub use types::{Key, KeyValue, Value, KEY_MAX, KEY_MIN};

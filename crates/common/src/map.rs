@@ -7,7 +7,47 @@
 //! and ranged). All methods take `&self`: implementations are responsible for
 //! their own internal synchronisation.
 
+use crate::error::PmaError;
 use crate::types::{Key, Value};
+
+/// Validates the input contract of the bulk-load paths: keys must be in
+/// non-decreasing order (equal keys are allowed — the later entry wins, as
+/// with [`ConcurrentMap::insert_batch`]).
+///
+/// Returns [`PmaError::InvalidParameter`] naming the first out-of-order
+/// position, so callers get a diagnosable error instead of a corrupted
+/// structure.
+pub fn check_sorted(items: &[(Key, Value)]) -> Result<(), PmaError> {
+    if let Some(pos) = items.windows(2).position(|w| w[0].0 > w[1].0) {
+        return Err(PmaError::invalid(
+            "sorted_items",
+            format!(
+                "keys must be sorted ascending; items[{pos}] = {} > items[{}] = {}",
+                items[pos].0,
+                pos + 1,
+                items[pos + 1].0
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// Reduces a sorted run to strictly-increasing keys, keeping the **last**
+/// entry of every equal-key group (upsert semantics). Shared by the native
+/// `from_sorted` implementations, which all want a duplicate-free stream.
+///
+/// The input must already be sorted (see [`check_sorted`]).
+pub fn dedup_sorted_last_wins(items: &[(Key, Value)]) -> Vec<(Key, Value)> {
+    debug_assert!(items.windows(2).all(|w| w[0].0 <= w[1].0));
+    let mut out: Vec<(Key, Value)> = Vec::with_capacity(items.len());
+    for &(k, v) in items {
+        match out.last_mut() {
+            Some(last) if last.0 == k => last.1 = v,
+            _ => out.push((k, v)),
+        }
+    }
+    out
+}
 
 /// Aggregate statistics produced by an ordered scan.
 ///
@@ -101,6 +141,33 @@ pub trait ConcurrentMap: Send + Sync {
         for &(key, value) in items {
             self.insert(key, value);
         }
+    }
+
+    /// Builds a structure pre-populated with `items`, which must be sorted by
+    /// key in non-decreasing order (the last entry wins on duplicate keys).
+    ///
+    /// This is the classic bulk-load constructor every PMA/CSR system ships:
+    /// because the input is already ordered, an implementation can lay out its
+    /// final shape in one pass instead of trickling keys through the point
+    /// -insert path — the concurrent PMA, for instance, presizes the array
+    /// from its calibrated density bounds and performs **zero rebalances**
+    /// during the load. The default implementation is the portable fallback:
+    /// construct [`Default`], [`ConcurrentMap::insert_batch`] the items and
+    /// [`ConcurrentMap::flush`]. Unsorted input is rejected with
+    /// [`PmaError::InvalidParameter`].
+    ///
+    /// Parameterised construction (custom configs, registry `name:arg` specs)
+    /// goes through `Registry::build_loaded` in [`crate::registry`] instead,
+    /// which dispatches to each backend's native loader.
+    fn from_sorted(items: &[(Key, Value)]) -> Result<Self, PmaError>
+    where
+        Self: Sized + Default,
+    {
+        check_sorted(items)?;
+        let map = Self::default();
+        map.insert_batch(items);
+        map.flush();
+        Ok(map)
     }
 
     /// Waits until all asynchronously accepted updates have been applied.
@@ -211,6 +278,33 @@ mod tests {
         let arc = std::sync::Arc::new(map);
         arc.insert_batch(&[(3, 30)]);
         assert_eq!(arc.scan_range(1, 3).count, 3);
+    }
+
+    #[test]
+    fn check_sorted_accepts_runs_and_names_the_violation() {
+        assert!(check_sorted(&[]).is_ok());
+        assert!(check_sorted(&[(1, 0)]).is_ok());
+        assert!(check_sorted(&[(1, 0), (1, 1), (2, 0)]).is_ok());
+        let err = check_sorted(&[(1, 0), (3, 0), (2, 0)]).unwrap_err();
+        assert!(err.to_string().contains("items[1]"), "{err}");
+    }
+
+    #[test]
+    fn dedup_sorted_keeps_last_duplicate() {
+        assert_eq!(
+            dedup_sorted_last_wins(&[(1, 10), (1, 11), (2, 20), (2, 21), (3, 30)]),
+            vec![(1, 11), (2, 21), (3, 30)]
+        );
+        assert!(dedup_sorted_last_wins(&[]).is_empty());
+    }
+
+    #[test]
+    fn default_from_sorted_loads_and_rejects_unsorted() {
+        let map = ModelMap::from_sorted(&[(1, 10), (2, 20), (2, 22), (5, 50)]).unwrap();
+        assert_eq!(map.len(), 3);
+        assert_eq!(map.get(2), Some(22), "later duplicates must win");
+        assert_eq!(map.scan_all().count, 3);
+        assert!(ModelMap::from_sorted(&[(2, 0), (1, 0)]).is_err());
     }
 
     #[test]

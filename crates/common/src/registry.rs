@@ -9,11 +9,23 @@
 //! one `register` call at startup, not a new enum variant matched across
 //! crates.
 //!
-//! # Spec strings
+//! # Spec-string grammar
 //!
-//! A spec is `name` or `name:arg`, where `name` selects the registered entry
-//! and the optional `arg` parameterises it (each backend documents its own
-//! argument in its description). Examples from the built-in set:
+//! A spec is one token of the form
+//!
+//! ```text
+//! spec    ::=  name [ ":" arg ]
+//! name    ::=  registered backend name (no ":")
+//! arg     ::=  backend-specific argument, uninterpreted by the registry
+//! ```
+//!
+//! `name` — everything before the **first** `:` — selects the registered
+//! entry; the optional `arg` (everything after that `:`, so it may itself
+//! contain colons) parameterises it. The registry never interprets the
+//! argument: each backend parses it in its `build`/`label` functions and
+//! documents the accepted values in its `description` (the experiment
+//! binaries print those with `--help`). Whitespace around the two parts is
+//! trimmed. Examples from the built-in set:
 //!
 //! * `"pma-batch:100"` — concurrent PMA, batch asynchronous updates with a
 //!   `t_delay` of 100 ms (the paper's headline configuration);
@@ -39,16 +51,32 @@
 //!     description: "discards everything (demo)",
 //!     label: |spec| format!("Null[{}]", spec.raw),
 //!     build: |_spec| Err(pma_common::PmaError::NotFound("demo only".into())),
+//!     build_loaded: None,
 //! });
 //! assert!(registry.contains("null"));
 //! assert_eq!(registry.label("null:x").unwrap(), "Null[null:x]");
 //! ```
+//!
+//! # Bulk loading (`build_loaded`)
+//!
+//! [`Registry::build_loaded`] constructs a backend *pre-populated* with a
+//! sorted run of key/value pairs. Dispatch works like [`Registry::build`],
+//! with one extra step: if the entry registered a native loader
+//! ([`BackendDef::build_loaded`]), the sorted run is handed to it so the
+//! backend can lay out its final shape in one pass (the concurrent PMA
+//! presizes the array from its calibrated density bounds and performs zero
+//! rebalances; the B+-tree builds its leaf level bottom-up; and so on).
+//! Entries without a native loader fall back to `build` followed by
+//! [`crate::map::ConcurrentMap::insert_batch`] + `flush`, so every backend is
+//! loadable either way. The input contract (ascending keys, duplicates
+//! resolve to the last entry) is validated once, up front.
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock, RwLock};
 
 use crate::error::PmaError;
-use crate::map::ConcurrentMap;
+use crate::map::{check_sorted, ConcurrentMap};
+use crate::types::{Key, Value};
 
 /// A parsed backend spec string: `name` or `name:arg`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,6 +126,15 @@ pub type BuildFn = fn(&BackendSpec<'_>) -> Result<Arc<dyn ConcurrentMap>, PmaErr
 /// Renders the display label (matching the paper's figures) for a spec.
 pub type LabelFn = fn(&BackendSpec<'_>) -> String;
 
+/// Builds one backend instance pre-populated with a sorted run of pairs.
+///
+/// The registry guarantees the keys are in non-decreasing order
+/// ([`check_sorted`] runs before dispatch) but duplicates may still be
+/// present: the loader is responsible for resolving them to the **last**
+/// entry (use [`crate::map::dedup_sorted_last_wins`]), matching
+/// `insert_batch` upsert semantics.
+pub type LoadFn = fn(&BackendSpec<'_>, &[(Key, Value)]) -> Result<Arc<dyn ConcurrentMap>, PmaError>;
+
 /// One registered backend.
 #[derive(Clone, Copy)]
 pub struct BackendDef {
@@ -109,6 +146,9 @@ pub struct BackendDef {
     pub label: LabelFn,
     /// Instance builder.
     pub build: BuildFn,
+    /// Native bulk loader used by [`Registry::build_loaded`]; `None` falls
+    /// back to `build` + `insert_batch`.
+    pub build_loaded: Option<LoadFn>,
 }
 
 impl std::fmt::Debug for BackendDef {
@@ -202,6 +242,35 @@ impl Registry {
         let spec = BackendSpec::parse(spec);
         (self.lookup(&spec)?.build)(&spec)
     }
+
+    /// Builds an instance of the backend selected by `spec`, pre-populated
+    /// with `items` (which must be sorted by key in non-decreasing order;
+    /// the last entry wins on duplicate keys).
+    ///
+    /// Dispatches to the backend's native [`BackendDef::build_loaded`] when
+    /// one is registered — the bulk-load fast path — and otherwise falls back
+    /// to [`Registry::build`] followed by
+    /// [`ConcurrentMap::insert_batch`] and [`ConcurrentMap::flush`]. Unsorted
+    /// input is rejected with [`PmaError::InvalidParameter`] before any
+    /// construction happens.
+    pub fn build_loaded(
+        &self,
+        spec: &str,
+        items: &[(Key, Value)],
+    ) -> Result<Arc<dyn ConcurrentMap>, PmaError> {
+        check_sorted(items)?;
+        let spec = BackendSpec::parse(spec);
+        let def = self.lookup(&spec)?;
+        match def.build_loaded {
+            Some(load) => load(&spec, items),
+            None => {
+                let map = (def.build)(&spec)?;
+                map.insert_batch(items);
+                map.flush();
+                Ok(map)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -251,6 +320,7 @@ mod tests {
                 None => "Dummy".to_string(),
             },
             build: |_| Ok(Arc::new(Dummy::default())),
+            build_loaded: None,
         }
     }
 
@@ -308,6 +378,40 @@ mod tests {
         });
         assert_eq!(registry.entries()[0].1, "replacement");
         assert_eq!(registry.entries().len(), 1);
+    }
+
+    #[test]
+    fn build_loaded_falls_back_to_insert_batch() {
+        let registry = Registry::new();
+        registry.register(dummy_def());
+        let map = registry
+            .build_loaded("dummy", &[(1, 10), (2, 20), (2, 22)])
+            .unwrap();
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.get(2), Some(22), "later duplicates must win");
+        assert!(
+            registry.build_loaded("dummy", &[(5, 0), (1, 0)]).is_err(),
+            "unsorted input must be rejected"
+        );
+    }
+
+    #[test]
+    fn build_loaded_prefers_the_native_loader() {
+        let registry = Registry::new();
+        registry.register(BackendDef {
+            build_loaded: Some(|_, items| {
+                let map = Dummy::default();
+                // A native loader that deliberately tags the first value so
+                // the test can tell which path ran.
+                for &(k, v) in items {
+                    map.insert(k, v + 1000);
+                }
+                Ok(Arc::new(map))
+            }),
+            ..dummy_def()
+        });
+        let map = registry.build_loaded("dummy", &[(7, 70)]).unwrap();
+        assert_eq!(map.get(7), Some(1070), "native loader must be dispatched");
     }
 
     #[test]

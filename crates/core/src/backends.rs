@@ -31,63 +31,83 @@ pub fn paper_pma_params(update_mode: UpdateMode, segment_capacity: usize) -> Pma
     }
 }
 
-fn build_pma(params: PmaParams) -> Result<Arc<dyn ConcurrentMap>, PmaError> {
-    Ok(Arc::new(ConcurrentPma::new(params)?))
+/// Parameters for the spec's PMA variant (shared by `build` and
+/// `build_loaded` so both construction paths configure identically).
+fn spec_params(spec: &BackendSpec<'_>) -> Result<PmaParams, PmaError> {
+    match spec.name {
+        "pma-sync" => Ok(paper_pma_params(UpdateMode::Synchronous, 128)),
+        "pma-1by1" => {
+            let mut params = paper_pma_params(UpdateMode::OneByOne, 128);
+            params.rebalance_policy = RebalancePolicy::Adaptive;
+            Ok(params)
+        }
+        "pma-batch" => {
+            let t_delay = Duration::from_millis(spec.u64_arg(100)?);
+            Ok(paper_pma_params(UpdateMode::Batch { t_delay }, 128))
+        }
+        "pma-seg" => {
+            let segment_capacity = spec.u64_arg(256)? as usize;
+            Ok(paper_pma_params(
+                UpdateMode::Batch {
+                    t_delay: Duration::from_millis(100),
+                },
+                segment_capacity,
+            ))
+        }
+        other => Err(PmaError::NotFound(format!("unknown PMA variant `{other}`"))),
+    }
 }
 
-fn build_sync(_spec: &BackendSpec<'_>) -> Result<Arc<dyn ConcurrentMap>, PmaError> {
-    build_pma(paper_pma_params(UpdateMode::Synchronous, 128))
+fn build_pma(spec: &BackendSpec<'_>) -> Result<Arc<dyn ConcurrentMap>, PmaError> {
+    Ok(Arc::new(ConcurrentPma::new(spec_params(spec)?)?))
 }
 
-fn build_one_by_one(_spec: &BackendSpec<'_>) -> Result<Arc<dyn ConcurrentMap>, PmaError> {
-    let mut params = paper_pma_params(UpdateMode::OneByOne, 128);
-    params.rebalance_policy = RebalancePolicy::Adaptive;
-    build_pma(params)
-}
-
-fn build_batch(spec: &BackendSpec<'_>) -> Result<Arc<dyn ConcurrentMap>, PmaError> {
-    let t_delay = Duration::from_millis(spec.u64_arg(100)?);
-    build_pma(paper_pma_params(UpdateMode::Batch { t_delay }, 128))
-}
-
-fn build_seg(spec: &BackendSpec<'_>) -> Result<Arc<dyn ConcurrentMap>, PmaError> {
-    let segment_capacity = spec.u64_arg(256)? as usize;
-    build_pma(paper_pma_params(
-        UpdateMode::Batch {
-            t_delay: Duration::from_millis(100),
-        },
-        segment_capacity,
-    ))
+/// Native bulk loader: presized [`ConcurrentPma::from_sorted`] construction,
+/// zero rebalances during the load.
+fn build_loaded_pma(
+    spec: &BackendSpec<'_>,
+    items: &[(pma_common::Key, pma_common::Value)],
+) -> Result<Arc<dyn ConcurrentMap>, PmaError> {
+    Ok(Arc::new(ConcurrentPma::from_sorted(
+        spec_params(spec)?,
+        items,
+    )?))
 }
 
 /// Registers every PMA variant: `pma-sync`, `pma-1by1`, `pma-batch[:ms]` and
-/// `pma-seg[:capacity]`.
+/// `pma-seg[:capacity]`. All variants register the native bulk loader, so
+/// `Registry::build_loaded` constructs them through
+/// [`ConcurrentPma::from_sorted`].
 pub fn register_backends(registry: &Registry) {
     registry.register(BackendDef {
         name: "pma-sync",
         description: "concurrent PMA, synchronous updates (Figure 4 baseline)",
         label: |_| "PMA Baseline".to_string(),
-        build: build_sync,
+        build: build_pma,
+        build_loaded: Some(build_loaded_pma),
     });
     registry.register(BackendDef {
         name: "pma-1by1",
         description: "concurrent PMA, one-by-one asynchronous updates (Figure 4 \"1by1\")",
         label: |_| "PMA 1by1".to_string(),
-        build: build_one_by_one,
+        build: build_pma,
+        build_loaded: Some(build_loaded_pma),
     });
     registry.register(BackendDef {
         name: "pma-batch",
         description:
             "concurrent PMA, batch asynchronous updates; arg = t_delay in ms (default 100)",
         label: |spec| format!("PMA Batch {}ms", spec.u64_arg(100).unwrap_or(100)),
-        build: build_batch,
+        build: build_pma,
+        build_loaded: Some(build_loaded_pma),
     });
     registry.register(BackendDef {
         name: "pma-seg",
         description: "concurrent PMA, batch updates with a custom segment capacity; \
                       arg = elements per segment (default 256, section 4.1 ablation)",
         label: |spec| format!("PMA seg={}", spec.u64_arg(256).unwrap_or(256)),
-        build: build_seg,
+        build: build_pma,
+        build_loaded: Some(build_loaded_pma),
     });
 }
 
@@ -107,6 +127,19 @@ mod tests {
             map.flush();
             assert_eq!(map.len(), 300, "{spec}");
             assert_eq!(map.scan_range(10, 19).count, 10, "{spec}");
+        }
+    }
+
+    #[test]
+    fn every_pma_backend_bulk_loads_natively() {
+        let registry = Registry::new();
+        register_backends(&registry);
+        let items: Vec<(i64, i64)> = (0..2_000i64).map(|k| (k * 2, -k)).collect();
+        for spec in ["pma-sync", "pma-1by1", "pma-batch:1", "pma-seg:64"] {
+            let map = registry.build_loaded(spec, &items).unwrap();
+            assert_eq!(map.len(), 2_000, "{spec}");
+            assert_eq!(map.get(100), Some(-50), "{spec}");
+            assert_eq!(map.scan_all().count, 2_000, "{spec}");
         }
     }
 

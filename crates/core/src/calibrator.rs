@@ -132,6 +132,14 @@ impl CalibratorTree {
             - (self.thresholds.rho_root - self.thresholds.rho_leaf) * (h - k) / (h - 1.0)
     }
 
+    /// Largest cardinality the whole array may hold without the root window
+    /// exceeding its upper density threshold `tau_h`. Freshly resized and
+    /// bulk-loaded arrays are presized so their element count stays at or
+    /// below this bound (the tests and proptests assert it).
+    pub fn max_root_fill(&self) -> usize {
+        (self.thresholds.tau_root * self.total_capacity() as f64).floor() as usize
+    }
+
     /// The window containing `segment` at the given level.
     pub fn window_at(&self, segment: usize, level: u32) -> Window {
         debug_assert!(segment < self.num_segments);
@@ -350,6 +358,16 @@ mod tests {
         assert_eq!(w.level, 2);
         assert_eq!(w.start_segment, 0);
         assert_eq!(w.num_segments, 2);
+    }
+
+    #[test]
+    fn max_root_fill_matches_root_threshold() {
+        let t = strict_tree(4, 4);
+        // tau_root = 0.75 over 16 slots.
+        assert_eq!(t.max_root_fill(), 12);
+        let w = t.window_at(0, t.height());
+        assert!(t.density(&w, t.max_root_fill()) <= t.upper_threshold(t.height()));
+        assert!(t.density(&w, t.max_root_fill() + 1) > t.upper_threshold(t.height()));
     }
 
     #[test]

@@ -328,16 +328,14 @@ impl ChunkData {
     /// with an even distribution. Duplicate keys overwrite the stored value.
     /// Returns the number of *new* keys added.
     ///
-    /// The caller must ensure the chunk has room for the whole batch
-    /// (`cardinality() + batch.len() <= capacity()`); keys must fall within
-    /// the owning gate's fences so chunk-global order is preserved.
+    /// The caller must ensure the chunk has room for the *merged* result —
+    /// the current cardinality plus the batch keys not already stored must
+    /// not exceed `capacity()` (batch keys that overwrite existing entries
+    /// need no room). Keys must fall within the owning gate's fences so
+    /// chunk-global order is preserved.
     pub fn merge_batch(&mut self, batch: &[(Key, Value)]) -> usize {
         debug_assert!(batch.windows(2).all(|w| w[0].0 <= w[1].0));
         let existing = self.cardinality();
-        assert!(
-            existing + batch.len() <= self.capacity(),
-            "batch does not fit in the chunk"
-        );
         let mut merged_keys = Vec::with_capacity(existing + batch.len());
         let mut merged_values = Vec::with_capacity(existing + batch.len());
         let mut old_keys = Vec::with_capacity(existing);
@@ -386,6 +384,7 @@ impl ChunkData {
         }
 
         let total = merged_keys.len();
+        assert!(total <= self.capacity(), "batch does not fit in the chunk");
         let targets =
             crate::sequential::even_targets(total, self.num_segments(), self.segment_capacity);
         let mut cursor = 0usize;

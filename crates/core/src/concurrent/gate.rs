@@ -74,6 +74,11 @@ pub struct GateState {
     /// The combining queue has been handed to the rebalancer (batch mode,
     /// `t_delay` not yet elapsed); arriving writers keep appending to it.
     pub delegated: bool,
+    /// The combining queue is frozen by a resize: the queued operations are
+    /// being folded into the replacement instance, so would-be queueing
+    /// writers must block until the new instance is published instead of
+    /// appending to soon-to-be-dead state.
+    pub queue_closed: bool,
     /// A writer is active and accepts forwarded operations (paper: `pQ` set).
     pub queue_open: bool,
     /// Operations forwarded by other writers (the combining queue).
@@ -94,6 +99,7 @@ impl GateState {
             invalidated: false,
             service_owned: false,
             delegated: false,
+            queue_closed: false,
             queue_open: false,
             pending: VecDeque::new(),
             last_global_rebalance: Instant::now(),

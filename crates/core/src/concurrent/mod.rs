@@ -2,7 +2,7 @@
 //!
 //! The sparse array is split into chunks protected by [`gate::Gate`]s; a
 //! [`static_index::StaticIndex`] routes keys to gates; rebalances spanning
-//! multiple gates are executed by the [`rebalancer`] service; resizes publish
+//! multiple gates are executed by the `rebalancer` service; resizes publish
 //! a new [`instance::PmaInstance`] through a single entry pointer and reclaim
 //! the old one with [`epoch`]-based garbage collection; and contended writers
 //! combine their updates asynchronously ([`crate::params::UpdateMode`]).
@@ -106,6 +106,48 @@ impl ConcurrentPma {
     /// `t_delay` = 100 ms, 8 rebalancer workers).
     pub fn with_defaults() -> Self {
         Self::new(PmaParams::default()).expect("default parameters are valid")
+    }
+
+    /// Builds a concurrent PMA pre-populated with `items`, which must be
+    /// sorted by key in non-decreasing order (the last entry wins on
+    /// duplicate keys).
+    ///
+    /// This is the bulk-load fast path: the gate count is presized from the
+    /// calibrated density bounds ([`PmaParams::presized_gates`], the same
+    /// rule resizes use), the gates, chunks and static index are laid out in
+    /// a single pass with a uniform gap distribution, and the finished
+    /// instance is published through the ordinary epoch entry pointer —
+    /// **zero rebalances** happen during the load (observable through
+    /// [`ConcurrentPma::stats`]: `total_rebalances()` is 0 and
+    /// `bulk_loaded_keys` equals the number of distinct keys). Loading N
+    /// sorted keys is therefore O(N), versus the point-insert path's
+    /// amortised O(N log² N / B) with its rebalance cascades.
+    ///
+    /// # Errors
+    /// Returns [`PmaError::InvalidParameter`] when `params` is invalid or the
+    /// keys are not in ascending order.
+    ///
+    /// # Examples
+    /// ```
+    /// use pma_core::{ConcurrentPma, PmaParams};
+    ///
+    /// let items: Vec<(i64, i64)> = (0..10_000).map(|k| (k, k * 2)).collect();
+    /// let pma = ConcurrentPma::from_sorted(PmaParams::small(), &items).unwrap();
+    /// assert_eq!(pma.len(), 10_000);
+    /// assert_eq!(pma.get(123), Some(246));
+    /// assert_eq!(pma.stats().total_rebalances(), 0);
+    /// ```
+    pub fn from_sorted(params: PmaParams, items: &[(Key, Value)]) -> Result<Self, PmaError> {
+        params.validate()?;
+        pma_common::check_sorted(items)?;
+        let items = pma_common::dedup_sorted_last_wins(items);
+        let (keys, values): (Vec<Key>, Vec<Value>) = items.into_iter().unzip();
+        let num_gates = params.presized_gates(keys.len());
+        let instance = Box::new(PmaInstance::from_sorted(&keys, &values, num_gates, &params));
+        let shared = Arc::new(Shared::with_instance(params, instance, keys.len()));
+        Stats::add(&shared.stats.bulk_loaded_keys, keys.len() as u64);
+        let rebalancer = RebalancerHandle::start(Arc::clone(&shared));
+        Ok(Self { shared, rebalancer })
     }
 
     /// The configuration this PMA was created with.
@@ -309,8 +351,12 @@ impl ConcurrentPma {
     /// into its gate's chunk with a single latch acquisition and one local
     /// redistribution (the same combining primitive the asynchronous update
     /// queue uses), instead of one routing walk and one rebalance check per
-    /// element. Runs that exceed a gate's density threshold fall back to the
-    /// ordinary insertion path, which triggers the required rebalances.
+    /// element. A run that exceeds its gate's density threshold is handed to
+    /// the rebalancer service whole: the service expands the window over the
+    /// covering gate span (resizing with a presized capacity when even the
+    /// root window is over threshold) and merges the run during the
+    /// redistribution — one rebuild per oversized run instead of a per-key
+    /// insert cascade.
     pub fn insert_batch(&self, items: &[(Key, Value)]) {
         // Route like a point insert: honouring delegated combining queues is
         // required for ordering — merging directly while an older same-key
@@ -322,7 +368,6 @@ impl ConcurrentPma {
         while i < batch.len() {
             let (key, value) = batch[i];
             let mut advance = 0usize;
-            let mut fallback_single = false;
             let mut leftovers: Vec<UpdateOp> = Vec::new();
             {
                 let _pin = self.shared.pin();
@@ -343,41 +388,67 @@ impl ConcurrentPma {
                         let gate = &inst.gates[g];
                         let fence_hi = gate.lock().fence_hi;
                         let run_end = i + batch[i..].partition_point(|&(k, _)| k <= fence_hi);
+                        let run = &batch[i..run_end];
                         // SAFETY: the gate is held in `Write` mode.
                         let chunk = unsafe { gate.chunk_mut() };
                         let gate_capacity = inst.gate_capacity();
                         let tau_gate = inst.calibrator.upper_threshold(inst.gate_level);
                         let max_total =
                             gate_capacity.min((tau_gate * gate_capacity as f64).floor() as usize);
-                        let room = max_total.saturating_sub(chunk.cardinality());
-                        let take = (run_end - i).min(room);
-                        if take > 0 {
-                            let added = chunk.merge_batch(&batch[i..i + take]);
+                        // Cheap check first; when it fails, count only the
+                        // keys actually absent from the chunk — a pure-upsert
+                        // run (value refresh of resident keys) adds nothing
+                        // and must merge in place, not trigger a rebuild.
+                        let fits = chunk.cardinality() + run.len() <= max_total || {
+                            let new_keys =
+                                run.iter().filter(|&&(k, _)| chunk.get(k).is_none()).count();
+                            chunk.cardinality() + new_keys <= max_total
+                        };
+                        if fits {
+                            let added = chunk.merge_batch(run);
                             if added > 0 {
                                 self.shared.len.fetch_add(added, Ordering::Relaxed);
                                 Stats::add(&self.shared.stats.inserts, added as u64);
                             }
-                            advance = take;
+                            advance = run_end - i;
+                            // Drain anything forwarded to us while we held the
+                            // latch, then release (mode-appropriate).
+                            leftovers = self.finish_writer(inst, g);
                         } else {
-                            // The gate is at its threshold: release and push
-                            // one element through the rebalancing insert path.
-                            fallback_single = true;
+                            // The run overflows the gate: hand the gate and
+                            // the whole run over, exactly like `drain_batch`
+                            // does for an oversized combining queue. The
+                            // service merges the run into one presized rebuild
+                            // of the covering gate span (or a resize) via its
+                            // materialised merged window; operations forwarded
+                            // to our combining queue in the meantime are
+                            // drained by the service after it releases the
+                            // gates.
+                            let epoch = self.hand_over_batch(inst, g, run.to_vec());
+                            Stats::bump(&self.shared.stats.batch_span_rebuilds);
+                            advance = run_end - i;
+                            if !allow_queue {
+                                // Synchronous mode promises that completed
+                                // operations are visible without a flush:
+                                // wait for the span rebuild like
+                                // `hand_over_and_wait` does before moving on.
+                                let gate = &inst.gates[g];
+                                let mut st = gate.lock();
+                                while st.rebalance_epoch == epoch
+                                    && st.service_owned
+                                    && !st.invalidated
+                                {
+                                    gate.wait(&mut st);
+                                }
+                            }
                         }
-                        // Drain anything forwarded to us while we held the
-                        // latch, then release (mode-appropriate).
-                        leftovers = self.finish_writer(inst, g);
                     }
                 }
             }
             for op in leftovers {
                 self.update(op, false);
             }
-            if fallback_single {
-                self.insert(key, value);
-                i += 1;
-            } else {
-                i += advance;
-            }
+            i += advance;
         }
     }
 
@@ -499,7 +570,7 @@ impl ConcurrentPma {
                     break;
                 }
                 // This is the right gate (or the edge of the array).
-                if allow_queue && st.delegated {
+                if allow_queue && st.delegated && !st.queue_closed {
                     // The combining queue was handed to the rebalancer; keep
                     // appending to it (paper section 3.5).
                     st.pending.push_back(op);
@@ -526,7 +597,10 @@ impl ConcurrentPma {
                     // without it, a later same-key operation could apply
                     // directly and then be overwritten by this older entry
                     // when the queue finally drains.
-                    GateMode::Rebalance if allow_queue && st.service_owned => {
+                    // (A queue closed by a resize rejects new entries: the
+                    // writer waits for the new instance instead, since the
+                    // queued operations are being folded into it.)
+                    GateMode::Rebalance if allow_queue && st.service_owned && !st.queue_closed => {
                         st.pending.push_back(op);
                         if !st.delegated {
                             st.delegated = true;
@@ -585,26 +659,53 @@ impl ConcurrentPma {
         }
     }
 
-    /// Hands gate `g` (currently held in `Write` mode) over to the rebalancer
-    /// and waits until the global rebalance (or a resize) completes.
-    fn hand_over_and_wait(&self, inst: &PmaInstance, g: usize) {
+    /// Transitions gate `g` (currently held in `Write` mode by the caller)
+    /// into service ownership and returns its `rebalance_epoch`.
+    ///
+    /// The epoch MUST be read under the same lock that flips the mode: it is
+    /// the identity the master's stale-request check compares against, and a
+    /// read outside the critical section could observe a later hand-over's
+    /// epoch. The Write → Rebalance transition makes the gate claimable by
+    /// the rebalancer, so the gate is also notified — without that wakeup the
+    /// master can sleep forever on a gate whose writer has just handed it
+    /// over (e.g. while expanding another window).
+    fn hand_over_gate(&self, inst: &PmaInstance, g: usize) -> u64 {
         let gate = &inst.gates[g];
-        let epoch_before = {
+        let epoch = {
             let mut st = gate.lock();
             st.mode = GateMode::Rebalance;
             st.service_owned = true;
             st.queue_open = false;
             st.rebalance_epoch
         };
-        // The Write -> Rebalance transition makes the gate claimable by the
-        // rebalancer: wake it in case it is already blocked on this gate
-        // (e.g. expanding another window). Without this wakeup the master can
-        // sleep forever on a gate whose writer has just handed it over.
         gate.notify_all();
+        epoch
+    }
+
+    /// Hands gate `g` over together with a sorted run of insertions that
+    /// overflows it; the service merges the run into one rebuild of the
+    /// covering gate span (or a resize), and drains any operations forwarded
+    /// to the gate's combining queue after releasing it. Returns the epoch of
+    /// the hand-over so a caller that must be synchronous can wait for it.
+    fn hand_over_batch(&self, inst: &PmaInstance, g: usize, inserts: Vec<(Key, Value)>) -> u64 {
+        let epoch = self.hand_over_gate(inst, g);
+        self.rebalancer.send(Request::GlobalBatch {
+            gate_id: g,
+            origin: (inst as *const PmaInstance as usize, epoch),
+            inserts,
+        });
+        epoch
+    }
+
+    /// Hands gate `g` (currently held in `Write` mode) over to the rebalancer
+    /// and waits until the global rebalance (or a resize) completes.
+    fn hand_over_and_wait(&self, inst: &PmaInstance, g: usize) {
+        let epoch_before = self.hand_over_gate(inst, g);
         self.rebalancer.send(Request::GlobalRebalance {
             gate_id: g,
             extra: 1,
         });
+        let gate = &inst.gates[g];
         let mut st = gate.lock();
         while st.rebalance_epoch == epoch_before && st.service_owned && !st.invalidated {
             gate.wait(&mut st);
@@ -775,17 +876,8 @@ impl ConcurrentPma {
             if elapsed >= t_delay {
                 // Hand the gate and the batch to the rebalancer; we do not
                 // wait (asynchronous processing).
-                st.mode = GateMode::Rebalance;
-                st.service_owned = true;
-                st.queue_open = false;
                 drop(st);
-                // Wake a master potentially blocked on this gate (see
-                // `hand_over_and_wait`): the hand-over makes it claimable.
-                gate.notify_all();
-                self.rebalancer.send(Request::GlobalBatch {
-                    gate_id: g,
-                    inserts,
-                });
+                self.hand_over_batch(inst, g, inserts);
                 return leftovers;
             }
             // `t_delay` has not elapsed: park the batch at the rebalancer and
@@ -902,6 +994,13 @@ impl Drop for ConcurrentPma {
     }
 }
 
+impl Default for ConcurrentPma {
+    /// Equivalent to [`ConcurrentPma::with_defaults`].
+    fn default() -> Self {
+        Self::with_defaults()
+    }
+}
+
 impl ConcurrentMap for ConcurrentPma {
     fn insert(&self, key: Key, value: Value) {
         ConcurrentPma::insert(self, key, value)
@@ -933,6 +1032,13 @@ impl ConcurrentMap for ConcurrentPma {
 
     fn insert_batch(&self, items: &[(Key, Value)]) {
         ConcurrentPma::insert_batch(self, items)
+    }
+
+    fn from_sorted(items: &[(Key, Value)]) -> Result<Self, PmaError>
+    where
+        Self: Sized + Default,
+    {
+        ConcurrentPma::from_sorted(PmaParams::default(), items)
     }
 
     fn flush(&self) {
@@ -1114,6 +1220,128 @@ mod tests {
             assert_eq!(batched.scan_all(), single.scan_all());
             assert_eq!(batched.get(0), single.get(0));
         }
+    }
+
+    #[test]
+    fn from_sorted_loads_without_rebalances() {
+        let items: Vec<(i64, i64)> = (0..50_000i64).map(|k| (k * 3, -k)).collect();
+        let p = ConcurrentPma::from_sorted(PmaParams::small(), &items).unwrap();
+        let stats = p.stats();
+        assert_eq!(
+            stats.total_rebalances(),
+            0,
+            "bulk load must not rebalance: {stats:?}"
+        );
+        assert_eq!(stats.bulk_loaded_keys, 50_000);
+        assert_eq!(p.len(), 50_000);
+        assert!(p.num_gates() > 1);
+        assert!(p.num_gates().is_power_of_two());
+        // Density within the calibrated root bound.
+        assert!(p.len() <= p.capacity() * 3 / 4 + 1, "over tau_root");
+        let scan = p.scan_all();
+        assert_eq!(scan.count, 50_000);
+        assert_eq!(scan.key_sum, (0..50_000i64).map(|k| k as i128 * 3).sum());
+        for k in (0..50_000i64).step_by(997) {
+            assert_eq!(p.get(k * 3), Some(-k));
+            assert_eq!(p.get(k * 3 + 1), None);
+        }
+        // The loaded structure accepts ordinary updates afterwards.
+        p.insert(1, 1);
+        assert_eq!(p.remove(0), Some(0));
+        p.flush();
+        assert_eq!(p.len(), 50_000);
+        assert_eq!(p.get(1), Some(1));
+    }
+
+    #[test]
+    fn from_sorted_accepts_duplicates_and_rejects_unsorted() {
+        let p =
+            ConcurrentPma::from_sorted(PmaParams::small(), &[(1, 10), (1, 11), (2, 20)]).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.get(1), Some(11), "later duplicates must win");
+        assert!(ConcurrentPma::from_sorted(PmaParams::small(), &[(2, 0), (1, 0)]).is_err());
+        let empty = ConcurrentPma::from_sorted(PmaParams::small(), &[]).unwrap();
+        assert_eq!(empty.len(), 0);
+        assert_eq!(empty.num_gates(), 1);
+        empty.insert(5, 5);
+        assert_eq!(empty.get(5), Some(5));
+    }
+
+    #[test]
+    fn from_sorted_matches_point_insert_construction() {
+        let items: Vec<(i64, i64)> = (0..10_000i64).map(|k| (k * 7 % 30_011, k)).collect();
+        let mut sorted = items.clone();
+        sorted.sort_by_key(|&(k, _)| k);
+        let loaded = ConcurrentPma::from_sorted(PmaParams::small(), &sorted).unwrap();
+        let pointwise = pma(UpdateMode::Synchronous);
+        for &(k, v) in &sorted {
+            pointwise.insert(k, v);
+        }
+        pointwise.flush();
+        assert_eq!(loaded.len(), pointwise.len());
+        assert_eq!(loaded.scan_all(), pointwise.scan_all());
+        assert_eq!(
+            loaded.scan_range(100, 20_000),
+            pointwise.scan_range(100, 20_000)
+        );
+    }
+
+    #[test]
+    fn oversized_batch_run_triggers_span_rebuild_not_per_key_inserts() {
+        for mode in [
+            UpdateMode::Synchronous,
+            UpdateMode::Batch {
+                t_delay: Duration::from_millis(1),
+            },
+        ] {
+            let p = pma(mode);
+            // One gate covers everything at first; a batch far larger than a
+            // gate must be handed to the rebalancer as a whole run.
+            let items: Vec<(i64, i64)> = (0..10_000i64).map(|k| (k, k)).collect();
+            p.insert_batch(&items);
+            p.flush();
+            assert_eq!(p.len(), 10_000, "{mode:?}");
+            assert_eq!(p.scan_all().count, 10_000, "{mode:?}");
+            let stats = p.stats();
+            assert!(
+                stats.batch_span_rebuilds > 0,
+                "{mode:?}: overflow runs must go through the span rebuild: {stats:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn synchronous_insert_batch_is_visible_without_flush() {
+        let p = pma(UpdateMode::Synchronous);
+        let items: Vec<(i64, i64)> = (0..10_000i64).map(|k| (k, -k)).collect();
+        p.insert_batch(&items);
+        // No flush: synchronous mode promises read-your-writes, including for
+        // runs that overflowed a gate and went through the span rebuild.
+        assert_eq!(p.len(), 10_000);
+        assert_eq!(p.scan_all().count, 10_000);
+        assert_eq!(p.get(9_999), Some(-9_999));
+    }
+
+    #[test]
+    fn upsert_only_batch_merges_in_place_without_span_rebuild() {
+        let p = pma(UpdateMode::Synchronous);
+        let items: Vec<(i64, i64)> = (0..5_000i64).map(|k| (k, k)).collect();
+        p.insert_batch(&items);
+        p.flush();
+        let rebuilds_before = p.stats().batch_span_rebuilds;
+        // Re-batching the same keys adds nothing: even on gates whose naive
+        // cardinality + run-length check overflows, the refresh must merge in
+        // place instead of triggering gate-span rebuilds.
+        let refreshed: Vec<(i64, i64)> = (0..5_000i64).map(|k| (k, -k)).collect();
+        p.insert_batch(&refreshed);
+        p.flush();
+        assert_eq!(p.len(), 5_000);
+        assert_eq!(p.get(4_321), Some(-4_321));
+        assert_eq!(
+            p.stats().batch_span_rebuilds,
+            rebuilds_before,
+            "value-refresh batches must not rebuild gate spans"
+        );
     }
 
     #[test]

@@ -41,6 +41,14 @@ pub(crate) enum Request {
     GlobalBatch {
         /// The handed-over gate.
         gate_id: usize,
+        /// Identity of the hand-over: the address of the instance the sender
+        /// observed and the gate's `rebalance_epoch` at hand-over time. The
+        /// master verifies both before treating the gate as "ours": without
+        /// the check, a batch whose gate was meanwhile recycled (claimed into
+        /// another window, or invalidated by a resize) could be merged into
+        /// whatever *new* hand-over happens to occupy the same gate index —
+        /// a window whose fences need not cover the batch's keys.
+        origin: (usize, u64),
         /// Sorted insertions to merge during the rebalance.
         inserts: Vec<(Key, Value)>,
     },
@@ -146,9 +154,10 @@ impl RebalancerHandle {
     /// Starts the master thread (which in turn starts the worker pool).
     pub fn start(shared: Arc<Shared>) -> Self {
         let (tx, rx) = unbounded();
+        let req_tx = tx.clone();
         let master = std::thread::Builder::new()
             .name("pma-rebalancer-master".to_string())
-            .spawn(move || Master::new(shared, rx).run())
+            .spawn(move || Master::new(shared, rx, req_tx).run())
             .expect("failed to spawn the rebalancer master thread");
         Self {
             tx,
@@ -196,6 +205,9 @@ impl std::fmt::Debug for RebalancerHandle {
 struct Master {
     shared: Arc<Shared>,
     rx: Receiver<Request>,
+    /// Loop-back sender used to re-enqueue follow-up work for the master
+    /// itself (the post-release combining-queue drain).
+    req_tx: Sender<Request>,
     workers: Vec<JoinHandle<()>>,
     job_tx: Sender<WorkerMsg>,
     /// Delegated batches waiting for their `t_delay` to elapse.
@@ -203,7 +215,7 @@ struct Master {
 }
 
 impl Master {
-    fn new(shared: Arc<Shared>, rx: Receiver<Request>) -> Self {
+    fn new(shared: Arc<Shared>, rx: Receiver<Request>, req_tx: Sender<Request>) -> Self {
         let (job_tx, job_rx) = unbounded::<WorkerMsg>();
         let workers = (0..shared.params.rebalancer_workers)
             .map(|i| {
@@ -217,6 +229,7 @@ impl Master {
         Self {
             shared,
             rx,
+            req_tx,
             workers,
             job_tx,
             parked: Vec::new(),
@@ -239,11 +252,15 @@ impl Master {
             match request {
                 Some(Request::Shutdown) => break,
                 Some(Request::GlobalRebalance { gate_id, extra }) => {
-                    self.handle_handed_over_gate(gate_id, extra, Vec::new());
+                    self.handle_handed_over_gate(gate_id, extra, Vec::new(), None);
                 }
-                Some(Request::GlobalBatch { gate_id, inserts }) => {
+                Some(Request::GlobalBatch {
+                    gate_id,
+                    origin,
+                    inserts,
+                }) => {
                     let extra = inserts.len();
-                    self.handle_handed_over_gate(gate_id, extra, inserts);
+                    self.handle_handed_over_gate(gate_id, extra, inserts, Some(origin));
                 }
                 Some(Request::DelayedBatch { gate_id, due }) => {
                     self.parked.push((due, gate_id));
@@ -308,49 +325,82 @@ impl Master {
 
     /// Releases the service-owned gates `[g_lo, g_hi)`, bumping their
     /// rebalance epoch and waking every waiter.
+    ///
+    /// Post-release combining-queue drain (ROADMAP item): operations that
+    /// were forwarded to a gate's combining queue while the service held it
+    /// used to wait for the next writer (or a `flush`) to drain them — a
+    /// tail-latency cliff for rarely-written gates. Releasing now marks any
+    /// gate with leftover queued operations as delegated and loops a
+    /// due-immediately `DelayedBatch` back to the master, so the queue is
+    /// drained by the service itself right after the rebalance.
     fn release_gates(&self, inst: &PmaInstance, g_lo: usize, g_hi: usize) {
         let now = Instant::now();
         for g in g_lo..g_hi {
             let gate = &inst.gates[g];
-            {
+            let drain = {
                 let mut st = gate.lock();
                 st.mode = GateMode::Free;
                 st.service_owned = false;
                 st.rebalance_epoch += 1;
                 st.last_global_rebalance = now;
-            }
+                let drain = !st.pending.is_empty() && !st.delegated && !st.invalidated;
+                if drain {
+                    // Keep later writers appending FIFO behind the queued
+                    // operations until the drain runs (same protocol as the
+                    // `t_delay` parking in `drain_batch`).
+                    st.delegated = true;
+                }
+                drain
+            };
             gate.notify_all();
+            if drain {
+                let _ = self.req_tx.send(Request::DelayedBatch {
+                    gate_id: g,
+                    due: now,
+                });
+            }
         }
     }
 
     /// Entry point for `GlobalRebalance` / `GlobalBatch`: the gate was handed
-    /// over by a writer.
-    fn handle_handed_over_gate(&self, gate_id: usize, extra: usize, batch: Vec<(Key, Value)>) {
+    /// over by a writer. `origin` is the `(instance address, rebalance_epoch)`
+    /// pair recorded at hand-over time for batch requests; a mismatch means
+    /// the gate under this index is no longer *that* hand-over (it was
+    /// claimed into another window, released, invalidated by a resize, or
+    /// belongs to a brand-new instance) and the batch must not be merged into
+    /// whatever currently occupies the index.
+    fn handle_handed_over_gate(
+        &self,
+        gate_id: usize,
+        extra: usize,
+        batch: Vec<(Key, Value)>,
+        origin: Option<(usize, u64)>,
+    ) {
         let _pin = self.shared.pin();
         // SAFETY: pinned above.
         let inst = unsafe { self.shared.instance_ref() };
-        if gate_id >= inst.num_gates() {
-            return;
-        }
-        {
+        let stale = gate_id >= inst.num_gates() || {
             let st = inst.gates[gate_id].lock();
-            if st.invalidated || !(st.mode == GateMode::Rebalance && st.service_owned) {
-                // Stale request: the gate was already handled as part of
-                // another window or a resize. An unapplied `extra` element is
-                // retried by its writer; a batch must be re-applied here.
-                if batch.is_empty() {
-                    return;
-                }
-                // A batch must never be dropped: reapply it directly.
-                drop(st);
+            st.invalidated
+                || !(st.mode == GateMode::Rebalance && st.service_owned)
+                || origin.is_some_and(|(inst_addr, epoch)| {
+                    inst_addr != inst as *const PmaInstance as usize || epoch != st.rebalance_epoch
+                })
+        };
+        if stale {
+            // Stale request: the gate was already handled as part of another
+            // window or a resize. An unapplied `extra` element is retried by
+            // its writer; a batch must never be dropped, so reapply it
+            // directly.
+            if !batch.is_empty() {
                 self.reapply_ops(
                     batch
                         .into_iter()
                         .map(|(k, v)| UpdateOp::Insert(k, v))
                         .collect(),
                 );
-                return;
             }
+            return;
         }
         self.rebalance_from(inst, gate_id, extra, batch);
     }
@@ -504,6 +554,15 @@ impl Master {
     /// owned by the service; the remaining gates are acquired here. `batch`
     /// is merged into the new instance. When `shrink_check` is set the resize
     /// is abandoned if the array is no longer under-full.
+    ///
+    /// Operations sitting in combining queues are **folded into the new
+    /// instance before it is published**, and the queues are closed
+    /// (`queue_closed`) for the duration of the rebuild so no operation can
+    /// be queued onto the dying instance. An earlier design re-applied
+    /// stranded queue entries *after* publication, which was a linearizability
+    /// hole: a client could apply a newer operation on the new instance
+    /// first, only to have it overwritten by the master's late replay of an
+    /// older queued operation for the same key.
     fn resize(
         &self,
         inst: &PmaInstance,
@@ -517,16 +576,12 @@ impl Master {
             self.acquire_gate(inst, g);
         }
 
-        // Collect all elements and all pending (combined) operations.
+        // Collect all elements.
         let mut keys: Vec<Key> = Vec::new();
         let mut values: Vec<Value> = Vec::new();
-        let mut pending_ops: Vec<UpdateOp> = Vec::new();
         for g in 0..inst.num_gates() {
             // SAFETY: every gate is now service-owned.
             unsafe { inst.gates[g].chunk() }.collect_into(&mut keys, &mut values);
-            let mut st = inst.gates[g].lock();
-            pending_ops.extend(st.pending.drain(..));
-            st.delegated = false;
         }
 
         if shrink_check {
@@ -534,62 +589,99 @@ impl Master {
             let still_underfull =
                 (keys.len() as f64) < self.shared.params.downsize_at * capacity as f64;
             if !still_underfull || inst.num_gates() == 1 {
+                // Abort: the combining queues are left untouched —
+                // `release_gates` schedules a drain for any gate holding
+                // queued operations, preserving their FIFO position.
                 self.release_gates(inst, 0, inst.num_gates());
-                self.reapply_ops(pending_ops);
                 return;
             }
         }
 
-        // Merge the batch (upsert semantics).
-        let batch = normalise_batch(batch);
-        let (merged_keys, merged_values) = merge_sorted(&keys, &values, &batch);
-        let new_len = merged_keys.len();
-
-        // Paper: C' = 2 N / (rho_h + tau_h), rounded up to a power-of-two
-        // number of gates.
-        let t = &self.shared.params.thresholds;
-        let target_density = (t.rho_root + t.tau_root).max(0.1);
-        let needed_slots = ((2.0 * new_len as f64) / target_density).ceil() as usize;
-        let gate_capacity = inst.gate_capacity();
-        let mut num_gates = needed_slots
-            .div_ceil(gate_capacity)
-            .max(1)
-            .next_power_of_two();
-        while num_gates * gate_capacity < new_len + 1 {
-            num_gates *= 2;
+        // Freeze the combining queues: with `queue_closed` set (and
+        // `delegated` cleared) every would-be queueing writer blocks on the
+        // gate's condvar instead, so the queues cannot grow behind our back.
+        // Everything queued so far is drained and folded into the rebuild.
+        let mut pending_ops: Vec<UpdateOp> = Vec::new();
+        for gate in inst.gates.iter() {
+            let mut st = gate.lock();
+            st.queue_closed = true;
+            st.delegated = false;
+            pending_ops.extend(st.pending.drain(..));
         }
 
+        // Fold everything into one sorted stream: first the hand-over batch
+        // (it predates every queued operation), then the queued operations
+        // reduced to the last one per key and applied as one upsert-merge
+        // plus one delete-filter pass.
+        let batch = normalise_batch(batch);
+        let (merged_keys, merged_values) = merge_sorted(&keys, &values, &batch);
+        let ops = super::dedup_last_op_per_key(pending_ops);
+        let mut deletes: Vec<Key> = Vec::new();
+        let mut inserts: Vec<(Key, Value)> = Vec::new();
+        for op in ops {
+            match op {
+                UpdateOp::Delete(k) => deletes.push(k),
+                UpdateOp::Insert(k, v) => inserts.push((k, v)),
+            }
+        }
+        inserts.sort_by_key(|&(k, _)| k);
+        deletes.sort_unstable();
+        let (merged_keys, merged_values) = merge_sorted(&merged_keys, &merged_values, &inserts);
+        let (final_keys, final_values) = filter_deleted(merged_keys, merged_values, &deletes);
+        let new_len = final_keys.len();
+
+        // Paper: C' = 2 N / (rho_h + tau_h), rounded up to a power-of-two
+        // number of gates — the same capacity-planning rule the bulk-load
+        // constructor uses.
+        let num_gates = self.shared.params.presized_gates(new_len);
+
         let new_instance = Box::new(PmaInstance::from_sorted(
-            &merged_keys,
-            &merged_values,
+            &final_keys,
+            &final_values,
             num_gates,
             &self.shared.params,
         ));
         let old = self.shared.publish_instance(new_instance);
-        self.shared.len.store(new_len, Ordering::Relaxed);
+        // Adjust the element counter by the delta the batch and the folded
+        // queue operations produced, NOT with a `store(new_len)`: the instant
+        // the new instance is published, clients can pin it and apply updates
+        // — an absolute store would overwrite their concurrent
+        // `fetch_add`/`fetch_sub`, leaving the counter permanently off by the
+        // lost updates. From the moment every old gate was service-owned
+        // until publication the counter could not move, so it equalled
+        // `keys.len()` and a relative adjustment is race-free.
+        match new_len.cmp(&keys.len()) {
+            std::cmp::Ordering::Greater => {
+                self.shared
+                    .len
+                    .fetch_add(new_len - keys.len(), Ordering::Relaxed);
+            }
+            std::cmp::Ordering::Less => {
+                self.shared
+                    .len
+                    .fetch_sub(keys.len() - new_len, Ordering::Relaxed);
+            }
+            std::cmp::Ordering::Equal => {}
+        }
 
-        // Invalidate the old gates and wake everyone blocked on them, then
-        // retire the old instance. Writers may have appended to the combining
-        // queues while the gates were service-owned (between the drain above
-        // and this invalidation); those entries would be stranded on the dead
-        // instance, so collect them for re-application too.
+        // Invalidate the old gates and wake everyone blocked on them (both
+        // ordinary waiters and the writers parked by `queue_closed`), then
+        // retire the old instance. Every queued operation was folded into
+        // the published instance above, so nothing is stranded.
         for gate in old.gates.iter() {
             {
                 let mut st = gate.lock();
                 st.invalidated = true;
                 st.service_owned = false;
+                st.queue_closed = false;
                 st.mode = GateMode::Free;
                 st.rebalance_epoch += 1;
-                pending_ops.extend(st.pending.drain(..));
+                debug_assert!(st.pending.is_empty(), "queue grew while closed");
             }
             gate.notify_all();
         }
         self.shared.garbage.retire(&self.shared.registry, old);
         Stats::bump(&self.shared.stats.resizes);
-
-        // Re-apply the combined operations that were still queued at the old
-        // gates; they now target the new instance.
-        self.reapply_ops(pending_ops);
     }
 
     /// Handles a delegated combining queue once its `t_delay` has elapsed:
@@ -824,6 +916,28 @@ pub(crate) fn normalise_batch(mut batch: Vec<(Key, Value)>) -> Vec<(Key, Value)>
     }
     out.reverse();
     out
+}
+
+/// Drops every entry whose key appears in the sorted `deletes` list (the
+/// delete half of the queued operations a resize folds into the rebuild).
+fn filter_deleted(keys: Vec<Key>, values: Vec<Value>, deletes: &[Key]) -> (Vec<Key>, Vec<Value>) {
+    if deletes.is_empty() {
+        return (keys, values);
+    }
+    let mut out_k = Vec::with_capacity(keys.len());
+    let mut out_v = Vec::with_capacity(values.len());
+    let mut d = 0usize;
+    for (k, v) in keys.into_iter().zip(values) {
+        while d < deletes.len() && deletes[d] < k {
+            d += 1;
+        }
+        if d < deletes.len() && deletes[d] == k {
+            continue;
+        }
+        out_k.push(k);
+        out_v.push(v);
+    }
+    (out_k, out_v)
 }
 
 /// Merges sorted `(keys, values)` with a sorted, deduplicated batch; batch

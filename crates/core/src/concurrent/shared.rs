@@ -29,11 +29,17 @@ pub(crate) struct Shared {
 impl Shared {
     /// Creates the shared state with an empty single-gate instance.
     pub fn new(params: PmaParams) -> Self {
-        let instance = Box::into_raw(Box::new(PmaInstance::empty(&params)));
+        let instance = Box::new(PmaInstance::empty(&params));
+        Self::with_instance(params, instance, 0)
+    }
+
+    /// Creates the shared state around a pre-built instance holding `len`
+    /// elements (the bulk-load construction path).
+    pub fn with_instance(params: PmaParams, instance: Box<PmaInstance>, len: usize) -> Self {
         Self {
             params,
-            instance: AtomicPtr::new(instance),
-            len: AtomicUsize::new(0),
+            instance: AtomicPtr::new(Box::into_raw(instance)),
+            len: AtomicUsize::new(len),
             stats: Stats::new(),
             registry: EpochRegistry::new(),
             garbage: GarbageBin::new(),

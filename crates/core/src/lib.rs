@@ -17,6 +17,12 @@
 //!   writers combine their updates asynchronously (one-by-one or batched with
 //!   a `t_delay` throttle).
 //!
+//! Both PMAs additionally ship a bulk-load constructor (`from_sorted`) that
+//! presizes the array from the calibrated density bounds
+//! ([`params::PmaParams::presized_segments`]) and lays the sorted input out
+//! in one pass with zero rebalances — see `docs/ARCHITECTURE.md` for the full
+//! map from paper sections to modules.
+//!
 //! ## Quick start
 //!
 //! ```

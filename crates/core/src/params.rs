@@ -193,6 +193,47 @@ impl PmaParams {
         self.segment_capacity * self.segments_per_gate
     }
 
+    /// Number of segments (a power of two) a freshly built array should have
+    /// to hold `n` elements at the calibrated target density.
+    ///
+    /// This is the capacity-planning rule shared by resizes (paper section
+    /// 3.4) and the bulk-load constructors: the new capacity is
+    /// `C' = 2 N / (rho_h + tau_h)`, i.e. the array lands halfway between its
+    /// root density bounds, leaving equal headroom for growth and shrinkage
+    /// before the next reconstruction. The result additionally guarantees
+    ///
+    /// * the root density does not exceed `tau_h` (no rebalance is pending
+    ///   right after construction), and
+    /// * every segment can keep at least one gap (`n <= segments * (B - 1)`),
+    ///   so the first point insertion into any segment finds room.
+    pub fn presized_segments(&self, n: usize) -> usize {
+        let t = &self.thresholds;
+        // Guard against degenerate threshold configurations, mirroring the
+        // rebalancer's historical `.max(0.1)` on `rho_h + tau_h`.
+        let target_density = ((t.rho_root + t.tau_root) / 2.0).max(0.05);
+        let needed_slots = ((n as f64) / target_density).ceil() as usize;
+        let mut segments = needed_slots
+            .div_ceil(self.segment_capacity)
+            .max(1)
+            .next_power_of_two();
+        while n > segments * (self.segment_capacity - 1)
+            || n as f64 > t.tau_root * (segments * self.segment_capacity) as f64
+        {
+            segments *= 2;
+        }
+        segments
+    }
+
+    /// Number of gates (a power of two) a freshly built concurrent array
+    /// should have to hold `n` elements — [`PmaParams::presized_segments`]
+    /// rounded up to whole gates.
+    pub fn presized_gates(&self, n: usize) -> usize {
+        self.presized_segments(n)
+            .div_ceil(self.segments_per_gate)
+            .max(1)
+            .next_power_of_two()
+    }
+
     /// Validates every parameter, returning a descriptive error for the first
     /// violated constraint.
     pub fn validate(&self) -> Result<(), PmaError> {
@@ -310,6 +351,47 @@ mod tests {
             ..PmaParams::default()
         };
         assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn presized_segments_hit_the_target_density_band() {
+        let p = PmaParams::default(); // rho_h = tau_h = 0.75, B = 128
+        assert_eq!(p.presized_segments(0), 1);
+        assert_eq!(p.presized_gates(0), 1);
+        for n in [1usize, 100, 1_000, 100_000, 1_000_000] {
+            let segments = p.presized_segments(n);
+            assert!(segments.is_power_of_two());
+            let capacity = segments * p.segment_capacity;
+            let density = n as f64 / capacity as f64;
+            assert!(
+                density <= p.thresholds.tau_root,
+                "n={n}: density {density} exceeds tau_root"
+            );
+            assert!(n <= segments * (p.segment_capacity - 1), "n={n}: no gaps");
+            let gates = p.presized_gates(n);
+            assert!(gates.is_power_of_two());
+            assert!(gates * p.segments_per_gate >= segments);
+        }
+    }
+
+    #[test]
+    fn presized_gates_leave_headroom_but_not_too_much() {
+        let p = PmaParams::small();
+        // Minimality: half as many gates must violate a constraint (except at
+        // the single-gate floor).
+        for n in [10usize, 50, 500, 5_000] {
+            let gates = p.presized_gates(n);
+            if gates > 1 {
+                let half_capacity = (gates / 2) * p.gate_capacity();
+                let density = n as f64 / half_capacity as f64;
+                let target = (p.thresholds.rho_root + p.thresholds.tau_root) / 2.0;
+                assert!(
+                    density > target
+                        || n > (gates / 2) * p.segments_per_gate * (p.segment_capacity - 1),
+                    "n={n}: {gates} gates is not minimal"
+                );
+            }
+        }
     }
 
     #[test]

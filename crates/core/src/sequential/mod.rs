@@ -92,6 +92,68 @@ where
         Self::new(PmaParams::default()).expect("default parameters are valid")
     }
 
+    /// Builds a PMA pre-populated with `items`, which must be sorted by key
+    /// in non-decreasing order (the last entry wins on duplicate keys).
+    ///
+    /// The segment count is presized from the calibrated density bounds
+    /// ([`PmaParams::presized_segments`]) and the elements are written out in
+    /// one pass with a uniform gap distribution — no rebalance or resize
+    /// happens during the load, making this O(N) versus the point-insert
+    /// path's rebalance cascades.
+    ///
+    /// # Errors
+    /// Returns [`PmaError::InvalidParameter`] when `params` is invalid or the
+    /// keys are not in ascending order.
+    pub fn from_sorted(params: PmaParams, items: &[(K, V)]) -> Result<Self, PmaError> {
+        params.validate()?;
+        if let Some(pos) = items.windows(2).position(|w| w[0].0 > w[1].0) {
+            return Err(PmaError::invalid(
+                "sorted_items",
+                format!("keys must be sorted ascending; violation at position {pos}"),
+            ));
+        }
+        // Deduplicate equal keys, keeping the last entry (upsert semantics).
+        let mut deduped: Vec<(K, V)> = Vec::with_capacity(items.len());
+        for &(k, v) in items {
+            match deduped.last_mut() {
+                Some(last) if last.0 == k => last.1 = v,
+                _ => deduped.push((k, v)),
+            }
+        }
+        let n = deduped.len();
+        let num_segments = params.presized_segments(n);
+        let seg_cap = params.segment_capacity;
+        let calibrator = CalibratorTree::new(num_segments, seg_cap, params.thresholds);
+        let mut keys = vec![K::default(); num_segments * seg_cap];
+        let mut values = vec![V::default(); num_segments * seg_cap];
+        let targets = even_targets(n, num_segments, seg_cap);
+        let mut cursor = 0usize;
+        for (s, &t) in targets.iter().enumerate() {
+            let start = s * seg_cap;
+            for i in 0..t {
+                let (k, v) = deduped[cursor + i];
+                keys[start + i] = k;
+                values[start + i] = v;
+            }
+            cursor += t;
+        }
+        debug_assert_eq!(cursor, n);
+        let stats = Stats::new();
+        Stats::add(&stats.bulk_loaded_keys, n as u64);
+        Ok(Self {
+            predictor: AdaptivePredictor::new(num_segments),
+            calibrator,
+            keys,
+            values,
+            cards: targets,
+            len: n,
+            stats,
+            scratch_keys: Vec::new(),
+            scratch_values: Vec::new(),
+            params,
+        })
+    }
+
     /// Number of stored elements.
     #[inline]
     pub fn len(&self) -> usize {
@@ -552,6 +614,31 @@ mod tests {
 
     fn small_pma() -> PackedMemoryArray<i64, i64> {
         PackedMemoryArray::new(PmaParams::small()).unwrap()
+    }
+
+    #[test]
+    fn from_sorted_bulk_load_matches_point_inserts() {
+        let items: Vec<(i64, i64)> = (0..5_000i64).map(|k| (k * 2, -k)).collect();
+        let loaded = PackedMemoryArray::from_sorted(PmaParams::small(), &items).unwrap();
+        assert_eq!(loaded.len(), 5_000);
+        assert_eq!(loaded.stats().total_rebalances(), 0, "bulk load rebalanced");
+        assert_eq!(loaded.stats().bulk_loaded_keys, 5_000);
+        loaded.check_invariants();
+        assert!(loaded.density() <= loaded.params().thresholds.tau_root + 1e-9);
+        let mut pointwise = small_pma();
+        for &(k, v) in &items {
+            pointwise.insert(k, v);
+        }
+        assert_eq!(loaded.to_vec(), pointwise.to_vec());
+        // Duplicates keep the last entry; unsorted input is rejected.
+        let dup = PackedMemoryArray::from_sorted(PmaParams::small(), &[(1, 1), (1, 2)]).unwrap();
+        assert_eq!(dup.get(&1), Some(2));
+        assert!(
+            PackedMemoryArray::<i64, i64>::from_sorted(PmaParams::small(), &[(2, 0), (1, 0)])
+                .is_err()
+        );
+        let empty = PackedMemoryArray::<i64, i64>::from_sorted(PmaParams::small(), &[]).unwrap();
+        assert!(empty.is_empty());
     }
 
     #[test]

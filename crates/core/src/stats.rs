@@ -33,6 +33,12 @@ pub struct Stats {
     pub gate_misses: AtomicU64,
     /// Times a client restarted an operation because the array was resized.
     pub resize_restarts: AtomicU64,
+    /// Elements installed by the bulk-load constructor (`from_sorted`), which
+    /// lays the array out in one pass without any rebalance.
+    pub bulk_loaded_keys: AtomicU64,
+    /// Oversized `insert_batch` runs handed to the rebalancer for a presized
+    /// rebuild of the covering gate span (instead of per-key fallback).
+    pub batch_span_rebuilds: AtomicU64,
 }
 
 impl Stats {
@@ -65,6 +71,8 @@ impl Stats {
             batches_delayed: self.batches_delayed.load(Ordering::Relaxed),
             gate_misses: self.gate_misses.load(Ordering::Relaxed),
             resize_restarts: self.resize_restarts.load(Ordering::Relaxed),
+            bulk_loaded_keys: self.bulk_loaded_keys.load(Ordering::Relaxed),
+            batch_span_rebuilds: self.batch_span_rebuilds.load(Ordering::Relaxed),
         }
     }
 }
@@ -94,6 +102,11 @@ pub struct StatsSnapshot {
     pub gate_misses: u64,
     /// Operation restarts caused by resizes.
     pub resize_restarts: u64,
+    /// Elements installed by the bulk-load constructor (`from_sorted`).
+    pub bulk_loaded_keys: u64,
+    /// Oversized `insert_batch` runs handed to the rebalancer for a presized
+    /// gate-span rebuild.
+    pub batch_span_rebuilds: u64,
 }
 
 impl StatsSnapshot {

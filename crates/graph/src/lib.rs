@@ -6,7 +6,9 @@
 //! and analytical scans at the same time.
 //!
 //! * [`graph::DynamicGraph`] — edges keyed by `(src, dst)` in one sparse
-//!   array, vertex set alongside.
+//!   array, vertex set alongside; [`graph::DynamicGraph::from_edges`] bulk
+//!   -loads a whole edge list through the PMA's presized `from_sorted`
+//!   constructor (zero rebalances during the load).
 //! * [`algorithms`] — BFS, PageRank and triangle counting over the dynamic
 //!   graph.
 //! * [`generators`] — synthetic uniform and scale-free edge streams used by

@@ -42,6 +42,17 @@ pub fn build_or_panic(spec: &str) -> Arc<dyn ConcurrentMap> {
     build(spec).unwrap_or_else(|e| panic!("cannot build `{spec}`: {e}"))
 }
 
+/// Builds the structure selected by `spec` pre-populated with the sorted
+/// `items`, dispatching to the backend's native bulk loader when it has one
+/// (see `Registry::build_loaded` in [`pma_common::registry`]).
+pub fn build_loaded(
+    spec: &str,
+    items: &[(pma_common::Key, pma_common::Value)],
+) -> Result<Arc<dyn ConcurrentMap>, PmaError> {
+    ensure_builtin_backends();
+    Registry::global().build_loaded(spec, items)
+}
+
 /// Display label for `spec`, matching the paper's figures; falls back to the
 /// spec itself for unknown backends.
 pub fn label(spec: &str) -> String {

@@ -4,7 +4,9 @@
 //! * [`distribution`] — uniform and Zipfian key streams over `beta = 2^27`.
 //! * [`spec`] — experiment descriptions (thread splits, update patterns).
 //! * [`drivers`] — the measured insert-only and mixed-update phases with
-//!   concurrent scanner threads.
+//!   concurrent scanner threads, plus the cold bulk-ingestion driver
+//!   ([`drivers::run_bulk_ingest`]) comparing `from_sorted` loads against
+//!   looped inserts.
 //! * [`harness`] — median-of-repeats measurement and paper-style tables.
 //! * [`factory`] — registry-backed construction of every structure of the
 //!   evaluation by spec string (see [`pma_common::registry`]).
@@ -18,10 +20,13 @@ pub mod harness;
 pub mod spec;
 
 pub use distribution::{Distribution, KeyGenerator, DEFAULT_KEY_RANGE};
-pub use drivers::{preload, run_insert_only, run_mixed_updates, run_workload, Measurement};
+pub use drivers::{
+    bulk_ingest_items, preload, run_bulk_ingest, run_insert_only, run_mixed_updates, run_workload,
+    BulkIngestMeasurement, Measurement,
+};
 pub use factory::{
-    ablation_leaf_specs, ablation_segment_specs, build, build_or_panic, ensure_builtin_backends,
-    figure3_specs, figure4_specs, label,
+    ablation_leaf_specs, ablation_segment_specs, build, build_loaded, build_or_panic,
+    ensure_builtin_backends, figure3_specs, figure4_specs, label,
 };
 pub use harness::{measure_median, render_speedup_table, render_table, ResultRow};
 pub use spec::{ThreadSplit, UpdatePattern, WorkloadSpec};

@@ -111,7 +111,7 @@ pub mod strategy {
             Map { inner: self, f }
         }
 
-        /// Erases the concrete strategy type (used by [`prop_oneof!`]).
+        /// Erases the concrete strategy type (used by `prop_oneof!`).
         fn boxed(self) -> BoxedStrategy<Self::Value>
         where
             Self: Sized + 'static,
@@ -158,7 +158,7 @@ pub mod strategy {
         }
     }
 
-    /// Weighted union of same-valued strategies (built by [`prop_oneof!`]).
+    /// Weighted union of same-valued strategies (built by `prop_oneof!`).
     pub struct WeightedUnion<T> {
         arms: Vec<(u32, BoxedStrategy<T>)>,
         total: u64,

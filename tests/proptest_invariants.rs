@@ -180,6 +180,59 @@ proptest! {
         }
     }
 
+    /// Bulk loading presizes the array so that the loaded density stays
+    /// within the calibrated bounds: never above the root's upper threshold
+    /// `tau_h` (asserted through the calibrator itself), with one gap per
+    /// segment guaranteed, a power-of-two gate count, and — whenever rounding
+    /// to powers of two allows — not so sparse that the load lands below half
+    /// the presizing target `(rho_h + tau_h) / 2`. No rebalance of any kind
+    /// may run during the load.
+    #[test]
+    fn bulk_loaded_density_stays_within_calibrated_bounds(
+        n in 0usize..20_000,
+        seg_capacity_log in 2u32..8,
+    ) {
+        let params = PmaParams {
+            segment_capacity: 1usize << seg_capacity_log,
+            ..PmaParams::small()
+        };
+        let items: Vec<(i64, i64)> = (0..n as i64).map(|k| (k * 2, -k)).collect();
+        let pma = ConcurrentPma::from_sorted(params.clone(), &items).unwrap();
+        prop_assert_eq!(pma.len(), n);
+        prop_assert_eq!(pma.stats().total_rebalances(), 0);
+        prop_assert!(pma.num_gates().is_power_of_two());
+
+        let capacity = pma.capacity();
+        let num_segments = capacity / params.segment_capacity;
+        // Upper bound via the calibrator: the root window must be within its
+        // threshold, i.e. the load never exceeds `max_root_fill`.
+        let calibrator = CalibratorTree::new(
+            num_segments,
+            params.segment_capacity,
+            params.thresholds,
+        );
+        prop_assert!(
+            n <= calibrator.max_root_fill(),
+            "n = {} over max_root_fill = {} (capacity {})",
+            n, calibrator.max_root_fill(), capacity
+        );
+        // One gap per segment.
+        prop_assert!(n <= num_segments * (params.segment_capacity - 1));
+        // Lower bound: gates are not wasted — with half as many gates the
+        // target density would be exceeded (only checkable above one gate).
+        if pma.num_gates() > 1 {
+            let target =
+                (params.thresholds.rho_root + params.thresholds.tau_root) / 2.0;
+            let halved = capacity / 2;
+            prop_assert!(
+                n as f64 / halved as f64 > target
+                    || n > (num_segments / 2) * (params.segment_capacity - 1),
+                "n = {} fits in half the capacity {}",
+                n, capacity
+            );
+        }
+    }
+
     /// Uniform workload generation stays inside the requested key range and
     /// Zipf generation is reproducible.
     #[test]

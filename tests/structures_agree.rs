@@ -137,6 +137,58 @@ fn structures_handle_bulk_build_then_drain() {
     }
 }
 
+/// `from_sorted` construction (via `Registry::build_loaded`, which dispatches
+/// to each backend's native bulk loader when it has one) must be observably
+/// identical to building the same contents through point inserts — for every
+/// registered backend, including unsorted input handled by pre-sorting and
+/// duplicate keys resolving to the last entry.
+#[test]
+fn bulk_load_equals_point_insert_construction_for_every_backend() {
+    ensure_builtin_backends();
+    // Pseudo-random inserts with duplicates; sorted stably so the last
+    // occurrence of a key is also the last in the sorted run.
+    let inserts: Vec<(i64, i64)> = (0..6_000i64).map(|i| ((i * 37) % 4_001, i)).collect();
+    let mut sorted = inserts.clone();
+    sorted.sort_by_key(|&(k, _)| k);
+    for spec in all_specs() {
+        let loaded = rma_concurrent::workloads::build_loaded(&spec, &sorted)
+            .unwrap_or_else(|e| panic!("cannot bulk-load `{spec}`: {e}"));
+        let pointwise = build(&spec);
+        for &(k, v) in &inserts {
+            pointwise.insert(k, v);
+        }
+        loaded.flush();
+        pointwise.flush();
+        assert_eq!(loaded.len(), pointwise.len(), "{spec}: length");
+        assert_eq!(loaded.scan_all(), pointwise.scan_all(), "{spec}: scan_all");
+        for probe in [0i64, 1, 2_000, 4_000] {
+            assert_eq!(
+                loaded.get(probe),
+                pointwise.get(probe),
+                "{spec}: get({probe})"
+            );
+        }
+        for (lo, hi) in [(0i64, 4_000), (100, 150), (3_999, 3_999), (500, 499)] {
+            assert_eq!(
+                loaded.scan_range(lo, hi),
+                pointwise.scan_range(lo, hi),
+                "{spec}: scan_range [{lo}, {hi}]"
+            );
+        }
+        // The loaded structure behaves normally under later updates.
+        loaded.insert(-1, -1);
+        assert_eq!(loaded.get(-1), Some(-1), "{spec}");
+        loaded.remove(-1);
+        loaded.flush();
+        assert_eq!(loaded.len(), pointwise.len(), "{spec}: after updates");
+        // Unsorted input is rejected up front for every backend.
+        assert!(
+            rma_concurrent::workloads::build_loaded(&spec, &[(2, 0), (1, 0)]).is_err(),
+            "{spec}: unsorted input must be rejected"
+        );
+    }
+}
+
 #[test]
 fn a_backend_registered_at_runtime_is_selectable_by_string() {
     // Simulates a downstream crate adding a structure without touching
@@ -181,6 +233,7 @@ fn a_backend_registered_at_runtime_is_selectable_by_string() {
         description: "std BTreeMap behind a mutex (test-registered)",
         label: |_| "LockedBTreeMap".to_string(),
         build: |_| Ok(Arc::new(VecMap::default())),
+        build_loaded: None,
     });
     run_model_check("locked-btreemap", 7, 4_000);
     assert_eq!(
