@@ -30,11 +30,14 @@ fn key_bytes(key: Key) -> [u8; KEY_LEN] {
 
 /// One node of the radix tree.
 //
-// The size difference between `Leaf` and `Node256` is intentional: nodes are
-// always held through `Box<ArtNode>` (see the `children` arrays), so every
-// variant costs one allocation of exactly its own size, and boxing the large
-// variants again would only add a pointer chase on the descent path.
-#[allow(clippy::large_enum_variant)]
+// A `Box<ArtNode>` allocates the size of the *largest* variant, so the child
+// arrays of `Node16`/`Node48`/`Node256` are boxed: without that, every boxed
+// node — including each of the millions of leaves a large tree holds — would
+// cost a ~2 KiB allocation (the `Node256` child array), which made ART bulk
+// loads crawl. With the arrays out of line the enum stays under 64 bytes
+// (asserted by `art_node_stays_small`), at the price of one extra pointer
+// chase on the descent path of the three larger node types. `Node4`, the most
+// common inner node, keeps its children inline.
 #[derive(Debug)]
 enum ArtNode {
     /// A full key/value pair.
@@ -49,19 +52,19 @@ enum ArtNode {
     Node16 {
         len: u8,
         keys: [u8; 16],
-        children: [Option<Box<ArtNode>>; 16],
+        children: Box<[Option<Box<ArtNode>>; 16]>,
     },
     /// Up to 48 children, indexed through a 256-entry indirection array.
     Node48 {
         len: u8,
         /// `index[byte]` is the child slot + 1 (0 = absent).
-        index: [u8; 256],
-        children: [Option<Box<ArtNode>>; 48],
+        index: Box<[u8; 256]>,
+        children: Box<[Option<Box<ArtNode>>; 48]>,
     },
     /// Up to 256 children, directly indexed.
     Node256 {
         len: u16,
-        children: [Option<Box<ArtNode>>; 256],
+        children: Box<[Option<Box<ArtNode>>; 256]>,
     },
 }
 
@@ -158,7 +161,8 @@ impl ArtNode {
                 children,
             } => {
                 let mut new_keys = [0u8; 16];
-                let mut new_children: [Option<Box<ArtNode>>; 16] = std::array::from_fn(|_| None);
+                let mut new_children: Box<[Option<Box<ArtNode>>; 16]> =
+                    Box::new(std::array::from_fn(|_| None));
                 for i in 0..*len as usize {
                     new_keys[i] = keys[i];
                     new_children[i] = children[i].take();
@@ -174,8 +178,9 @@ impl ArtNode {
                 keys,
                 children,
             } => {
-                let mut index = [0u8; 256];
-                let mut new_children: [Option<Box<ArtNode>>; 48] = std::array::from_fn(|_| None);
+                let mut index = Box::new([0u8; 256]);
+                let mut new_children: Box<[Option<Box<ArtNode>>; 48]> =
+                    Box::new(std::array::from_fn(|_| None));
                 for i in 0..*len as usize {
                     index[keys[i] as usize] = (i + 1) as u8;
                     new_children[i] = children[i].take();
@@ -191,7 +196,8 @@ impl ArtNode {
                 index,
                 children,
             } => {
-                let mut new_children: [Option<Box<ArtNode>>; 256] = std::array::from_fn(|_| None);
+                let mut new_children: Box<[Option<Box<ArtNode>>; 256]> =
+                    Box::new(std::array::from_fn(|_| None));
                 for byte in 0..256usize {
                     let slot = index[byte];
                     if slot != 0 {
@@ -687,6 +693,18 @@ mod tests {
         let dup = ArtIndex::from_sorted(&[(9, 1), (9, 2)]).unwrap();
         assert_eq!(dup.get(9), Some(2));
         assert!(ArtIndex::from_sorted(&[(2, 0), (1, 0)]).is_err());
+    }
+
+    #[test]
+    fn art_node_stays_small() {
+        // The large child arrays are boxed precisely so that a boxed node —
+        // most importantly each leaf — allocates tens of bytes instead of the
+        // ~2 KiB an inline `Node256` child array forces onto every variant.
+        assert!(
+            std::mem::size_of::<ArtNode>() <= 64,
+            "ArtNode grew to {} bytes",
+            std::mem::size_of::<ArtNode>()
+        );
     }
 
     #[test]

@@ -40,7 +40,10 @@ fn btree_variant(spec: &BackendSpec<'_>) -> Result<(BTreeConfig, &'static str), 
     })
 }
 
-fn build_btree(spec: &BackendSpec<'_>) -> Result<Arc<dyn ConcurrentMap>, PmaError> {
+fn build_btree(
+    _registry: &Registry,
+    spec: &BackendSpec<'_>,
+) -> Result<Arc<dyn ConcurrentMap>, PmaError> {
     let (config, name) = btree_variant(spec)?;
     Ok(Arc::new(BPlusTree::with_name(config, name)))
 }
@@ -55,15 +58,15 @@ pub fn register_backends(registry: &Registry) {
         name: "masstree",
         description: "Masstree-like write-optimised tree",
         label: |_| "MassTree".to_string(),
-        build: |_| Ok(Arc::new(MasstreeLike::new())),
-        build_loaded: Some(|_, items| Ok(Arc::new(MasstreeLike::from_sorted(items)?))),
+        build: |_, _| Ok(Arc::new(MasstreeLike::new())),
+        build_loaded: Some(|_, _, items| Ok(Arc::new(MasstreeLike::from_sorted(items)?))),
     });
     registry.register(BackendDef {
         name: "bwtree",
         description: "Bw-Tree-like delta structure",
         label: |_| "BwTree".to_string(),
-        build: |_| Ok(Arc::new(BwTreeLike::new())),
-        build_loaded: Some(|_, items| {
+        build: |_, _| Ok(Arc::new(BwTreeLike::new())),
+        build_loaded: Some(|_, _, items| {
             Ok(Arc::new(BwTreeLike::from_sorted(
                 crate::bwtree::BwTreeConfig::default(),
                 items,
@@ -74,8 +77,8 @@ pub fn register_backends(registry: &Registry) {
         name: "art",
         description: "standalone Adaptive Radix Tree (coarse readers-writer lock)",
         label: |_| "ART".to_string(),
-        build: |_| Ok(Arc::new(ArtIndex::new())),
-        build_loaded: Some(|_, items| Ok(Arc::new(ArtIndex::from_sorted(items)?))),
+        build: |_, _| Ok(Arc::new(ArtIndex::new())),
+        build_loaded: Some(|_, _, items| Ok(Arc::new(ArtIndex::from_sorted(items)?))),
     });
     registry.register(BackendDef {
         name: "btree",
@@ -86,7 +89,7 @@ pub fn register_backends(registry: &Registry) {
             _ => "ART/B+tree".to_string(),
         },
         build: build_btree,
-        build_loaded: Some(|spec, items| {
+        build_loaded: Some(|_, spec, items| {
             let (config, name) = btree_variant(spec)?;
             Ok(Arc::new(BPlusTree::from_sorted(config, name, items)?))
         }),

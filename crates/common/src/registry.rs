@@ -50,7 +50,7 @@
 //!     name: "null",
 //!     description: "discards everything (demo)",
 //!     label: |spec| format!("Null[{}]", spec.raw),
-//!     build: |_spec| Err(pma_common::PmaError::NotFound("demo only".into())),
+//!     build: |_registry, _spec| Err(pma_common::PmaError::NotFound("demo only".into())),
 //!     build_loaded: None,
 //! });
 //! assert!(registry.contains("null"));
@@ -121,19 +121,28 @@ impl<'a> BackendSpec<'a> {
 }
 
 /// Builds one backend instance from a parsed spec.
-pub type BuildFn = fn(&BackendSpec<'_>) -> Result<Arc<dyn ConcurrentMap>, PmaError>;
+///
+/// The first argument is the **dispatching registry** — the one whose
+/// `build` resolved the spec. Simple backends ignore it; composite backends
+/// (e.g. the range-sharded engine, whose argument names an *inner* spec)
+/// resolve their constituent specs against it, so a backend set registered
+/// into a local [`Registry`] composes without reaching for
+/// [`Registry::global`].
+pub type BuildFn = fn(&Registry, &BackendSpec<'_>) -> Result<Arc<dyn ConcurrentMap>, PmaError>;
 
 /// Renders the display label (matching the paper's figures) for a spec.
 pub type LabelFn = fn(&BackendSpec<'_>) -> String;
 
 /// Builds one backend instance pre-populated with a sorted run of pairs.
+/// The first argument is the dispatching registry, as for [`BuildFn`].
 ///
 /// The registry guarantees the keys are in non-decreasing order
 /// ([`check_sorted`] runs before dispatch) but duplicates may still be
 /// present: the loader is responsible for resolving them to the **last**
 /// entry (use [`crate::map::dedup_sorted_last_wins`]), matching
 /// `insert_batch` upsert semantics.
-pub type LoadFn = fn(&BackendSpec<'_>, &[(Key, Value)]) -> Result<Arc<dyn ConcurrentMap>, PmaError>;
+pub type LoadFn =
+    fn(&Registry, &BackendSpec<'_>, &[(Key, Value)]) -> Result<Arc<dyn ConcurrentMap>, PmaError>;
 
 /// One registered backend.
 #[derive(Clone, Copy)]
@@ -237,10 +246,18 @@ impl Registry {
         Ok((self.lookup(&spec)?.label)(&spec))
     }
 
-    /// Builds a fresh instance of the backend selected by `spec`.
+    /// The registered definition resolving `spec`, for callers that need to
+    /// capture a backend's constructors (e.g. a composite backend resolving
+    /// its inner structure once, at its own construction time).
+    pub fn definition(&self, spec: &str) -> Result<BackendDef, PmaError> {
+        self.lookup(&BackendSpec::parse(spec))
+    }
+
+    /// Builds a fresh instance of the backend selected by `spec`, passing
+    /// `self` as the dispatching registry (see [`BuildFn`]).
     pub fn build(&self, spec: &str) -> Result<Arc<dyn ConcurrentMap>, PmaError> {
         let spec = BackendSpec::parse(spec);
-        (self.lookup(&spec)?.build)(&spec)
+        (self.lookup(&spec)?.build)(self, &spec)
     }
 
     /// Builds an instance of the backend selected by `spec`, pre-populated
@@ -262,9 +279,9 @@ impl Registry {
         let spec = BackendSpec::parse(spec);
         let def = self.lookup(&spec)?;
         match def.build_loaded {
-            Some(load) => load(&spec, items),
+            Some(load) => load(self, &spec, items),
             None => {
-                let map = (def.build)(&spec)?;
+                let map = (def.build)(self, &spec)?;
                 map.insert_batch(items);
                 map.flush();
                 Ok(map)
@@ -319,7 +336,7 @@ mod tests {
                 Some(arg) => format!("Dummy {arg}"),
                 None => "Dummy".to_string(),
             },
-            build: |_| Ok(Arc::new(Dummy::default())),
+            build: |_, _| Ok(Arc::new(Dummy::default())),
             build_loaded: None,
         }
     }
@@ -399,7 +416,7 @@ mod tests {
     fn build_loaded_prefers_the_native_loader() {
         let registry = Registry::new();
         registry.register(BackendDef {
-            build_loaded: Some(|_, items| {
+            build_loaded: Some(|_, _, items| {
                 let map = Dummy::default();
                 // A native loader that deliberately tags the first value so
                 // the test can tell which path ran.

@@ -58,13 +58,17 @@ fn spec_params(spec: &BackendSpec<'_>) -> Result<PmaParams, PmaError> {
     }
 }
 
-fn build_pma(spec: &BackendSpec<'_>) -> Result<Arc<dyn ConcurrentMap>, PmaError> {
+fn build_pma(
+    _registry: &Registry,
+    spec: &BackendSpec<'_>,
+) -> Result<Arc<dyn ConcurrentMap>, PmaError> {
     Ok(Arc::new(ConcurrentPma::new(spec_params(spec)?)?))
 }
 
 /// Native bulk loader: presized [`ConcurrentPma::from_sorted`] construction,
 /// zero rebalances during the load.
 fn build_loaded_pma(
+    _registry: &Registry,
     spec: &BackendSpec<'_>,
     items: &[(pma_common::Key, pma_common::Value)],
 ) -> Result<Arc<dyn ConcurrentMap>, PmaError> {

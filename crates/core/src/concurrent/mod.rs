@@ -698,11 +698,15 @@ impl ConcurrentPma {
     }
 
     /// Hands gate `g` (currently held in `Write` mode) over to the rebalancer
-    /// and waits until the global rebalance (or a resize) completes.
+    /// and waits until the global rebalance (or a resize) completes. The
+    /// request carries the same `(instance, rebalance_epoch)` origin tag as a
+    /// batch hand-over, so the master can recognise it as stale when the gate
+    /// was meanwhile handled as part of another window or a resize.
     fn hand_over_and_wait(&self, inst: &PmaInstance, g: usize) {
         let epoch_before = self.hand_over_gate(inst, g);
         self.rebalancer.send(Request::GlobalRebalance {
             gate_id: g,
+            origin: (inst as *const PmaInstance as usize, epoch_before),
             extra: 1,
         });
         let gate = &inst.gates[g];

@@ -35,7 +35,18 @@ pub(crate) enum Request {
     /// A writer handed over `gate_id` (latch in `Rebalance` mode,
     /// `service_owned` set) because the rebalance window exceeds the gate.
     /// `extra` is the number of elements the writer still wants to insert.
-    GlobalRebalance { gate_id: usize, extra: usize },
+    GlobalRebalance {
+        /// The handed-over gate.
+        gate_id: usize,
+        /// Identity of the hand-over, exactly as for [`Request::GlobalBatch`]
+        /// (a misattributed extra-element rebalance is harmless, unlike a
+        /// misattributed batch, but tagging both keeps the stale check
+        /// uniform and spares the service redundant rebalances of gates that
+        /// were already handled as part of another window).
+        origin: (usize, u64),
+        /// Number of elements the writer still wants to insert.
+        extra: usize,
+    },
     /// A batch of insertions destined to `gate_id` that does not fit in the
     /// gate; the gate has been handed over like `GlobalRebalance`.
     GlobalBatch {
@@ -251,8 +262,12 @@ impl Master {
             };
             match request {
                 Some(Request::Shutdown) => break,
-                Some(Request::GlobalRebalance { gate_id, extra }) => {
-                    self.handle_handed_over_gate(gate_id, extra, Vec::new(), None);
+                Some(Request::GlobalRebalance {
+                    gate_id,
+                    origin,
+                    extra,
+                }) => {
+                    self.handle_handed_over_gate(gate_id, extra, Vec::new(), origin);
                 }
                 Some(Request::GlobalBatch {
                     gate_id,
@@ -260,7 +275,7 @@ impl Master {
                     inserts,
                 }) => {
                     let extra = inserts.len();
-                    self.handle_handed_over_gate(gate_id, extra, inserts, Some(origin));
+                    self.handle_handed_over_gate(gate_id, extra, inserts, origin);
                 }
                 Some(Request::DelayedBatch { gate_id, due }) => {
                     self.parked.push((due, gate_id));
@@ -364,28 +379,29 @@ impl Master {
 
     /// Entry point for `GlobalRebalance` / `GlobalBatch`: the gate was handed
     /// over by a writer. `origin` is the `(instance address, rebalance_epoch)`
-    /// pair recorded at hand-over time for batch requests; a mismatch means
-    /// the gate under this index is no longer *that* hand-over (it was
-    /// claimed into another window, released, invalidated by a resize, or
-    /// belongs to a brand-new instance) and the batch must not be merged into
-    /// whatever currently occupies the index.
+    /// pair recorded at hand-over time; a mismatch means the gate under this
+    /// index is no longer *that* hand-over (it was claimed into another
+    /// window, released, invalidated by a resize, or belongs to a brand-new
+    /// instance), so the request is stale: a batch must not be merged into
+    /// whatever currently occupies the index, and a plain rebalance would be
+    /// redundant work on a window someone else already handled.
     fn handle_handed_over_gate(
         &self,
         gate_id: usize,
         extra: usize,
         batch: Vec<(Key, Value)>,
-        origin: Option<(usize, u64)>,
+        origin: (usize, u64),
     ) {
         let _pin = self.shared.pin();
         // SAFETY: pinned above.
         let inst = unsafe { self.shared.instance_ref() };
         let stale = gate_id >= inst.num_gates() || {
             let st = inst.gates[gate_id].lock();
+            let (inst_addr, epoch) = origin;
             st.invalidated
                 || !(st.mode == GateMode::Rebalance && st.service_owned)
-                || origin.is_some_and(|(inst_addr, epoch)| {
-                    inst_addr != inst as *const PmaInstance as usize || epoch != st.rebalance_epoch
-                })
+                || inst_addr != inst as *const PmaInstance as usize
+                || epoch != st.rebalance_epoch
         };
         if stale {
             // Stale request: the gate was already handled as part of another

@@ -1,0 +1,197 @@
+//! Registry entry for the range-sharded engine.
+//!
+//! [`register_backends`] installs the `sharded` backend into a [`Registry`];
+//! it is then constructible by spec string without any consumer naming the
+//! concrete type:
+//!
+//! ```text
+//! sharded[:<n>[:<inner-spec>]]
+//! ```
+//!
+//! `<n>` is the initial shard count (default 8) and `<inner-spec>` is the
+//! registry spec each shard instantiates (default `pma-batch:100`; it may
+//! itself contain colons, e.g. `sharded:8:pma-batch:100` or
+//! `sharded:4:btree:8k`). Inner specs are resolved against the **same
+//! registry that dispatched the build** (its definition is captured once at
+//! construction), so a backend set registered into a local [`Registry`]
+//! composes without any global state; labels fall back to
+//! [`Registry::global`] only for rendering the inner name. Nested `sharded`
+//! inner specs are rejected.
+
+use std::sync::Arc;
+
+use pma_common::registry::{BackendDef, BackendSpec, Registry};
+use pma_common::{ConcurrentMap, Key, PmaError, Value};
+
+use crate::sharded::{ShardedConfig, ShardedMap};
+
+/// The inner spec used when the spec string does not name one.
+pub const DEFAULT_INNER_SPEC: &str = "pma-batch:100";
+
+/// The shard count used when the spec string does not name one.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// Parses the `sharded` argument grammar: `<n>` or `<n>:<inner-spec>`.
+fn parse_config(spec: &BackendSpec<'_>) -> Result<ShardedConfig, PmaError> {
+    let (count, inner) = match spec.arg {
+        None => (None, DEFAULT_INNER_SPEC),
+        Some(arg) => match arg.split_once(':') {
+            Some((n, rest)) => (Some(n.trim()), rest.trim()),
+            None => (Some(arg.trim()), DEFAULT_INNER_SPEC),
+        },
+    };
+    let shards = match count {
+        None => DEFAULT_SHARDS,
+        Some(n) => n.parse().map_err(|_| {
+            PmaError::invalid(
+                "backend_spec",
+                format!("`{}`: shard count `{n}` is not an integer", spec.raw),
+            )
+        })?,
+    };
+    let config = ShardedConfig {
+        shards,
+        inner_spec: inner.to_string(),
+        ..ShardedConfig::default()
+    };
+    config.validate()?;
+    Ok(config)
+}
+
+fn build_sharded(
+    registry: &Registry,
+    spec: &BackendSpec<'_>,
+) -> Result<Arc<dyn ConcurrentMap>, PmaError> {
+    Ok(Arc::new(ShardedMap::new(parse_config(spec)?, registry)?))
+}
+
+/// Native bulk loader: fences adapt to the data and every shard is built
+/// through its inner backend's native loader in one presized pass.
+fn build_loaded_sharded(
+    registry: &Registry,
+    spec: &BackendSpec<'_>,
+    items: &[(Key, Value)],
+) -> Result<Arc<dyn ConcurrentMap>, PmaError> {
+    Ok(Arc::new(ShardedMap::from_sorted(
+        parse_config(spec)?,
+        registry,
+        items,
+    )?))
+}
+
+fn label_sharded(spec: &BackendSpec<'_>) -> String {
+    match parse_config(spec) {
+        Ok(config) => {
+            let inner = Registry::global()
+                .label(&config.inner_spec)
+                .unwrap_or_else(|_| config.inner_spec.clone());
+            format!("Sharded {}x {}", config.shards, inner)
+        }
+        Err(_) => format!("Sharded[{}]", spec.raw),
+    }
+}
+
+/// Registers the `sharded` backend. Inner specs resolve through
+/// [`Registry::global`], so the providers of the inner structures (e.g.
+/// `pma_core::register_backends`) must be installed there as well.
+pub fn register_backends(registry: &Registry) {
+    registry.register(BackendDef {
+        name: "sharded",
+        description: "range-sharded engine over N inner instances; \
+                      arg = <n>[:<inner-spec>] (default 8:pma-batch:100)",
+        label: label_sharded,
+        build: build_sharded,
+        build_loaded: Some(build_loaded_sharded),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> &'static Registry {
+        pma_core::register_backends(Registry::global());
+        register_backends(Registry::global());
+        Registry::global()
+    }
+
+    #[test]
+    fn spec_grammar_roundtrip() {
+        let registry = registry();
+        for (spec, shards) in [
+            ("sharded", DEFAULT_SHARDS),
+            ("sharded:4", 4),
+            ("sharded:2:pma-batch:1", 2),
+        ] {
+            let map = registry.build(spec).unwrap();
+            for k in 0..300i64 {
+                map.insert(k * 1_000_003, k);
+            }
+            map.flush();
+            assert_eq!(map.len(), 300, "{spec}");
+            assert_eq!(map.scan_all().count, 300, "{spec}");
+            let parsed = parse_config(&BackendSpec::parse(spec)).unwrap();
+            assert_eq!(parsed.shards, shards, "{spec}");
+        }
+    }
+
+    #[test]
+    fn labels_name_count_and_inner() {
+        let registry = registry();
+        assert_eq!(
+            registry.label("sharded:4:pma-batch:100").unwrap(),
+            "Sharded 4x PMA Batch 100ms"
+        );
+        assert_eq!(
+            registry.label("sharded").unwrap(),
+            "Sharded 8x PMA Batch 100ms"
+        );
+    }
+
+    #[test]
+    fn bulk_load_dispatches_to_the_native_loader() {
+        let registry = registry();
+        let items: Vec<(i64, i64)> = (0..5_000i64).map(|k| (k * 3, -k)).collect();
+        let map = registry
+            .build_loaded("sharded:4:pma-batch:1", &items)
+            .unwrap();
+        assert_eq!(map.len(), 5_000);
+        assert_eq!(map.get(300), Some(-100));
+        assert_eq!(map.scan_all().count, 5_000);
+    }
+
+    #[test]
+    fn composes_inside_a_local_registry_without_global_state() {
+        // The inner spec must resolve against the registry that dispatched
+        // the build — a purely local registry works end to end, including
+        // the splits the inner definition is captured for.
+        let local = Registry::new();
+        pma_core::register_backends(&local);
+        register_backends(&local);
+        let map = local.build("sharded:2:pma-batch:1").unwrap();
+        for k in 0..500i64 {
+            map.insert(k, k);
+        }
+        map.flush();
+        assert_eq!(map.len(), 500);
+        assert_eq!(map.scan_all().count, 500);
+        let loaded = local
+            .build_loaded("sharded:3:pma-sync", &[(1, 10), (2, 20), (3, 30)])
+            .unwrap();
+        assert_eq!(loaded.len(), 3);
+        // An inner spec the local registry does not know is rejected even if
+        // some other registry (e.g. the global one) would resolve it.
+        let bare = Registry::new();
+        register_backends(&bare);
+        assert!(bare.build("sharded:2:pma-batch:1").is_err());
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let registry = registry();
+        assert!(registry.build("sharded:0").is_err());
+        assert!(registry.build("sharded:abc").is_err());
+        assert!(registry.build("sharded:2:sharded:2:pma-sync").is_err());
+        assert!(registry.build("sharded:2:warp-drive").is_err());
+    }
+}

@@ -1,0 +1,1143 @@
+//! The range-sharded engine: [`ShardedMap`] composes N inner
+//! [`ConcurrentMap`] instances — each a *whole* paper-instance with its own
+//! rebalancer service and epoch domain — behind a fence-key shard directory.
+//!
+//! # Why sharding
+//!
+//! The paper's concurrent PMA funnels every multi-gate rebalance through one
+//! master/worker service (§3.3) and every resize through one entry pointer
+//! (§3.4). A single instance therefore has one hot rebalancer, one epoch
+//! domain and at most one resize in flight — a scalability ceiling under
+//! write-heavy multi-core load. Range sharding multiplies all three: each
+//! shard owns a disjoint key range `[lo, hi]` and runs its own service, so
+//! rebalances, resizes and combining all proceed in parallel across shards.
+//!
+//! # Directory and routing
+//!
+//! The shard directory is an immutable, sorted array of `(fence, shard)`
+//! entries covering the whole key domain; point operations binary-search it
+//! in `O(log S)` and then run entirely inside one inner instance. The
+//! directory is published through a single [`AtomicPtr`] and reclaimed with
+//! the same epoch machinery the PMA uses for resizes
+//! ([`pma_core::concurrent::epoch`]): readers pin, load, and never block a
+//! re-publication.
+//!
+//! # Ordered scans
+//!
+//! Because shards partition the key space into *disjoint ascending* ranges,
+//! the k-way merge of the per-shard ordered streams reduces to visiting the
+//! shards in directory order — each shard's stream is already sorted and the
+//! fences guarantee stream `i` ends strictly below stream `i+1`.
+//! [`ShardedMap::scan_all`]/[`ShardedMap::scan_range`] fold the per-shard
+//! streams concurrently (the merge of [`ScanStats`] is order-insensitive)
+//! while [`ShardedMap::range`] walks the covering shards sequentially so the
+//! visitor observes the global ascending order.
+//!
+//! # Splits and merges
+//!
+//! A split rebuilds a hot shard into two halves with the bulk loader
+//! (`Registry::build_loaded`, PR 2's presized one-pass path) and publishes a
+//! new directory, mirroring §3.4's resize publication: writers coordinate
+//! through a per-shard latch (shared for point ops, exclusive for the
+//! rebuild) plus a `retired` flag, so an operation that raced the swap
+//! retries through the fresh directory and nothing is lost. Merging two cold
+//! neighbours is the same protocol over two latches. A lightweight monitor
+//! thread drives both from per-shard op/len counters.
+
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Mutex, RwLock};
+use pma_common::{
+    check_sorted, dedup_sorted_last_wins, ConcurrentMap, Key, PmaError, Registry, ScanStats, Value,
+    KEY_MAX, KEY_MIN,
+};
+use pma_core::concurrent::epoch::{EpochRegistry, GarbageBin};
+
+use crate::stats::{EngineStats, EngineStatsSnapshot};
+
+/// Configuration of a [`ShardedMap`].
+#[derive(Debug, Clone)]
+pub struct ShardedConfig {
+    /// Number of shards the directory starts with (≥ 1).
+    pub shards: usize,
+    /// Registry spec of the inner structure each shard instantiates
+    /// (e.g. `"pma-batch:100"`). Resolved through the registry handed to the
+    /// constructor; nesting `sharded` specs is rejected.
+    pub inner_spec: String,
+    /// A shard whose element count exceeds this is eligible for a split.
+    pub split_above: usize,
+    /// Two adjacent shards whose combined element count is below this are
+    /// eligible for a merge.
+    pub merge_below: usize,
+    /// Cadence of the load monitor (split/merge decisions and directory
+    /// garbage collection).
+    pub monitor_interval: Duration,
+    /// Whether the monitor performs splits/merges on its own. Manual
+    /// [`ShardedMap::split_shard`]/[`ShardedMap::merge_shards`] calls work
+    /// either way.
+    pub auto_manage: bool,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        Self {
+            shards: 8,
+            inner_spec: "pma-batch:100".to_string(),
+            split_above: 1 << 17,
+            merge_below: 1 << 13,
+            monitor_interval: Duration::from_millis(20),
+            auto_manage: true,
+        }
+    }
+}
+
+impl ShardedConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), PmaError> {
+        if self.shards == 0 {
+            return Err(PmaError::invalid("shards", "must be at least 1"));
+        }
+        if self.shards > 4096 {
+            return Err(PmaError::invalid("shards", "more than 4096 shards"));
+        }
+        let inner_name = self.inner_spec.split(':').next().unwrap_or("").trim();
+        if inner_name.is_empty() {
+            return Err(PmaError::invalid("inner_spec", "must not be empty"));
+        }
+        if inner_name == "sharded" {
+            return Err(PmaError::invalid(
+                "inner_spec",
+                "nesting sharded engines is not supported",
+            ));
+        }
+        if self.merge_below > self.split_above {
+            return Err(PmaError::invalid(
+                "merge_below",
+                format!(
+                    "merge_below ({}) must not exceed split_above ({}) or the \
+                     monitor would oscillate",
+                    self.merge_below, self.split_above
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One shard: a disjoint key range `[lo, hi]` served by one inner instance.
+struct Shard {
+    /// Inclusive lower fence.
+    lo: Key,
+    /// Inclusive upper fence.
+    hi: Key,
+    /// The inner structure holding every element with key in `[lo, hi]`.
+    map: Arc<dyn ConcurrentMap>,
+    /// Structural latch: point updates hold it shared while they apply to
+    /// `map`; a split/merge holds it exclusive for the whole rebuild, which
+    /// both drains in-flight writers and blocks new ones until the fresh
+    /// directory is published.
+    latch: RwLock<()>,
+    /// Set (under the exclusive latch, after the new directory is published)
+    /// when this shard has been replaced; writers that were blocked on the
+    /// latch re-route through the new directory.
+    retired: AtomicBool,
+    /// Operations routed to this shard since the monitor's last decay — the
+    /// "heat" signal that picks which oversized shard to split first.
+    ops: AtomicU64,
+}
+
+impl Shard {
+    fn new(lo: Key, hi: Key, map: Arc<dyn ConcurrentMap>) -> Arc<Self> {
+        Arc::new(Self {
+            lo,
+            hi,
+            map,
+            latch: RwLock::new(()),
+            retired: AtomicBool::new(false),
+            ops: AtomicU64::new(0),
+        })
+    }
+}
+
+impl std::fmt::Debug for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shard")
+            .field("lo", &self.lo)
+            .field("hi", &self.hi)
+            .field("len", &self.map.len())
+            .field("retired", &self.retired.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// An immutable snapshot of the shard layout, published through the single
+/// entry pointer. Shards untouched by a split/merge are shared (by `Arc`)
+/// between consecutive directories, so their latches keep their identity.
+#[derive(Debug)]
+struct Directory {
+    /// Shards in ascending fence order; `shards[0].lo == KEY_MIN`,
+    /// `shards[last].hi == KEY_MAX`, and `shards[i + 1].lo ==
+    /// shards[i].hi + 1` — the ranges tile the whole key domain.
+    shards: Vec<Arc<Shard>>,
+}
+
+impl Directory {
+    /// Index of the shard whose range contains `key` (`O(log S)`).
+    #[inline]
+    fn route(&self, key: Key) -> usize {
+        // The first shard's lo is KEY_MIN, so the partition point is ≥ 1.
+        self.shards.partition_point(|s| s.lo <= key) - 1
+    }
+
+    #[cfg(debug_assertions)]
+    fn check_invariants(&self) {
+        assert_eq!(self.shards[0].lo, KEY_MIN);
+        assert_eq!(self.shards[self.shards.len() - 1].hi, KEY_MAX);
+        for w in self.shards.windows(2) {
+            assert!(w[0].hi < w[1].lo);
+            assert_eq!(w[0].hi.wrapping_add(1), w[1].lo);
+        }
+    }
+}
+
+/// A unit of work executed by the engine's worker pool.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A small persistent worker pool for cross-shard fan-out (parallel scans
+/// and batch ingestion), mirroring the rebalancer's master/worker idiom.
+///
+/// The pool exists because the inner instances reclaim memory with per-thread
+/// epoch slots that are claimed forever ([`EpochRegistry`]): fanning work out
+/// on freshly spawned threads would claim a new slot in every inner registry
+/// per call and exhaust the slot table. A fixed set of long-lived workers
+/// keeps the slot usage bounded (one slot per worker per inner instance).
+struct WorkerPool {
+    job_tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn new(size: usize) -> Self {
+        let (job_tx, job_rx) = unbounded::<Job>();
+        let workers = (0..size.max(1))
+            .map(|i| {
+                let job_rx = job_rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("pma-shard-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = job_rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("failed to spawn a shard worker thread")
+            })
+            .collect();
+        Self {
+            job_tx: Some(job_tx),
+            workers,
+        }
+    }
+
+    fn submit(&self, job: Job) {
+        if let Some(tx) = &self.job_tx {
+            let _ = tx.send(job);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Disconnect the channel; the workers drain it and exit.
+        self.job_tx = None;
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// State shared between the public handle and the monitor thread.
+struct Engine {
+    config: ShardedConfig,
+    /// A private single-entry registry holding the inner backend's
+    /// [`pma_common::registry::BackendDef`], captured from the dispatching
+    /// registry once at construction time. Splits and merges rebuild shards
+    /// through it, so the engine never consults the (possibly local,
+    /// possibly already mutated) registry it was built from again — and
+    /// never reaches for `Registry::global`.
+    inner: Registry,
+    /// The single entry pointer of the engine (mirroring §3.4): always a
+    /// valid `Box<Directory>` leaked into it, replaced atomically by
+    /// splits/merges and reclaimed through `garbage`.
+    dir: AtomicPtr<Directory>,
+    epoch: EpochRegistry,
+    garbage: GarbageBin<Box<Directory>>,
+    /// Serialises structural changes (splits, merges) so at most one
+    /// directory re-publication is in flight.
+    maintenance: Mutex<()>,
+    /// Workers executing cross-shard fan-out (scans, batch runs).
+    pool: WorkerPool,
+    stats: EngineStats,
+    stop: AtomicBool,
+}
+
+impl Engine {
+    /// # Safety
+    /// The caller must hold a pin on `self.epoch` for the lifetime of the
+    /// returned reference.
+    unsafe fn dir_ref(&self) -> &Directory {
+        &*self.dir.load(Ordering::Acquire)
+    }
+
+    /// Publishes `dir` as the new directory and retires the old one into the
+    /// epoch garbage bin (freed once no pinned reader can still observe it).
+    fn publish(&self, dir: Directory) {
+        #[cfg(debug_assertions)]
+        dir.check_invariants();
+        let fresh = Box::into_raw(Box::new(dir));
+        let old = self.dir.swap(fresh, Ordering::AcqRel);
+        // SAFETY: `old` was the uniquely-owned published directory; it is now
+        // unreachable from the entry pointer and owned by the garbage bin.
+        self.garbage
+            .retire(&self.epoch, unsafe { Box::from_raw(old) });
+    }
+
+    /// Drains the contents of `shard` into a sorted vector. The caller must
+    /// hold the shard's exclusive latch (so no writer is mid-flight) and have
+    /// flushed the inner map (so no combining queue holds pending work).
+    fn collect_shard(shard: &Shard) -> Vec<(Key, Value)> {
+        let mut items = Vec::with_capacity(shard.map.len());
+        shard
+            .map
+            .range(shard.lo, shard.hi, &mut |k, v| items.push((k, v)));
+        items
+    }
+
+    /// Splits the shard at directory index `idx` into two halves at its
+    /// median key. Returns `Ok(false)` when the shard holds fewer than two
+    /// elements (nothing to split) or the index is stale.
+    fn split_shard(&self, idx: usize) -> Result<bool, PmaError> {
+        let _structural = self.maintenance.lock();
+        let _pin = self.epoch.pin();
+        // SAFETY: pinned above.
+        let dir = unsafe { self.dir_ref() };
+        if idx >= dir.shards.len() {
+            return Ok(false);
+        }
+        let shard = Arc::clone(&dir.shards[idx]);
+        let exclusive = shard.latch.write();
+        shard.map.flush();
+        let items = Self::collect_shard(&shard);
+        if items.len() < 2 {
+            return Ok(false);
+        }
+        // The boundary is the median key; keys are distinct and ascending, so
+        // `boundary > items[0].0 >= shard.lo` and both halves are non-empty.
+        let mid = items.len() / 2;
+        let boundary = items[mid].0;
+        debug_assert!(boundary > shard.lo && boundary <= shard.hi);
+        let left = self
+            .inner
+            .build_loaded(&self.config.inner_spec, &items[..mid])?;
+        let right = self
+            .inner
+            .build_loaded(&self.config.inner_spec, &items[mid..])?;
+
+        let mut shards = Vec::with_capacity(dir.shards.len() + 1);
+        shards.extend(dir.shards[..idx].iter().cloned());
+        shards.push(Shard::new(shard.lo, boundary - 1, left));
+        shards.push(Shard::new(boundary, shard.hi, right));
+        shards.extend(dir.shards[idx + 1..].iter().cloned());
+        self.publish(Directory { shards });
+        // Publish-then-retire, all under the exclusive latch: writers that
+        // were blocked on the latch wake to a retired shard and re-route
+        // through the directory we just published.
+        shard.retired.store(true, Ordering::Release);
+        drop(exclusive);
+        EngineStats::bump(&self.stats.shard_splits);
+        self.garbage.collect(&self.epoch);
+        Ok(true)
+    }
+
+    /// Merges the shards at directory indices `idx` and `idx + 1` into one.
+    /// Returns `Ok(false)` when `idx + 1` is out of bounds.
+    fn merge_shards(&self, idx: usize) -> Result<bool, PmaError> {
+        let _structural = self.maintenance.lock();
+        let _pin = self.epoch.pin();
+        // SAFETY: pinned above.
+        let dir = unsafe { self.dir_ref() };
+        if idx + 1 >= dir.shards.len() {
+            return Ok(false);
+        }
+        let left = Arc::clone(&dir.shards[idx]);
+        let right = Arc::clone(&dir.shards[idx + 1]);
+        // Lower index first; `maintenance` already excludes other structural
+        // ops, so the order only has to be self-consistent.
+        let left_exclusive = left.latch.write();
+        let right_exclusive = right.latch.write();
+        left.map.flush();
+        right.map.flush();
+        // The two runs are disjoint and ascending, so concatenation is the
+        // merge.
+        let mut items = Self::collect_shard(&left);
+        items.extend(Self::collect_shard(&right));
+        let merged = self.inner.build_loaded(&self.config.inner_spec, &items)?;
+
+        let mut shards = Vec::with_capacity(dir.shards.len() - 1);
+        shards.extend(dir.shards[..idx].iter().cloned());
+        shards.push(Shard::new(left.lo, right.hi, merged));
+        shards.extend(dir.shards[idx + 2..].iter().cloned());
+        self.publish(Directory { shards });
+        left.retired.store(true, Ordering::Release);
+        right.retired.store(true, Ordering::Release);
+        drop(right_exclusive);
+        drop(left_exclusive);
+        EngineStats::bump(&self.stats.shard_merges);
+        self.garbage.collect(&self.epoch);
+        Ok(true)
+    }
+
+    /// One monitor round: decay the per-shard heat counters, split the
+    /// hottest oversized shard, or merge the coldest undersized neighbours.
+    fn maintain(&self) {
+        enum Plan {
+            Split(usize),
+            Merge(usize),
+        }
+        let plan = {
+            let _pin = self.epoch.pin();
+            // SAFETY: pinned above.
+            let dir = unsafe { self.dir_ref() };
+            let mut split: Option<(usize, u64)> = None;
+            for (i, shard) in dir.shards.iter().enumerate() {
+                let heat = shard.ops.load(Ordering::Relaxed);
+                shard.ops.store(heat / 2, Ordering::Relaxed);
+                if shard.map.len() > self.config.split_above
+                    && split.is_none_or(|(_, best)| heat > best)
+                {
+                    split = Some((i, heat));
+                }
+            }
+            if let Some((i, _)) = split {
+                Some(Plan::Split(i))
+            } else {
+                let mut merge: Option<(usize, usize)> = None;
+                for i in 0..dir.shards.len().saturating_sub(1) {
+                    let sum = dir.shards[i].map.len() + dir.shards[i + 1].map.len();
+                    if sum < self.config.merge_below && merge.is_none_or(|(_, best)| sum < best) {
+                        merge = Some((i, sum));
+                    }
+                }
+                merge.map(|(i, _)| Plan::Merge(i))
+            }
+        };
+        // Structural ops re-read the directory under the maintenance lock, so
+        // a stale index at worst splits/merges a different (still live) shard.
+        let result = match plan {
+            Some(Plan::Split(i)) => self.split_shard(i),
+            Some(Plan::Merge(i)) => self.merge_shards(i),
+            None => Ok(false),
+        };
+        // The monitor must survive a failed attempt (e.g. the inner loader
+        // erroring) — count it and keep serving the remaining shards rather
+        // than dying and silently disabling auto management.
+        if result.is_err() {
+            EngineStats::bump(&self.stats.monitor_errors);
+        }
+    }
+}
+
+fn monitor_loop(engine: Arc<Engine>) {
+    let step = Duration::from_millis(2);
+    let mut since_round = Duration::ZERO;
+    while !engine.stop.load(Ordering::Acquire) {
+        std::thread::sleep(step);
+        since_round += step;
+        if since_round < engine.config.monitor_interval {
+            continue;
+        }
+        since_round = Duration::ZERO;
+        engine.garbage.collect(&engine.epoch);
+        if engine.config.auto_manage {
+            engine.maintain();
+        }
+    }
+}
+
+/// Evenly divides the whole key domain into `n` contiguous inclusive ranges.
+fn uniform_bounds(n: usize) -> Vec<(Key, Key)> {
+    let n = n.max(1) as i128;
+    let span = (KEY_MAX as i128 - KEY_MIN as i128 + 1) / n;
+    (0..n)
+        .map(|i| {
+            let lo = if i == 0 {
+                KEY_MIN
+            } else {
+                (KEY_MIN as i128 + span * i) as Key
+            };
+            let hi = if i == n - 1 {
+                KEY_MAX
+            } else {
+                (KEY_MIN as i128 + span * (i + 1) - 1) as Key
+            };
+            (lo, hi)
+        })
+        .collect()
+}
+
+/// Plans the shard layout of a bulk load: up to `n` contiguous runs of
+/// roughly equal size, cut at key boundaries so the fences stay strictly
+/// increasing. Returns `(lo, hi, start, end)` per shard with `items[start..
+/// end]` the shard's run; fewer than `n` shards come back when the input has
+/// too few distinct keys to cut.
+fn plan_shards(items: &[(Key, Value)], n: usize) -> Vec<(Key, Key, usize, usize)> {
+    if items.is_empty() {
+        return uniform_bounds(n)
+            .into_iter()
+            .map(|(lo, hi)| (lo, hi, 0, 0))
+            .collect();
+    }
+    let n = n.max(1);
+    let mut cuts: Vec<usize> = Vec::with_capacity(n + 1);
+    cuts.push(0);
+    for i in 1..n {
+        let target = (i * items.len() / n).max(cuts[cuts.len() - 1] + 1);
+        if target >= items.len() {
+            break;
+        }
+        cuts.push(target);
+    }
+    cuts.push(items.len());
+    let mut plan = Vec::with_capacity(cuts.len() - 1);
+    for (j, w) in cuts.windows(2).enumerate() {
+        let (start, end) = (w[0], w[1]);
+        let lo = if j == 0 { KEY_MIN } else { items[start].0 };
+        let hi = if end == items.len() {
+            KEY_MAX
+        } else {
+            items[end].0 - 1
+        };
+        plan.push((lo, hi, start, end));
+    }
+    plan
+}
+
+/// A range-partitioned [`ConcurrentMap`] composing N inner instances behind
+/// a fence-key shard directory. See the [module docs](self) for the design.
+///
+/// # Examples
+/// ```
+/// use pma_common::{ConcurrentMap, Registry};
+/// use pma_engine::{ShardedConfig, ShardedMap};
+///
+/// pma_core::register_backends(Registry::global());
+/// let config = ShardedConfig {
+///     shards: 4,
+///     inner_spec: "pma-batch:1".to_string(),
+///     ..ShardedConfig::default()
+/// };
+/// let map = ShardedMap::new(config, Registry::global()).unwrap();
+/// map.insert(1, 10);
+/// map.insert(-1, -10);
+/// assert_eq!(map.get(1), Some(10));
+/// assert_eq!(map.scan_all().count, 2);
+/// assert_eq!(map.num_shards(), 4);
+/// ```
+pub struct ShardedMap {
+    engine: Arc<Engine>,
+    monitor: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ShardedMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedMap")
+            .field("shards", &self.num_shards())
+            .field("len", &self.len())
+            .field("config", &self.engine.config)
+            .finish()
+    }
+}
+
+impl ShardedMap {
+    /// Captures the inner backend's definition from the dispatching
+    /// `registry` into a private single-entry registry the engine owns, so
+    /// later splits/merges rebuild shards without touching `registry` again.
+    fn capture_inner(config: &ShardedConfig, registry: &Registry) -> Result<Registry, PmaError> {
+        let inner = Registry::new();
+        inner.register(registry.definition(&config.inner_spec)?);
+        Ok(inner)
+    }
+
+    /// Creates an empty sharded map whose initial directory divides the key
+    /// domain evenly into `config.shards` ranges; each shard is built from
+    /// `config.inner_spec`, resolved against `registry` (the backend
+    /// definition is captured once — `registry` is not retained).
+    pub fn new(config: ShardedConfig, registry: &Registry) -> Result<Self, PmaError> {
+        config.validate()?;
+        let inner = Self::capture_inner(&config, registry)?;
+        let shards = uniform_bounds(config.shards)
+            .into_iter()
+            .map(|(lo, hi)| Ok(Shard::new(lo, hi, inner.build(&config.inner_spec)?)))
+            .collect::<Result<Vec<_>, PmaError>>()?;
+        Self::start(config, inner, shards)
+    }
+
+    /// Builds a sharded map pre-populated with `items` (sorted by key, last
+    /// entry wins on duplicates): the run is cut into `config.shards`
+    /// roughly equal sub-runs at key boundaries — so the fences adapt to the
+    /// data instead of assuming a uniform key domain — and each shard is
+    /// constructed through the inner backend's native bulk loader.
+    pub fn from_sorted(
+        config: ShardedConfig,
+        registry: &Registry,
+        items: &[(Key, Value)],
+    ) -> Result<Self, PmaError> {
+        config.validate()?;
+        check_sorted(items)?;
+        let inner = Self::capture_inner(&config, registry)?;
+        let items = dedup_sorted_last_wins(items);
+        let shards = plan_shards(&items, config.shards)
+            .into_iter()
+            .map(|(lo, hi, start, end)| {
+                let map = inner.build_loaded(&config.inner_spec, &items[start..end])?;
+                Ok(Shard::new(lo, hi, map))
+            })
+            .collect::<Result<Vec<_>, PmaError>>()?;
+        Self::start(config, inner, shards)
+    }
+
+    fn start(
+        config: ShardedConfig,
+        inner: Registry,
+        shards: Vec<Arc<Shard>>,
+    ) -> Result<Self, PmaError> {
+        let spawn_monitor = config.monitor_interval > Duration::ZERO;
+        let pool_size = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+            .min(8);
+        let engine = Arc::new(Engine {
+            config,
+            inner,
+            dir: AtomicPtr::new(Box::into_raw(Box::new(Directory { shards }))),
+            epoch: EpochRegistry::new(),
+            garbage: GarbageBin::new(),
+            maintenance: Mutex::new(()),
+            pool: WorkerPool::new(pool_size),
+            stats: EngineStats::new(),
+            stop: AtomicBool::new(false),
+        });
+        #[cfg(debug_assertions)]
+        {
+            let _pin = engine.epoch.pin();
+            // SAFETY: pinned above.
+            unsafe { engine.dir_ref() }.check_invariants();
+        }
+        let monitor = spawn_monitor.then(|| {
+            let engine = Arc::clone(&engine);
+            std::thread::Builder::new()
+                .name("pma-shard-monitor".to_string())
+                .spawn(move || monitor_loop(engine))
+                .expect("failed to spawn the shard monitor thread")
+        });
+        Ok(Self { engine, monitor })
+    }
+
+    /// Number of shards in the current directory.
+    pub fn num_shards(&self) -> usize {
+        let _pin = self.engine.epoch.pin();
+        // SAFETY: pinned above.
+        unsafe { self.engine.dir_ref() }.shards.len()
+    }
+
+    /// `(lo, hi, len)` of every shard in directory order.
+    pub fn shard_layout(&self) -> Vec<(Key, Key, usize)> {
+        let _pin = self.engine.epoch.pin();
+        // SAFETY: pinned above.
+        unsafe { self.engine.dir_ref() }
+            .shards
+            .iter()
+            .map(|s| (s.lo, s.hi, s.map.len()))
+            .collect()
+    }
+
+    /// Snapshot of the engine's operation counters.
+    pub fn stats(&self) -> EngineStatsSnapshot {
+        self.engine.stats.snapshot()
+    }
+
+    /// Splits the shard at directory index `idx` at its median key,
+    /// publishing a new directory. Returns `Ok(false)` when the shard holds
+    /// fewer than two elements.
+    pub fn split_shard(&self, idx: usize) -> Result<bool, PmaError> {
+        self.engine.split_shard(idx)
+    }
+
+    /// Merges the shards at directory indices `idx` and `idx + 1`,
+    /// publishing a new directory. Returns `Ok(false)` when out of bounds.
+    pub fn merge_shards(&self, idx: usize) -> Result<bool, PmaError> {
+        self.engine.merge_shards(idx)
+    }
+
+    /// Routes a point update to its shard and applies it under the shard's
+    /// shared latch, retrying through the fresh directory when a concurrent
+    /// split/merge retired the shard first.
+    fn with_shard<R>(&self, key: Key, apply: impl Fn(&dyn ConcurrentMap) -> R) -> R {
+        loop {
+            let _pin = self.engine.epoch.pin();
+            // SAFETY: pinned above.
+            let dir = unsafe { self.engine.dir_ref() };
+            let shard = &dir.shards[dir.route(key)];
+            let _shared = shard.latch.read();
+            if shard.retired.load(Ordering::Acquire) {
+                EngineStats::bump(&self.engine.stats.retired_retries);
+                continue;
+            }
+            shard.ops.fetch_add(1, Ordering::Relaxed);
+            EngineStats::bump(&self.engine.stats.routed_ops);
+            return apply(shard.map.as_ref());
+        }
+    }
+
+    /// Folds the scan of every shard whose range intersects `[lo, hi]`,
+    /// running the per-shard streams concurrently when more than one shard
+    /// (with elements) is covered. Correct because the streams are disjoint:
+    /// merging [`ScanStats`] is order-insensitive.
+    fn fold_scan(&self, lo: Key, hi: Key) -> ScanStats {
+        let mut total = ScanStats::default();
+        if lo > hi {
+            return total;
+        }
+        let _pin = self.engine.epoch.pin();
+        // SAFETY: pinned above.
+        let dir = unsafe { self.engine.dir_ref() };
+        let first = dir.route(lo);
+        let last = dir.route(hi);
+        let covered = &dir.shards[first..=last];
+        let busy: Vec<&Arc<Shard>> = covered.iter().filter(|s| !s.map.is_empty()).collect();
+        match busy.len() {
+            0 => {}
+            1 => {
+                let s = busy[0];
+                total.merge(&s.map.scan_range(lo.max(s.lo), hi.min(s.hi)));
+            }
+            _ => {
+                EngineStats::bump(&self.engine.stats.cross_shard_scans);
+                // Fan the per-shard streams out to the persistent worker
+                // pool (never to fresh threads — see [`WorkerPool`]) and
+                // fold the replies; ScanStats::merge is order-insensitive,
+                // so completion order does not matter.
+                let (reply_tx, reply_rx) = unbounded();
+                let mut jobs = 0usize;
+                for s in &busy {
+                    let shard = Arc::clone(s);
+                    let reply = reply_tx.clone();
+                    let (lo, hi) = (lo.max(s.lo), hi.min(s.hi));
+                    self.engine.pool.submit(Box::new(move || {
+                        let _ = reply.send(shard.map.scan_range(lo, hi));
+                    }));
+                    jobs += 1;
+                }
+                drop(reply_tx);
+                for _ in 0..jobs {
+                    total.merge(&reply_rx.recv().expect("a shard scan worker died"));
+                }
+            }
+        }
+        total
+    }
+}
+
+impl Drop for ShardedMap {
+    fn drop(&mut self) {
+        self.engine.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.monitor.take() {
+            let _ = handle.join();
+        }
+        // SAFETY: `&mut self` means no client can be pinned any more.
+        unsafe { drop(Box::from_raw(self.engine.dir.load(Ordering::Acquire))) };
+        self.engine.garbage.clear();
+    }
+}
+
+impl ConcurrentMap for ShardedMap {
+    fn insert(&self, key: Key, value: Value) {
+        self.with_shard(key, |map| map.insert(key, value));
+    }
+
+    fn remove(&self, key: Key) -> Option<Value> {
+        self.with_shard(key, |map| map.remove(key))
+    }
+
+    fn get(&self, key: Key) -> Option<Value> {
+        // Lookups skip the shard latch: a concurrent split serves them from
+        // the (still fully populated, no longer mutated) retired instance,
+        // which is linearizable because every update that completed before
+        // this lookup started either predates the split's exclusive latch
+        // (and is in the retired instance) or postdates the directory swap
+        // (in which case this lookup, having loaded the directory after the
+        // swap, routes to the fresh shard).
+        let _pin = self.engine.epoch.pin();
+        // SAFETY: pinned above.
+        let dir = unsafe { self.engine.dir_ref() };
+        let shard = &dir.shards[dir.route(key)];
+        EngineStats::bump(&self.engine.stats.routed_ops);
+        shard.map.get(key)
+    }
+
+    fn len(&self) -> usize {
+        let _pin = self.engine.epoch.pin();
+        // SAFETY: pinned above.
+        let dir = unsafe { self.engine.dir_ref() };
+        dir.shards.iter().map(|s| s.map.len()).sum()
+    }
+
+    fn scan_all(&self) -> ScanStats {
+        self.fold_scan(KEY_MIN, KEY_MAX)
+    }
+
+    fn scan_range(&self, lo: Key, hi: Key) -> ScanStats {
+        self.fold_scan(lo, hi)
+    }
+
+    fn range(&self, lo: Key, hi: Key, visitor: &mut dyn FnMut(Key, Value)) {
+        if lo > hi {
+            return;
+        }
+        let _pin = self.engine.epoch.pin();
+        // SAFETY: pinned above.
+        let dir = unsafe { self.engine.dir_ref() };
+        let first = dir.route(lo);
+        let last = dir.route(hi);
+        if last > first {
+            EngineStats::bump(&self.engine.stats.cross_shard_scans);
+        }
+        // Sequential walk in directory order: the shard ranges ascend, so
+        // concatenating the per-shard ordered streams preserves the global
+        // order the visitor contract requires.
+        for shard in &dir.shards[first..=last] {
+            shard.map.range(lo.max(shard.lo), hi.min(shard.hi), visitor);
+        }
+    }
+
+    fn insert_batch(&self, items: &[(Key, Value)]) {
+        // Split the batch at the shard fences and hand each shard its run
+        // through the inner native batch path. Runs that race a split/merge
+        // (their shard retired under them) are re-split against the fresh
+        // directory and retried — the loop terminates because structural ops
+        // are serialised and each retry observes a newer directory.
+        let mut remaining: Vec<(Key, Value)> = items.to_vec();
+        while !remaining.is_empty() {
+            let _pin = self.engine.epoch.pin();
+            // SAFETY: pinned above.
+            let dir = unsafe { self.engine.dir_ref() };
+            let mut runs: Vec<Vec<(Key, Value)>> = vec![Vec::new(); dir.shards.len()];
+            for &(k, v) in &remaining {
+                runs[dir.route(k)].push((k, v));
+            }
+            let occupied = runs.iter().filter(|r| !r.is_empty()).count();
+            EngineStats::add(&self.engine.stats.batch_runs, occupied as u64);
+            // Applies one run under its shard's shared latch; hands the run
+            // back when the shard was retired by a concurrent split/merge.
+            fn apply_run(shard: &Shard, run: Vec<(Key, Value)>) -> Option<Vec<(Key, Value)>> {
+                let _shared = shard.latch.read();
+                if shard.retired.load(Ordering::Acquire) {
+                    return Some(run);
+                }
+                shard.ops.fetch_add(run.len() as u64, Ordering::Relaxed);
+                shard.map.insert_batch(&run);
+                None
+            }
+            let mut leftovers: Vec<(Key, Value)> = Vec::new();
+            if occupied > 1 && remaining.len() >= 2048 {
+                // Ingest per-shard runs in parallel on the persistent worker
+                // pool (the §3.5 batch path of each inner instance runs
+                // independently per shard).
+                let (reply_tx, reply_rx) = unbounded();
+                let mut jobs = 0usize;
+                for (i, run) in runs.into_iter().enumerate() {
+                    if run.is_empty() {
+                        continue;
+                    }
+                    let shard = Arc::clone(&dir.shards[i]);
+                    let reply = reply_tx.clone();
+                    self.engine.pool.submit(Box::new(move || {
+                        let _ = reply.send(apply_run(&shard, run));
+                    }));
+                    jobs += 1;
+                }
+                drop(reply_tx);
+                for _ in 0..jobs {
+                    if let Some(run) = reply_rx.recv().expect("a batch worker died") {
+                        EngineStats::bump(&self.engine.stats.retired_retries);
+                        leftovers.extend(run);
+                    }
+                }
+            } else {
+                for (i, run) in runs.into_iter().enumerate() {
+                    if !run.is_empty() {
+                        if let Some(run) = apply_run(&dir.shards[i], run) {
+                            EngineStats::bump(&self.engine.stats.retired_retries);
+                            leftovers.extend(run);
+                        }
+                    }
+                }
+            }
+            // Leftovers from distinct shards stay internally ordered per key
+            // (same-key entries always land in the same shard), so upsert
+            // semantics are preserved across retries.
+            remaining = leftovers;
+        }
+    }
+
+    fn flush(&self) {
+        let _pin = self.engine.epoch.pin();
+        // SAFETY: pinned above.
+        let dir = unsafe { self.engine.dir_ref() };
+        for shard in &dir.shards {
+            shard.map.flush();
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "sharded"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> &'static Registry {
+        pma_core::register_backends(Registry::global());
+        Registry::global()
+    }
+
+    fn config(shards: usize) -> ShardedConfig {
+        ShardedConfig {
+            shards,
+            inner_spec: "pma-batch:1".to_string(),
+            auto_manage: false,
+            ..ShardedConfig::default()
+        }
+    }
+
+    #[test]
+    fn uniform_bounds_tile_the_domain() {
+        for n in [1, 2, 3, 8, 17] {
+            let bounds = uniform_bounds(n);
+            assert_eq!(bounds.len(), n);
+            assert_eq!(bounds[0].0, KEY_MIN);
+            assert_eq!(bounds[n - 1].1, KEY_MAX);
+            for w in bounds.windows(2) {
+                assert_eq!(w[0].1.wrapping_add(1), w[1].0);
+                assert!(w[0].0 <= w[0].1);
+            }
+        }
+    }
+
+    #[test]
+    fn plan_shards_cuts_at_key_boundaries() {
+        let items: Vec<(Key, Value)> = (0..100).map(|k| (k * 2, k)).collect();
+        let plan = plan_shards(&items, 4);
+        assert_eq!(plan.len(), 4);
+        assert_eq!(plan[0].0, KEY_MIN);
+        assert_eq!(plan[3].1, KEY_MAX);
+        let covered: usize = plan.iter().map(|&(_, _, s, e)| e - s).sum();
+        assert_eq!(covered, 100);
+        for w in plan.windows(2) {
+            assert_eq!(w[0].1.wrapping_add(1), w[1].0);
+            assert_eq!(w[0].3, w[1].2);
+        }
+        // More shards than distinct keys: the plan degrades gracefully.
+        let tiny = plan_shards(&[(5, 0), (6, 0)], 8);
+        assert!(tiny.len() <= 2);
+        // Empty input: uniform fences with empty runs.
+        let empty = plan_shards(&[], 3);
+        assert_eq!(empty.len(), 3);
+        assert!(empty.iter().all(|&(_, _, s, e)| s == e));
+    }
+
+    #[test]
+    fn point_ops_route_across_shards() {
+        let map = ShardedMap::new(config(4), registry()).unwrap();
+        let keys = [KEY_MIN, KEY_MIN / 2, -17, 0, 17, KEY_MAX / 2, KEY_MAX];
+        for (i, &k) in keys.iter().enumerate() {
+            map.insert(k, i as Value);
+        }
+        map.flush();
+        assert_eq!(map.len(), keys.len());
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(map.get(k), Some(i as Value), "key {k}");
+        }
+        assert_eq!(map.remove(0), Some(3));
+        map.flush();
+        assert_eq!(map.len(), keys.len() - 1);
+        assert!(map.stats().routed_ops > 0);
+    }
+
+    #[test]
+    fn cross_shard_scans_preserve_global_order() {
+        let map = ShardedMap::new(config(8), registry()).unwrap();
+        let keys: Vec<Key> = (-500..500).map(|k| k * (KEY_MAX / 1000)).collect();
+        for &k in &keys {
+            map.insert(k, k.wrapping_mul(3));
+        }
+        map.flush();
+        let mut seen = Vec::new();
+        map.range(KEY_MIN, KEY_MAX, &mut |k, _| seen.push(k));
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(seen, sorted);
+        let stats = map.scan_all();
+        assert_eq!(stats.count as usize, keys.len());
+        assert!(map.stats().cross_shard_scans > 0);
+        // A bounded range crossing shard fences agrees with the visitor path.
+        let (lo, hi) = (sorted[100], sorted[900]);
+        let ranged = map.scan_range(lo, hi);
+        let mut expected = ScanStats::default();
+        map.range(lo, hi, &mut |k, v| expected.visit(k, v));
+        assert_eq!(ranged, expected);
+        assert_eq!(map.scan_range(10, -10), ScanStats::default());
+    }
+
+    #[test]
+    fn split_and_merge_keep_contents() {
+        let map = ShardedMap::new(config(1), registry()).unwrap();
+        for k in 0..2_000i64 {
+            map.insert(k, -k);
+        }
+        map.flush();
+        assert!(map.split_shard(0).unwrap());
+        assert_eq!(map.num_shards(), 2);
+        assert!(map.split_shard(1).unwrap());
+        assert_eq!(map.num_shards(), 3);
+        assert_eq!(map.len(), 2_000);
+        assert_eq!(map.scan_all().count, 2_000);
+        for k in (0..2_000i64).step_by(97) {
+            assert_eq!(map.get(k), Some(-k));
+        }
+        let layout = map.shard_layout();
+        assert_eq!(layout[0].0, KEY_MIN);
+        assert_eq!(layout[layout.len() - 1].1, KEY_MAX);
+        // Updates keep flowing through the new directory.
+        map.insert(5_000, 5);
+        assert_eq!(map.get(5_000), Some(5));
+        while map.num_shards() > 1 {
+            assert!(map.merge_shards(0).unwrap());
+        }
+        map.flush();
+        assert_eq!(map.len(), 2_001);
+        assert_eq!(map.scan_all().count, 2_001);
+        let stats = map.stats();
+        assert_eq!(stats.shard_splits, 2);
+        assert_eq!(stats.shard_merges, 2);
+        // Splitting an empty or single-element shard is a no-op.
+        let empty = ShardedMap::new(config(1), registry()).unwrap();
+        assert!(!empty.split_shard(0).unwrap());
+        assert!(!empty.merge_shards(0).unwrap());
+    }
+
+    #[test]
+    fn from_sorted_adapts_fences_to_the_data() {
+        let items: Vec<(Key, Value)> = (0..10_000i64).map(|k| (k, k * 2)).collect();
+        let map = ShardedMap::from_sorted(config(4), registry(), &items).unwrap();
+        assert_eq!(map.num_shards(), 4);
+        assert_eq!(map.len(), 10_000);
+        // Data-driven fences: every shard holds a non-trivial run.
+        for (lo, hi, len) in map.shard_layout() {
+            assert!(lo <= hi);
+            assert!(len >= 1_000, "shard [{lo}, {hi}] only has {len} elements");
+        }
+        assert_eq!(map.scan_range(2_400, 7_600).count, 5_201);
+        // Duplicates resolve to the last entry.
+        let dup = ShardedMap::from_sorted(config(2), registry(), &[(1, 1), (1, 2)]).unwrap();
+        assert_eq!(dup.get(1), Some(2));
+        assert!(ShardedMap::from_sorted(config(2), registry(), &[(2, 0), (1, 0)]).is_err());
+    }
+
+    #[test]
+    fn batches_split_at_shard_fences() {
+        let map = ShardedMap::new(config(4), registry()).unwrap();
+        let step = KEY_MAX / 2_000;
+        let items: Vec<(Key, Value)> = (-1_500..1_500i64).map(|k| (k * step, k)).collect();
+        map.insert_batch(&items);
+        map.flush();
+        assert_eq!(map.len(), items.len());
+        assert!(map.stats().batch_runs >= 2, "batch must fan out");
+        let stats = map.scan_all();
+        assert_eq!(stats.count as usize, items.len());
+    }
+
+    #[test]
+    fn auto_monitor_splits_hot_and_merges_cold_shards() {
+        let cfg = ShardedConfig {
+            shards: 1,
+            inner_spec: "pma-batch:1".to_string(),
+            split_above: 1_000,
+            merge_below: 64,
+            monitor_interval: Duration::from_millis(5),
+            auto_manage: true,
+        };
+        let map = ShardedMap::new(cfg, registry()).unwrap();
+        for k in 0..6_000i64 {
+            map.insert(k, k);
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(20);
+        while map.stats().shard_splits == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(map.stats().shard_splits > 0, "monitor never split");
+        map.flush();
+        assert_eq!(map.len(), 6_000);
+        assert_eq!(map.scan_all().count, 6_000);
+        // Empty the map; the monitor merges the now-cold shards back down.
+        for k in 0..6_000i64 {
+            map.remove(k);
+        }
+        map.flush();
+        while map.stats().shard_merges == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(map.stats().shard_merges > 0, "monitor never merged");
+        assert_eq!(map.len(), 0);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(ShardedConfig {
+            shards: 0,
+            ..config(1)
+        }
+        .validate()
+        .is_err());
+        assert!(ShardedConfig {
+            inner_spec: "sharded:2:pma-sync".to_string(),
+            ..config(1)
+        }
+        .validate()
+        .is_err());
+        assert!(ShardedConfig {
+            inner_spec: " ".to_string(),
+            ..config(1)
+        }
+        .validate()
+        .is_err());
+        assert!(ShardedConfig {
+            split_above: 10,
+            merge_below: 20,
+            ..config(1)
+        }
+        .validate()
+        .is_err());
+        assert!(ShardedMap::new(config(1), registry()).is_ok());
+        let unknown = ShardedConfig {
+            inner_spec: "warp-drive".to_string(),
+            ..config(2)
+        };
+        assert!(ShardedMap::new(unknown, registry()).is_err());
+    }
+}

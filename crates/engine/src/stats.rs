@@ -1,0 +1,107 @@
+//! Operation counters exposed by the sharded engine, mirroring the
+//! counter/snapshot plumbing of `pma_core::stats`.
+//!
+//! The counters serve the same two consumers: the experiment harness (e.g. to
+//! report how many shard splits a workload triggered) and tests that assert a
+//! specific code path — a split under concurrent writers, a batch fanned out
+//! across shards — was actually exercised.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal atomic counters. All increments use relaxed ordering: the
+/// counters are diagnostics, not synchronisation.
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    /// Point operations (insert/remove/get) routed through the directory.
+    pub routed_ops: AtomicU64,
+    /// Operations that retried because they reached a shard retired by a
+    /// concurrent split or merge.
+    pub retired_retries: AtomicU64,
+    /// Shard splits performed (hot shard rebuilt into two halves).
+    pub shard_splits: AtomicU64,
+    /// Shard merges performed (two cold neighbours rebuilt into one).
+    pub shard_merges: AtomicU64,
+    /// Per-shard runs dispatched by `insert_batch` after fence splitting.
+    pub batch_runs: AtomicU64,
+    /// Ordered scans that merged streams from more than one shard.
+    pub cross_shard_scans: AtomicU64,
+    /// Split/merge attempts by the monitor that returned an error (the
+    /// monitor keeps running; a persistently non-zero counter means the
+    /// inner backend's loader is failing).
+    pub monitor_errors: AtomicU64,
+}
+
+impl EngineStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot of all counters.
+    pub fn snapshot(&self) -> EngineStatsSnapshot {
+        EngineStatsSnapshot {
+            routed_ops: self.routed_ops.load(Ordering::Relaxed),
+            retired_retries: self.retired_retries.load(Ordering::Relaxed),
+            shard_splits: self.shard_splits.load(Ordering::Relaxed),
+            shard_merges: self.shard_merges.load(Ordering::Relaxed),
+            batch_runs: self.batch_runs.load(Ordering::Relaxed),
+            cross_shard_scans: self.cross_shard_scans.load(Ordering::Relaxed),
+            monitor_errors: self.monitor_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of the [`EngineStats`] counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStatsSnapshot {
+    /// Point operations routed through the directory.
+    pub routed_ops: u64,
+    /// Operations retried after reaching a retired shard.
+    pub retired_retries: u64,
+    /// Shard splits performed.
+    pub shard_splits: u64,
+    /// Shard merges performed.
+    pub shard_merges: u64,
+    /// Per-shard runs dispatched by `insert_batch`.
+    pub batch_runs: u64,
+    /// Ordered scans merging more than one shard.
+    pub cross_shard_scans: u64,
+    /// Monitor split/merge attempts that returned an error.
+    pub monitor_errors: u64,
+}
+
+impl EngineStatsSnapshot {
+    /// Total directory re-publications (splits + merges).
+    pub fn directory_swaps(&self) -> u64 {
+        self.shard_splits + self.shard_merges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_increments() {
+        let s = EngineStats::new();
+        EngineStats::bump(&s.shard_splits);
+        EngineStats::bump(&s.shard_merges);
+        EngineStats::add(&s.routed_ops, 7);
+        let snap = s.snapshot();
+        assert_eq!(snap.shard_splits, 1);
+        assert_eq!(snap.shard_merges, 1);
+        assert_eq!(snap.routed_ops, 7);
+        assert_eq!(snap.directory_swaps(), 2);
+        assert_eq!(snap.batch_runs, 0);
+    }
+}

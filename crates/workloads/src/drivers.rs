@@ -9,6 +9,7 @@ use std::time::Instant;
 use pma_common::{ConcurrentMap, Key, PmaError, Value};
 
 use crate::distribution::KeyGenerator;
+use crate::latency::{LatencyHistogram, LATENCY_SAMPLE_INTERVAL};
 use crate::spec::{UpdatePattern, WorkloadSpec};
 
 /// Result of running one workload against one data structure.
@@ -26,6 +27,12 @@ pub struct Measurement {
     pub scans_completed: u64,
     /// Elements stored in the structure after the run (after a flush).
     pub final_len: usize,
+    /// Update latencies sampled one in [`LATENCY_SAMPLE_INTERVAL`]
+    /// operations (merged across the updater threads), reported as
+    /// p50/p99/p999 next to the aggregate throughput — batching, delegated
+    /// rebalances and shard splits show up here long before they dent the
+    /// ops/s average.
+    pub update_latency: LatencyHistogram,
 }
 
 impl Measurement {
@@ -71,12 +78,21 @@ pub fn run_insert_only<M: ConcurrentMap + ?Sized>(map: &M, spec: &WorkloadSpec) 
             spec.seed ^ (tid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
         );
         let mut ops = 0u64;
-        for _ in 0..ops_per_thread {
+        let mut latency = LatencyHistogram::new();
+        for i in 0..ops_per_thread {
             let key = generator.next_key();
-            map.insert(key, key.wrapping_mul(2));
+            // Sampled, not per-op: timing every operation would tax the
+            // throughput being measured (see LATENCY_SAMPLE_INTERVAL).
+            if i % LATENCY_SAMPLE_INTERVAL == 0 {
+                let started = Instant::now();
+                map.insert(key, key.wrapping_mul(2));
+                latency.record(started.elapsed().as_nanos() as u64);
+            } else {
+                map.insert(key, key.wrapping_mul(2));
+            }
             ops += 1;
         }
-        ops
+        (ops, latency)
     })
 }
 
@@ -95,18 +111,31 @@ pub fn run_mixed_updates<M: ConcurrentMap + ?Sized>(map: &M, spec: &WorkloadSpec
             spec.seed ^ 0xABCD ^ (tid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
         );
         let mut ops = 0u64;
+        let mut latency = LatencyHistogram::new();
         for _ in 0..rounds {
             let batch = generator.take(batch_per_thread);
-            for &key in &batch {
-                map.insert(key, key);
+            for (i, &key) in batch.iter().enumerate() {
+                if i % LATENCY_SAMPLE_INTERVAL == 0 {
+                    let started = Instant::now();
+                    map.insert(key, key);
+                    latency.record(started.elapsed().as_nanos() as u64);
+                } else {
+                    map.insert(key, key);
+                }
                 ops += 1;
             }
-            for &key in &batch {
-                map.remove(key);
+            for (i, &key) in batch.iter().enumerate() {
+                if i % LATENCY_SAMPLE_INTERVAL == 0 {
+                    let started = Instant::now();
+                    map.remove(key);
+                    latency.record(started.elapsed().as_nanos() as u64);
+                } else {
+                    map.remove(key);
+                }
                 ops += 1;
             }
         }
-        ops
+        (ops, latency)
     })
 }
 
@@ -231,11 +260,13 @@ pub fn preload<M: ConcurrentMap + ?Sized>(map: &M, spec: &WorkloadSpec) {
     map.flush();
 }
 
-/// Shared skeleton: spawns scanners and updaters, times both phases.
+/// Shared skeleton: spawns scanners and updaters, times both phases. The
+/// update closure returns its operation count and its thread-local latency
+/// histogram (merged into the measurement after the join).
 fn run_phases<M, F>(map: &M, spec: &WorkloadSpec, update_fn: F) -> Measurement
 where
     M: ConcurrentMap + ?Sized,
-    F: Fn(&M, &WorkloadSpec, usize) -> u64 + Send + Sync,
+    F: Fn(&M, &WorkloadSpec, usize) -> (u64, LatencyHistogram) + Send + Sync,
 {
     let stop = AtomicBool::new(false);
     let update_fn = &update_fn;
@@ -267,7 +298,9 @@ where
             .collect();
 
         for handle in updaters {
-            measurement.update_ops += handle.join().expect("an updater thread panicked");
+            let (ops, latency) = handle.join().expect("an updater thread panicked");
+            measurement.update_ops += ops;
+            measurement.update_latency.merge(&latency);
         }
         measurement.update_seconds = start.elapsed().as_secs_f64();
         stop.store(true, Ordering::Relaxed);
@@ -317,6 +350,17 @@ mod tests {
         assert_eq!(m.update_ops, 20_000);
         assert!(m.update_seconds > 0.0);
         assert!(m.update_throughput() > 0.0);
+        // One in LATENCY_SAMPLE_INTERVAL operations is timed (5000 ops per
+        // thread divide evenly here) and percentiles are ordered.
+        assert_eq!(
+            m.update_latency.count(),
+            m.update_ops / LATENCY_SAMPLE_INTERVAL as u64
+        );
+        let (p50, p999) = (
+            m.update_latency.p50().unwrap(),
+            m.update_latency.p999().unwrap(),
+        );
+        assert!(p50 <= p999, "p50 {p50} > p999 {p999}");
         // Uniform keys over 2^16 with 20k draws: duplicates exist, so the
         // structure holds at most update_ops elements.
         assert!(m.final_len > 0 && m.final_len <= 20_000);
@@ -342,6 +386,8 @@ mod tests {
         let spec = tiny_spec(UpdatePattern::MixedUpdates, 0);
         let m = run_mixed_updates(&map, &spec);
         assert!(m.update_ops > 0);
+        let samples = m.update_latency.count();
+        assert!(samples > 0 && samples <= m.update_ops, "{samples}");
         // Every inserted batch is deleted again, so the final size is at most
         // preload + (keys that collided with preload and were deleted): the
         // final length can only have shrunk or stayed equal.

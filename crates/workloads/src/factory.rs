@@ -21,12 +21,17 @@ use std::sync::Once;
 
 use pma_common::{ConcurrentMap, PmaError, Registry};
 
-/// Installs the built-in backends into [`Registry::global`] (idempotent).
+/// Installs the built-in backends into [`Registry::global`] (idempotent):
+/// the PMA variants from `pma_core`, the tree baselines from
+/// `pma_baselines`, and the range-sharded engine from `pma_engine` (whose
+/// `sharded:<n>:<inner-spec>` specs resolve their inner structure through
+/// the same global registry).
 pub fn ensure_builtin_backends() {
     static ONCE: Once = Once::new();
     ONCE.call_once(|| {
         pma_core::register_backends(Registry::global());
         pma_baselines::register_backends(Registry::global());
+        pma_engine::register_backends(Registry::global());
     });
 }
 
@@ -128,6 +133,10 @@ mod tests {
         assert_eq!(label("pma-batch:100"), "PMA Batch 100ms");
         assert_eq!(label("pma-seg:256"), "PMA seg=256");
         assert_eq!(label("btree:8k"), "ART/B+tree 8KB");
+        assert_eq!(
+            label("sharded:4:pma-batch:100"),
+            "Sharded 4x PMA Batch 100ms"
+        );
         // Unknown specs fall back to themselves so tables stay renderable.
         assert_eq!(label("not-a-backend:3"), "not-a-backend:3");
     }

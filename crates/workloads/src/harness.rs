@@ -43,13 +43,23 @@ pub struct ResultRow {
 
 /// Renders rows the way the paper's figures report them: update throughput in
 /// millions of elements per second and scan throughput in hundreds of
-/// millions of elements per second.
+/// millions of elements per second, plus the update tail latencies
+/// (p50/p99/p999 in microseconds, power-of-two bucket resolution) so effects
+/// that average out of the throughput column — batch flushes, delegated
+/// rebalances, shard splits — stay visible.
 pub fn render_table(title: &str, rows: &[ResultRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!("\n== {title} ==\n"));
     out.push_str(&format!(
-        "{:<20} {:<14} {:>14} {:>16} {:>10}\n",
-        "structure", "workload", "updates [M/s]", "scans [x10^8/s]", "elements"
+        "{:<20} {:<14} {:>14} {:>16} {:>9} {:>9} {:>9} {:>10}\n",
+        "structure",
+        "workload",
+        "updates [M/s]",
+        "scans [x10^8/s]",
+        "p50[us]",
+        "p99[us]",
+        "p999[us]",
+        "elements"
     ));
     for row in rows {
         let m = &row.measurement;
@@ -59,11 +69,14 @@ pub fn render_table(title: &str, rows: &[ResultRow]) -> String {
             "-".to_string()
         };
         out.push_str(&format!(
-            "{:<20} {:<14} {:>14.3} {:>16} {:>10}\n",
+            "{:<20} {:<14} {:>14.3} {:>16} {:>9} {:>9} {:>9} {:>10}\n",
             row.structure,
             row.workload,
             m.update_throughput() / 1.0e6,
             scan,
+            m.update_latency.render_us(0.50),
+            m.update_latency.render_us(0.99),
+            m.update_latency.render_us(0.999),
             m.final_len,
         ));
     }
@@ -143,6 +156,9 @@ mod tests {
         assert!(table.contains("test table"));
         assert!(table.contains("B+tree"));
         assert!(table.contains("updates [M/s]"));
+        assert!(table.contains("p50[us]"));
+        assert!(table.contains("p99[us]"));
+        assert!(table.contains("p999[us]"));
     }
 
     #[test]

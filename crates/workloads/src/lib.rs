@@ -7,6 +7,8 @@
 //!   concurrent scanner threads, plus the cold bulk-ingestion driver
 //!   ([`drivers::run_bulk_ingest`]) comparing `from_sorted` loads against
 //!   looped inserts.
+//! * [`latency`] — fixed-bucket per-operation latency histograms; the
+//!   drivers report p50/p99/p999 update latency next to throughput.
 //! * [`harness`] — median-of-repeats measurement and paper-style tables.
 //! * [`factory`] — registry-backed construction of every structure of the
 //!   evaluation by spec string (see [`pma_common::registry`]).
@@ -17,6 +19,7 @@ pub mod distribution;
 pub mod drivers;
 pub mod factory;
 pub mod harness;
+pub mod latency;
 pub mod spec;
 
 pub use distribution::{Distribution, KeyGenerator, DEFAULT_KEY_RANGE};
@@ -29,4 +32,5 @@ pub use factory::{
     ensure_builtin_backends, figure3_specs, figure4_specs, label,
 };
 pub use harness::{measure_median, render_speedup_table, render_table, ResultRow};
+pub use latency::{LatencyHistogram, LATENCY_SAMPLE_INTERVAL};
 pub use spec::{ThreadSplit, UpdatePattern, WorkloadSpec};

@@ -1,9 +1,10 @@
 //! Umbrella crate re-exporting every component of the `rma-concurrent`
 //! workspace: the concurrent Packed Memory Array, the tree baselines, the
-//! workload harness and the dynamic graph layer.
+//! range-sharded engine, the workload harness and the dynamic graph layer.
 
 pub use pma_baselines as baselines;
 pub use pma_common as common;
 pub use pma_core as core;
+pub use pma_engine as engine;
 pub use pma_graph as graph;
 pub use pma_workloads as workloads;

@@ -1,0 +1,230 @@
+//! Stress and integration tests for the range-sharded engine: shard splits
+//! and merges racing concurrent writers and scanners, equivalence against a
+//! `BTreeMap` model, and the engine running under the workload drivers.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use pma_common::{ConcurrentMap, Registry};
+use rma_concurrent::engine::{ShardedConfig, ShardedMap};
+use rma_concurrent::workloads::ensure_builtin_backends;
+
+fn stress_config() -> ShardedConfig {
+    ShardedConfig {
+        shards: 2,
+        inner_spec: "pma-batch:1".to_string(),
+        // Aggressive thresholds + a fast monitor so the run performs many
+        // directory swaps while the writers and scanners are live.
+        split_above: 2_000,
+        merge_below: 256,
+        monitor_interval: Duration::from_millis(2),
+        auto_manage: true,
+    }
+}
+
+/// Runs `workers` concurrently with two scanner threads asserting that the
+/// cross-shard visitor path observes a strictly ascending key stream at every
+/// moment — including while the directory is being re-published under it.
+fn with_order_checking_scanners(map: &ShardedMap, workers: Vec<impl FnOnce() + Send>) {
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let stop = &stop;
+        for _ in 0..2 {
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let mut last = i64::MIN;
+                    let mut first = true;
+                    map.range(i64::MIN, i64::MAX, &mut |k, _| {
+                        assert!(first || k > last, "scan order violated: {k} after {last}");
+                        first = false;
+                        last = k;
+                    });
+                    // The stats-folding scan keeps working concurrently too.
+                    let _ = map.scan_all();
+                }
+            });
+        }
+        let handles: Vec<_> = workers.into_iter().map(|w| scope.spawn(w)).collect();
+        for handle in handles {
+            handle.join().expect("a writer panicked");
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+}
+
+/// Shard splits and merges race 4 writers and 2 order-checking scanners; the
+/// final contents must equal the `BTreeMap` model of the deterministic
+/// per-writer schedules.
+///
+/// The insert and delete phases are separated by a flush barrier: writers own
+/// disjoint key sets and no two operations on the *same* key are ever
+/// concurrent, so the test isolates the machinery this engine adds
+/// (split/merge under load) from the inner PMA's known late-replay windows
+/// on racing same-key updates (see ROADMAP).
+#[test]
+fn splits_and_merges_under_concurrent_writers_and_scanners() {
+    ensure_builtin_backends();
+    const WRITERS: i64 = 4;
+    const KEYS_PER_WRITER: i64 = 12_000;
+
+    let map = ShardedMap::new(stress_config(), Registry::global()).unwrap();
+
+    // Phase 1: concurrent inserts while the monitor splits hot shards.
+    with_order_checking_scanners(
+        &map,
+        (0..WRITERS)
+            .map(|t| {
+                let map = &map;
+                move || {
+                    for i in 0..KEYS_PER_WRITER {
+                        let key = i * WRITERS + t;
+                        map.insert(key, key.wrapping_mul(2));
+                    }
+                }
+            })
+            .collect(),
+    );
+    map.flush();
+
+    let mut model: BTreeMap<i64, i64> = BTreeMap::new();
+    for key in 0..WRITERS * KEYS_PER_WRITER {
+        model.insert(key, key.wrapping_mul(2));
+    }
+    assert_eq!(map.len(), model.len(), "length diverged after inserts");
+    let stats = map.scan_all();
+    assert_eq!(stats.count as usize, model.len());
+    assert_eq!(
+        stats.key_sum,
+        model.keys().map(|&k| k as i128).sum::<i128>()
+    );
+    assert_eq!(
+        stats.value_sum,
+        model.values().map(|&v| v as i128).sum::<i128>()
+    );
+    for key in (0..WRITERS * KEYS_PER_WRITER).step_by(997) {
+        assert_eq!(map.get(key), model.get(&key).copied(), "key {key}");
+    }
+    let engine_stats = map.stats();
+    assert!(
+        engine_stats.shard_splits > 0,
+        "the stress run must actually split: {engine_stats:?}"
+    );
+
+    // Phase 2: concurrent deletes of two thirds of the keys (still disjoint
+    // per writer) while scans keep running and cold shards start merging.
+    with_order_checking_scanners(
+        &map,
+        (0..WRITERS)
+            .map(|t| {
+                let map = &map;
+                move || {
+                    for i in 0..KEYS_PER_WRITER {
+                        if i % 3 != 0 {
+                            map.remove(i * WRITERS + t);
+                        }
+                    }
+                }
+            })
+            .collect(),
+    );
+    map.flush();
+    model.retain(|&key, _| (key / WRITERS) % 3 == 0);
+    assert_eq!(map.len(), model.len(), "length diverged after deletes");
+    assert_eq!(map.scan_all().count as usize, model.len());
+
+    // Phase 3: drain completely; the monitor merges the cold shards down and
+    // the map stays consistent throughout.
+    for key in 0..WRITERS * KEYS_PER_WRITER {
+        map.remove(key);
+    }
+    map.flush();
+    assert_eq!(map.len(), 0);
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while map.num_shards() > 1 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        map.stats().shard_merges > 0,
+        "draining must trigger merges: {:?}",
+        map.stats()
+    );
+    assert_eq!(map.scan_all().count, 0);
+}
+
+/// Manual splits and merges (the API the monitor drives) keep point ops and
+/// scans correct while writers are live.
+#[test]
+fn manual_split_merge_with_live_writers() {
+    ensure_builtin_backends();
+    let config = ShardedConfig {
+        auto_manage: false,
+        shards: 1,
+        inner_spec: "pma-batch:1".to_string(),
+        ..ShardedConfig::default()
+    };
+    let map = ShardedMap::new(config, Registry::global()).unwrap();
+    for k in 0..8_000i64 {
+        map.insert(k, -k);
+    }
+    map.flush();
+
+    std::thread::scope(|scope| {
+        let map = &map;
+        let writer = scope.spawn(move || {
+            for k in 8_000..16_000i64 {
+                map.insert(k, -k);
+            }
+        });
+        // Interleave structural changes with the writer.
+        for round in 0..6 {
+            let shards = map.num_shards();
+            if round % 2 == 0 || shards == 1 {
+                map.split_shard(round % shards).unwrap();
+            } else {
+                map.merge_shards(0).unwrap();
+            }
+        }
+        writer.join().expect("writer panicked");
+    });
+
+    map.flush();
+    assert_eq!(map.len(), 16_000);
+    let stats = map.scan_all();
+    assert_eq!(stats.count, 16_000);
+    for k in (0..16_000i64).step_by(397) {
+        assert_eq!(map.get(k), Some(-k));
+    }
+}
+
+/// The sharded backend is driven through the unchanged workload harness by
+/// spec string, and the new latency capture sees every operation.
+#[test]
+fn sharded_backend_runs_under_the_workload_drivers() {
+    use rma_concurrent::workloads::{
+        run_workload, Distribution, ThreadSplit, UpdatePattern, WorkloadSpec,
+    };
+    ensure_builtin_backends();
+    let map = rma_concurrent::workloads::build("sharded:4:pma-batch:1")
+        .expect("sharded spec must build through the registry");
+    let spec = WorkloadSpec {
+        distribution: Distribution::Uniform,
+        key_range: 1 << 16,
+        total_elements: 20_000,
+        threads: ThreadSplit {
+            update_threads: 4,
+            scan_threads: 2,
+        },
+        pattern: UpdatePattern::InsertOnly,
+        ..WorkloadSpec::default()
+    };
+    let m = run_workload(&*map, &spec);
+    assert_eq!(m.update_ops, 20_000);
+    assert_eq!(
+        m.update_latency.count(),
+        20_000 / rma_concurrent::workloads::LATENCY_SAMPLE_INTERVAL as u64
+    );
+    assert!(m.scans_completed > 0, "scanners must have run");
+    assert_eq!(m.final_len, map.len());
+    assert_eq!(map.scan_all().count as usize, m.final_len);
+}

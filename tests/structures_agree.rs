@@ -18,7 +18,16 @@ use rma_concurrent::workloads::ensure_builtin_backends;
 fn all_specs() -> Vec<String> {
     ensure_builtin_backends();
     let mut specs = Registry::global().names();
-    for extra in ["pma-batch:1", "pma-seg:128", "btree:8k"] {
+    for extra in [
+        "pma-batch:1",
+        "pma-seg:128",
+        "btree:8k",
+        // The sharded engine over two different inner structures: the fast
+        // -flush PMA and a tree baseline (exercising the insert_batch/flush
+        // fallbacks of the composition).
+        "sharded:4:pma-batch:1",
+        "sharded:3:btree",
+    ] {
         specs.push(extra.to_string());
     }
     specs
@@ -232,7 +241,7 @@ fn a_backend_registered_at_runtime_is_selectable_by_string() {
         name: "locked-btreemap",
         description: "std BTreeMap behind a mutex (test-registered)",
         label: |_| "LockedBTreeMap".to_string(),
-        build: |_| Ok(Arc::new(VecMap::default())),
+        build: |_, _| Ok(Arc::new(VecMap::default())),
         build_loaded: None,
     });
     run_model_check("locked-btreemap", 7, 4_000);
