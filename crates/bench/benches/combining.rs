@@ -1,0 +1,92 @@
+//! Criterion benchmark for the combining write path: queued-op throughput
+//! under high gate contention, before/after the owned-window apply refactor.
+//!
+//! Four writer threads hammer interleaved keys through a small-gate PMA so
+//! almost every operation either finds another writer on its gate (and joins
+//! a combining queue) or lands on a gate the service holds mid-rebalance
+//! (claim-time drains, in-window settles). The refactor moved the queue
+//! resolution from "apply, maybe replay later" to a single owned-window
+//! primitive; this bench shows that doing it safely is not a throughput tax.
+//! The synchronous mode rides along as the no-queue baseline.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use pma_core::{ConcurrentPma, PmaParams, UpdateMode};
+
+const THREADS: i64 = 4;
+const OPS_PER_THREAD: i64 = 2_000;
+
+/// Short measurement windows keep the full suite runnable in CI; raise them
+/// for publication-quality numbers.
+fn tune(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(2));
+}
+
+fn modes() -> Vec<(&'static str, UpdateMode)> {
+    vec![
+        ("sync", UpdateMode::Synchronous),
+        ("1by1", UpdateMode::OneByOne),
+        (
+            "batch-1ms",
+            UpdateMode::Batch {
+                t_delay: Duration::from_millis(1),
+            },
+        ),
+    ]
+}
+
+/// One contended round: every thread interleaves inserts and removes over
+/// keys striped across the whole array, so neighbouring threads constantly
+/// collide on the same gates while the array grows (every third key is kept)
+/// and the rebalancer keeps claiming windows under the queues.
+fn contended_round(pma: &ConcurrentPma) {
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            scope.spawn(move || {
+                for i in 0..OPS_PER_THREAD {
+                    let key = i * THREADS + t;
+                    pma.insert(key, key);
+                    if i % 3 != 0 {
+                        pma.remove(key);
+                    }
+                }
+            });
+        }
+    });
+    pma.flush();
+}
+
+fn bench_combining_contention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("combining_queued_ops");
+    group.sample_size(10);
+    tune(&mut group);
+    // Each round issues inserts plus removes for two thirds of the keys.
+    let ops = (THREADS * OPS_PER_THREAD) as u64 * 5 / 3;
+    group.throughput(Throughput::Elements(ops));
+    for (label, mode) in modes() {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let pma = ConcurrentPma::new(PmaParams {
+                    update_mode: mode,
+                    ..PmaParams::small()
+                })
+                .expect("small params are valid");
+                contended_round(&pma);
+                assert_eq!(
+                    pma.len() as i64,
+                    THREADS * ((OPS_PER_THREAD + 2) / 3),
+                    "{label}: combining lost or resurrected operations"
+                );
+                pma
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_combining_contention);
+criterion_main!(benches);

@@ -82,6 +82,37 @@ impl ScanStats {
     }
 }
 
+/// Counters surfaced by backends that defer updates through combining
+/// queues (the concurrent PMA's asynchronous update modes and anything
+/// composing such a backend, like the sharded engine).
+///
+/// The harness renders both next to the throughput columns: `owned_applies`
+/// says how much work the combining machinery actually moved, and
+/// `late_replays` must stay **zero** — a non-zero value means a queued
+/// operation was applied *after* the window owning its key range was
+/// released, which is exactly the linearizability hole the owned-window
+/// apply protocol exists to close.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CombiningStats {
+    /// Queued/parked operations resolved while the gate (or gate window)
+    /// covering their key was still exclusively owned.
+    pub owned_applies: u64,
+    /// Operations that had to be salvaged through the defensive
+    /// full-rebuild fold because they were found outside their gate's
+    /// fences at drain time. Always zero unless the owned-window
+    /// invariant is broken.
+    pub late_replays: u64,
+}
+
+impl CombiningStats {
+    /// Element-wise accumulation (used by composite backends that sum the
+    /// counters of their inner instances).
+    pub fn merge(&mut self, other: &CombiningStats) {
+        self.owned_applies += other.owned_applies;
+        self.late_replays += other.late_replays;
+    }
+}
+
 /// A thread-safe ordered map from [`Key`] to [`Value`].
 ///
 /// Semantics follow the paper's workload: `insert` is an upsert (the paper's
@@ -178,6 +209,13 @@ pub trait ConcurrentMap: Send + Sync {
     /// not override the default no-op.
     fn flush(&self) {}
 
+    /// Combining-queue counters, for backends that defer updates through
+    /// combining machinery (see [`CombiningStats`]). Structures without such
+    /// machinery return `None` (the default) and the harness renders a dash.
+    fn combining_stats(&self) -> Option<CombiningStats> {
+        None
+    }
+
     /// Short human-readable name used in benchmark tables.
     fn name(&self) -> &'static str;
 }
@@ -211,6 +249,9 @@ impl<M: ConcurrentMap + ?Sized> ConcurrentMap for std::sync::Arc<M> {
     }
     fn flush(&self) {
         (**self).flush()
+    }
+    fn combining_stats(&self) -> Option<CombiningStats> {
+        (**self).combining_stats()
     }
     fn name(&self) -> &'static str {
         (**self).name()

@@ -34,7 +34,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
-use pma_common::{ConcurrentMap, Key, PmaError, ScanStats, Value};
+use pma_common::{CombiningStats, ConcurrentMap, Key, PmaError, ScanStats, Value};
 
 use crate::params::{PmaParams, RebalancePolicy, UpdateMode};
 use crate::stats::{Stats, StatsSnapshot};
@@ -368,7 +368,6 @@ impl ConcurrentPma {
         while i < batch.len() {
             let (key, value) = batch[i];
             let mut advance = 0usize;
-            let mut leftovers: Vec<UpdateOp> = Vec::new();
             {
                 let _pin = self.shared.pin();
                 // SAFETY: pinned above.
@@ -413,30 +412,37 @@ impl ConcurrentPma {
                             advance = run_end - i;
                             // Drain anything forwarded to us while we held the
                             // latch, then release (mode-appropriate).
-                            leftovers = self.finish_writer(inst, g);
+                            self.finish_writer(inst, g);
                         } else {
-                            // The run overflows the gate: hand the gate and
-                            // the whole run over, exactly like `drain_batch`
-                            // does for an oversized combining queue. The
-                            // service merges the run into one presized rebuild
-                            // of the covering gate span (or a resize) via its
-                            // materialised merged window; operations forwarded
-                            // to our combining queue in the meantime are
-                            // drained by the service after it releases the
-                            // gates.
-                            let epoch = self.hand_over_batch(inst, g, run.to_vec());
+                            // The run overflows the gate: park it at the
+                            // front of the gate's combining queue and hand
+                            // the gate over, exactly like `drain_batch` does
+                            // for an oversized queue. The service drains the
+                            // queue at claim time and merges the run into one
+                            // presized rebuild of the covering gate span (or
+                            // folds it into a resize); a rebalance that
+                            // claims the gate first settles the queue while
+                            // it owns the window. Either way the run stays
+                            // inside the owned-window machinery — it is never
+                            // carried in a channel where it could go stale.
+                            let ops = run
+                                .iter()
+                                .map(|&(k, v)| UpdateOp::Insert(k, v))
+                                .collect::<Vec<_>>();
+                            self.park_ops_and_hand_over(inst, g, ops);
                             Stats::bump(&self.shared.stats.batch_span_rebuilds);
                             advance = run_end - i;
                             if !allow_queue {
                                 // Synchronous mode promises that completed
                                 // operations are visible without a flush:
-                                // wait for the span rebuild like
-                                // `hand_over_and_wait` does before moving on.
+                                // wait until the parked run has left the
+                                // queue and the service released the gate (or
+                                // a resize folded the run into the published
+                                // instance).
                                 let gate = &inst.gates[g];
                                 let mut st = gate.lock();
-                                while st.rebalance_epoch == epoch
-                                    && st.service_owned
-                                    && !st.invalidated
+                                while !st.invalidated
+                                    && (st.service_owned || st.delegated || !st.pending.is_empty())
                                 {
                                     gate.wait(&mut st);
                                 }
@@ -444,9 +450,6 @@ impl ConcurrentPma {
                         }
                     }
                 }
-            }
-            for op in leftovers {
-                self.update(op, false);
             }
             i += advance;
         }
@@ -458,7 +461,7 @@ impl ConcurrentPma {
     pub fn flush(&self) {
         loop {
             self.rebalancer.flush();
-            let mut leftovers: Vec<UpdateOp> = Vec::new();
+            let mut schedule: Vec<usize> = Vec::new();
             let clean = {
                 let _pin = self.shared.pin();
                 // SAFETY: pinned above.
@@ -477,18 +480,35 @@ impl ConcurrentPma {
                     match st.mode {
                         GateMode::Free | GateMode::Read(_) => {
                             if !st.pending.is_empty() {
-                                leftovers.extend(st.pending.drain(..));
+                                // A non-empty queue on an idle, undelegated
+                                // gate has no scheduled drain (every path
+                                // that leaves ops queued marks the gate
+                                // delegated): delegate it to the service —
+                                // which drains while owning the gate — rather
+                                // than replaying the ops from here, after the
+                                // fact.
+                                st.delegated = true;
+                                schedule.push(g);
+                                clean = false;
                             }
                         }
                         _ => clean = false,
                     }
                 }
-                clean && leftovers.is_empty()
+                clean
             };
-            for op in leftovers {
-                self.update(op, false);
+            for g in schedule {
+                self.rebalancer.send(Request::DelayedBatch {
+                    gate_id: g,
+                    due: std::time::Instant::now(),
+                });
             }
             if clean {
+                debug_assert_eq!(
+                    self.shared.stats.late_replays.load(Ordering::Relaxed),
+                    0,
+                    "an operation was salvaged outside its owned window"
+                );
                 return;
             }
             std::thread::sleep(Duration::from_millis(1));
@@ -504,7 +524,6 @@ impl ConcurrentPma {
     /// applied synchronously.
     fn update(&self, op: UpdateOp, allow_queue: bool) -> Option<Value> {
         loop {
-            let mut leftovers: Vec<UpdateOp> = Vec::new();
             let outcome = {
                 let _pin = self.shared.pin();
                 // SAFETY: pinned above.
@@ -520,7 +539,7 @@ impl ConcurrentPma {
                     }
                     WriteAcquire::Acquired(g) => match self.apply_on_gate(inst, g, op) {
                         ApplyResult::Done(old) => {
-                            leftovers = self.finish_writer(inst, g);
+                            self.finish_writer(inst, g);
                             Some(old)
                         }
                         ApplyResult::NeedsGlobal => {
@@ -530,11 +549,6 @@ impl ConcurrentPma {
                     },
                 }
             };
-            // Re-apply any operations that could not be completed on that
-            // gate, outside the epoch pin of the main operation.
-            for leftover in leftovers {
-                self.update(leftover, false);
-            }
             match outcome {
                 Some(old) => return old,
                 None => continue,
@@ -682,17 +696,33 @@ impl ConcurrentPma {
         epoch
     }
 
-    /// Hands gate `g` over together with a sorted run of insertions that
-    /// overflows it; the service merges the run into one rebuild of the
-    /// covering gate span (or a resize), and drains any operations forwarded
-    /// to the gate's combining queue after releasing it. Returns the epoch of
-    /// the hand-over so a caller that must be synchronous can wait for it.
-    fn hand_over_batch(&self, inst: &PmaInstance, g: usize, inserts: Vec<(Key, Value)>) -> u64 {
-        let epoch = self.hand_over_gate(inst, g);
-        self.rebalancer.send(Request::GlobalBatch {
+    /// Parks `ops` (in order) at the **front** of gate `g`'s combining queue
+    /// — they predate anything other writers forwarded while this writer
+    /// held the latch — and hands the gate over to the rebalancer. The
+    /// service drains the whole queue at claim time, while the gate is
+    /// owned, and merges it into the window rebuild (or a resize folds it);
+    /// a rebalance that claims the gate first settles the queue in-window.
+    /// The operations therefore never leave the owned-window machinery.
+    /// Returns the hand-over epoch.
+    fn park_ops_and_hand_over(&self, inst: &PmaInstance, g: usize, ops: Vec<UpdateOp>) -> u64 {
+        let gate = &inst.gates[g];
+        let epoch = {
+            let mut st = gate.lock();
+            debug_assert_eq!(st.mode, GateMode::Write);
+            debug_assert!(!st.queue_closed, "queue closed under an active writer");
+            for op in ops.into_iter().rev() {
+                st.pending.push_front(op);
+            }
+            st.mode = GateMode::Rebalance;
+            st.service_owned = true;
+            st.queue_open = false;
+            st.rebalance_epoch
+        };
+        gate.notify_all();
+        self.rebalancer.send(Request::GlobalRebalance {
             gate_id: g,
             origin: (inst as *const PmaInstance as usize, epoch),
-            inserts,
+            reserve: 0,
         });
         epoch
     }
@@ -700,14 +730,14 @@ impl ConcurrentPma {
     /// Hands gate `g` (currently held in `Write` mode) over to the rebalancer
     /// and waits until the global rebalance (or a resize) completes. The
     /// request carries the same `(instance, rebalance_epoch)` origin tag as a
-    /// batch hand-over, so the master can recognise it as stale when the gate
-    /// was meanwhile handled as part of another window or a resize.
+    /// parked-run hand-over, so the master can recognise it as stale when the
+    /// gate was meanwhile handled as part of another window or a resize.
     fn hand_over_and_wait(&self, inst: &PmaInstance, g: usize) {
         let epoch_before = self.hand_over_gate(inst, g);
         self.rebalancer.send(Request::GlobalRebalance {
             gate_id: g,
             origin: (inst as *const PmaInstance as usize, epoch_before),
-            extra: 1,
+            reserve: 1,
         });
         let gate = &inst.gates[g];
         let mut st = gate.lock();
@@ -728,22 +758,24 @@ impl ConcurrentPma {
     }
 
     /// Drains the gate's combining queue according to the configured update
-    /// mode and releases the `Write` latch. Returns operations that must be
-    /// re-applied through the normal path (fence mismatches, overflow batches
-    /// in synchronous handling, ...).
-    fn finish_writer(&self, inst: &PmaInstance, g: usize) -> Vec<UpdateOp> {
+    /// mode and releases the `Write` latch. Operations that cannot be
+    /// completed on the gate are never taken out of the machinery: they are
+    /// parked in the queue and the gate is handed to the service, which
+    /// resolves them while it owns the window.
+    fn finish_writer(&self, inst: &PmaInstance, g: usize) {
         match self.shared.params.update_mode {
             UpdateMode::Synchronous => {
-                // Queueing is disabled in this mode; just release.
+                // Queueing is disabled in this mode, but the queue may hold a
+                // run parked by an `insert_batch` hand-over that a stale
+                // claim left delegated; it belongs to the service's
+                // scheduled drain — leave it untouched.
                 let gate = &inst.gates[g];
-                let leftovers: Vec<UpdateOp> = {
+                {
                     let mut st = gate.lock();
                     st.queue_open = false;
                     st.mode = GateMode::Free;
-                    st.pending.drain(..).collect()
-                };
+                }
                 gate.notify_all();
-                leftovers
             }
             UpdateMode::OneByOne => self.drain_one_by_one(inst, g),
             UpdateMode::Batch { t_delay } => self.drain_batch(inst, g, t_delay),
@@ -752,9 +784,8 @@ impl ConcurrentPma {
 
     /// One-by-one combining (paper section 3.5): process the forwarded
     /// operations in order while holding the gate.
-    fn drain_one_by_one(&self, inst: &PmaInstance, g: usize) -> Vec<UpdateOp> {
+    fn drain_one_by_one(&self, inst: &PmaInstance, g: usize) {
         let gate = &inst.gates[g];
-        let mut leftovers: Vec<UpdateOp> = Vec::new();
         loop {
             let op = {
                 let mut st = gate.lock();
@@ -765,7 +796,7 @@ impl ConcurrentPma {
                         st.mode = GateMode::Free;
                         drop(st);
                         gate.notify_all();
-                        return leftovers;
+                        return;
                     }
                 }
             };
@@ -774,25 +805,26 @@ impl ConcurrentPma {
                 (st.fence_lo, st.fence_hi)
             };
             if op.key() < lo || op.key() > hi {
-                // The key no longer belongs to this gate (a rebalance moved
-                // the fences while the op sat in the queue).
-                leftovers.push(op);
-                continue;
+                // Unreachable: fences cannot move while this writer holds the
+                // latch, and every fence move settles the queue in-window
+                // before releasing. Hand the op (and the rest of the queue)
+                // to the service, whose stranded-drain path folds it into an
+                // owned rebuild.
+                debug_assert!(false, "queued op {op:?} outside the gate's fences");
+                self.park_ops_and_hand_over(inst, g, vec![op]);
+                return;
             }
             match self.apply_on_gate(inst, g, op) {
                 ApplyResult::Done(_) => {}
                 ApplyResult::NeedsGlobal => {
-                    // Stop accepting new work, move the rest of the queue to
-                    // the leftovers and re-apply them through the normal
-                    // (waiting) path.
-                    leftovers.push(op);
-                    let mut st = gate.lock();
-                    st.queue_open = false;
-                    leftovers.extend(st.pending.drain(..));
-                    st.mode = GateMode::Free;
-                    drop(st);
-                    gate.notify_all();
-                    return leftovers;
+                    // The gate cannot take this insertion even after a local
+                    // rebalance: park it back (ahead of the rest of the
+                    // queue, preserving FIFO) and hand the gate over — the
+                    // service drains the queue at claim time and merges it
+                    // into the window rebuild, so nothing is replayed after
+                    // a release.
+                    self.park_ops_and_hand_over(inst, g, vec![op]);
+                    return;
                 }
             }
         }
@@ -801,9 +833,8 @@ impl ConcurrentPma {
     /// Batch combining (paper section 3.5): deletions first, then all
     /// insertions merged in one rebalance; oversized batches go to the
     /// rebalancer, throttled by `t_delay`.
-    fn drain_batch(&self, inst: &PmaInstance, g: usize, t_delay: Duration) -> Vec<UpdateOp> {
+    fn drain_batch(&self, inst: &PmaInstance, g: usize, t_delay: Duration) {
         let gate = &inst.gates[g];
-        let mut leftovers: Vec<UpdateOp> = Vec::new();
         loop {
             let ops: Vec<UpdateOp> = {
                 let mut st = gate.lock();
@@ -812,7 +843,7 @@ impl ConcurrentPma {
                     st.mode = GateMode::Free;
                     drop(st);
                     gate.notify_all();
-                    return leftovers;
+                    return;
                 }
                 st.pending.drain(..).collect()
             };
@@ -825,6 +856,13 @@ impl ConcurrentPma {
                 let st = gate.lock();
                 (st.fence_lo, st.fence_hi)
             };
+            if ops.iter().any(|op| op.key() < lo || op.key() > hi) {
+                // Unreachable (see `drain_one_by_one`): park everything and
+                // let the service's stranded-drain path fold it.
+                debug_assert!(false, "queued ops outside the gate's fences");
+                self.park_ops_and_hand_over(inst, g, ops);
+                return;
+            }
             // First pass: deletions (they always make room); collect the
             // insertions for the second pass.
             let mut inserts: Vec<(Key, Value)> = Vec::new();
@@ -832,11 +870,6 @@ impl ConcurrentPma {
             // SAFETY: the gate is held in `Write` mode by this writer.
             let chunk = unsafe { gate.chunk_mut() };
             for op in ops {
-                let key = op.key();
-                if key < lo || key > hi {
-                    leftovers.push(op);
-                    continue;
-                }
                 match op {
                     UpdateOp::Delete(k) => {
                         if chunk.remove(k).is_some() {
@@ -875,20 +908,27 @@ impl ConcurrentPma {
                 continue;
             }
 
+            let batch_ops = inserts
+                .into_iter()
+                .map(|(k, v)| UpdateOp::Insert(k, v))
+                .collect::<Vec<_>>();
             let mut st = gate.lock();
             let elapsed = st.last_global_rebalance.elapsed();
             if elapsed >= t_delay {
-                // Hand the gate and the batch to the rebalancer; we do not
-                // wait (asynchronous processing).
+                // Park the batch at the front of the queue and hand the gate
+                // over; we do not wait (asynchronous processing).
                 drop(st);
-                self.hand_over_batch(inst, g, inserts);
-                return leftovers;
+                self.park_ops_and_hand_over(inst, g, batch_ops);
+                return;
             }
-            // `t_delay` has not elapsed: park the batch at the rebalancer and
-            // leave the queue open (`pQ` stays set) so later writers keep
-            // appending to it.
-            for (k, v) in inserts {
-                st.pending.push_back(UpdateOp::Insert(k, v));
+            // `t_delay` has not elapsed: park the batch back in the queue and
+            // delegate it. It goes to the *front*: operations appended while
+            // this drain ran are newer than the drained batch, and the
+            // last-op-per-key reduction at the next drain must see them in
+            // that order (pushing to the back would resurrect a superseded
+            // upsert over a fresher one).
+            for op in batch_ops.into_iter().rev() {
+                st.pending.push_front(op);
             }
             st.delegated = true;
             st.queue_open = false;
@@ -898,7 +938,7 @@ impl ConcurrentPma {
             gate.notify_all();
             self.rebalancer
                 .send(Request::DelayedBatch { gate_id: g, due });
-            return leftovers;
+            return;
         }
     }
 
@@ -995,6 +1035,11 @@ fn find_local_window(
 impl Drop for ConcurrentPma {
     fn drop(&mut self) {
         self.rebalancer.shutdown();
+        debug_assert_eq!(
+            self.shared.stats.late_replays.load(Ordering::Relaxed),
+            0,
+            "an operation was salvaged outside its owned window"
+        );
     }
 }
 
@@ -1047,6 +1092,14 @@ impl ConcurrentMap for ConcurrentPma {
 
     fn flush(&self) {
         ConcurrentPma::flush(self)
+    }
+
+    fn combining_stats(&self) -> Option<CombiningStats> {
+        let snapshot = self.shared.stats.snapshot();
+        Some(CombiningStats {
+            owned_applies: snapshot.owned_applies,
+            late_replays: snapshot.late_replays,
+        })
     }
 
     fn name(&self) -> &'static str {

@@ -33,35 +33,30 @@ use super::shared::Shared;
 #[derive(Debug)]
 pub(crate) enum Request {
     /// A writer handed over `gate_id` (latch in `Rebalance` mode,
-    /// `service_owned` set) because the rebalance window exceeds the gate.
-    /// `extra` is the number of elements the writer still wants to insert.
+    /// `service_owned` set) because the work exceeds the gate: either a
+    /// single insertion that needs a multi-gate window (`reserve` = 1, the
+    /// writer retries it after the rebalance), or an oversized batch run
+    /// **parked at the front of the gate's combining queue** (`reserve` = 0;
+    /// the master drains the queue at claim time and merges the run into the
+    /// window rebuild). Requests never carry element payloads: a payload in
+    /// the channel can go stale across a resize while the operations it
+    /// carries become unreachable to the ordering protocol — parking them in
+    /// the queue keeps them inside the machinery that resizes freeze
+    /// (`queue_closed`) and fold, and that rebalances settle in-window.
     GlobalRebalance {
-        /// The handed-over gate.
-        gate_id: usize,
-        /// Identity of the hand-over, exactly as for [`Request::GlobalBatch`]
-        /// (a misattributed extra-element rebalance is harmless, unlike a
-        /// misattributed batch, but tagging both keeps the stale check
-        /// uniform and spares the service redundant rebalances of gates that
-        /// were already handled as part of another window).
-        origin: (usize, u64),
-        /// Number of elements the writer still wants to insert.
-        extra: usize,
-    },
-    /// A batch of insertions destined to `gate_id` that does not fit in the
-    /// gate; the gate has been handed over like `GlobalRebalance`.
-    GlobalBatch {
         /// The handed-over gate.
         gate_id: usize,
         /// Identity of the hand-over: the address of the instance the sender
         /// observed and the gate's `rebalance_epoch` at hand-over time. The
-        /// master verifies both before treating the gate as "ours": without
-        /// the check, a batch whose gate was meanwhile recycled (claimed into
-        /// another window, or invalidated by a resize) could be merged into
-        /// whatever *new* hand-over happens to occupy the same gate index —
-        /// a window whose fences need not cover the batch's keys.
+        /// master verifies both before treating the gate as "ours"; a
+        /// mismatch means the gate was meanwhile recycled (claimed into
+        /// another window, or invalidated by a resize) and whichever path
+        /// recycled it already resolved the queued operations while it owned
+        /// the gate.
         origin: (usize, u64),
-        /// Sorted insertions to merge during the rebalance.
-        inserts: Vec<(Key, Value)>,
+        /// Number of elements the hand-over writer retries itself after the
+        /// rebalance (room is reserved for them in the window sizing).
+        reserve: usize,
     },
     /// A combining queue delegated to the service because `t_delay` has not
     /// elapsed yet (the gate is *not* handed over; its `delegated` flag is
@@ -95,6 +90,18 @@ struct BuildJob {
 enum WorkerMsg {
     Build(BuildJob),
     Shutdown,
+}
+
+/// Outcome of draining a service-owned gate's combining queue
+/// ([`Master::settle_gate_ops`]).
+enum QueueDrain {
+    /// Deletions were applied in place; the sorted insertions remain for the
+    /// caller to merge.
+    Inserts(Vec<(Key, Value)>),
+    /// At least one operation no longer lay within the gate's fences (a
+    /// broken invariant, counted as `late_replays`): the whole drain is
+    /// handed back untouched for a full resize fold.
+    Stranded(Vec<UpdateOp>),
 }
 
 /// Merges the chunks of a window with a sorted, deduplicated batch of
@@ -265,17 +272,9 @@ impl Master {
                 Some(Request::GlobalRebalance {
                     gate_id,
                     origin,
-                    extra,
+                    reserve,
                 }) => {
-                    self.handle_handed_over_gate(gate_id, extra, Vec::new(), origin);
-                }
-                Some(Request::GlobalBatch {
-                    gate_id,
-                    origin,
-                    inserts,
-                }) => {
-                    let extra = inserts.len();
-                    self.handle_handed_over_gate(gate_id, extra, inserts, origin);
+                    self.handle_handed_over_gate(gate_id, reserve, origin);
                 }
                 Some(Request::DelayedBatch { gate_id, due }) => {
                     self.parked.push((due, gate_id));
@@ -339,15 +338,18 @@ impl Master {
     }
 
     /// Releases the service-owned gates `[g_lo, g_hi)`, bumping their
-    /// rebalance epoch and waking every waiter.
+    /// rebalance epoch, reopening any queue a settle froze and waking every
+    /// waiter.
     ///
-    /// Post-release combining-queue drain (ROADMAP item): operations that
-    /// were forwarded to a gate's combining queue while the service held it
-    /// used to wait for the next writer (or a `flush`) to drain them — a
-    /// tail-latency cliff for rarely-written gates. Releasing now marks any
-    /// gate with leftover queued operations as delegated and loops a
-    /// due-immediately `DelayedBatch` back to the master, so the queue is
-    /// drained by the service itself right after the rebalance.
+    /// Operations still sitting in a released gate's combining queue are
+    /// guaranteed to be *covered* by the gate's fences (the settle that ran
+    /// before this release applied every moved operation in-window), so
+    /// leaving them queued is order-safe: later same-key operations either
+    /// append behind them (the gate is marked delegated below) or apply
+    /// after the scheduled drain. The gate is marked delegated and a
+    /// due-immediately `DelayedBatch` loops back to the master, so the queue
+    /// is drained by the service itself right after the rebalance instead of
+    /// waiting for the next writer.
     fn release_gates(&self, inst: &PmaInstance, g_lo: usize, g_hi: usize) {
         let now = Instant::now();
         for g in g_lo..g_hi {
@@ -356,6 +358,7 @@ impl Master {
                 let mut st = gate.lock();
                 st.mode = GateMode::Free;
                 st.service_owned = false;
+                st.queue_closed = false;
                 st.rebalance_epoch += 1;
                 st.last_global_rebalance = now;
                 let drain = !st.pending.is_empty() && !st.delegated && !st.invalidated;
@@ -377,21 +380,19 @@ impl Master {
         }
     }
 
-    /// Entry point for `GlobalRebalance` / `GlobalBatch`: the gate was handed
-    /// over by a writer. `origin` is the `(instance address, rebalance_epoch)`
+    /// Entry point for `GlobalRebalance`: the gate was handed over by a
+    /// writer, possibly with an oversized run parked at the front of its
+    /// combining queue. `origin` is the `(instance address, rebalance_epoch)`
     /// pair recorded at hand-over time; a mismatch means the gate under this
     /// index is no longer *that* hand-over (it was claimed into another
     /// window, released, invalidated by a resize, or belongs to a brand-new
-    /// instance), so the request is stale: a batch must not be merged into
-    /// whatever currently occupies the index, and a plain rebalance would be
-    /// redundant work on a window someone else already handled.
-    fn handle_handed_over_gate(
-        &self,
-        gate_id: usize,
-        extra: usize,
-        batch: Vec<(Key, Value)>,
-        origin: (usize, u64),
-    ) {
+    /// instance), so the request is stale. Stale requests are simply dropped:
+    /// the parked operations travelled with the *gate*, not the request, and
+    /// whichever path recycled the gate resolved its queue while owning it —
+    /// a resize froze and folded it before publishing, another window's
+    /// rebalance settled it in-window and scheduled the drain of what stayed
+    /// covered. Nothing is ever replayed after the fact.
+    fn handle_handed_over_gate(&self, gate_id: usize, reserve: usize, origin: (usize, u64)) {
         let _pin = self.shared.pin();
         // SAFETY: pinned above.
         let inst = unsafe { self.shared.instance_ref() };
@@ -404,37 +405,105 @@ impl Master {
                 || epoch != st.rebalance_epoch
         };
         if stale {
-            // Stale request: the gate was already handled as part of another
-            // window or a resize. An unapplied `extra` element is retried by
-            // its writer; a batch must never be dropped, so reapply it
-            // directly.
-            if !batch.is_empty() {
-                self.reapply_ops(
-                    batch
-                        .into_iter()
-                        .map(|(k, v)| UpdateOp::Insert(k, v))
-                        .collect(),
-                );
-            }
             return;
         }
-        self.rebalance_from(inst, gate_id, extra, batch);
+        // The hand-over is ours: drain the combining queue — the parked run,
+        // if any, plus everything forwarded since — while the gate is owned,
+        // apply the deletions in place and merge the insertions into the
+        // window rebuild.
+        let gate = &inst.gates[gate_id];
+        let ops = {
+            let mut st = gate.lock();
+            st.delegated = false;
+            st.pending.drain(..).collect::<Vec<_>>()
+        };
+        let ops = super::dedup_last_op_per_key(ops);
+        match self.settle_gate_ops(inst, gate_id, ops) {
+            QueueDrain::Inserts(inserts) => self.rebalance_from(inst, gate_id, reserve, inserts),
+            QueueDrain::Stranded(ops) => {
+                self.resize(inst, gate_id, gate_id + 1, Vec::new(), ops, false)
+            }
+        }
+    }
+
+    /// Reduces an already-deduplicated queue drain of a service-owned gate to
+    /// the work left to do: deletions are applied to the gate's chunk right
+    /// here (the gate is owned, deletions always succeed) and the sorted
+    /// insertions are returned for the caller to merge.
+    ///
+    /// Every operation must lie within the gate's fences — queue appends are
+    /// fence-checked, and every fence movement settles the queue in-window
+    /// before the gates are released — so an out-of-fence operation means the
+    /// invariant broke. That case is counted (`late_replays`), asserted
+    /// against in debug builds, and handed back as [`QueueDrain::Stranded`]
+    /// so the caller salvages the whole drain through a resize fold (the one
+    /// path that applies arbitrary keys without ever releasing first).
+    fn settle_gate_ops(
+        &self,
+        inst: &PmaInstance,
+        gate_id: usize,
+        ops: Vec<UpdateOp>,
+    ) -> QueueDrain {
+        let gate = &inst.gates[gate_id];
+        let (fence_lo, fence_hi) = {
+            let st = gate.lock();
+            (st.fence_lo, st.fence_hi)
+        };
+        let outside = ops
+            .iter()
+            .filter(|op| op.key() < fence_lo || op.key() > fence_hi)
+            .count();
+        if outside > 0 {
+            Stats::add(&self.shared.stats.late_replays, outside as u64);
+            debug_assert!(
+                false,
+                "combining queue of gate {gate_id} held {outside} ops outside its fences"
+            );
+            return QueueDrain::Stranded(ops);
+        }
+        Stats::add(&self.shared.stats.owned_applies, ops.len() as u64);
+        let mut inserts: Vec<(Key, Value)> = Vec::new();
+        let mut removed = 0usize;
+        for op in ops {
+            match op {
+                UpdateOp::Delete(k) => {
+                    // SAFETY: gate is service-owned.
+                    if unsafe { gate.chunk_mut() }.remove(k).is_some() {
+                        removed += 1;
+                        Stats::bump(&self.shared.stats.deletes);
+                    }
+                }
+                UpdateOp::Insert(k, v) => inserts.push((k, v)),
+            }
+        }
+        if removed > 0 {
+            self.shared.len.fetch_sub(removed, Ordering::Relaxed);
+        }
+        // Stable sort so duplicate-key upserts resolve to the entry appended
+        // last (the dedup above already guarantees unique keys, but keep the
+        // ordering contract explicit for `merge_batch`/`merge_window`).
+        inserts.sort_by_key(|&(k, _)| k);
+        QueueDrain::Inserts(inserts)
     }
 
     /// Core global-rebalance routine. `gate_id` must already be owned by the
-    /// service. Expands the window gate by gate until the density fits, then
-    /// redistributes (merging `batch`), or resizes when even the root window
-    /// is over threshold.
+    /// service and its queue drained (`batch` holds the drained insertions).
+    /// Expands the window gate by gate until the density fits, redistributes
+    /// (merging `batch`), **settles the window's combining queues while the
+    /// window is still owned**, and only then releases; resizes when even the
+    /// root window is over threshold. `reserve` elements of extra room are
+    /// kept for operations the hand-over writer retries itself.
     fn rebalance_from(
         &self,
         inst: &PmaInstance,
         gate_id: usize,
-        extra: usize,
+        reserve: usize,
         batch: Vec<(Key, Value)>,
     ) {
         let spg = inst.segments_per_gate;
         let seg_cap = inst.segment_capacity;
         let seg0 = inst.first_segment_of_gate(gate_id);
+        let extra = reserve + batch.len();
         // Gates currently owned by the service for this operation.
         let mut owned_lo = gate_id;
         let mut owned_hi = gate_id + 1;
@@ -469,16 +538,135 @@ impl Master {
         match window {
             Some((g_lo, g_hi, cardinality)) => {
                 self.redistribute(inst, g_lo, g_hi, cardinality, batch);
-                // Release everything we acquired (the window plus any gates
-                // acquired at intermediate levels — with gate-aligned windows
-                // these coincide, but be defensive).
-                self.release_gates(inst, g_lo.min(owned_lo), g_hi.max(owned_hi));
-                Stats::bump(&self.shared.stats.global_rebalances);
+                // Owned-window settle: the redistribute froze the window's
+                // queues and moved its fences; apply every queued operation
+                // whose key now belongs to a *sibling* gate before anything
+                // is released. Covered operations stay queued (release marks
+                // those gates delegated and schedules their drain).
+                let lo = g_lo.min(owned_lo);
+                let hi = g_hi.max(owned_hi);
+                let leftover = self.settle_window_queues(inst, g_lo, g_hi);
+                if leftover.is_empty() {
+                    self.release_gates(inst, lo, hi);
+                    Stats::bump(&self.shared.stats.global_rebalances);
+                } else {
+                    // A gate filled past its local-rebalance headroom while
+                    // the service held the window, so a settled insertion
+                    // found no room. Rebuild the whole array with the
+                    // leftovers folded in — still without releasing, so the
+                    // operations are applied before any client can observe
+                    // the gates again.
+                    self.resize(inst, lo, hi, Vec::new(), leftover, false);
+                }
             }
             None => {
-                self.resize(inst, owned_lo, owned_hi, batch, false);
+                self.resize(inst, owned_lo, owned_hi, batch, Vec::new(), false);
             }
         }
+    }
+
+    /// Partitions the pending queue of every gate in the (service-owned,
+    /// queue-frozen) window `[g_lo, g_hi)` against the *new* fences: covered
+    /// operations stay queued in FIFO order, moved operations are reduced to
+    /// the last per key and applied directly to the sibling chunk that now
+    /// covers them — all while the whole window is still exclusively owned,
+    /// which is what makes the application linearizable (nothing can slip in
+    /// between the fence movement and the apply). Returns the operations
+    /// that could not be placed (an insert into a gate that is full even
+    /// after a local rebalance); the caller folds those into a resize.
+    fn settle_window_queues(&self, inst: &PmaInstance, g_lo: usize, g_hi: usize) -> Vec<UpdateOp> {
+        // Fences are stable while the gates are owned; snapshot them once.
+        let fences: Vec<(Key, Key)> = (g_lo..g_hi)
+            .map(|g| {
+                let st = inst.gates[g].lock();
+                (st.fence_lo, st.fence_hi)
+            })
+            .collect();
+        let mut moved: Vec<UpdateOp> = Vec::new();
+        for g in g_lo..g_hi {
+            let gate = &inst.gates[g];
+            let mut st = gate.lock();
+            if st.pending.is_empty() {
+                continue;
+            }
+            let (lo, hi) = fences[g - g_lo];
+            let mut kept = std::collections::VecDeque::with_capacity(st.pending.len());
+            for op in st.pending.drain(..) {
+                if op.key() >= lo && op.key() <= hi {
+                    kept.push_back(op);
+                } else {
+                    moved.push(op);
+                }
+            }
+            st.pending = kept;
+        }
+        if moved.is_empty() {
+            return Vec::new();
+        }
+        // Keys are disjoint across the old queues (an operation is appended
+        // only while its gate's fences cover it, and the queues were frozen
+        // before the fences moved), so a global last-op-per-key reduction
+        // preserves every per-key FIFO.
+        let moved = super::dedup_last_op_per_key(moved);
+        Stats::add(&self.shared.stats.owned_applies, moved.len() as u64);
+        self.apply_ops_in_window(inst, g_lo, &fences, moved)
+    }
+
+    /// Applies operations to the owned window `[g_lo, g_lo + fences.len())`,
+    /// routing each by the given (post-redistribute) fences. Deletions always
+    /// succeed; an insertion that finds its segment full gets one whole-chunk
+    /// local rebalance and is otherwise returned as unplaceable. An operation
+    /// covered by none of the fences cannot exist (queued keys lie within
+    /// their gate's old fences, whose union the window's outer fences bound);
+    /// it is counted as a late replay and returned for the resize fold.
+    fn apply_ops_in_window(
+        &self,
+        inst: &PmaInstance,
+        g_lo: usize,
+        fences: &[(Key, Key)],
+        ops: Vec<UpdateOp>,
+    ) -> Vec<UpdateOp> {
+        let mut unplaced: Vec<UpdateOp> = Vec::new();
+        for op in ops {
+            let key = op.key();
+            let Some(rel) = fences.iter().position(|&(lo, hi)| key >= lo && key <= hi) else {
+                Stats::bump(&self.shared.stats.late_replays);
+                debug_assert!(false, "settled op {op:?} outside its window");
+                unplaced.push(op);
+                continue;
+            };
+            let gate = &inst.gates[g_lo + rel];
+            match op {
+                UpdateOp::Delete(k) => {
+                    // SAFETY: gate is service-owned.
+                    if unsafe { gate.chunk_mut() }.remove(k).is_some() {
+                        self.shared.len.fetch_sub(1, Ordering::Relaxed);
+                        Stats::bump(&self.shared.stats.deletes);
+                    }
+                }
+                UpdateOp::Insert(k, v) => {
+                    // SAFETY: gate is service-owned.
+                    let chunk = unsafe { gate.chunk_mut() };
+                    let mut result = chunk.try_insert(k, v);
+                    if matches!(result, ChunkInsert::SegmentFull(_))
+                        && chunk.cardinality() < chunk.capacity()
+                    {
+                        chunk.rebalance_local(0, chunk.num_segments(), false);
+                        Stats::bump(&self.shared.stats.local_rebalances);
+                        result = chunk.try_insert(k, v);
+                    }
+                    match result {
+                        ChunkInsert::Inserted => {
+                            self.shared.len.fetch_add(1, Ordering::Relaxed);
+                            Stats::bump(&self.shared.stats.inserts);
+                        }
+                        ChunkInsert::Replaced(_) => {}
+                        ChunkInsert::SegmentFull(_) => unplaced.push(op),
+                    }
+                }
+            }
+        }
+        unplaced
     }
 
     /// Redistributes the elements of gates `[g_lo, g_hi)` evenly over their
@@ -539,6 +727,20 @@ impl Master {
             staged[idx] = Some(chunk);
         }
 
+        // Freeze the window's combining queues before any fence moves. While
+        // two adjacent gates are mid-update a key can transiently be covered
+        // by both the stale and the fresh fences, so a queue append in that
+        // window could land *behind* an older same-key entry in a different
+        // gate's queue — an ordering the post-redistribute settle could not
+        // reconstruct. With `queue_closed` set, would-be queueing writers
+        // block on the gate's condvar until `release_gates` reopens the
+        // queues, by which point the fences are final. The freeze only spans
+        // the pointer swaps, fence updates and the settle — the expensive
+        // merge/build above ran with the queues open.
+        for g in g_lo..g_hi {
+            inst.gates[g].lock().queue_closed = true;
+        }
+
         // Install the staged chunks ("rewiring": a swap per gate), then update
         // fences and separators.
         let outer_lo = inst.gates[g_lo].lock().fence_lo;
@@ -568,8 +770,13 @@ impl Master {
     /// Rebuilds the whole array with a capacity fitted to the current element
     /// count (paper sections 3.4). `owned_lo..owned_hi` are gates already
     /// owned by the service; the remaining gates are acquired here. `batch`
-    /// is merged into the new instance. When `shrink_check` is set the resize
-    /// is abandoned if the array is no longer under-full.
+    /// is merged into the new instance. `pre_ops` are operations the caller
+    /// already drained from combining queues but could not place (a stranded
+    /// drain, or a settled insert whose gate was full): they are folded into
+    /// the rebuild ahead of the queue drains — for any key they share with a
+    /// still-queued operation, the queued one is newer, so the
+    /// last-op-per-key reduction keeps the right entry. When `shrink_check`
+    /// is set the resize is abandoned if the array is no longer under-full.
     ///
     /// Operations sitting in combining queues are **folded into the new
     /// instance before it is published**, and the queues are closed
@@ -585,6 +792,7 @@ impl Master {
         owned_lo: usize,
         owned_hi: usize,
         batch: Vec<(Key, Value)>,
+        pre_ops: Vec<UpdateOp>,
         shrink_check: bool,
     ) {
         // Acquire every gate of the instance.
@@ -601,6 +809,7 @@ impl Master {
         }
 
         if shrink_check {
+            debug_assert!(batch.is_empty() && pre_ops.is_empty());
             let capacity = inst.capacity();
             let still_underfull =
                 (keys.len() as f64) < self.shared.params.downsize_at * capacity as f64;
@@ -616,14 +825,23 @@ impl Master {
         // Freeze the combining queues: with `queue_closed` set (and
         // `delegated` cleared) every would-be queueing writer blocks on the
         // gate's condvar instead, so the queues cannot grow behind our back.
-        // Everything queued so far is drained and folded into the rebuild.
-        let mut pending_ops: Vec<UpdateOp> = Vec::new();
-        for gate in inst.gates.iter() {
-            let mut st = gate.lock();
-            st.queue_closed = true;
-            st.delegated = false;
-            pending_ops.extend(st.pending.drain(..));
-        }
+        // Everything queued so far is drained and folded into the rebuild,
+        // behind the caller's `pre_ops` (which predate any still-queued
+        // same-key operation).
+        let mut pending_ops: Vec<UpdateOp> = pre_ops;
+        let folded_from_queues = {
+            let before = pending_ops.len();
+            for gate in inst.gates.iter() {
+                let mut st = gate.lock();
+                st.queue_closed = true;
+                st.delegated = false;
+                pending_ops.extend(st.pending.drain(..));
+            }
+            // `pre_ops` were already accounted for by whichever settle
+            // produced them; only the queue drains are new owned resolutions.
+            (pending_ops.len() - before) as u64
+        };
+        Stats::add(&self.shared.stats.owned_applies, folded_from_queues);
 
         // Fold everything into one sorted stream: first the hand-over batch
         // (it predates every queued operation), then the queued operations
@@ -702,8 +920,10 @@ impl Master {
 
     /// Handles a delegated combining queue once its `t_delay` has elapsed:
     /// acquires the gate, drains the queue, applies deletions directly and
-    /// merges insertions (locally if they fit, through a global rebalance
-    /// otherwise).
+    /// merges insertions — locally if they fit, through a global rebalance
+    /// otherwise. Every step happens while the gate (or the window the
+    /// rebalance grows into) is owned; nothing is ever applied after a
+    /// release.
     fn process_delegated_batch(&self, gate_id: usize) {
         let _pin = self.shared.pin();
         // SAFETY: pinned above.
@@ -719,81 +939,59 @@ impl Master {
             st.delegated = false;
             (st.pending.drain(..).collect::<Vec<_>>(), invalid)
         };
-        // Deletions are applied before insertions below; reduce the FIFO
-        // queue to the last operation per key first so that split cannot
-        // reorder same-key operations.
-        let ops = super::dedup_last_op_per_key(ops);
         if invalid {
+            // Unreachable: the master is the only thread that publishes
+            // resizes, so the instance it just loaded cannot have been
+            // invalidated under it — and writers never queue onto an
+            // invalidated gate in the first place.
+            debug_assert!(ops.is_empty(), "ops queued on an invalidated gate");
             self.release_gates(inst, gate_id, gate_id + 1);
-            self.reapply_ops(ops);
+            if !ops.is_empty() {
+                Stats::add(&self.shared.stats.late_replays, ops.len() as u64);
+                self.fold_into_current(ops);
+            }
             return;
         }
+        // Deletions are applied before insertions; reduce the FIFO queue to
+        // the last operation per key first so that split cannot reorder
+        // same-key operations.
+        let ops = super::dedup_last_op_per_key(ops);
         if ops.is_empty() {
             self.release_gates(inst, gate_id, gate_id + 1);
             return;
         }
         Stats::bump(&self.shared.stats.batches_processed);
-
-        // Split the queue: apply deletions first (paper section 3.5), then the
-        // insertions as a batch. Operations whose key no longer falls within
-        // the gate's fences are re-applied through the normal path.
-        let (fence_lo, fence_hi) = {
-            let st = gate.lock();
-            (st.fence_lo, st.fence_hi)
-        };
-        let mut inserts: Vec<(Key, Value)> = Vec::new();
-        let mut leftovers: Vec<UpdateOp> = Vec::new();
-        let mut removed = 0usize;
-        for op in ops {
-            let k = op.key();
-            if k < fence_lo || k > fence_hi {
-                leftovers.push(op);
-                continue;
+        match self.settle_gate_ops(inst, gate_id, ops) {
+            QueueDrain::Stranded(ops) => {
+                self.resize(inst, gate_id, gate_id + 1, Vec::new(), ops, false);
             }
-            match op {
-                UpdateOp::Delete(k) => {
-                    // SAFETY: gate is service-owned.
-                    if unsafe { gate.chunk_mut() }.remove(k).is_some() {
-                        removed += 1;
-                        Stats::bump(&self.shared.stats.deletes);
+            QueueDrain::Inserts(inserts) => {
+                if inserts.is_empty() {
+                    self.release_gates(inst, gate_id, gate_id + 1);
+                    return;
+                }
+                // SAFETY: gate is service-owned.
+                let chunk = unsafe { gate.chunk_mut() };
+                let gate_capacity = inst.gate_capacity();
+                let fits_locally = {
+                    let level = inst.gate_level;
+                    let tau = inst.calibrator.upper_threshold(level);
+                    (chunk.cardinality() + inserts.len()) as f64 <= tau * gate_capacity as f64
+                        && chunk.cardinality() + inserts.len() <= gate_capacity
+                };
+                if fits_locally {
+                    let added = chunk.merge_batch(&inserts);
+                    if added > 0 {
+                        self.shared.len.fetch_add(added, Ordering::Relaxed);
                     }
+                    Stats::add(&self.shared.stats.inserts, added as u64);
+                    self.release_gates(inst, gate_id, gate_id + 1);
+                } else {
+                    Stats::add(&self.shared.stats.inserts, inserts.len() as u64);
+                    self.rebalance_from(inst, gate_id, 0, inserts);
                 }
-                UpdateOp::Insert(k, v) => inserts.push((k, v)),
             }
         }
-        if removed > 0 {
-            self.shared.len.fetch_sub(removed, Ordering::Relaxed);
-        }
-        // Stable sort so that duplicate-key upserts resolve to the entry
-        // appended last (see the matching sort in `drain_batch`).
-        inserts.sort_by_key(|&(k, _)| k);
-
-        if inserts.is_empty() {
-            self.release_gates(inst, gate_id, gate_id + 1);
-        } else {
-            // SAFETY: gate is service-owned.
-            let chunk = unsafe { gate.chunk_mut() };
-            let gate_capacity = inst.gate_capacity();
-            let fits_locally = {
-                let level = inst.gate_level;
-                let tau = inst.calibrator.upper_threshold(level);
-                (chunk.cardinality() + inserts.len()) as f64 <= tau * gate_capacity as f64
-                    && chunk.cardinality() + inserts.len() <= gate_capacity
-            };
-            if fits_locally {
-                let added = chunk.merge_batch(&inserts);
-                if added > 0 {
-                    self.shared.len.fetch_add(added, Ordering::Relaxed);
-                }
-                Stats::add(&self.shared.stats.inserts, added as u64);
-                self.release_gates(inst, gate_id, gate_id + 1);
-            } else {
-                let extra = inserts.len();
-                Stats::add(&self.shared.stats.inserts, extra as u64);
-                self.rebalance_from(inst, gate_id, extra, inserts);
-            }
-        }
-        self.reapply_ops(leftovers);
     }
 
     /// Checks whether the array has become under-full and shrinks it if so.
@@ -810,110 +1008,21 @@ impl Master {
         }
         // Own a gate as the starting point, then resize with a re-check.
         self.acquire_gate(inst, 0);
-        self.resize(inst, 0, 1, Vec::new(), true);
+        self.resize(inst, 0, 1, Vec::new(), Vec::new(), true);
     }
 
-    /// Re-applies operations that could not be completed in place (pending
-    /// queues drained by a resize, fence-mismatched batch entries, ...).
-    fn reapply_ops(&self, ops: Vec<UpdateOp>) {
-        for op in ops {
-            self.apply_op_direct(op);
-        }
-    }
-
-    /// Applies a single operation through a minimal synchronous path: acquire
-    /// the right gate as the service, update the chunk, rebalance locally or
-    /// globally as needed.
-    fn apply_op_direct(&self, op: UpdateOp) {
-        loop {
-            let _pin = self.shared.pin();
-            // SAFETY: pinned above.
-            let inst = unsafe { self.shared.instance_ref() };
-            let mut gate_id = inst.index.find_gate(op.key());
-            // Walk to the gate whose fences cover the key.
-            let gate_id = loop {
-                self.acquire_gate(inst, gate_id);
-                let st = inst.gates[gate_id].lock();
-                if st.invalidated {
-                    drop(st);
-                    self.release_gates(inst, gate_id, gate_id + 1);
-                    break None;
-                }
-                if op.key() < st.fence_lo && gate_id > 0 {
-                    drop(st);
-                    self.release_gates(inst, gate_id, gate_id + 1);
-                    gate_id -= 1;
-                } else if op.key() > st.fence_hi && gate_id + 1 < inst.num_gates() {
-                    drop(st);
-                    self.release_gates(inst, gate_id, gate_id + 1);
-                    gate_id += 1;
-                } else {
-                    break Some(gate_id);
-                }
-            };
-            let Some(gate_id) = gate_id else {
-                continue; // restart on the new instance
-            };
-            let gate = &inst.gates[gate_id];
-            match op {
-                UpdateOp::Delete(k) => {
-                    // SAFETY: gate is service-owned.
-                    if unsafe { gate.chunk_mut() }.remove(k).is_some() {
-                        self.shared.len.fetch_sub(1, Ordering::Relaxed);
-                        Stats::bump(&self.shared.stats.deletes);
-                    }
-                    self.release_gates(inst, gate_id, gate_id + 1);
-                    return;
-                }
-                UpdateOp::Insert(k, v) => {
-                    // SAFETY: gate is service-owned.
-                    let chunk = unsafe { gate.chunk_mut() };
-                    match chunk.try_insert(k, v) {
-                        ChunkInsert::Inserted => {
-                            self.shared.len.fetch_add(1, Ordering::Relaxed);
-                            Stats::bump(&self.shared.stats.inserts);
-                            self.release_gates(inst, gate_id, gate_id + 1);
-                            return;
-                        }
-                        ChunkInsert::Replaced(_) => {
-                            self.release_gates(inst, gate_id, gate_id + 1);
-                            return;
-                        }
-                        ChunkInsert::SegmentFull(_) => {
-                            if chunk.cardinality() < chunk.capacity() {
-                                chunk.rebalance_local(0, chunk.num_segments(), false);
-                                Stats::bump(&self.shared.stats.local_rebalances);
-                                match chunk.try_insert(k, v) {
-                                    ChunkInsert::Inserted => {
-                                        self.shared.len.fetch_add(1, Ordering::Relaxed);
-                                        Stats::bump(&self.shared.stats.inserts);
-                                        self.release_gates(inst, gate_id, gate_id + 1);
-                                        return;
-                                    }
-                                    ChunkInsert::Replaced(_) => {
-                                        self.release_gates(inst, gate_id, gate_id + 1);
-                                        return;
-                                    }
-                                    ChunkInsert::SegmentFull(_) => {
-                                        // The chunk is so full that even an
-                                        // even redistribution leaves the
-                                        // routed segment at capacity:
-                                        // escalate to a global rebalance and
-                                        // retry from scratch.
-                                        self.rebalance_from(inst, gate_id, 1, Vec::new());
-                                    }
-                                }
-                            } else {
-                                // The whole gate is full: global rebalance.
-                                self.rebalance_from(inst, gate_id, 1, Vec::new());
-                            }
-                            // Retry from scratch (the instance may have been
-                            // resized).
-                        }
-                    }
-                }
-            }
-        }
+    /// Folds operations whose home instance died under them into the
+    /// *current* instance through a full owned rebuild — the only way to
+    /// apply arbitrary keys without releasing ownership first. Unreachable
+    /// in practice (the invariant asserted by its callers makes the input
+    /// impossible); it exists so the impossible branch stays safe in release
+    /// builds instead of replaying operations after the fact.
+    fn fold_into_current(&self, ops: Vec<UpdateOp>) {
+        let _pin = self.shared.pin();
+        // SAFETY: pinned above.
+        let inst = unsafe { self.shared.instance_ref() };
+        self.acquire_gate(inst, 0);
+        self.resize(inst, 0, 1, Vec::new(), ops, false);
     }
 }
 

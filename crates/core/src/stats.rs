@@ -39,6 +39,16 @@ pub struct Stats {
     /// Oversized `insert_batch` runs handed to the rebalancer for a presized
     /// rebuild of the covering gate span (instead of per-key fallback).
     pub batch_span_rebuilds: AtomicU64,
+    /// Queued/parked combining-queue operations resolved while the gate (or
+    /// gate window) covering their key was still exclusively owned — the
+    /// owned-window apply protocol: claim-time queue drains, in-window
+    /// settles after a redistribute moved fences, and resize folds.
+    pub owned_applies: AtomicU64,
+    /// Operations found *outside* their gate's fences at drain time and
+    /// salvaged through the defensive full-rebuild fold. The owned-window
+    /// invariant makes this impossible; the counter exists so tests and
+    /// debug builds can assert it stays zero.
+    pub late_replays: AtomicU64,
 }
 
 impl Stats {
@@ -73,6 +83,8 @@ impl Stats {
             resize_restarts: self.resize_restarts.load(Ordering::Relaxed),
             bulk_loaded_keys: self.bulk_loaded_keys.load(Ordering::Relaxed),
             batch_span_rebuilds: self.batch_span_rebuilds.load(Ordering::Relaxed),
+            owned_applies: self.owned_applies.load(Ordering::Relaxed),
+            late_replays: self.late_replays.load(Ordering::Relaxed),
         }
     }
 }
@@ -107,6 +119,10 @@ pub struct StatsSnapshot {
     /// Oversized `insert_batch` runs handed to the rebalancer for a presized
     /// gate-span rebuild.
     pub batch_span_rebuilds: u64,
+    /// Combining-queue operations applied while their window was owned.
+    pub owned_applies: u64,
+    /// Operations salvaged through the defensive fold (must stay zero).
+    pub late_replays: u64,
 }
 
 impl StatsSnapshot {

@@ -52,8 +52,8 @@ use std::time::Duration;
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Mutex, RwLock};
 use pma_common::{
-    check_sorted, dedup_sorted_last_wins, ConcurrentMap, Key, PmaError, Registry, ScanStats, Value,
-    KEY_MAX, KEY_MIN,
+    check_sorted, dedup_sorted_last_wins, CombiningStats, ConcurrentMap, Key, PmaError, Registry,
+    ScanStats, Value, KEY_MAX, KEY_MIN,
 };
 use pma_core::concurrent::epoch::{EpochRegistry, GarbageBin};
 
@@ -281,6 +281,12 @@ struct Engine {
     /// Workers executing cross-shard fan-out (scans, batch runs).
     pool: WorkerPool,
     stats: EngineStats,
+    /// Combining counters absorbed from shards retired by splits/merges
+    /// (their inner instances die with their counters): summed into
+    /// `combining_stats` so a `late_replays` hit can never be masked by a
+    /// later structural rebuild of the shard that recorded it.
+    retired_owned_applies: AtomicU64,
+    retired_late_replays: AtomicU64,
     stop: AtomicBool,
 }
 
@@ -290,6 +296,23 @@ impl Engine {
     /// returned reference.
     unsafe fn dir_ref(&self) -> &Directory {
         &*self.dir.load(Ordering::Acquire)
+    }
+
+    /// Folds a soon-to-be-retired shard's combining counters into the
+    /// engine-level accumulators. Called under the shard's exclusive latch,
+    /// after its flush (the inner instance is quiescent, so the snapshot is
+    /// final) and **before** the directory swap: a concurrent
+    /// `combining_stats` reader may transiently count the shard twice (once
+    /// live, once absorbed), which only overstates — the reverse order would
+    /// open a window where a `late_replays` hit is counted in neither place
+    /// and a protocol violation could be masked.
+    fn absorb_retired_counters(&self, shard: &Shard) {
+        if let Some(stats) = shard.map.combining_stats() {
+            self.retired_owned_applies
+                .fetch_add(stats.owned_applies, Ordering::Relaxed);
+            self.retired_late_replays
+                .fetch_add(stats.late_replays, Ordering::Relaxed);
+        }
     }
 
     /// Publishes `dir` as the new directory and retires the old one into the
@@ -351,6 +374,7 @@ impl Engine {
         shards.push(Shard::new(shard.lo, boundary - 1, left));
         shards.push(Shard::new(boundary, shard.hi, right));
         shards.extend(dir.shards[idx + 1..].iter().cloned());
+        self.absorb_retired_counters(&shard);
         self.publish(Directory { shards });
         // Publish-then-retire, all under the exclusive latch: writers that
         // were blocked on the latch wake to a retired shard and re-route
@@ -390,6 +414,8 @@ impl Engine {
         shards.extend(dir.shards[..idx].iter().cloned());
         shards.push(Shard::new(left.lo, right.hi, merged));
         shards.extend(dir.shards[idx + 2..].iter().cloned());
+        self.absorb_retired_counters(&left);
+        self.absorb_retired_counters(&right);
         self.publish(Directory { shards });
         left.retired.store(true, Ordering::Release);
         right.retired.store(true, Ordering::Release);
@@ -628,6 +654,8 @@ impl ShardedMap {
             maintenance: Mutex::new(()),
             pool: WorkerPool::new(pool_size),
             stats: EngineStats::new(),
+            retired_owned_applies: AtomicU64::new(0),
+            retired_late_replays: AtomicU64::new(0),
             stop: AtomicBool::new(false),
         });
         #[cfg(debug_assertions)]
@@ -900,6 +928,27 @@ impl ConcurrentMap for ShardedMap {
         for shard in &dir.shards {
             shard.map.flush();
         }
+    }
+
+    fn combining_stats(&self) -> Option<CombiningStats> {
+        // Live shards plus the counters absorbed from shards retired by
+        // splits/merges (`absorb_retired_counters`), so a `late_replays` hit
+        // recorded before a structural rebuild is never masked by it.
+        let _pin = self.engine.epoch.pin();
+        // SAFETY: pinned above.
+        let dir = unsafe { self.engine.dir_ref() };
+        let mut total = CombiningStats {
+            owned_applies: self.engine.retired_owned_applies.load(Ordering::Relaxed),
+            late_replays: self.engine.retired_late_replays.load(Ordering::Relaxed),
+        };
+        let mut any = false;
+        for shard in &dir.shards {
+            if let Some(stats) = shard.map.combining_stats() {
+                total.merge(&stats);
+                any = true;
+            }
+        }
+        any.then_some(total)
     }
 
     fn name(&self) -> &'static str {

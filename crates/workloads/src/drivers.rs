@@ -33,6 +33,11 @@ pub struct Measurement {
     /// rebalances and shard splits show up here long before they dent the
     /// ops/s average.
     pub update_latency: LatencyHistogram,
+    /// Combining-queue counters of the measured structure after the run
+    /// (`None` for structures without combining machinery). `late_replays`
+    /// must be zero: anything else means an operation was applied after the
+    /// window owning its key range was released.
+    pub combining: Option<pma_common::CombiningStats>,
 }
 
 impl Measurement {
@@ -315,6 +320,13 @@ where
 
     map.flush();
     measurement.final_len = map.len();
+    measurement.combining = map.combining_stats();
+    if let Some(combining) = measurement.combining {
+        debug_assert_eq!(
+            combining.late_replays, 0,
+            "an operation was applied after its owning window was released"
+        );
+    }
     measurement
 }
 

@@ -46,12 +46,15 @@ pub struct ResultRow {
 /// millions of elements per second, plus the update tail latencies
 /// (p50/p99/p999 in microseconds, power-of-two bucket resolution) so effects
 /// that average out of the throughput column — batch flushes, delegated
-/// rebalances, shard splits — stay visible.
+/// rebalances, shard splits — stay visible. The last two columns surface the
+/// combining machinery: `owned` is how many queued operations were resolved
+/// while their window was owned, and `late` (replays outside an owned
+/// window) must read 0 — structures without combining queues show a dash.
 pub fn render_table(title: &str, rows: &[ResultRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!("\n== {title} ==\n"));
     out.push_str(&format!(
-        "{:<20} {:<14} {:>14} {:>16} {:>9} {:>9} {:>9} {:>10}\n",
+        "{:<20} {:<14} {:>14} {:>16} {:>9} {:>9} {:>9} {:>10} {:>10} {:>6}\n",
         "structure",
         "workload",
         "updates [M/s]",
@@ -59,7 +62,9 @@ pub fn render_table(title: &str, rows: &[ResultRow]) -> String {
         "p50[us]",
         "p99[us]",
         "p999[us]",
-        "elements"
+        "elements",
+        "owned",
+        "late"
     ));
     for row in rows {
         let m = &row.measurement;
@@ -68,8 +73,12 @@ pub fn render_table(title: &str, rows: &[ResultRow]) -> String {
         } else {
             "-".to_string()
         };
+        let (owned, late) = match m.combining {
+            Some(c) => (c.owned_applies.to_string(), c.late_replays.to_string()),
+            None => ("-".to_string(), "-".to_string()),
+        };
         out.push_str(&format!(
-            "{:<20} {:<14} {:>14.3} {:>16} {:>9} {:>9} {:>9} {:>10}\n",
+            "{:<20} {:<14} {:>14.3} {:>16} {:>9} {:>9} {:>9} {:>10} {:>10} {:>6}\n",
             row.structure,
             row.workload,
             m.update_throughput() / 1.0e6,
@@ -78,6 +87,8 @@ pub fn render_table(title: &str, rows: &[ResultRow]) -> String {
             m.update_latency.render_us(0.99),
             m.update_latency.render_us(0.999),
             m.final_len,
+            owned,
+            late,
         ));
     }
     out
@@ -159,6 +170,8 @@ mod tests {
         assert!(table.contains("p50[us]"));
         assert!(table.contains("p99[us]"));
         assert!(table.contains("p999[us]"));
+        assert!(table.contains("owned"));
+        assert!(table.contains("late"));
     }
 
     #[test]
