@@ -1,0 +1,165 @@
+//! Split-latency bench: how long are writers blocked when a hot shard
+//! splits?
+//!
+//! Compares the old stop-the-shard protocol (`split_shard_blocking`: one
+//! exclusive latch hold across flush + collect + rebuild) against the
+//! incremental copy-on-write protocol (`split_shard`: writers fenced only
+//! for the delta-log install and the final drain + publish) on a preloaded
+//! shard under a concurrent 4-thread write load.
+//!
+//! Reported per strategy:
+//! * `stall` — cumulative time writers were actually fenced out
+//!   (`split_stall_ns`), the figure the PR's acceptance bar is set on: the
+//!   incremental stall must be **< 10%** of the blocking rebuild's;
+//! * `wall` — end-to-end duration of the split call (the incremental one is
+//!   allowed to take longer overall — its copy runs with writers live);
+//! * `delta` — ops captured by the delta log (blocking: always 0).
+//!
+//! Run with `cargo bench -p pma-bench --bench split_latency` (or
+//! `SPLIT_BENCH_KEYS=100000` for a quicker pass).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use pma_common::{ConcurrentMap, Registry};
+use pma_engine::{ShardedConfig, ShardedMap};
+
+/// Preloaded shard size (the acceptance bar is set at 1M keys).
+fn preload_keys() -> usize {
+    std::env::var("SPLIT_BENCH_KEYS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000)
+}
+
+const WRITERS: usize = 4;
+const REPEATS: usize = 3;
+
+struct SplitOutcome {
+    stall: Duration,
+    wall: Duration,
+    delta_ops: u64,
+    writer_ops: u64,
+}
+
+/// Builds a 1-shard map preloaded with `keys` even keys, runs `WRITERS`
+/// threads inserting odd keys while the chosen split executes, and returns
+/// the split's stall/wall figures.
+fn run_split(keys: usize, incremental: bool) -> SplitOutcome {
+    pma_workloads::ensure_builtin_backends();
+    let config = ShardedConfig {
+        shards: 1,
+        inner_spec: "pma-batch:100".to_string(),
+        monitor_interval: Duration::ZERO, // no background monitor: we drive
+        auto_manage: false,
+        ..ShardedConfig::default()
+    };
+    let items: Vec<(i64, i64)> = (0..keys as i64).map(|k| (k * 2, k)).collect();
+    let map = ShardedMap::from_sorted(config, Registry::global(), &items).expect("preload");
+
+    let stop = AtomicBool::new(false);
+    let writer_ops = AtomicU64::new(0);
+    let outcome = std::thread::scope(|scope| {
+        let map = &map;
+        let stop = &stop;
+        let writer_ops = &writer_ops;
+        for t in 0..WRITERS {
+            scope.spawn(move || {
+                // Odd keys spread over the preloaded domain via an LCG, so
+                // the writers hit the shard being split the whole time.
+                let mut state = 0x9E37_79B9u64.wrapping_add(t as u64);
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let key = ((state >> 16) as i64 % (keys as i64 * 2)) | 1;
+                    map.insert(key, -key);
+                    ops += 1;
+                }
+                writer_ops.fetch_add(ops, Ordering::Relaxed);
+            });
+        }
+        // Let the writers reach steady state before splitting.
+        std::thread::sleep(Duration::from_millis(50));
+        let before = map.stats();
+        let started = Instant::now();
+        let split = if incremental {
+            map.split_shard(0)
+        } else {
+            map.split_shard_blocking(0)
+        };
+        let wall = started.elapsed();
+        assert!(split.expect("split failed"), "shard must split");
+        stop.store(true, Ordering::Relaxed);
+        let after = map.stats();
+        SplitOutcome {
+            stall: Duration::from_nanos(after.split_stall_ns - before.split_stall_ns),
+            wall,
+            delta_ops: after.delta_ops - before.delta_ops,
+            writer_ops: 0, // filled after the scope joins the writers
+        }
+    });
+    map.flush();
+    assert!(map.len() >= keys, "split lost elements");
+    SplitOutcome {
+        writer_ops: writer_ops.load(Ordering::Relaxed),
+        ..outcome
+    }
+}
+
+fn best_of(keys: usize, incremental: bool) -> SplitOutcome {
+    (0..REPEATS)
+        .map(|_| run_split(keys, incremental))
+        .min_by_key(|o| o.stall)
+        .expect("at least one repeat")
+}
+
+fn main() {
+    let keys = preload_keys();
+    println!(
+        "split_latency: {keys} preloaded keys, {WRITERS} concurrent writers, \
+         best of {REPEATS} runs\n"
+    );
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>12}",
+        "strategy", "stall[us]", "wall[us]", "delta ops", "writer ops"
+    );
+    let blocking = best_of(keys, false);
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>12}",
+        "blocking",
+        blocking.stall.as_micros(),
+        blocking.wall.as_micros(),
+        blocking.delta_ops,
+        blocking.writer_ops,
+    );
+    let incremental = best_of(keys, true);
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>12}",
+        "incremental",
+        incremental.stall.as_micros(),
+        incremental.wall.as_micros(),
+        incremental.delta_ops,
+        incremental.writer_ops,
+    );
+    let ratio = incremental.stall.as_secs_f64() / blocking.stall.as_secs_f64().max(1e-9);
+    println!(
+        "\nincremental stall = {:.2}% of the blocking rebuild's write stall \
+         (acceptance bar: < 10%)",
+        ratio * 100.0
+    );
+    if ratio < 0.10 {
+        println!("PASS");
+    } else {
+        println!("FAIL");
+        // Fence durations are µs–ms, so absolute scheduler noise on a busy
+        // shared runner dominates the ratio; only hard-fail when explicitly
+        // asked (the local acceptance check) — CI reports the figure in the
+        // job log without blocking merges on it, consistent with the
+        // bench-smoke policy of gating throughput but not latency/stall.
+        if std::env::var("SPLIT_BENCH_ENFORCE").as_deref() == Ok("1") {
+            std::process::exit(1);
+        }
+    }
+}

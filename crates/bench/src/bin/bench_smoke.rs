@@ -1,0 +1,216 @@
+//! The CI bench-smoke runner: executes the workload harness on a fixed small
+//! grid, emits a machine-readable `BENCH_<sha>.json`, and (optionally) fails
+//! on throughput regressions against a committed baseline.
+//!
+//! The grid is deliberately fixed and small — it is a smoke detector that
+//! keeps a performance *trajectory* across commits, not a rigorous
+//! benchmark: `sharded:8:pma-batch:100`, `btree` and `pma-batch:100` on
+//! insert-only, scan-heavy and mixed workloads, reporting throughput,
+//! p50/p99 latency, the sharded engine's split-stall time and the
+//! owned/late combining counters.
+//!
+//! ```text
+//! bench_smoke [--sha S] [--out PATH] [--baseline PATH]
+//!             [--write-baseline PATH] [--tolerance F] [--runs N] [--quick]
+//! ```
+//!
+//! * `--baseline bench/baseline.json` compares against the committed
+//!   baseline and exits non-zero when a cell's update or scan throughput
+//!   fell by more than `--tolerance` (default 0.25).
+//! * `--write-baseline bench/baseline.json` records the current run as the
+//!   new baseline — the intentional-change workflow (run it on the CI
+//!   runner class the gate uses, commit the file, explain the change in the
+//!   PR).
+//! * `--runs N` executes the grid N times and keeps each cell's *minimum*
+//!   throughputs — the conservative envelope a committed baseline should
+//!   be, so run-to-run scheduler noise on busy machines cannot turn into
+//!   false regression alarms.
+//! * `--quick` shrinks the grid's element counts (for local smoke).
+
+use pma_bench::smoke::{compare_reports, parse_report, render_report, SmokeRecord};
+use pma_workloads::{
+    build_or_panic, run_workload, Distribution, ThreadSplit, UpdatePattern, WorkloadSpec,
+};
+
+/// The structures of the fixed grid.
+const STRUCTURES: &[&str] = &["sharded:8:pma-batch:100", "btree", "pma-batch:100"];
+
+/// The workloads of the fixed grid: `(name, update_threads, scan_threads,
+/// pattern)`.
+const WORKLOADS: &[(&str, usize, usize, UpdatePattern)] = &[
+    ("insert", 4, 1, UpdatePattern::InsertOnly),
+    ("scan", 1, 4, UpdatePattern::InsertOnly),
+    ("mixed", 4, 1, UpdatePattern::MixedUpdates),
+];
+
+struct Options {
+    sha: String,
+    out: Option<String>,
+    baseline: Option<String>,
+    write_baseline: Option<String>,
+    tolerance: f64,
+    elements: usize,
+    runs: usize,
+}
+
+fn parse_options() -> Options {
+    let mut options = Options {
+        sha: std::env::var("GITHUB_SHA").unwrap_or_else(|_| "local".to_string()),
+        out: None,
+        baseline: None,
+        write_baseline: None,
+        tolerance: 0.25,
+        elements: 60_000,
+        runs: 1,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--sha" => options.sha = value("--sha"),
+            "--out" => options.out = Some(value("--out")),
+            "--baseline" => options.baseline = Some(value("--baseline")),
+            "--write-baseline" => options.write_baseline = Some(value("--write-baseline")),
+            "--tolerance" => options.tolerance = value("--tolerance").parse().expect("--tolerance"),
+            "--runs" => options.runs = value("--runs").parse().expect("--runs"),
+            "--quick" => options.elements = 15_000,
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench_smoke [--sha S] [--out PATH] [--baseline PATH] \
+                     [--write-baseline PATH] [--tolerance F] [--runs N] [--quick]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag: {other} (try --help)"),
+        }
+    }
+    assert!(options.runs >= 1, "--runs must be at least 1");
+    options
+}
+
+fn run_cell(
+    structure: &str,
+    workload: &(&str, usize, usize, UpdatePattern),
+    elements: usize,
+) -> SmokeRecord {
+    let &(name, update_threads, scan_threads, pattern) = workload;
+    let spec = WorkloadSpec {
+        distribution: Distribution::Uniform,
+        key_range: 1 << 20,
+        total_elements: elements,
+        threads: ThreadSplit {
+            update_threads,
+            scan_threads,
+        },
+        pattern,
+        seed: 0xBEEF,
+        ..WorkloadSpec::default()
+    };
+    let map = build_or_panic(structure);
+    let m = run_workload(&*map, &spec);
+    let (owned, late) = m
+        .combining
+        .map(|c| (c.owned_applies, c.late_replays))
+        .unwrap_or((0, 0));
+    let split_stall_us = m.maintenance.map(|s| s.stall_ns / 1_000).unwrap_or(0);
+    SmokeRecord {
+        structure: structure.to_string(),
+        workload: name.to_string(),
+        update_mps: m.update_throughput() / 1.0e6,
+        scan_eps: m.scan_throughput(),
+        p50_us: m.update_latency.p50().unwrap_or(0) / 1_000,
+        p99_us: m.update_latency.p99().unwrap_or(0) / 1_000,
+        split_stall_us,
+        owned,
+        late,
+        elements: m.final_len as u64,
+    }
+}
+
+fn main() {
+    let options = parse_options();
+    let mut records: Vec<SmokeRecord> = Vec::new();
+    for run in 0..options.runs {
+        for structure in STRUCTURES {
+            for workload in WORKLOADS {
+                eprintln!(
+                    "bench-smoke: {structure} / {} (run {}/{})",
+                    workload.0,
+                    run + 1,
+                    options.runs
+                );
+                let record = run_cell(structure, workload, options.elements);
+                assert_eq!(
+                    record.late, 0,
+                    "{structure}/{}: an op was replayed outside its owned window",
+                    workload.0
+                );
+                // Across runs, keep each cell's minimum throughputs (the
+                // conservative envelope) and worst latency/stall.
+                match records.iter_mut().find(|r| r.key() == record.key()) {
+                    None => records.push(record),
+                    Some(merged) => {
+                        merged.update_mps = merged.update_mps.min(record.update_mps);
+                        merged.scan_eps = merged.scan_eps.min(record.scan_eps);
+                        merged.p50_us = merged.p50_us.max(record.p50_us);
+                        merged.p99_us = merged.p99_us.max(record.p99_us);
+                        merged.split_stall_us = merged.split_stall_us.max(record.split_stall_us);
+                        merged.owned = merged.owned.max(record.owned);
+                        merged.elements = record.elements;
+                    }
+                }
+            }
+        }
+    }
+
+    let report = render_report(&options.sha, &records);
+    print!("{report}");
+    let out = options
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("BENCH_{}.json", options.sha));
+    std::fs::write(&out, &report).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    eprintln!("bench-smoke: wrote {out}");
+
+    if let Some(path) = &options.write_baseline {
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            if !parent.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+        }
+        std::fs::write(path, &report).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("bench-smoke: baseline updated at {path}");
+    }
+
+    if let Some(path) = &options.baseline {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let (base_sha, baseline) =
+            parse_report(&text).unwrap_or_else(|e| panic!("malformed baseline {path}: {e}"));
+        let regressions = compare_reports(&baseline, &records, options.tolerance);
+        if regressions.is_empty() {
+            eprintln!(
+                "bench-smoke: no regression beyond {:.0}% vs baseline {base_sha}",
+                options.tolerance * 100.0
+            );
+        } else {
+            eprintln!(
+                "bench-smoke: {} regression(s) beyond {:.0}% vs baseline {base_sha}:",
+                regressions.len(),
+                options.tolerance * 100.0
+            );
+            for regression in &regressions {
+                eprintln!("  {regression}");
+            }
+            eprintln!(
+                "if intentional, refresh the baseline: \
+                 cargo run --release -p pma-bench --bin bench_smoke -- \
+                 --write-baseline {path}"
+            );
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,8 +1,11 @@
-//! Shared helpers for the experiment binaries (`fig3`, `fig4`, `ablation`)
-//! and the Criterion micro-benchmarks: a tiny command-line parser and the
-//! common experiment-loop plumbing.
+//! Shared helpers for the experiment binaries (`fig3`, `fig4`, `ablation`,
+//! `bench_smoke`) and the Criterion micro-benchmarks: a tiny command-line
+//! parser, the common experiment-loop plumbing, and the bench-smoke
+//! report/baseline machinery ([`smoke`]).
 
 #![warn(missing_docs)]
+
+pub mod smoke;
 
 use pma_workloads::{Distribution, ThreadSplit, UpdatePattern, WorkloadSpec};
 

@@ -17,6 +17,9 @@ pub mod types;
 pub mod util;
 
 pub use error::PmaError;
-pub use map::{check_sorted, dedup_sorted_last_wins, CombiningStats, ConcurrentMap, ScanStats};
+pub use map::{
+    check_sorted, dedup_sorted_last_wins, CombiningStats, ConcurrentMap, MaintenanceStats,
+    ScanStats,
+};
 pub use registry::{BackendDef, BackendSpec, Registry};
 pub use types::{Key, KeyValue, Value, KEY_MAX, KEY_MIN};

@@ -113,6 +113,37 @@ impl CombiningStats {
     }
 }
 
+/// Counters surfaced by backends that perform background structural
+/// maintenance — today the sharded engine's splits and merges, tomorrow any
+/// backend that reorganises itself while serving traffic.
+///
+/// The harness reports `stall_ns` next to the throughput columns: it is the
+/// cumulative wall-clock time during which *writers were blocked* by
+/// structural changes (the short install/publish fences of an incremental
+/// split), the figure the paper's §3.4 resize protocol exists to minimise.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceStats {
+    /// Structural expansions performed (e.g. one hot shard split in two).
+    pub splits: u64,
+    /// Structural contractions performed (e.g. two cold shards merged).
+    pub merges: u64,
+    /// Total nanoseconds writers were fenced out by structural changes.
+    pub stall_ns: u64,
+    /// Structural changes the load monitor's hysteresis suppressed because
+    /// the triggering condition did not persist (split↔merge thrash).
+    pub thrash_averted: u64,
+}
+
+impl MaintenanceStats {
+    /// Element-wise accumulation (for composite backends).
+    pub fn merge(&mut self, other: &MaintenanceStats) {
+        self.splits += other.splits;
+        self.merges += other.merges;
+        self.stall_ns += other.stall_ns;
+        self.thrash_averted += other.thrash_averted;
+    }
+}
+
 /// A thread-safe ordered map from [`Key`] to [`Value`].
 ///
 /// Semantics follow the paper's workload: `insert` is an upsert (the paper's
@@ -160,6 +191,25 @@ pub trait ConcurrentMap: Send + Sync {
         }
         self.range(lo, hi, &mut |key, value| stats.visit(key, value));
         stats
+    }
+
+    /// Materialises every element with key in `[lo, hi]` (inclusive) into a
+    /// sorted vector. This is the *ordered live-scan* used by copy-on-write
+    /// structural changes (the sharded engine's incremental splits collect a
+    /// shard's contents through it while writers keep landing): the stream
+    /// must be strictly ascending even under concurrent updates, which every
+    /// backend's `range` already guarantees.
+    ///
+    /// The default drives [`ConcurrentMap::range`] into an unsized vector;
+    /// implementations that know their cardinality (the concurrent PMA) can
+    /// override it to presize the allocation.
+    fn collect_range(&self, lo: Key, hi: Key) -> Vec<(Key, Value)> {
+        let mut out = Vec::new();
+        if lo > hi {
+            return out;
+        }
+        self.range(lo, hi, &mut |key, value| out.push((key, value)));
+        out
     }
 
     /// Inserts every pair of `items` (upsert semantics, later entries win on
@@ -216,6 +266,15 @@ pub trait ConcurrentMap: Send + Sync {
         None
     }
 
+    /// Structural-maintenance counters, for backends that reorganise
+    /// themselves in the background (see [`MaintenanceStats`]) — the sharded
+    /// engine reports its splits/merges and the write-stall they caused.
+    /// Structures without background maintenance return `None` (the default)
+    /// and the harness renders a dash.
+    fn maintenance_stats(&self) -> Option<MaintenanceStats> {
+        None
+    }
+
     /// Short human-readable name used in benchmark tables.
     fn name(&self) -> &'static str;
 }
@@ -244,6 +303,9 @@ impl<M: ConcurrentMap + ?Sized> ConcurrentMap for std::sync::Arc<M> {
     fn scan_range(&self, lo: Key, hi: Key) -> ScanStats {
         (**self).scan_range(lo, hi)
     }
+    fn collect_range(&self, lo: Key, hi: Key) -> Vec<(Key, Value)> {
+        (**self).collect_range(lo, hi)
+    }
     fn insert_batch(&self, items: &[(Key, Value)]) {
         (**self).insert_batch(items)
     }
@@ -252,6 +314,9 @@ impl<M: ConcurrentMap + ?Sized> ConcurrentMap for std::sync::Arc<M> {
     }
     fn combining_stats(&self) -> Option<CombiningStats> {
         (**self).combining_stats()
+    }
+    fn maintenance_stats(&self) -> Option<MaintenanceStats> {
+        (**self).maintenance_stats()
     }
     fn name(&self) -> &'static str {
         (**self).name()
@@ -308,6 +373,51 @@ mod tests {
         assert_eq!(stats.key_sum, 12);
         assert_eq!(stats.value_sum, 120);
         assert_eq!(map.scan_range(7, 3), ScanStats::default());
+    }
+
+    #[test]
+    fn default_collect_range_is_sorted_and_bounded() {
+        let map = ModelMap::default();
+        for k in [5, 1, 9, 3, 7] {
+            map.insert(k, k * 10);
+        }
+        assert_eq!(map.collect_range(3, 7), vec![(3, 30), (5, 50), (7, 70)]);
+        assert_eq!(
+            map.collect_range(Key::MIN, Key::MAX).len(),
+            5,
+            "full range collects everything"
+        );
+        assert!(
+            map.collect_range(7, 3).is_empty(),
+            "inverted range is empty"
+        );
+    }
+
+    #[test]
+    fn maintenance_stats_default_is_none_and_merge_accumulates() {
+        let map = ModelMap::default();
+        assert!(map.maintenance_stats().is_none());
+        let mut a = MaintenanceStats {
+            splits: 1,
+            merges: 2,
+            stall_ns: 30,
+            thrash_averted: 4,
+        };
+        a.merge(&MaintenanceStats {
+            splits: 10,
+            merges: 20,
+            stall_ns: 300,
+            thrash_averted: 40,
+        });
+        assert_eq!(
+            a,
+            MaintenanceStats {
+                splits: 11,
+                merges: 22,
+                stall_ns: 330,
+                thrash_averted: 44,
+            }
+        );
     }
 
     #[test]

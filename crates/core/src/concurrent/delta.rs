@@ -1,0 +1,374 @@
+//! Striped delta-capture overlay for copy-on-write structural changes.
+//!
+//! The paper's resize protocol (§3.4) builds the new instance off to the
+//! side while concurrent operations accumulate in the combining queues, then
+//! *folds* the queued delta into the new instance before publishing it — the
+//! old instance is never mutated during the copy, so the copy cannot lose or
+//! duplicate elements. [`DeltaLog`] packages that capture-and-fold as a
+//! reusable component for structural changes above the instance level (the
+//! sharded engine's incremental shard splits and merges):
+//!
+//! 1. the structural change installs a log on the structure it is about to
+//!    replace and settles its queues once, under a short fence;
+//! 2. writers then record their operations **only** in the log — the live
+//!    structure stays quiescent, which is what makes the ordered live-scan
+//!    of the base copy exact (a scan racing live inserts can miss settled
+//!    elements when a multi-gate rebalance shifts them across the cursor);
+//! 3. reads consult the log's per-key **overlay** ([`DeltaLog::lookup`])
+//!    before falling through to the quiescent base, so acknowledged-but-
+//!    unfolded operations stay visible;
+//! 4. the rebuild drains the op list ([`DeltaLog::take_all`]) into the
+//!    replacement structures — incrementally while writers keep recording
+//!    (chase rounds), then one final pass under the fence. The overlay
+//!    stays intact through drains (a drained op is applied to the *not yet
+//!    published* replacement, so reads on the live side still need it) and
+//!    dies with the log at publication.
+//!
+//! # The per-key ordering invariant
+//!
+//! The fold converges to the acknowledged state only if, for every key, the
+//! drain replays operations in their linearization order. [`DeltaLog`]
+//! hashes each key to one of [`DELTA_STRIPES`] stripes and serialises
+//! same-stripe records through the stripe lock, so same-key operations are
+//! appended in the order their writers were granted the stripe — and the
+//! overlay's last-writer-wins entry agrees with the append order. Cross-
+//! stripe order is irrelevant: different stripes hold different keys, and
+//! replay only has to be ordered per key. Drains preserve the invariant
+//! across rounds as long as one thread performs them in sequence: within a
+//! stripe, every op of an earlier round was appended before every op of a
+//! later round.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+use pma_common::{ConcurrentMap, Key, Value};
+
+/// Number of stripes a [`DeltaLog`] partitions the key space into. Chosen so
+/// that a handful of writer threads rarely collide while the per-log memory
+/// overhead stays trivial (64 mutexes + vectors + overlay maps).
+pub const DELTA_STRIPES: usize = 64;
+
+/// One update captured by a [`DeltaLog`], replayable onto any
+/// [`ConcurrentMap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaOp {
+    /// An upsert of `key` to `value`.
+    Insert(Key, Value),
+    /// A deletion of `key`.
+    Remove(Key),
+}
+
+impl DeltaOp {
+    /// The key this operation addresses (decides its stripe and, at fold
+    /// time, which replacement structure it routes to).
+    #[inline]
+    pub fn key(&self) -> Key {
+        match *self {
+            DeltaOp::Insert(key, _) => key,
+            DeltaOp::Remove(key) => key,
+        }
+    }
+
+    /// Replays the operation onto `map`. Inserts are upserts and removing an
+    /// absent key is a no-op, so replay is idempotent given the per-key
+    /// ordering invariant.
+    #[inline]
+    pub fn apply(&self, map: &dyn ConcurrentMap) {
+        match *self {
+            DeltaOp::Insert(key, value) => map.insert(key, value),
+            DeltaOp::Remove(key) => {
+                map.remove(key);
+            }
+        }
+    }
+}
+
+/// One stripe: the append-ordered op run of this stripe's keys plus the
+/// per-key overlay (latest op per key, serving reads until publication).
+#[derive(Default)]
+struct Stripe {
+    ops: Vec<DeltaOp>,
+    latest: HashMap<Key, DeltaOp>,
+}
+
+/// A striped operation log + read overlay capturing the concurrent delta of
+/// a copy-on-write rebuild. See the [module docs](self) for the protocol.
+pub struct DeltaLog {
+    stripes: Box<[Mutex<Stripe>]>,
+    /// Recorded-but-not-drained ops. Incremented before the append, so the
+    /// value is an upper bound at all times and exact once no record is in
+    /// flight (e.g. under a structural fence). Drives the rebuild's chase
+    /// heuristic, not correctness.
+    len: AtomicUsize,
+    /// Backpressure cap: writers should back off (instead of recording)
+    /// while `len > cap`. The structural thread lowers it for the closing
+    /// phase of a rebuild, throttling writers hard enough that the chase
+    /// drains converge and the final fenced fold stays small.
+    cap: AtomicUsize,
+}
+
+impl Default for DeltaLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for DeltaLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeltaLog")
+            .field("stripes", &self.stripes.len())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl DeltaLog {
+    /// Creates an empty log with [`DELTA_STRIPES`] stripes and `cap` as the
+    /// initial backpressure threshold.
+    pub fn with_cap(cap: usize) -> Self {
+        Self {
+            stripes: (0..DELTA_STRIPES)
+                .map(|_| Mutex::new(Stripe::default()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            len: AtomicUsize::new(0),
+            cap: AtomicUsize::new(cap),
+        }
+    }
+
+    /// Creates an empty log with [`DELTA_STRIPES`] stripes and an
+    /// effectively unlimited backpressure cap.
+    pub fn new() -> Self {
+        Self::with_cap(usize::MAX)
+    }
+
+    /// Whether writers should back off instead of recording (the log is
+    /// over its backpressure cap).
+    pub fn over_cap(&self) -> bool {
+        self.len() > self.cap.load(Ordering::Relaxed)
+    }
+
+    /// Re-arms the backpressure cap (the structural thread lowers it for
+    /// the closing phase of a rebuild).
+    pub fn set_cap(&self, cap: usize) {
+        self.cap.store(cap, Ordering::Relaxed);
+    }
+
+    /// Fibonacci-hashes `key` to its stripe index (keys are often sequential;
+    /// a plain modulo would pile neighbouring keys onto neighbouring stripes
+    /// and writers onto the same lock).
+    #[inline]
+    fn stripe_of(key: Key) -> usize {
+        ((key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58) as usize % DELTA_STRIPES
+    }
+
+    /// Records an upsert. The live structure is *not* touched — the op is
+    /// folded into the replacement at drain time and visible to reads
+    /// through [`DeltaLog::lookup`] until then.
+    #[inline]
+    pub fn record_insert(&self, key: Key, value: Value) {
+        self.len.fetch_add(1, Ordering::Relaxed);
+        let mut stripe = self.stripes[Self::stripe_of(key)].lock();
+        stripe.ops.push(DeltaOp::Insert(key, value));
+        stripe.latest.insert(key, DeltaOp::Insert(key, value));
+    }
+
+    /// Records a removal and returns the value the key held at this point in
+    /// the linearization order: the overlay's pending value when the key was
+    /// written during the capture window, otherwise `base(key)` — the
+    /// caller passes a *read-only* lookup of the quiescent base structure
+    /// (it runs under the stripe lock, so a racing same-key record cannot
+    /// interleave between the lookup and the append).
+    pub fn record_remove(
+        &self,
+        key: Key,
+        base: impl FnOnce(Key) -> Option<Value>,
+    ) -> Option<Value> {
+        self.len.fetch_add(1, Ordering::Relaxed);
+        let mut stripe = self.stripes[Self::stripe_of(key)].lock();
+        let previous = match stripe.latest.get(&key) {
+            Some(&DeltaOp::Insert(_, value)) => Some(value),
+            Some(&DeltaOp::Remove(_)) => None,
+            None => base(key),
+        };
+        stripe.ops.push(DeltaOp::Remove(key));
+        stripe.latest.insert(key, DeltaOp::Remove(key));
+        previous
+    }
+
+    /// The latest recorded operation on `key`, if any — the read overlay: a
+    /// lookup that hits returns the pending state (`Insert` → that value,
+    /// `Remove` → absent); a miss means the quiescent base is authoritative.
+    pub fn lookup(&self, key: Key) -> Option<DeltaOp> {
+        self.stripes[Self::stripe_of(key)]
+            .lock()
+            .latest
+            .get(&key)
+            .copied()
+    }
+
+    /// Upper bound on the recorded-but-not-drained op count (exact when no
+    /// record is in flight).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Whether no operation is waiting to be drained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Takes every recorded operation out of the log, stripe by stripe,
+    /// leaving the read overlay intact (reads on the live side need it until
+    /// publication). Within a stripe (and therefore per key) the append
+    /// order is preserved; across stripes the order is arbitrary, which is
+    /// fine because stripes partition the key space. Writers may keep
+    /// recording concurrently — their ops land in the next drain. Successive
+    /// drains must be performed by one thread for the cross-round per-key
+    /// order to hold.
+    pub fn take_all(&self) -> Vec<DeltaOp> {
+        let mut out = Vec::new();
+        for stripe in self.stripes.iter() {
+            let mut guard = stripe.lock();
+            if guard.ops.is_empty() {
+                continue;
+            }
+            let drained = std::mem::take(&mut guard.ops);
+            drop(guard);
+            self.len.fetch_sub(drained.len(), Ordering::Relaxed);
+            out.extend(drained);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn record_take_all_preserves_per_key_order_and_overlay() {
+        let log = DeltaLog::new();
+        log.record_insert(7, 1);
+        log.record_insert(7, 2);
+        assert_eq!(log.record_remove(9, |_| Some(99)), Some(99));
+        assert_eq!(log.len(), 3);
+        // The overlay serves reads: pending insert, pending remove, miss.
+        assert_eq!(log.lookup(7), Some(DeltaOp::Insert(7, 2)));
+        assert_eq!(log.lookup(9), Some(DeltaOp::Remove(9)));
+        assert_eq!(log.lookup(8), None);
+        let drained = log.take_all();
+        assert_eq!(drained.len(), 3);
+        assert!(log.is_empty());
+        // Key 7's two inserts stay in append order.
+        let on_seven: Vec<_> = drained.iter().filter(|op| op.key() == 7).collect();
+        assert_eq!(
+            on_seven,
+            vec![&DeltaOp::Insert(7, 1), &DeltaOp::Insert(7, 2)]
+        );
+        // Drains keep the overlay (reads still need it until publication)…
+        assert_eq!(log.lookup(7), Some(DeltaOp::Insert(7, 2)));
+        // …and a fresh drain is empty.
+        assert!(log.take_all().is_empty());
+    }
+
+    #[test]
+    fn record_remove_linearizes_against_the_overlay() {
+        let log = DeltaLog::new();
+        // No pending op: the quiescent base answers.
+        assert_eq!(log.record_remove(1, |_| Some(10)), Some(10));
+        // The pending remove now shadows the base.
+        assert_eq!(log.record_remove(1, |_| Some(10)), None);
+        // A pending insert answers without consulting the base.
+        log.record_insert(1, 11);
+        assert_eq!(
+            log.record_remove(1, |_| panic!("must not hit base")),
+            Some(11)
+        );
+    }
+
+    #[test]
+    fn backpressure_cap_trips_and_rearms() {
+        let log = DeltaLog::with_cap(2);
+        assert!(!log.over_cap());
+        log.record_insert(1, 1);
+        log.record_insert(2, 2);
+        assert!(!log.over_cap(), "cap is inclusive");
+        log.record_insert(3, 3);
+        assert!(log.over_cap());
+        log.set_cap(10);
+        assert!(!log.over_cap());
+        log.set_cap(0);
+        assert!(log.over_cap());
+        let _ = log.take_all();
+        assert!(!log.over_cap(), "a drained log is under any cap");
+    }
+
+    #[test]
+    fn concurrent_recorders_never_lose_ops() {
+        let log = Arc::new(DeltaLog::new());
+        const THREADS: usize = 4;
+        const OPS: usize = 2_000;
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let log = Arc::clone(&log);
+                scope.spawn(move || {
+                    for i in 0..OPS {
+                        let key = (t * OPS + i) as Key;
+                        log.record_insert(key, key);
+                    }
+                });
+            }
+        });
+        assert_eq!(log.len(), THREADS * OPS);
+        assert_eq!(log.take_all().len(), THREADS * OPS);
+    }
+
+    #[test]
+    fn drain_races_recorders_without_losing_ops() {
+        let log = Arc::new(DeltaLog::new());
+        const OPS: usize = 20_000;
+        let mut drained = Vec::new();
+        std::thread::scope(|scope| {
+            let writer = {
+                let log = Arc::clone(&log);
+                scope.spawn(move || {
+                    for i in 0..OPS {
+                        log.record_insert(i as Key, 0);
+                    }
+                })
+            };
+            while !writer.is_finished() {
+                drained.extend(log.take_all());
+            }
+            writer.join().unwrap();
+        });
+        drained.extend(log.take_all());
+        assert_eq!(drained.len(), OPS);
+    }
+
+    #[test]
+    fn apply_replays_onto_a_map() {
+        let map = crate::ConcurrentPma::new(crate::PmaParams::small()).unwrap();
+        DeltaOp::Insert(1, 10).apply(&map);
+        DeltaOp::Insert(2, 20).apply(&map);
+        DeltaOp::Remove(1).apply(&map);
+        DeltaOp::Remove(99).apply(&map); // absent key: no-op
+        map.flush();
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.get(2), Some(20));
+    }
+
+    #[test]
+    fn stripes_spread_sequential_keys() {
+        let hit: std::collections::HashSet<usize> =
+            (0..256).map(|k| DeltaLog::stripe_of(k as Key)).collect();
+        assert!(
+            hit.len() > DELTA_STRIPES / 2,
+            "sequential keys must spread across stripes, got {}",
+            hit.len()
+        );
+    }
+}

@@ -23,6 +23,7 @@
 //!   queue and returns immediately.
 
 pub mod chunk;
+pub mod delta;
 pub mod epoch;
 pub mod gate;
 pub mod instance;
@@ -343,6 +344,31 @@ impl ConcurrentPma {
         let mut stats = ScanStats::default();
         self.range(lo, hi, &mut |k, v| stats.visit(k, v));
         stats
+    }
+
+    /// Materialises every element with key in `[lo, hi]` (inclusive) into a
+    /// sorted vector — the ordered live-scan a copy-on-write rebuild (the
+    /// sharded engine's incremental splits, see [`delta`]) collects its base
+    /// copy with while writers keep landing.
+    ///
+    /// Unlike the trait default, a full-domain collect (`Key::MIN..=MAX`,
+    /// what the copy path issues) presizes the output with the current
+    /// element count — avoiding the doubling re-allocations matters when
+    /// the copy races a write-heavy workload. Narrow ranges fall back to
+    /// default growth: `len()` would be a wild over-reservation for them.
+    /// Like every scan, it runs without snapshot isolation but the visited
+    /// stream is strictly ascending.
+    pub fn collect_range(&self, lo: Key, hi: Key) -> Vec<(Key, Value)> {
+        if lo > hi {
+            return Vec::new();
+        }
+        let mut out = if lo == Key::MIN && hi == Key::MAX {
+            Vec::with_capacity(self.len() + 16)
+        } else {
+            Vec::new()
+        };
+        self.range(lo, hi, &mut |k, v| out.push((k, v)));
+        out
     }
 
     /// Inserts a batch of pairs (upsert semantics, later duplicates win).
@@ -1077,6 +1103,10 @@ impl ConcurrentMap for ConcurrentPma {
 
     fn scan_range(&self, lo: Key, hi: Key) -> ScanStats {
         ConcurrentPma::scan_range(self, lo, hi)
+    }
+
+    fn collect_range(&self, lo: Key, hi: Key) -> Vec<(Key, Value)> {
+        ConcurrentPma::collect_range(self, lo, hi)
     }
 
     fn insert_batch(&self, items: &[(Key, Value)]) {

@@ -48,6 +48,7 @@ pub mod sequential;
 pub mod stats;
 
 pub use backends::register_backends;
+pub use concurrent::delta::{DeltaLog, DeltaOp};
 pub use concurrent::ConcurrentPma;
 pub use params::{DensityThresholds, PmaParams, RebalancePolicy, UpdateMode};
 pub use sequential::PackedMemoryArray;

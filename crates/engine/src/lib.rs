@@ -13,10 +13,16 @@
 //!   stats-folding scans run the per-shard streams concurrently.
 //! * `insert_batch`/bulk loading split the input at the shard fences and
 //!   ingest per-shard in parallel through the inner native batch/load paths.
-//! * A load monitor splits hot shards and merges cold neighbours by
-//!   rebuilding them with the bulk loader and atomically swapping the
-//!   directory — published and reclaimed exactly like the paper's §3.4
-//!   resizes (single entry pointer + epoch garbage collection).
+//! * A load monitor splits hot shards and merges cold neighbours
+//!   **copy-on-write**: the replacement shards are built from an ordered
+//!   live-scan while writers keep landing (their concurrent delta is
+//!   captured in a striped op log and folded in under a short final fence),
+//!   then published by atomically swapping the directory — exactly the
+//!   paper's §3.4 resize protocol (single entry pointer + epoch garbage
+//!   collection). Hysteresis on the monitor's thresholds prevents
+//!   split↔merge thrash when load hovers at a boundary.
+//! * `snapshot()` pins one directory generation for its whole lifetime, so
+//!   multi-call scans stay consistent across concurrent splits/merges.
 //!
 //! The engine registers in the backend registry as
 //! `sharded:<n>:<inner-spec>` (see [`backends`]), so every driver, bench and
@@ -44,5 +50,5 @@ pub mod sharded;
 pub mod stats;
 
 pub use backends::register_backends;
-pub use sharded::{ShardedConfig, ShardedMap};
-pub use stats::{EngineStats, EngineStatsSnapshot};
+pub use sharded::{ShardSnapshot, ShardedConfig, ShardedMap};
+pub use stats::{EngineStats, EngineStatsSnapshot, ShardedStats};

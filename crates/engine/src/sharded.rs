@@ -20,7 +20,11 @@
 //! directory is published through a single [`AtomicPtr`] and reclaimed with
 //! the same epoch machinery the PMA uses for resizes
 //! ([`pma_core::concurrent::epoch`]): readers pin, load, and never block a
-//! re-publication.
+//! re-publication. Every published directory carries a monotonically
+//! increasing **generation**; [`ShardedMap::snapshot`] pins one generation
+//! for the lifetime of the returned [`ShardSnapshot`], so a scan spanning
+//! multiple calls can never observe a key twice or skip a fence-crossing
+//! range when a concurrent split/merge re-publishes under it.
 //!
 //! # Ordered scans
 //!
@@ -31,33 +35,104 @@
 //! [`ShardedMap::scan_all`]/[`ShardedMap::scan_range`] fold the per-shard
 //! streams concurrently (the merge of [`ScanStats`] is order-insensitive)
 //! while [`ShardedMap::range`] walks the covering shards sequentially so the
-//! visitor observes the global ascending order.
+//! visitor observes the global ascending order. All three pin one directory
+//! generation end to end.
 //!
-//! # Splits and merges
+//! # Incremental splits and merges
 //!
-//! A split rebuilds a hot shard into two halves with the bulk loader
-//! (`Registry::build_loaded`, PR 2's presized one-pass path) and publishes a
-//! new directory, mirroring §3.4's resize publication: writers coordinate
-//! through a per-shard latch (shared for point ops, exclusive for the
-//! rebuild) plus a `retired` flag, so an operation that raced the swap
-//! retries through the fresh directory and nothing is lost. Merging two cold
-//! neighbours is the same protocol over two latches. A lightweight monitor
-//! thread drives both from per-shard op/len counters.
+//! Splits and merges are **copy-on-write**, mirroring the paper's §3.4
+//! resize protocol (build the new instance off to the side, fold in the
+//! concurrent delta, publish atomically) instead of stopping the shard:
+//!
+//! 1. **Install fence** (microseconds of exclusive latch hold): a striped
+//!    [`DeltaLog`] is hooked into the shard's write gate — from here on
+//!    writers record into the log only. The inner combining queues are then
+//!    settled *unfenced* (they can only shrink once the log is installed),
+//!    leaving the live structure **quiescent**: the base copy cannot lose
+//!    elements to a concurrent rebalance shifting them across the scan
+//!    cursor, and the backlog drain is never charged to the write stall.
+//! 2. **Copy phase** (writers live, recording): the shard's contents are
+//!    collected with the ordered live-scan (`collect_range`, exact on the
+//!    quiescent base) and the replacement halves are built with the
+//!    presized bulk loader. Reads consult the log's per-key overlay before
+//!    the base, so acknowledged-but-unfolded writes stay visible; per-key
+//!    order is serialised by the log's stripe locks (see
+//!    [`pma_core::concurrent::delta`]).
+//! 3. **Chase rounds** (writers live, recording): the log is drained into
+//!    the halves while writers keep appending, shrinking the final fenced
+//!    drain, and the halves' combining queues are settled unfenced (the
+//!    structural thread is their only writer before publication).
+//! 4. **Final fence** (short exclusive latch hold): the log remnant is
+//!    drained into the halves *while the shard's key range is still
+//!    exclusively owned* — the owned-window invariant of PR 4 holds end to
+//!    end; nothing is replayed after publication — and the new fence +
+//!    halves are published via the epoch-reclaimed directory swap. Writers
+//!    that were blocked on the fence wake to a retired shard and re-route
+//!    through the fresh directory.
+//!
+//! Only the two short fences block writers; the copy and chase phases — the
+//! bulk of the rebuild — run with writers live. The cumulative fence time is
+//! surfaced as `split_stall_ns` and must be a small fraction of what the old
+//! stop-the-shard protocol (kept as [`ShardedMap::split_shard_blocking`] for
+//! comparison) charged to the write path. Merging two cold neighbours is the
+//! same protocol over two latches and one shared log.
+//!
+//! A lightweight monitor thread drives both from per-shard op/len counters,
+//! with **hysteresis**: a threshold crossing must persist for
+//! `hysteresis_rounds` consecutive monitor rounds before the monitor acts,
+//! so load hovering at a boundary cannot trigger split→merge→split thrash
+//! (suppressed crossings are counted in `split_thrash_averted`).
 
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Mutex, RwLock};
 use pma_common::{
-    check_sorted, dedup_sorted_last_wins, CombiningStats, ConcurrentMap, Key, PmaError, Registry,
-    ScanStats, Value, KEY_MAX, KEY_MIN,
+    check_sorted, dedup_sorted_last_wins, CombiningStats, ConcurrentMap, Key, MaintenanceStats,
+    PmaError, Registry, ScanStats, Value, KEY_MAX, KEY_MIN,
 };
-use pma_core::concurrent::epoch::{EpochRegistry, GarbageBin};
+use pma_core::concurrent::delta::{DeltaLog, DeltaOp};
+use pma_core::concurrent::epoch::{EpochGuard, EpochRegistry, GarbageBin};
 
-use crate::stats::{EngineStats, EngineStatsSnapshot};
+use crate::stats::{EngineStats, ShardedStats};
+
+/// Once a split's delta log shrinks below this many ops, chasing stops and
+/// the split proceeds to the closing phase (draining fewer ops than this in
+/// an unfenced round is not worth another round-trip).
+const CHASE_TARGET: usize = 256;
+
+/// Upper bound on unfenced chase rounds, so a write rate that outruns the
+/// drain cannot keep a split in the copy phase forever.
+const MAX_CHASE_ROUNDS: usize = 8;
+
+/// Delta-log backpressure cap during the copy phase: while a split's log
+/// holds more than this many undrained ops, writers routed to the shard
+/// back off briefly instead of appending. Without it, a write rate that
+/// outruns the copy (e.g. spinning writers on an oversubscribed core) grows
+/// the log — and the replacement shards' combining queues behind it —
+/// without bound. One million ops caps the capture at tens of MB while
+/// staying far above what a chase round drains in one pass.
+const DELTA_BACKPRESSURE: usize = 1 << 20;
+
+/// Delta-log cap during the closing phase (replacements built, chase
+/// converging): low enough that a chase round drains faster than throttled
+/// writers can refill, so the loop converges and the final *fenced* fold
+/// only ever sees on the order of a hundred ops — regardless of how badly
+/// the write rate outran the copy.
+const CLOSING_CAP: usize = 128;
+
+/// The closing phase keeps draining until the log is at most this small (or
+/// its round budget runs out): the remnant the final fence folds.
+const CLOSING_TARGET: usize = 64;
+
+/// While a delta log is installed, `insert_batch` runs are recorded in
+/// chunks of at most this many ops, re-checking the backpressure cap (with
+/// the latch released) between chunks — otherwise a single huge run could
+/// overshoot the cap by its full size in one latch hold.
+const BATCH_DELTA_CHUNK: usize = 4096;
 
 /// Configuration of a [`ShardedMap`].
 #[derive(Debug, Clone)]
@@ -73,6 +148,10 @@ pub struct ShardedConfig {
     /// Two adjacent shards whose combined element count is below this are
     /// eligible for a merge.
     pub merge_below: usize,
+    /// Number of consecutive monitor rounds a split/merge threshold must
+    /// stay crossed before the monitor acts (load hovering at a boundary
+    /// then never triggers split↔merge thrash). `0` behaves like `1`.
+    pub hysteresis_rounds: u32,
     /// Cadence of the load monitor (split/merge decisions and directory
     /// garbage collection).
     pub monitor_interval: Duration,
@@ -89,6 +168,7 @@ impl Default for ShardedConfig {
             inner_spec: "pma-batch:100".to_string(),
             split_above: 1 << 17,
             merge_below: 1 << 13,
+            hysteresis_rounds: 3,
             monitor_interval: Duration::from_millis(20),
             auto_manage: true,
         }
@@ -128,6 +208,18 @@ impl ShardedConfig {
     }
 }
 
+/// Per-shard write-gate state, read by writers under the shard's shared
+/// latch and changed only under the exclusive latch (the latch guard *is*
+/// the synchronisation — no atomics needed).
+struct WriteGate {
+    /// Installed by an in-flight split/merge: writers record every operation
+    /// here *instead of* the live structure (which stays quiescent so the
+    /// base copy is exact) and reads consult its overlay first, so the
+    /// copy-on-write rebuild can fold the concurrent delta into the
+    /// replacement shards before publishing them.
+    delta: Option<Arc<DeltaLog>>,
+}
+
 /// One shard: a disjoint key range `[lo, hi]` served by one inner instance.
 struct Shard {
     /// Inclusive lower fence.
@@ -137,10 +229,10 @@ struct Shard {
     /// The inner structure holding every element with key in `[lo, hi]`.
     map: Arc<dyn ConcurrentMap>,
     /// Structural latch: point updates hold it shared while they apply to
-    /// `map`; a split/merge holds it exclusive for the whole rebuild, which
-    /// both drains in-flight writers and blocks new ones until the fresh
-    /// directory is published.
-    latch: RwLock<()>,
+    /// `map`; a split/merge holds it exclusive only for its two short fences
+    /// (delta-log install, final drain + publish) — the copy phase runs with
+    /// writers live.
+    latch: RwLock<WriteGate>,
     /// Set (under the exclusive latch, after the new directory is published)
     /// when this shard has been replaced; writers that were blocked on the
     /// latch re-route through the new directory.
@@ -148,6 +240,15 @@ struct Shard {
     /// Operations routed to this shard since the monitor's last decay — the
     /// "heat" signal that picks which oversized shard to split first.
     ops: AtomicU64,
+    /// Consecutive monitor rounds this shard's len exceeded `split_above`
+    /// (the split hysteresis streak; reset on every round below threshold).
+    split_rounds: AtomicU32,
+    /// Consecutive monitor rounds this shard + its right neighbour summed
+    /// below `merge_below` (the merge hysteresis streak, tracked on the left
+    /// member of the pair). Fresh shards start at 0, which doubles as a
+    /// cool-down: a shard just created by a split cannot merge before the
+    /// hysteresis window elapses again.
+    merge_rounds: AtomicU32,
 }
 
 impl Shard {
@@ -156,10 +257,65 @@ impl Shard {
             lo,
             hi,
             map,
-            latch: RwLock::new(()),
+            latch: RwLock::new(WriteGate { delta: None }),
             retired: AtomicBool::new(false),
             ops: AtomicU64::new(0),
+            split_rounds: AtomicU32::new(0),
+            merge_rounds: AtomicU32::new(0),
         })
+    }
+
+    /// Applies an upsert under the caller's shared latch. While a
+    /// split/merge is copying this shard the op is recorded in the delta
+    /// log *instead of* the live structure — the base stays quiescent so
+    /// the copy scan is exact, and the fold replays the log into the
+    /// replacements (§3.4's capture half).
+    #[inline]
+    fn insert_op(&self, gate: &WriteGate, key: Key, value: Value) {
+        match &gate.delta {
+            Some(delta) => delta.record_insert(key, value),
+            None => self.map.insert(key, value),
+        }
+    }
+
+    /// Applies a removal under the caller's shared latch. During a
+    /// split/merge the removal is recorded in the delta log and its return
+    /// value linearized against the log's overlay (pending same-key ops
+    /// win) with the quiescent base as fallback.
+    #[inline]
+    fn remove_op(&self, gate: &WriteGate, key: Key) -> Option<Value> {
+        match &gate.delta {
+            Some(delta) => delta.record_remove(key, |key| self.map.get(key)),
+            None => self.map.remove(key),
+        }
+    }
+
+    /// Applies a per-shard batch run under the caller's shared latch. With a
+    /// delta log installed the run degrades to the per-item recorded path;
+    /// the native batch path resumes as soon as the split publishes.
+    fn batch_op(&self, gate: &WriteGate, run: &[(Key, Value)]) {
+        match &gate.delta {
+            Some(delta) => {
+                for &(key, value) in run {
+                    delta.record_insert(key, value);
+                }
+            }
+            None => self.map.insert_batch(run),
+        }
+    }
+
+    /// Looks `key` up under the caller's shared latch: pending delta ops
+    /// (acknowledged writes not yet folded into the replacements) win over
+    /// the quiescent base.
+    fn get_op(&self, gate: &WriteGate, key: Key) -> Option<Value> {
+        if let Some(delta) = &gate.delta {
+            match delta.lookup(key) {
+                Some(DeltaOp::Insert(_, value)) => return Some(value),
+                Some(DeltaOp::Remove(_)) => return None,
+                None => {}
+            }
+        }
+        self.map.get(key)
     }
 }
 
@@ -179,6 +335,10 @@ impl std::fmt::Debug for Shard {
 /// between consecutive directories, so their latches keep their identity.
 #[derive(Debug)]
 struct Directory {
+    /// Monotonically increasing publication counter: every split/merge
+    /// publishes `generation + 1`. Scans pin one generation for their whole
+    /// lifetime (see [`ShardSnapshot`]).
+    generation: u64,
     /// Shards in ascending fence order; `shards[0].lo == KEY_MIN`,
     /// `shards[last].hi == KEY_MAX`, and `shards[i + 1].lo ==
     /// shards[i].hi + 1` — the ranges tile the whole key domain.
@@ -299,25 +459,45 @@ impl Engine {
     }
 
     /// Folds a soon-to-be-retired shard's combining counters into the
-    /// engine-level accumulators. Called under the shard's exclusive latch,
-    /// after its flush (the inner instance is quiescent, so the snapshot is
-    /// final) and **before** the directory swap: a concurrent
-    /// `combining_stats` reader may transiently count the shard twice (once
-    /// live, once absorbed), which only overstates — the reverse order would
-    /// open a window where a `late_replays` hit is counted in neither place
-    /// and a protocol violation could be masked.
-    fn absorb_retired_counters(&self, shard: &Shard) {
-        if let Some(stats) = shard.map.combining_stats() {
-            self.retired_owned_applies
-                .fetch_add(stats.owned_applies, Ordering::Relaxed);
-            self.retired_late_replays
-                .fetch_add(stats.late_replays, Ordering::Relaxed);
+    /// engine-level accumulators, returning the absorbed snapshot. Called
+    /// **before** the directory swap: a concurrent `combining_stats` reader
+    /// may transiently count the shard twice (once live, once absorbed),
+    /// which only overstates — the reverse order would open a window where a
+    /// `late_replays` hit is counted in neither place and a protocol
+    /// violation could be masked. Counters the shard accrues *after* this
+    /// call (its post-publish settling flush) are folded in by
+    /// [`Engine::absorb_counter_delta`].
+    fn absorb_retired_counters(&self, shard: &Shard) -> CombiningStats {
+        let stats = shard.map.combining_stats().unwrap_or_default();
+        self.retired_owned_applies
+            .fetch_add(stats.owned_applies, Ordering::Relaxed);
+        self.retired_late_replays
+            .fetch_add(stats.late_replays, Ordering::Relaxed);
+        stats
+    }
+
+    /// Folds the counters a retired shard accrued after `already` was
+    /// absorbed (the settling flush that runs after publication applies the
+    /// inner queue backlog, which still ticks `owned_applies` — and must
+    /// still surface a `late_replays` hit).
+    fn absorb_counter_delta(&self, shard: &Shard, already: CombiningStats) {
+        if let Some(now) = shard.map.combining_stats() {
+            self.retired_owned_applies.fetch_add(
+                now.owned_applies.saturating_sub(already.owned_applies),
+                Ordering::Relaxed,
+            );
+            self.retired_late_replays.fetch_add(
+                now.late_replays.saturating_sub(already.late_replays),
+                Ordering::Relaxed,
+            );
         }
     }
 
-    /// Publishes `dir` as the new directory and retires the old one into the
-    /// epoch garbage bin (freed once no pinned reader can still observe it).
-    fn publish(&self, dir: Directory) {
+    /// Publishes `shards` as the next directory generation and retires the
+    /// old directory into the epoch garbage bin (freed once no pinned reader
+    /// can still observe it). Must be called under the `maintenance` lock.
+    fn publish(&self, generation: u64, shards: Vec<Arc<Shard>>) {
+        let dir = Directory { generation, shards };
         #[cfg(debug_assertions)]
         dir.check_invariants();
         let fresh = Box::into_raw(Box::new(dir));
@@ -328,20 +508,146 @@ impl Engine {
             .retire(&self.epoch, unsafe { Box::from_raw(old) });
     }
 
-    /// Drains the contents of `shard` into a sorted vector. The caller must
-    /// hold the shard's exclusive latch (so no writer is mid-flight) and have
-    /// flushed the inner map (so no combining queue holds pending work).
-    fn collect_shard(shard: &Shard) -> Vec<(Key, Value)> {
-        let mut items = Vec::with_capacity(shard.map.len());
-        shard
-            .map
-            .range(shard.lo, shard.hi, &mut |k, v| items.push((k, v)));
-        items
+    /// Installs `delta` into the shard's write gate under a short exclusive
+    /// fence (microseconds: one latch acquisition and a pointer store), then
+    /// settles the inner combining queues *unfenced*, so every operation is
+    /// either visible to the upcoming base copy or captured by the log.
+    /// Returns the fence duration (write stall).
+    ///
+    /// The unfenced flush terminates precisely because the log is already
+    /// installed: writers record into it instead of the inner map, so the
+    /// map's queues only shrink — the flush drains the pre-install backlog
+    /// (which can be large when the service lags the writers) without ever
+    /// chasing new arrivals, and without charging that drain to the write
+    /// stall. After it returns the inner map is quiescent for the copy.
+    fn install_delta(&self, shard: &Shard, delta: &Arc<DeltaLog>) -> Duration {
+        let fence = Instant::now();
+        let mut gate = shard.latch.write();
+        gate.delta = Some(Arc::clone(delta));
+        drop(gate);
+        let stall = fence.elapsed();
+        shard.map.flush();
+        stall
+    }
+
+    /// Removes an installed delta log again (abort path of a split/merge
+    /// that found nothing to do or whose loader failed), folding every
+    /// recorded op back into the live shard first: the ops were *only* in
+    /// the log (the live structure stayed quiescent), so dropping them
+    /// would lose acknowledged writes. The fold runs under the exclusive
+    /// latch — no append can be in flight, one drain pass is complete, and
+    /// the per-key append order is the linearization order the quiescent
+    /// base is caught up with.
+    fn uninstall_delta(&self, shard: &Shard) {
+        let mut gate = shard.latch.write();
+        if let Some(delta) = gate.delta.take() {
+            for op in delta.take_all() {
+                op.apply(shard.map.as_ref());
+            }
+        }
+    }
+
+    /// The merge abort path: the two shards share one delta log, so the
+    /// fold-back must route each op by key to the shard that owns it (a
+    /// single-shard fold-back would corrupt the left shard with the right
+    /// shard's keys). Both latches are held across the drain, so the fold
+    /// is complete and writers resume against caught-up live shards.
+    fn uninstall_delta_pair(&self, left: &Shard, right: &Shard) {
+        let mut left_gate = left.latch.write();
+        let mut right_gate = right.latch.write();
+        let delta = left_gate.delta.take();
+        right_gate.delta = None;
+        if let Some(delta) = delta {
+            for op in delta.take_all() {
+                if op.key() <= left.hi {
+                    op.apply(left.map.as_ref());
+                } else {
+                    op.apply(right.map.as_ref());
+                }
+            }
+        }
+    }
+
+    /// One drain pass: takes whatever the delta log currently holds and
+    /// folds it into `left` or `right` by comparing against `boundary` (ops
+    /// below it route left; passing the same map twice folds everything into
+    /// one replacement — the merge path). Returns the number of ops folded.
+    /// Deliberately a *single* pass: during the unfenced chase phase writers
+    /// keep appending, and looping until the log reads empty would race them
+    /// forever. Under the final fence one pass is also *complete*: a
+    /// writer's record (append + overlay update) runs entirely under the
+    /// shard's shared latch, so once the exclusive latch is held no append
+    /// can be in flight or arrive.
+    fn fold_delta(
+        delta: &DeltaLog,
+        boundary: Key,
+        left: &dyn ConcurrentMap,
+        right: &dyn ConcurrentMap,
+    ) -> u64 {
+        let ops = delta.take_all();
+        let folded = ops.len() as u64;
+        for op in ops {
+            if op.key() < boundary {
+                op.apply(left);
+            } else {
+                op.apply(right);
+            }
+        }
+        folded
+    }
+
+    /// Unfenced chase rounds: drains the delta log into the replacements
+    /// while writers keep appending, until the log is small enough for the
+    /// final fenced drain or the round budget runs out — then settles the
+    /// replacements' combining queues. The settling must happen *here*,
+    /// unfenced: the structural thread is the replacements' only writer
+    /// before publication, so their flush terminates, and moving the bulk
+    /// of the queue-settling out of the final fence keeps that fence
+    /// O(remnant) instead of O(delta). Must be called by the (single)
+    /// structural thread so the per-key drain order is preserved across
+    /// rounds.
+    fn chase_delta(
+        &self,
+        delta: &DeltaLog,
+        boundary: Key,
+        left: &dyn ConcurrentMap,
+        right: &dyn ConcurrentMap,
+    ) -> u64 {
+        let mut folded = Self::fold_delta(delta, boundary, left, right);
+        EngineStats::bump(&self.stats.chase_rounds);
+        let mut rounds = 1usize;
+        while delta.len() > CHASE_TARGET && rounds < MAX_CHASE_ROUNDS {
+            rounds += 1;
+            EngineStats::bump(&self.stats.chase_rounds);
+            folded += Self::fold_delta(delta, boundary, left, right);
+        }
+        // Closing phase: when the write rate outran the chase (the rounds
+        // above cannot converge on an oversubscribed core — appending is
+        // cheaper than draining), lower the backpressure cap so writers are
+        // throttled to what one round drains. The next drains then shrink
+        // geometrically and the final *fenced* fold sees at most a few
+        // hundred ops, no matter how hot the shard is.
+        delta.set_cap(CLOSING_CAP);
+        let mut closing = 0usize;
+        while delta.len() > CLOSING_TARGET && closing < 2 * MAX_CHASE_ROUNDS {
+            closing += 1;
+            EngineStats::bump(&self.stats.chase_rounds);
+            folded += Self::fold_delta(delta, boundary, left, right);
+        }
+        left.flush();
+        if !std::ptr::addr_eq(left, right) {
+            right.flush();
+        }
+        folded
     }
 
     /// Splits the shard at directory index `idx` into two halves at its
-    /// median key. Returns `Ok(false)` when the shard holds fewer than two
-    /// elements (nothing to split) or the index is stale.
+    /// median key, copy-on-write: writers keep landing throughout the copy
+    /// and chase phases (recording into the delta log, with reads served
+    /// through its overlay) and are only fenced for the delta-log install
+    /// and the final drain + publish (see the [module docs](self)). Returns
+    /// `Ok(false)` when the shard holds fewer than two elements (nothing to
+    /// split) or the index is stale.
     fn split_shard(&self, idx: usize) -> Result<bool, PmaError> {
         let _structural = self.maintenance.lock();
         let _pin = self.epoch.pin();
@@ -351,14 +657,114 @@ impl Engine {
             return Ok(false);
         }
         let shard = Arc::clone(&dir.shards[idx]);
+        if shard.map.len() < 2 {
+            return Ok(false);
+        }
+
+        // Phase 1 — install fence: hook the delta log, settle the queues.
+        let delta = Arc::new(DeltaLog::with_cap(DELTA_BACKPRESSURE));
+        let mut stall = self.install_delta(&shard, &delta);
+
+        // Phase 2 — copy-on-write (writers recording into the log): ordered
+        // live-scan of the now-quiescent base — exact, since nothing
+        // mutates the inner structure — and halves built with the presized
+        // bulk loader. The full-domain range is identical to the shard's
+        // fence span (its instance only holds keys inside the fences) and
+        // is the range the PMA's presized collect fast-path recognises.
+        let copied = (|| -> Result<Option<_>, PmaError> {
+            let items = shard.map.collect_range(KEY_MIN, KEY_MAX);
+            if items.len() < 2 {
+                return Ok(None); // raced deletes emptied it: nothing to split
+            }
+            // The boundary is the median key; keys are distinct and
+            // ascending, so `boundary > items[0].0 >= shard.lo` and both
+            // halves are non-empty.
+            let mid = items.len() / 2;
+            let boundary = items[mid].0;
+            debug_assert!(boundary > shard.lo && boundary <= shard.hi);
+            let left = self
+                .inner
+                .build_loaded(&self.config.inner_spec, &items[..mid])?;
+            let right = self
+                .inner
+                .build_loaded(&self.config.inner_spec, &items[mid..])?;
+            Ok(Some((boundary, left, right)))
+        })();
+        let (boundary, left, right) = match copied {
+            Ok(Some(parts)) => parts,
+            Ok(None) => {
+                self.uninstall_delta(&shard);
+                return Ok(false);
+            }
+            Err(e) => {
+                self.uninstall_delta(&shard);
+                return Err(e);
+            }
+        };
+
+        // Phase 3 — chase (writers live): shrink the final fenced drain.
+        let mut captured = self.chase_delta(&delta, boundary, left.as_ref(), right.as_ref());
+
+        // Phase 4 — final fence: drain the remnant while the key range is
+        // still exclusively owned, publish, retire.
+        let fence = Instant::now();
+        let mut gate = shard.latch.write();
+        // One pass drains everything (no append can be in flight under the
+        // exclusive latch). The remnant ops land in the halves' combining
+        // queues and settle within the inner mode's delay window — the same
+        // deferred visibility those ops would have had without a split.
+        captured += Self::fold_delta(&delta, boundary, left.as_ref(), right.as_ref());
+        debug_assert!(delta.is_empty(), "a fenced fold must drain the log");
+        let absorbed = self.absorb_retired_counters(&shard);
+        let mut shards = Vec::with_capacity(dir.shards.len() + 1);
+        shards.extend(dir.shards[..idx].iter().cloned());
+        shards.push(Shard::new(shard.lo, boundary - 1, left));
+        shards.push(Shard::new(boundary, shard.hi, right));
+        shards.extend(dir.shards[idx + 1..].iter().cloned());
+        self.publish(dir.generation + 1, shards);
+        // Publish-then-retire, all under the exclusive latch: writers that
+        // were blocked on the latch wake to a retired shard and re-route
+        // through the directory we just published.
+        shard.retired.store(true, Ordering::Release);
+        gate.delta = None;
+        drop(gate);
+        stall += fence.elapsed();
+
+        // Post-publish settling (writers already re-routed, so none of this
+        // is write stall): apply the retired instance's queue backlog so
+        // scans still pinned to the old generation observe a complete frozen
+        // shard and the instance drops clean, then fold the counters that
+        // settling accrued.
+        shard.map.flush();
+        self.absorb_counter_delta(&shard, absorbed);
+        EngineStats::bump(&self.stats.shard_splits);
+        EngineStats::add(&self.stats.split_stall_ns, stall.as_nanos() as u64);
+        EngineStats::add(&self.stats.delta_ops, captured);
+        self.garbage.collect(&self.epoch);
+        Ok(true)
+    }
+
+    /// The pre-incremental stop-the-shard split: holds the exclusive latch
+    /// across the whole flush + collect + rebuild. Kept as the baseline the
+    /// incremental protocol is measured against (`benches/split_latency.rs`)
+    /// and as a fallback for callers that want the simplest possible
+    /// publication. The entire hold time is counted as write stall.
+    fn split_shard_blocking(&self, idx: usize) -> Result<bool, PmaError> {
+        let _structural = self.maintenance.lock();
+        let _pin = self.epoch.pin();
+        // SAFETY: pinned above.
+        let dir = unsafe { self.dir_ref() };
+        if idx >= dir.shards.len() {
+            return Ok(false);
+        }
+        let shard = Arc::clone(&dir.shards[idx]);
+        let fence = Instant::now();
         let exclusive = shard.latch.write();
         shard.map.flush();
-        let items = Self::collect_shard(&shard);
+        let items = shard.map.collect_range(KEY_MIN, KEY_MAX);
         if items.len() < 2 {
             return Ok(false);
         }
-        // The boundary is the median key; keys are distinct and ascending, so
-        // `boundary > items[0].0 >= shard.lo` and both halves are non-empty.
         let mid = items.len() / 2;
         let boundary = items[mid].0;
         debug_assert!(boundary > shard.lo && boundary <= shard.hi);
@@ -375,19 +781,22 @@ impl Engine {
         shards.push(Shard::new(boundary, shard.hi, right));
         shards.extend(dir.shards[idx + 1..].iter().cloned());
         self.absorb_retired_counters(&shard);
-        self.publish(Directory { shards });
-        // Publish-then-retire, all under the exclusive latch: writers that
-        // were blocked on the latch wake to a retired shard and re-route
-        // through the directory we just published.
+        self.publish(dir.generation + 1, shards);
         shard.retired.store(true, Ordering::Release);
         drop(exclusive);
         EngineStats::bump(&self.stats.shard_splits);
+        EngineStats::add(
+            &self.stats.split_stall_ns,
+            fence.elapsed().as_nanos() as u64,
+        );
         self.garbage.collect(&self.epoch);
         Ok(true)
     }
 
-    /// Merges the shards at directory indices `idx` and `idx + 1` into one.
-    /// Returns `Ok(false)` when `idx + 1` is out of bounds.
+    /// Merges the shards at directory indices `idx` and `idx + 1` into one,
+    /// copy-on-write over two latches and one shared delta log (keys are
+    /// disjoint between the two shards, so one log preserves the per-key
+    /// order of both). Returns `Ok(false)` when `idx + 1` is out of bounds.
     fn merge_shards(&self, idx: usize) -> Result<bool, PmaError> {
         let _structural = self.maintenance.lock();
         let _pin = self.epoch.pin();
@@ -398,41 +807,74 @@ impl Engine {
         }
         let left = Arc::clone(&dir.shards[idx]);
         let right = Arc::clone(&dir.shards[idx + 1]);
-        // Lower index first; `maintenance` already excludes other structural
-        // ops, so the order only has to be self-consistent.
-        let left_exclusive = left.latch.write();
-        let right_exclusive = right.latch.write();
-        left.map.flush();
-        right.map.flush();
-        // The two runs are disjoint and ascending, so concatenation is the
-        // merge.
-        let mut items = Self::collect_shard(&left);
-        items.extend(Self::collect_shard(&right));
-        let merged = self.inner.build_loaded(&self.config.inner_spec, &items)?;
 
+        // Install fences, one shard at a time (lower index first; the
+        // `maintenance` lock already excludes other structural ops, so the
+        // order only has to be self-consistent).
+        let delta = Arc::new(DeltaLog::with_cap(DELTA_BACKPRESSURE));
+        let mut stall = self.install_delta(&left, &delta);
+        stall += self.install_delta(&right, &delta);
+
+        // Copy phase (writers recording): the two runs are disjoint and
+        // ascending, so concatenation is the merge.
+        let merged = {
+            let mut items = left.map.collect_range(KEY_MIN, KEY_MAX);
+            items.extend(right.map.collect_range(KEY_MIN, KEY_MAX));
+            self.inner.build_loaded(&self.config.inner_spec, &items)
+        };
+        let merged = match merged {
+            Ok(map) => map,
+            Err(e) => {
+                self.uninstall_delta_pair(&left, &right);
+                return Err(e);
+            }
+        };
+
+        // Chase (writers live), then the final fence over both latches.
+        let mut captured = self.chase_delta(&delta, KEY_MIN, merged.as_ref(), merged.as_ref());
+        let fence = Instant::now();
+        let mut left_gate = left.latch.write();
+        let mut right_gate = right.latch.write();
+        captured += Self::fold_delta(&delta, KEY_MIN, merged.as_ref(), merged.as_ref());
+        debug_assert!(delta.is_empty(), "a fenced fold must drain the log");
+        let left_absorbed = self.absorb_retired_counters(&left);
+        let right_absorbed = self.absorb_retired_counters(&right);
         let mut shards = Vec::with_capacity(dir.shards.len() - 1);
         shards.extend(dir.shards[..idx].iter().cloned());
         shards.push(Shard::new(left.lo, right.hi, merged));
         shards.extend(dir.shards[idx + 2..].iter().cloned());
-        self.absorb_retired_counters(&left);
-        self.absorb_retired_counters(&right);
-        self.publish(Directory { shards });
+        self.publish(dir.generation + 1, shards);
         left.retired.store(true, Ordering::Release);
         right.retired.store(true, Ordering::Release);
-        drop(right_exclusive);
-        drop(left_exclusive);
+        left_gate.delta = None;
+        right_gate.delta = None;
+        drop(right_gate);
+        drop(left_gate);
+        stall += fence.elapsed();
+
+        left.map.flush();
+        right.map.flush();
+        self.absorb_counter_delta(&left, left_absorbed);
+        self.absorb_counter_delta(&right, right_absorbed);
         EngineStats::bump(&self.stats.shard_merges);
+        EngineStats::add(&self.stats.split_stall_ns, stall.as_nanos() as u64);
+        EngineStats::add(&self.stats.delta_ops, captured);
         self.garbage.collect(&self.epoch);
         Ok(true)
     }
 
-    /// One monitor round: decay the per-shard heat counters, split the
-    /// hottest oversized shard, or merge the coldest undersized neighbours.
+    /// One monitor round: decay the per-shard heat counters, advance the
+    /// hysteresis streaks, then split the hottest persistently-oversized
+    /// shard or merge the coldest persistently-undersized neighbours. A
+    /// threshold crossing only triggers once it has held for
+    /// `hysteresis_rounds` consecutive rounds; a crossing that lapses before
+    /// that resets its streak and counts as thrash averted.
     fn maintain(&self) {
         enum Plan {
             Split(usize),
             Merge(usize),
         }
+        let hysteresis = self.config.hysteresis_rounds.max(1);
         let plan = {
             let _pin = self.epoch.pin();
             // SAFETY: pinned above.
@@ -441,10 +883,13 @@ impl Engine {
             for (i, shard) in dir.shards.iter().enumerate() {
                 let heat = shard.ops.load(Ordering::Relaxed);
                 shard.ops.store(heat / 2, Ordering::Relaxed);
-                if shard.map.len() > self.config.split_above
-                    && split.is_none_or(|(_, best)| heat > best)
-                {
-                    split = Some((i, heat));
+                if shard.map.len() > self.config.split_above {
+                    let streak = shard.split_rounds.fetch_add(1, Ordering::Relaxed) + 1;
+                    if streak >= hysteresis && split.is_none_or(|(_, best)| heat > best) {
+                        split = Some((i, heat));
+                    }
+                } else if shard.split_rounds.swap(0, Ordering::Relaxed) > 0 {
+                    EngineStats::bump(&self.stats.split_thrash_averted);
                 }
             }
             if let Some((i, _)) = split {
@@ -452,9 +897,15 @@ impl Engine {
             } else {
                 let mut merge: Option<(usize, usize)> = None;
                 for i in 0..dir.shards.len().saturating_sub(1) {
-                    let sum = dir.shards[i].map.len() + dir.shards[i + 1].map.len();
-                    if sum < self.config.merge_below && merge.is_none_or(|(_, best)| sum < best) {
-                        merge = Some((i, sum));
+                    let pair_left = &dir.shards[i];
+                    let sum = pair_left.map.len() + dir.shards[i + 1].map.len();
+                    if sum < self.config.merge_below {
+                        let streak = pair_left.merge_rounds.fetch_add(1, Ordering::Relaxed) + 1;
+                        if streak >= hysteresis && merge.is_none_or(|(_, best)| sum < best) {
+                            merge = Some((i, sum));
+                        }
+                    } else if pair_left.merge_rounds.swap(0, Ordering::Relaxed) > 0 {
+                        EngineStats::bump(&self.stats.split_thrash_averted);
                     }
                 }
                 merge.map(|(i, _)| Plan::Merge(i))
@@ -551,6 +1002,143 @@ fn plan_shards(items: &[(Key, Value)], n: usize) -> Vec<(Key, Key, usize, usize)
     plan
 }
 
+/// A consistent view of one shard-directory generation.
+///
+/// Produced by [`ShardedMap::snapshot`]: the snapshot pins the engine's
+/// epoch and the directory generation current at creation time for its whole
+/// lifetime, so any number of scans/lookups issued through it observe the
+/// same shard layout — a concurrent split or merge can never make a
+/// fence-crossing scan observe a key twice or skip a range, even across
+/// *multiple* calls (e.g. a paginated walk issuing one `scan_range` per
+/// page).
+///
+/// Shards retired by a concurrent structural change stay fully readable
+/// through the snapshot (the epoch pin keeps them alive and the final fence
+/// left them complete). Keep snapshots short-lived: the pin delays memory
+/// reclamation of every directory retired while it is held.
+pub struct ShardSnapshot<'a> {
+    engine: &'a Engine,
+    dir: &'a Directory,
+    _pin: EpochGuard<'a>,
+}
+
+impl std::fmt::Debug for ShardSnapshot<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardSnapshot")
+            .field("generation", &self.generation())
+            .field("shards", &self.num_shards())
+            .finish()
+    }
+}
+
+impl ShardSnapshot<'_> {
+    /// The pinned directory generation (monotonically increasing across
+    /// splits/merges; two snapshots with equal generations observe the
+    /// identical shard layout).
+    pub fn generation(&self) -> u64 {
+        self.dir.generation
+    }
+
+    /// Number of shards in the pinned directory.
+    pub fn num_shards(&self) -> usize {
+        self.dir.shards.len()
+    }
+
+    /// `(lo, hi, len)` of every shard in the pinned directory, in fence
+    /// order.
+    pub fn shard_layout(&self) -> Vec<(Key, Key, usize)> {
+        self.dir
+            .shards
+            .iter()
+            .map(|s| (s.lo, s.hi, s.map.len()))
+            .collect()
+    }
+
+    /// Sum of the shard lengths in the pinned directory.
+    pub fn len(&self) -> usize {
+        self.dir.shards.iter().map(|s| s.map.len()).sum()
+    }
+
+    /// Whether the pinned directory holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Scans every element through the pinned directory.
+    pub fn scan_all(&self) -> ScanStats {
+        self.fold_scan(KEY_MIN, KEY_MAX)
+    }
+
+    /// Scans `[lo, hi]` (inclusive) through the pinned directory.
+    pub fn scan_range(&self, lo: Key, hi: Key) -> ScanStats {
+        self.fold_scan(lo, hi)
+    }
+
+    /// Visits every element with key in `[lo, hi]` in ascending key order
+    /// through the pinned directory.
+    pub fn range(&self, lo: Key, hi: Key, visitor: &mut dyn FnMut(Key, Value)) {
+        if lo > hi {
+            return;
+        }
+        let first = self.dir.route(lo);
+        let last = self.dir.route(hi);
+        if last > first {
+            EngineStats::bump(&self.engine.stats.cross_shard_scans);
+        }
+        // Sequential walk in directory order: the shard ranges ascend, so
+        // concatenating the per-shard ordered streams preserves the global
+        // order the visitor contract requires.
+        for shard in &self.dir.shards[first..=last] {
+            shard.map.range(lo.max(shard.lo), hi.min(shard.hi), visitor);
+        }
+    }
+
+    /// Folds the scan of every shard whose range intersects `[lo, hi]`,
+    /// running the per-shard streams concurrently when more than one shard
+    /// (with elements) is covered. Correct because the streams are disjoint:
+    /// merging [`ScanStats`] is order-insensitive.
+    fn fold_scan(&self, lo: Key, hi: Key) -> ScanStats {
+        let mut total = ScanStats::default();
+        if lo > hi {
+            return total;
+        }
+        let first = self.dir.route(lo);
+        let last = self.dir.route(hi);
+        let covered = &self.dir.shards[first..=last];
+        let busy: Vec<&Arc<Shard>> = covered.iter().filter(|s| !s.map.is_empty()).collect();
+        match busy.len() {
+            0 => {}
+            1 => {
+                let s = busy[0];
+                total.merge(&s.map.scan_range(lo.max(s.lo), hi.min(s.hi)));
+            }
+            _ => {
+                EngineStats::bump(&self.engine.stats.cross_shard_scans);
+                // Fan the per-shard streams out to the persistent worker
+                // pool (never to fresh threads — see [`WorkerPool`]) and
+                // fold the replies; ScanStats::merge is order-insensitive,
+                // so completion order does not matter.
+                let (reply_tx, reply_rx) = unbounded();
+                let mut jobs = 0usize;
+                for s in &busy {
+                    let shard = Arc::clone(s);
+                    let reply = reply_tx.clone();
+                    let (lo, hi) = (lo.max(s.lo), hi.min(s.hi));
+                    self.engine.pool.submit(Box::new(move || {
+                        let _ = reply.send(shard.map.scan_range(lo, hi));
+                    }));
+                    jobs += 1;
+                }
+                drop(reply_tx);
+                for _ in 0..jobs {
+                    total.merge(&reply_rx.recv().expect("a shard scan worker died"));
+                }
+            }
+        }
+        total
+    }
+}
+
 /// A range-partitioned [`ConcurrentMap`] composing N inner instances behind
 /// a fence-key shard directory. See the [module docs](self) for the design.
 ///
@@ -571,6 +1159,11 @@ fn plan_shards(items: &[(Key, Value)], n: usize) -> Vec<(Key, Key, usize, usize)
 /// assert_eq!(map.get(1), Some(10));
 /// assert_eq!(map.scan_all().count, 2);
 /// assert_eq!(map.num_shards(), 4);
+///
+/// // A snapshot pins one directory generation for consistent scans.
+/// let snapshot = map.snapshot();
+/// assert_eq!(snapshot.scan_all().count, 2);
+/// assert_eq!(snapshot.generation(), 0);
 /// ```
 pub struct ShardedMap {
     engine: Arc<Engine>,
@@ -648,7 +1241,10 @@ impl ShardedMap {
         let engine = Arc::new(Engine {
             config,
             inner,
-            dir: AtomicPtr::new(Box::into_raw(Box::new(Directory { shards }))),
+            dir: AtomicPtr::new(Box::into_raw(Box::new(Directory {
+                generation: 0,
+                shards,
+            }))),
             epoch: EpochRegistry::new(),
             garbage: GarbageBin::new(),
             maintenance: Mutex::new(()),
@@ -674,108 +1270,105 @@ impl ShardedMap {
         Ok(Self { engine, monitor })
     }
 
+    /// Pins the current directory generation into a [`ShardSnapshot`]: every
+    /// scan or layout query issued through it observes the same shard
+    /// layout, regardless of concurrent splits/merges.
+    pub fn snapshot(&self) -> ShardSnapshot<'_> {
+        let engine = &*self.engine;
+        let pin = engine.epoch.pin();
+        // SAFETY: the pin (stored in the snapshot) protects the directory
+        // for the snapshot's whole lifetime.
+        let dir = unsafe { &*engine.dir.load(Ordering::Acquire) };
+        ShardSnapshot {
+            engine,
+            dir,
+            _pin: pin,
+        }
+    }
+
     /// Number of shards in the current directory.
     pub fn num_shards(&self) -> usize {
-        let _pin = self.engine.epoch.pin();
-        // SAFETY: pinned above.
-        unsafe { self.engine.dir_ref() }.shards.len()
+        self.snapshot().num_shards()
     }
 
     /// `(lo, hi, len)` of every shard in directory order.
     pub fn shard_layout(&self) -> Vec<(Key, Key, usize)> {
-        let _pin = self.engine.epoch.pin();
-        // SAFETY: pinned above.
-        unsafe { self.engine.dir_ref() }
-            .shards
-            .iter()
-            .map(|s| (s.lo, s.hi, s.map.len()))
-            .collect()
+        self.snapshot().shard_layout()
     }
 
     /// Snapshot of the engine's operation counters.
-    pub fn stats(&self) -> EngineStatsSnapshot {
+    pub fn stats(&self) -> ShardedStats {
         self.engine.stats.snapshot()
     }
 
+    /// Runs one load-monitor round synchronously — exactly what the
+    /// background monitor does every `monitor_interval`: decay heat,
+    /// advance the hysteresis streaks, split/merge when a streak completes.
+    /// Useful for deterministic tests and demos (set `monitor_interval` to
+    /// zero to disable the background thread entirely).
+    pub fn maintain_once(&self) {
+        self.engine.maintain();
+    }
+
     /// Splits the shard at directory index `idx` at its median key,
-    /// publishing a new directory. Returns `Ok(false)` when the shard holds
-    /// fewer than two elements.
+    /// publishing a new directory. Copy-on-write: writers are only blocked
+    /// during the two short fences, not the rebuild (see the [module
+    /// docs](self)). Returns `Ok(false)` when the shard holds fewer than two
+    /// elements.
     pub fn split_shard(&self, idx: usize) -> Result<bool, PmaError> {
         self.engine.split_shard(idx)
     }
 
+    /// The old stop-the-shard split: holds the shard's exclusive latch
+    /// across the whole rebuild, blocking writers throughout. Kept as the
+    /// baseline [`ShardedMap::split_shard`] is measured against.
+    pub fn split_shard_blocking(&self, idx: usize) -> Result<bool, PmaError> {
+        self.engine.split_shard_blocking(idx)
+    }
+
     /// Merges the shards at directory indices `idx` and `idx + 1`,
-    /// publishing a new directory. Returns `Ok(false)` when out of bounds.
+    /// publishing a new directory. Copy-on-write like
+    /// [`ShardedMap::split_shard`]. Returns `Ok(false)` when out of bounds.
     pub fn merge_shards(&self, idx: usize) -> Result<bool, PmaError> {
         self.engine.merge_shards(idx)
     }
 
     /// Routes a point update to its shard and applies it under the shard's
-    /// shared latch, retrying through the fresh directory when a concurrent
-    /// split/merge retired the shard first.
-    fn with_shard<R>(&self, key: Key, apply: impl Fn(&dyn ConcurrentMap) -> R) -> R {
+    /// shared latch (recording it in the delta log when a split/merge is
+    /// copying the shard), retrying through the fresh directory when a
+    /// concurrent split/merge retired the shard first.
+    fn with_shard<R>(&self, key: Key, apply: impl Fn(&Shard, &WriteGate) -> R) -> R {
         loop {
-            let _pin = self.engine.epoch.pin();
-            // SAFETY: pinned above.
-            let dir = unsafe { self.engine.dir_ref() };
-            let shard = &dir.shards[dir.route(key)];
-            let _shared = shard.latch.read();
-            if shard.retired.load(Ordering::Acquire) {
-                EngineStats::bump(&self.engine.stats.retired_retries);
-                continue;
-            }
-            shard.ops.fetch_add(1, Ordering::Relaxed);
-            EngineStats::bump(&self.engine.stats.routed_ops);
-            return apply(shard.map.as_ref());
-        }
-    }
-
-    /// Folds the scan of every shard whose range intersects `[lo, hi]`,
-    /// running the per-shard streams concurrently when more than one shard
-    /// (with elements) is covered. Correct because the streams are disjoint:
-    /// merging [`ScanStats`] is order-insensitive.
-    fn fold_scan(&self, lo: Key, hi: Key) -> ScanStats {
-        let mut total = ScanStats::default();
-        if lo > hi {
-            return total;
-        }
-        let _pin = self.engine.epoch.pin();
-        // SAFETY: pinned above.
-        let dir = unsafe { self.engine.dir_ref() };
-        let first = dir.route(lo);
-        let last = dir.route(hi);
-        let covered = &dir.shards[first..=last];
-        let busy: Vec<&Arc<Shard>> = covered.iter().filter(|s| !s.map.is_empty()).collect();
-        match busy.len() {
-            0 => {}
-            1 => {
-                let s = busy[0];
-                total.merge(&s.map.scan_range(lo.max(s.lo), hi.min(s.hi)));
-            }
-            _ => {
-                EngineStats::bump(&self.engine.stats.cross_shard_scans);
-                // Fan the per-shard streams out to the persistent worker
-                // pool (never to fresh threads — see [`WorkerPool`]) and
-                // fold the replies; ScanStats::merge is order-insensitive,
-                // so completion order does not matter.
-                let (reply_tx, reply_rx) = unbounded();
-                let mut jobs = 0usize;
-                for s in &busy {
-                    let shard = Arc::clone(s);
-                    let reply = reply_tx.clone();
-                    let (lo, hi) = (lo.max(s.lo), hi.min(s.hi));
-                    self.engine.pool.submit(Box::new(move || {
-                        let _ = reply.send(shard.map.scan_range(lo, hi));
-                    }));
-                    jobs += 1;
+            let backoff = {
+                let _pin = self.engine.epoch.pin();
+                // SAFETY: pinned above.
+                let dir = unsafe { self.engine.dir_ref() };
+                let shard = &dir.shards[dir.route(key)];
+                let gate = shard.latch.read();
+                if shard.retired.load(Ordering::Acquire) {
+                    EngineStats::bump(&self.engine.stats.retired_retries);
+                    continue;
                 }
-                drop(reply_tx);
-                for _ in 0..jobs {
-                    total.merge(&reply_rx.recv().expect("a shard scan worker died"));
+                // Backpressure: while an in-flight split's delta log is over
+                // the cap, back off (with every latch/pin released) instead
+                // of appending — the chase drains the log while we sleep, so
+                // this converges and bounds the capture's memory.
+                match &gate.delta {
+                    Some(delta) if delta.over_cap() => {
+                        EngineStats::bump(&self.engine.stats.delta_backpressure_waits);
+                        true
+                    }
+                    _ => {
+                        shard.ops.fetch_add(1, Ordering::Relaxed);
+                        EngineStats::bump(&self.engine.stats.routed_ops);
+                        return apply(shard, &gate);
+                    }
                 }
+            };
+            if backoff {
+                std::thread::sleep(Duration::from_micros(100));
             }
         }
-        total
     }
 }
 
@@ -793,62 +1386,51 @@ impl Drop for ShardedMap {
 
 impl ConcurrentMap for ShardedMap {
     fn insert(&self, key: Key, value: Value) {
-        self.with_shard(key, |map| map.insert(key, value));
+        self.with_shard(key, |shard, gate| shard.insert_op(gate, key, value));
     }
 
     fn remove(&self, key: Key) -> Option<Value> {
-        self.with_shard(key, |map| map.remove(key))
+        self.with_shard(key, |shard, gate| shard.remove_op(gate, key))
     }
 
     fn get(&self, key: Key) -> Option<Value> {
-        // Lookups skip the shard latch: a concurrent split serves them from
-        // the (still fully populated, no longer mutated) retired instance,
-        // which is linearizable because every update that completed before
-        // this lookup started either predates the split's exclusive latch
-        // (and is in the retired instance) or postdates the directory swap
-        // (in which case this lookup, having loaded the directory after the
-        // swap, routes to the fresh shard).
-        let _pin = self.engine.epoch.pin();
-        // SAFETY: pinned above.
-        let dir = unsafe { self.engine.dir_ref() };
-        let shard = &dir.shards[dir.route(key)];
-        EngineStats::bump(&self.engine.stats.routed_ops);
-        shard.map.get(key)
+        // Lookups hold the shard's shared latch like updates do: during a
+        // split/merge they must consult the delta overlay (acknowledged
+        // writes live there, not in the quiescent base), and the overlay is
+        // reachable through the latch-guarded write gate. A lookup that
+        // raced the final fence re-routes through the fresh directory like
+        // any writer. Lookups never append to the log, so they are exempt
+        // from the delta backpressure writers are subject to.
+        loop {
+            let _pin = self.engine.epoch.pin();
+            // SAFETY: pinned above.
+            let dir = unsafe { self.engine.dir_ref() };
+            let shard = &dir.shards[dir.route(key)];
+            let gate = shard.latch.read();
+            if shard.retired.load(Ordering::Acquire) {
+                EngineStats::bump(&self.engine.stats.retired_retries);
+                continue;
+            }
+            shard.ops.fetch_add(1, Ordering::Relaxed);
+            EngineStats::bump(&self.engine.stats.routed_ops);
+            return shard.get_op(&gate, key);
+        }
     }
 
     fn len(&self) -> usize {
-        let _pin = self.engine.epoch.pin();
-        // SAFETY: pinned above.
-        let dir = unsafe { self.engine.dir_ref() };
-        dir.shards.iter().map(|s| s.map.len()).sum()
+        self.snapshot().len()
     }
 
     fn scan_all(&self) -> ScanStats {
-        self.fold_scan(KEY_MIN, KEY_MAX)
+        self.snapshot().scan_all()
     }
 
     fn scan_range(&self, lo: Key, hi: Key) -> ScanStats {
-        self.fold_scan(lo, hi)
+        self.snapshot().scan_range(lo, hi)
     }
 
     fn range(&self, lo: Key, hi: Key, visitor: &mut dyn FnMut(Key, Value)) {
-        if lo > hi {
-            return;
-        }
-        let _pin = self.engine.epoch.pin();
-        // SAFETY: pinned above.
-        let dir = unsafe { self.engine.dir_ref() };
-        let first = dir.route(lo);
-        let last = dir.route(hi);
-        if last > first {
-            EngineStats::bump(&self.engine.stats.cross_shard_scans);
-        }
-        // Sequential walk in directory order: the shard ranges ascend, so
-        // concatenating the per-shard ordered streams preserves the global
-        // order the visitor contract requires.
-        for shard in &dir.shards[first..=last] {
-            shard.map.range(lo.max(shard.lo), hi.min(shard.hi), visitor);
-        }
+        self.snapshot().range(lo, hi, visitor)
     }
 
     fn insert_batch(&self, items: &[(Key, Value)]) {
@@ -868,15 +1450,41 @@ impl ConcurrentMap for ShardedMap {
             }
             let occupied = runs.iter().filter(|r| !r.is_empty()).count();
             EngineStats::add(&self.engine.stats.batch_runs, occupied as u64);
-            // Applies one run under its shard's shared latch; hands the run
-            // back when the shard was retired by a concurrent split/merge.
-            fn apply_run(shard: &Shard, run: Vec<(Key, Value)>) -> Option<Vec<(Key, Value)>> {
-                let _shared = shard.latch.read();
-                if shard.retired.load(Ordering::Acquire) {
-                    return Some(run);
+            // Applies one run under its shard's shared latch; hands the
+            // unapplied remainder back when the shard was retired by a
+            // concurrent split/merge (the applied prefix is already folded
+            // into the replacements, and same-key order is preserved: the
+            // retried suffix re-routes to shards whose base contains the
+            // prefix). Honours the delta backpressure like the point-op
+            // path — the latch is released while waiting, and a run that
+            // records into a delta log is chunked so it re-checks the cap
+            // every `BATCH_DELTA_CHUNK` ops instead of overshooting it by
+            // the full run size.
+            fn apply_run(
+                engine: &Engine,
+                shard: &Shard,
+                run: Vec<(Key, Value)>,
+            ) -> Option<Vec<(Key, Value)>> {
+                let mut start = 0usize;
+                while start < run.len() {
+                    let gate = shard.latch.read();
+                    if shard.retired.load(Ordering::Acquire) {
+                        return Some(run[start..].to_vec());
+                    }
+                    let chunk = match &gate.delta {
+                        Some(delta) if delta.over_cap() => {
+                            EngineStats::bump(&engine.stats.delta_backpressure_waits);
+                            drop(gate);
+                            std::thread::sleep(Duration::from_micros(100));
+                            continue;
+                        }
+                        Some(_) => &run[start..run.len().min(start + BATCH_DELTA_CHUNK)],
+                        None => &run[start..],
+                    };
+                    shard.ops.fetch_add(chunk.len() as u64, Ordering::Relaxed);
+                    shard.batch_op(&gate, chunk);
+                    start += chunk.len();
                 }
-                shard.ops.fetch_add(run.len() as u64, Ordering::Relaxed);
-                shard.map.insert_batch(&run);
                 None
             }
             let mut leftovers: Vec<(Key, Value)> = Vec::new();
@@ -892,8 +1500,9 @@ impl ConcurrentMap for ShardedMap {
                     }
                     let shard = Arc::clone(&dir.shards[i]);
                     let reply = reply_tx.clone();
+                    let engine = Arc::clone(&self.engine);
                     self.engine.pool.submit(Box::new(move || {
-                        let _ = reply.send(apply_run(&shard, run));
+                        let _ = reply.send(apply_run(&engine, &shard, run));
                     }));
                     jobs += 1;
                 }
@@ -907,7 +1516,7 @@ impl ConcurrentMap for ShardedMap {
             } else {
                 for (i, run) in runs.into_iter().enumerate() {
                     if !run.is_empty() {
-                        if let Some(run) = apply_run(&dir.shards[i], run) {
+                        if let Some(run) = apply_run(&self.engine, &dir.shards[i], run) {
                             EngineStats::bump(&self.engine.stats.retired_retries);
                             leftovers.extend(run);
                         }
@@ -922,6 +1531,11 @@ impl ConcurrentMap for ShardedMap {
     }
 
     fn flush(&self) {
+        // Wait for any in-flight split/merge to publish first: its delta log
+        // holds acknowledged-but-unfolded operations that only land in the
+        // replacement shards at the final fence, and flush promises that
+        // every accepted update is applied when it returns.
+        let _structural = self.engine.maintenance.lock();
         let _pin = self.engine.epoch.pin();
         // SAFETY: pinned above.
         let dir = unsafe { self.engine.dir_ref() };
@@ -949,6 +1563,16 @@ impl ConcurrentMap for ShardedMap {
             }
         }
         any.then_some(total)
+    }
+
+    fn maintenance_stats(&self) -> Option<MaintenanceStats> {
+        let stats = self.engine.stats.snapshot();
+        Some(MaintenanceStats {
+            splits: stats.shard_splits,
+            merges: stats.shard_merges,
+            stall_ns: stats.split_stall_ns,
+            thrash_averted: stats.split_thrash_averted,
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -1084,10 +1708,126 @@ mod tests {
         let stats = map.stats();
         assert_eq!(stats.shard_splits, 2);
         assert_eq!(stats.shard_merges, 2);
+        // Every fence (install + final, splits and merges) counts as stall.
+        assert!(stats.split_stall_ns > 0);
         // Splitting an empty or single-element shard is a no-op.
         let empty = ShardedMap::new(config(1), registry()).unwrap();
         assert!(!empty.split_shard(0).unwrap());
         assert!(!empty.merge_shards(0).unwrap());
+    }
+
+    #[test]
+    fn blocking_split_is_equivalent_and_counts_stall() {
+        let map = ShardedMap::new(config(1), registry()).unwrap();
+        for k in 0..4_000i64 {
+            map.insert(k, k + 7);
+        }
+        map.flush();
+        assert!(map.split_shard_blocking(0).unwrap());
+        assert_eq!(map.num_shards(), 2);
+        assert_eq!(map.len(), 4_000);
+        assert_eq!(map.scan_all().count, 4_000);
+        for k in (0..4_000i64).step_by(131) {
+            assert_eq!(map.get(k), Some(k + 7));
+        }
+        let stats = map.stats();
+        assert_eq!(stats.shard_splits, 1);
+        assert!(stats.split_stall_ns > 0);
+        // The blocking path captures no delta (writers are fenced out).
+        assert_eq!(stats.delta_ops, 0);
+        // Out-of-range and too-small shards are no-ops on this path too.
+        assert!(!map.split_shard_blocking(99).unwrap());
+    }
+
+    #[test]
+    fn incremental_split_folds_concurrent_writes() {
+        let map = ShardedMap::new(config(1), registry()).unwrap();
+        for k in 0..60_000i64 {
+            map.insert(k * 2, k);
+        }
+        map.flush();
+        // Writers land odd keys while the split copies the even preload.
+        std::thread::scope(|scope| {
+            let map = &map;
+            let writers: Vec<_> = (0..2)
+                .map(|t| {
+                    scope.spawn(move || {
+                        for i in 0..15_000i64 {
+                            let key = (i * 2 + 1) * (t + 1);
+                            map.insert(key, -key);
+                        }
+                    })
+                })
+                .collect();
+            assert!(map.split_shard(0).unwrap());
+            for w in writers {
+                w.join().unwrap();
+            }
+        });
+        map.flush();
+        assert_eq!(map.num_shards(), 2);
+        // Model: preload + both writers' odd keys (upserts may overlap
+        // between writers at odd multiples, last-wins either way since the
+        // value depends only on the key).
+        let mut model = std::collections::BTreeMap::new();
+        for k in 0..60_000i64 {
+            model.insert(k * 2, k);
+        }
+        for t in 0..2i64 {
+            for i in 0..15_000i64 {
+                let key = (i * 2 + 1) * (t + 1);
+                model.insert(key, -key);
+            }
+        }
+        assert_eq!(map.len(), model.len(), "split lost or duplicated keys");
+        let stats = map.scan_all();
+        assert_eq!(stats.count as usize, model.len());
+        assert_eq!(
+            stats.key_sum,
+            model.keys().map(|&k| k as i128).sum::<i128>()
+        );
+        for (&k, &v) in model.iter().step_by(313) {
+            assert_eq!(map.get(k), Some(v), "key {k}");
+        }
+        assert_eq!(map.stats().shard_splits, 1);
+    }
+
+    #[test]
+    fn snapshot_pins_one_directory_generation() {
+        let map = ShardedMap::new(config(1), registry()).unwrap();
+        for k in 0..2_000i64 {
+            map.insert(k, k);
+        }
+        map.flush();
+        let before = map.snapshot();
+        assert_eq!(before.generation(), 0);
+        assert_eq!(before.num_shards(), 1);
+        // A split re-publishes under the live snapshot...
+        assert!(map.split_shard(0).unwrap());
+        // ...which keeps observing the pinned generation's layout, exactly
+        // once per key, while fresh snapshots see the new one.
+        assert_eq!(before.generation(), 0);
+        assert_eq!(before.num_shards(), 1);
+        assert_eq!(before.scan_all().count, 2_000);
+        let mut last = Key::MIN;
+        let mut seen = 0u64;
+        before.range(KEY_MIN, KEY_MAX, &mut |k, _| {
+            assert!(seen == 0 || k > last, "snapshot scan order violated");
+            last = k;
+            seen += 1;
+        });
+        assert_eq!(seen, 2_000);
+        let after = map.snapshot();
+        assert_eq!(after.generation(), 1);
+        assert_eq!(after.num_shards(), 2);
+        assert_eq!(after.scan_all().count, 2_000);
+        assert_eq!(after.len(), before.len());
+        assert!(!after.is_empty());
+        drop(before);
+        drop(after);
+        // Merging bumps the generation again.
+        assert!(map.merge_shards(0).unwrap());
+        assert_eq!(map.snapshot().generation(), 2);
     }
 
     #[test]
@@ -1128,6 +1868,7 @@ mod tests {
             inner_spec: "pma-batch:1".to_string(),
             split_above: 1_000,
             merge_below: 64,
+            hysteresis_rounds: 2,
             monitor_interval: Duration::from_millis(5),
             auto_manage: true,
         };
@@ -1153,6 +1894,168 @@ mod tests {
         }
         assert!(map.stats().shard_merges > 0, "monitor never merged");
         assert_eq!(map.len(), 0);
+    }
+
+    #[test]
+    fn hysteresis_defers_and_averts_boundary_thrash() {
+        // No background monitor (interval zero); drive rounds by hand.
+        let cfg = ShardedConfig {
+            shards: 1,
+            inner_spec: "pma-batch:1".to_string(),
+            split_above: 100,
+            merge_below: 50,
+            hysteresis_rounds: 3,
+            monitor_interval: Duration::ZERO,
+            auto_manage: true,
+        };
+        let map = ShardedMap::new(cfg, registry()).unwrap();
+        for k in 0..150i64 {
+            map.insert(k, k);
+        }
+        map.flush();
+        // Two rounds above threshold: streak at 2 < 3, no split yet.
+        map.maintain_once();
+        map.maintain_once();
+        assert_eq!(map.stats().shard_splits, 0, "split fired before hysteresis");
+        // Load drops back under the boundary: the streak resets and the
+        // suppressed crossing is counted as thrash averted.
+        for k in 0..100i64 {
+            map.remove(k);
+        }
+        map.flush();
+        map.maintain_once();
+        assert_eq!(map.stats().shard_splits, 0);
+        assert!(
+            map.stats().split_thrash_averted >= 1,
+            "lapsed crossing must count as thrash averted: {:?}",
+            map.stats()
+        );
+        // A crossing that persists for the full window does split.
+        for k in 0..150i64 {
+            map.insert(k, k);
+        }
+        map.flush();
+        map.maintain_once();
+        map.maintain_once();
+        assert_eq!(map.stats().shard_splits, 0);
+        map.maintain_once();
+        assert_eq!(
+            map.stats().shard_splits,
+            1,
+            "persistent crossing must split"
+        );
+        // Fresh shards restart their merge streaks: three more rounds of
+        // cold load are needed before the halves merge back.
+        for k in 0..200i64 {
+            map.remove(k);
+        }
+        map.flush();
+        map.maintain_once();
+        map.maintain_once();
+        assert_eq!(map.stats().shard_merges, 0, "merge fired before hysteresis");
+        map.maintain_once();
+        assert_eq!(map.stats().shard_merges, 1, "persistent cold must merge");
+    }
+
+    #[test]
+    fn aborted_split_folds_captured_ops_back_into_the_live_shard() {
+        use pma_common::registry::{BackendDef, BackendSpec};
+
+        // A loader that can be told to fail: split/merge rebuilds then
+        // abort *after* the delta log captured concurrent ops, exercising
+        // the fold-back path (dropping the log would lose those writes).
+        static FAIL_LOADS: AtomicBool = AtomicBool::new(false);
+        fn build_flaky(
+            _registry: &Registry,
+            _spec: &BackendSpec<'_>,
+        ) -> Result<Arc<dyn ConcurrentMap>, PmaError> {
+            Ok(Arc::new(pma_core::ConcurrentPma::new(
+                pma_core::PmaParams::small(),
+            )?))
+        }
+        fn load_flaky(
+            _registry: &Registry,
+            _spec: &BackendSpec<'_>,
+            items: &[(Key, Value)],
+        ) -> Result<Arc<dyn ConcurrentMap>, PmaError> {
+            if FAIL_LOADS.load(Ordering::Relaxed) {
+                return Err(PmaError::invalid("flaky", "load failure injected"));
+            }
+            Ok(Arc::new(pma_core::ConcurrentPma::from_sorted(
+                pma_core::PmaParams::small(),
+                items,
+            )?))
+        }
+        fn label_flaky(_spec: &BackendSpec<'_>) -> String {
+            "Flaky".to_string()
+        }
+
+        let local = Registry::new();
+        local.register(BackendDef {
+            name: "flaky",
+            description: "test backend with injectable load failures",
+            label: label_flaky,
+            build: build_flaky,
+            build_loaded: Some(load_flaky),
+        });
+        let cfg = ShardedConfig {
+            shards: 1,
+            inner_spec: "flaky".to_string(),
+            auto_manage: false,
+            monitor_interval: Duration::ZERO,
+            ..ShardedConfig::default()
+        };
+        let map = ShardedMap::new(cfg, &local).unwrap();
+        for k in 0..1_000i64 {
+            map.insert(k, k);
+        }
+        map.flush();
+
+        // Writers land while splits keep aborting (loader failure injected
+        // after the log is installed): every op they record in a capture
+        // window must survive the abort.
+        FAIL_LOADS.store(true, Ordering::Relaxed);
+        std::thread::scope(|scope| {
+            let map = &map;
+            let writer = scope.spawn(move || {
+                for k in 10_000..11_000i64 {
+                    map.insert(k, -k);
+                }
+            });
+            for _ in 0..20 {
+                assert!(map.split_shard(0).is_err(), "injected failure expected");
+            }
+            writer.join().unwrap();
+        });
+        FAIL_LOADS.store(false, Ordering::Relaxed);
+        map.flush();
+        assert_eq!(map.num_shards(), 1, "aborted splits must not publish");
+        assert_eq!(map.len(), 2_000, "an aborted split lost captured ops");
+        for k in (10_000..11_000i64).step_by(97) {
+            assert_eq!(map.get(k), Some(-k));
+        }
+        // With the injection off the same shard still splits fine.
+        assert!(map.split_shard(0).unwrap());
+        assert_eq!(map.num_shards(), 2);
+        assert_eq!(map.scan_all().count, 2_000);
+    }
+
+    #[test]
+    fn maintenance_stats_surface_engine_counters() {
+        let map = ShardedMap::new(config(1), registry()).unwrap();
+        for k in 0..2_000i64 {
+            map.insert(k, k);
+        }
+        map.flush();
+        assert!(map.split_shard(0).unwrap());
+        assert!(map.merge_shards(0).unwrap());
+        let m = map
+            .maintenance_stats()
+            .expect("sharded reports maintenance");
+        assert_eq!(m.splits, 1);
+        assert_eq!(m.merges, 1);
+        assert!(m.stall_ns > 0);
+        assert_eq!(m.thrash_averted, 0);
     }
 
     #[test]

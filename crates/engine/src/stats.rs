@@ -2,9 +2,10 @@
 //! counter/snapshot plumbing of `pma_core::stats`.
 //!
 //! The counters serve the same two consumers: the experiment harness (e.g. to
-//! report how many shard splits a workload triggered) and tests that assert a
-//! specific code path — a split under concurrent writers, a batch fanned out
-//! across shards — was actually exercised.
+//! report how many shard splits a workload triggered and how long its writers
+//! were stalled by them) and tests that assert a specific code path — a split
+//! under concurrent writers, a batch fanned out across shards, a thrashing
+//! split suppressed by hysteresis — was actually exercised.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -21,6 +22,27 @@ pub struct EngineStats {
     pub shard_splits: AtomicU64,
     /// Shard merges performed (two cold neighbours rebuilt into one).
     pub shard_merges: AtomicU64,
+    /// Nanoseconds writers were fenced out by structural changes: the sum of
+    /// every split/merge's install fence (delta-log hookup) and final fence
+    /// (drain + publish). The whole point of the incremental protocol is to
+    /// keep this far below the full rebuild time a stop-the-shard split
+    /// charges to the write path.
+    pub split_stall_ns: AtomicU64,
+    /// Operations captured by split/merge delta logs while a copy-on-write
+    /// rebuild was running (i.e. writes that would have been *blocked* under
+    /// the stop-the-shard protocol).
+    pub delta_ops: AtomicU64,
+    /// Pre-fence chase rounds: drains of a split's delta log performed while
+    /// writers were still landing, to shrink the final fenced drain.
+    pub chase_rounds: AtomicU64,
+    /// Writer back-offs because an in-flight split's delta log exceeded the
+    /// backpressure cap (memory protection when the write rate outruns the
+    /// copy; each wait is ~100µs with all latches released).
+    pub delta_backpressure_waits: AtomicU64,
+    /// Structural changes the load monitor suppressed because the triggering
+    /// threshold crossing did not persist for the hysteresis window
+    /// (split↔merge thrash when load hovers at a boundary).
+    pub split_thrash_averted: AtomicU64,
     /// Per-shard runs dispatched by `insert_batch` after fence splitting.
     pub batch_runs: AtomicU64,
     /// Ordered scans that merged streams from more than one shard.
@@ -48,12 +70,17 @@ impl EngineStats {
     }
 
     /// Takes a consistent-enough snapshot of all counters.
-    pub fn snapshot(&self) -> EngineStatsSnapshot {
-        EngineStatsSnapshot {
+    pub fn snapshot(&self) -> ShardedStats {
+        ShardedStats {
             routed_ops: self.routed_ops.load(Ordering::Relaxed),
             retired_retries: self.retired_retries.load(Ordering::Relaxed),
             shard_splits: self.shard_splits.load(Ordering::Relaxed),
             shard_merges: self.shard_merges.load(Ordering::Relaxed),
+            split_stall_ns: self.split_stall_ns.load(Ordering::Relaxed),
+            delta_ops: self.delta_ops.load(Ordering::Relaxed),
+            chase_rounds: self.chase_rounds.load(Ordering::Relaxed),
+            delta_backpressure_waits: self.delta_backpressure_waits.load(Ordering::Relaxed),
+            split_thrash_averted: self.split_thrash_averted.load(Ordering::Relaxed),
             batch_runs: self.batch_runs.load(Ordering::Relaxed),
             cross_shard_scans: self.cross_shard_scans.load(Ordering::Relaxed),
             monitor_errors: self.monitor_errors.load(Ordering::Relaxed),
@@ -63,7 +90,7 @@ impl EngineStats {
 
 /// A point-in-time copy of the [`EngineStats`] counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct EngineStatsSnapshot {
+pub struct ShardedStats {
     /// Point operations routed through the directory.
     pub routed_ops: u64,
     /// Operations retried after reaching a retired shard.
@@ -72,6 +99,18 @@ pub struct EngineStatsSnapshot {
     pub shard_splits: u64,
     /// Shard merges performed.
     pub shard_merges: u64,
+    /// Nanoseconds writers were fenced out by splits/merges (install fences
+    /// plus final drain/publish fences — *not* the copy phase, which runs
+    /// with writers live).
+    pub split_stall_ns: u64,
+    /// Operations captured by split/merge delta logs during copy phases.
+    pub delta_ops: u64,
+    /// Pre-fence drains of split delta logs (chase rounds).
+    pub chase_rounds: u64,
+    /// Writer back-offs due to delta-log backpressure.
+    pub delta_backpressure_waits: u64,
+    /// Structural changes suppressed by the monitor's hysteresis.
+    pub split_thrash_averted: u64,
     /// Per-shard runs dispatched by `insert_batch`.
     pub batch_runs: u64,
     /// Ordered scans merging more than one shard.
@@ -80,10 +119,19 @@ pub struct EngineStatsSnapshot {
     pub monitor_errors: u64,
 }
 
-impl EngineStatsSnapshot {
+/// Former name of [`ShardedStats`], kept for source compatibility.
+pub type EngineStatsSnapshot = ShardedStats;
+
+impl ShardedStats {
     /// Total directory re-publications (splits + merges).
     pub fn directory_swaps(&self) -> u64 {
         self.shard_splits + self.shard_merges
+    }
+
+    /// Microseconds writers were fenced out by structural changes (the unit
+    /// the bench-smoke pipeline records).
+    pub fn split_stall_us(&self) -> u64 {
+        self.split_stall_ns / 1_000
     }
 }
 
@@ -97,11 +145,18 @@ mod tests {
         EngineStats::bump(&s.shard_splits);
         EngineStats::bump(&s.shard_merges);
         EngineStats::add(&s.routed_ops, 7);
+        EngineStats::add(&s.split_stall_ns, 2_500);
+        EngineStats::add(&s.delta_ops, 3);
+        EngineStats::bump(&s.split_thrash_averted);
         let snap = s.snapshot();
         assert_eq!(snap.shard_splits, 1);
         assert_eq!(snap.shard_merges, 1);
         assert_eq!(snap.routed_ops, 7);
         assert_eq!(snap.directory_swaps(), 2);
         assert_eq!(snap.batch_runs, 0);
+        assert_eq!(snap.split_stall_ns, 2_500);
+        assert_eq!(snap.split_stall_us(), 2);
+        assert_eq!(snap.delta_ops, 3);
+        assert_eq!(snap.split_thrash_averted, 1);
     }
 }

@@ -38,6 +38,12 @@ pub struct Measurement {
     /// must be zero: anything else means an operation was applied after the
     /// window owning its key range was released.
     pub combining: Option<pma_common::CombiningStats>,
+    /// Structural-maintenance counters of the measured structure after the
+    /// run (`None` for structures without background maintenance). For the
+    /// sharded engine this reports how many shard splits/merges the workload
+    /// triggered and — the figure the incremental split protocol is judged
+    /// by — how long writers were stalled by their fences (`stall_ns`).
+    pub maintenance: Option<pma_common::MaintenanceStats>,
 }
 
 impl Measurement {
@@ -321,6 +327,7 @@ where
     map.flush();
     measurement.final_len = map.len();
     measurement.combining = map.combining_stats();
+    measurement.maintenance = map.maintenance_stats();
     if let Some(combining) = measurement.combining {
         debug_assert_eq!(
             combining.late_replays, 0,
@@ -377,6 +384,8 @@ mod tests {
         // structure holds at most update_ops elements.
         assert!(m.final_len > 0 && m.final_len <= 20_000);
         assert_eq!(map.len(), m.final_len);
+        // Structures without background maintenance report no stall column.
+        assert!(m.maintenance.is_none());
     }
 
     #[test]

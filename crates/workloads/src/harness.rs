@@ -46,15 +46,17 @@ pub struct ResultRow {
 /// millions of elements per second, plus the update tail latencies
 /// (p50/p99/p999 in microseconds, power-of-two bucket resolution) so effects
 /// that average out of the throughput column — batch flushes, delegated
-/// rebalances, shard splits — stay visible. The last two columns surface the
-/// combining machinery: `owned` is how many queued operations were resolved
-/// while their window was owned, and `late` (replays outside an owned
-/// window) must read 0 — structures without combining queues show a dash.
+/// rebalances, shard splits — stay visible. The last three columns surface
+/// the background machinery: `owned` is how many queued operations were
+/// resolved while their window was owned, `late` (replays outside an owned
+/// window) must read 0, and `stall[us]` is how long writers were fenced out
+/// by structural maintenance (the sharded engine's split/merge fences) —
+/// structures without the respective machinery show a dash.
 pub fn render_table(title: &str, rows: &[ResultRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!("\n== {title} ==\n"));
     out.push_str(&format!(
-        "{:<20} {:<14} {:>14} {:>16} {:>9} {:>9} {:>9} {:>10} {:>10} {:>6}\n",
+        "{:<20} {:<14} {:>14} {:>16} {:>9} {:>9} {:>9} {:>10} {:>10} {:>6} {:>9}\n",
         "structure",
         "workload",
         "updates [M/s]",
@@ -64,7 +66,8 @@ pub fn render_table(title: &str, rows: &[ResultRow]) -> String {
         "p999[us]",
         "elements",
         "owned",
-        "late"
+        "late",
+        "stall[us]"
     ));
     for row in rows {
         let m = &row.measurement;
@@ -77,8 +80,12 @@ pub fn render_table(title: &str, rows: &[ResultRow]) -> String {
             Some(c) => (c.owned_applies.to_string(), c.late_replays.to_string()),
             None => ("-".to_string(), "-".to_string()),
         };
+        let stall = match m.maintenance {
+            Some(s) => (s.stall_ns / 1_000).to_string(),
+            None => "-".to_string(),
+        };
         out.push_str(&format!(
-            "{:<20} {:<14} {:>14.3} {:>16} {:>9} {:>9} {:>9} {:>10} {:>10} {:>6}\n",
+            "{:<20} {:<14} {:>14.3} {:>16} {:>9} {:>9} {:>9} {:>10} {:>10} {:>6} {:>9}\n",
             row.structure,
             row.workload,
             m.update_throughput() / 1.0e6,
@@ -89,6 +96,7 @@ pub fn render_table(title: &str, rows: &[ResultRow]) -> String {
             m.final_len,
             owned,
             late,
+            stall,
         ));
     }
     out
@@ -172,6 +180,7 @@ mod tests {
         assert!(table.contains("p999[us]"));
         assert!(table.contains("owned"));
         assert!(table.contains("late"));
+        assert!(table.contains("stall[us]"));
     }
 
     #[test]

@@ -15,9 +15,11 @@ fn stress_config() -> ShardedConfig {
         shards: 2,
         inner_spec: "pma-batch:1".to_string(),
         // Aggressive thresholds + a fast monitor so the run performs many
-        // directory swaps while the writers and scanners are live.
+        // directory swaps while the writers and scanners are live; a
+        // hysteresis window of 1 acts on the first threshold crossing.
         split_above: 2_000,
         merge_below: 256,
+        hysteresis_rounds: 1,
         monitor_interval: Duration::from_millis(2),
         auto_manage: true,
     }
@@ -152,6 +154,128 @@ fn splits_and_merges_under_concurrent_writers_and_scanners() {
     assert_eq!(map.scan_all().count, 0);
 }
 
+/// One round of the scan-during-split consistency stress: order-checking
+/// snapshot scanners run across ≥ 3 concurrent incremental splits/merges
+/// while writers keep landing, and every scanner must observe each *stable*
+/// key (one the writers never touch) exactly once per snapshot — a directory
+/// transition that double-visited a shard would break the strictly-ascending
+/// order, and one that skipped a fence-crossing range would drop stable keys.
+fn scan_during_split_round(round: u64) {
+    const STABLE: i64 = 20_000; // even keys, untouched after preload
+    const WRITERS: i64 = 2;
+    const OPS_PER_WRITER: i64 = 8_000; // odd keys, disjoint per writer
+
+    let config = ShardedConfig {
+        auto_manage: false,
+        shards: 1,
+        monitor_interval: Duration::ZERO,
+        ..stress_config()
+    };
+    let map = ShardedMap::new(config, Registry::global()).unwrap();
+    let preload: Vec<(i64, i64)> = (0..STABLE).map(|i| (i * 2, i * 2 + round as i64)).collect();
+    map.insert_batch(&preload);
+    map.flush();
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let stop = &stop;
+        let map = &map;
+        // Two snapshot scanners: each pass pins one directory generation and
+        // checks ascending order + stable-key completeness.
+        for _ in 0..2 {
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let snapshot = map.snapshot();
+                    let generation = snapshot.generation();
+                    let mut last = i64::MIN;
+                    let mut first = true;
+                    let mut stable_seen = 0i64;
+                    snapshot.range(i64::MIN, i64::MAX, &mut |k, _| {
+                        assert!(
+                            first || k > last,
+                            "snapshot scan order violated: {k} after {last} (gen {generation})"
+                        );
+                        first = false;
+                        last = k;
+                        if k % 2 == 0 && (0..STABLE * 2).contains(&k) {
+                            stable_seen += 1;
+                        }
+                    });
+                    assert_eq!(
+                        stable_seen, STABLE,
+                        "snapshot (gen {generation}) skipped or duplicated stable keys"
+                    );
+                    assert_eq!(
+                        snapshot.generation(),
+                        generation,
+                        "a snapshot's pinned generation can never move"
+                    );
+                }
+            });
+        }
+        // Writers churn odd keys (disjoint per writer: no same-key races).
+        let writer_handles: Vec<_> = (0..WRITERS)
+            .map(|t| {
+                scope.spawn(move || {
+                    for i in 0..OPS_PER_WRITER {
+                        let key = (i * WRITERS + t) * 2 + 1;
+                        map.insert(key, -key);
+                        if i % 2 == 0 {
+                            map.remove(key);
+                        }
+                    }
+                })
+            })
+            .collect();
+        // ≥ 3 structural changes race the writers and scanners.
+        assert!(map.split_shard(0).unwrap());
+        assert!(map.split_shard(1).unwrap());
+        assert!(map.merge_shards(0).unwrap());
+        assert!(map.split_shard(0).unwrap());
+        for handle in writer_handles {
+            handle.join().expect("a writer panicked");
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    map.flush();
+    let stats = map.stats();
+    assert!(stats.directory_swaps() >= 3, "{stats:?}");
+    // Final contents: all stable keys plus the odd keys the writers kept.
+    let kept_odd = WRITERS * OPS_PER_WRITER / 2;
+    assert_eq!(map.len() as i64, STABLE + kept_odd);
+    let scan = map.scan_all();
+    assert_eq!(scan.count as i64, STABLE + kept_odd);
+    for i in (0..STABLE).step_by(487) {
+        assert_eq!(
+            map.get(i * 2),
+            Some(i * 2 + round as i64),
+            "stable key lost"
+        );
+    }
+    // The owned-window invariant holds through every fold: nothing was
+    // replayed after its window (or the split's final fence) was released.
+    let combining = map
+        .combining_stats()
+        .expect("pma-backed shards report combining stats");
+    assert_eq!(combining.late_replays, 0, "late replay during a split");
+}
+
+/// Scan-during-split consistency: defaults to one round per test run; CI's
+/// sanitizer/stress jobs loop it via `SHARDED_STRESS_ITERS` (the acceptance
+/// bar is 200 clean release iterations).
+#[test]
+fn scans_stay_snapshot_consistent_across_splits() {
+    ensure_builtin_backends();
+    let iters: u64 = std::env::var("SHARDED_STRESS_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    for round in 0..iters {
+        scan_during_split_round(round);
+    }
+}
+
 /// Manual splits and merges (the API the monitor drives) keep point ops and
 /// scans correct while writers are live.
 #[test]
@@ -227,4 +351,12 @@ fn sharded_backend_runs_under_the_workload_drivers() {
     assert!(m.scans_completed > 0, "scanners must have run");
     assert_eq!(m.final_len, map.len());
     assert_eq!(map.scan_all().count as usize, m.final_len);
+    // The sharded engine reports its structural maintenance to the drivers
+    // (split/merge counts and the write stall their fences caused).
+    let maintenance = m.maintenance.expect("sharded reports maintenance stats");
+    assert_eq!(
+        maintenance.splits,
+        map.maintenance_stats().unwrap().splits,
+        "the measurement snapshot must match the live counters"
+    );
 }
