@@ -19,7 +19,13 @@ fn tune(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTi
 }
 
 fn specs() -> Vec<&'static str> {
-    vec!["masstree", "bwtree", "btree", "pma-batch:100"]
+    vec![
+        "masstree",
+        "bwtree",
+        "btree",
+        "pma-batch:100",
+        "sharded:8:pma-batch:100",
+    ]
 }
 
 fn bench_full_scan(c: &mut Criterion) {

@@ -127,6 +127,7 @@ fn run_cell(
         owned,
         late,
         elements: m.final_len as u64,
+        kernel: pma_common::simd::kernel_variant().to_string(),
     }
 }
 

@@ -42,6 +42,11 @@ pub struct SmokeRecord {
     pub late: u64,
     /// Elements stored after the run.
     pub elements: u64,
+    /// SIMD kernel variant the run dispatched to (`avx2`/`sse2`/`neon`/
+    /// `scalar`) — recorded so baseline comparisons are apples-to-apples
+    /// across runner hardware; `unknown` when parsed from a report written
+    /// before this field existed.
+    pub kernel: String,
 }
 
 impl SmokeRecord {
@@ -62,7 +67,7 @@ pub fn render_report(sha: &str, records: &[SmokeRecord]) -> String {
             "    {{\"structure\": \"{}\", \"workload\": \"{}\", \
              \"update_mps\": {:.6}, \"scan_eps\": {:.1}, \
              \"p50_us\": {}, \"p99_us\": {}, \"split_stall_us\": {}, \
-             \"owned\": {}, \"late\": {}, \"elements\": {}}}",
+             \"owned\": {}, \"late\": {}, \"elements\": {}, \"kernel\": \"{}\"}}",
             escape(&r.structure),
             escape(&r.workload),
             r.update_mps,
@@ -73,6 +78,7 @@ pub fn render_report(sha: &str, records: &[SmokeRecord]) -> String {
             r.owned,
             r.late,
             r.elements,
+            escape(&r.kernel),
         );
         out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
     }
@@ -125,6 +131,8 @@ fn parse_record(object: &str) -> Result<SmokeRecord, String> {
         owned: number("owned")? as u64,
         late: number("late")? as u64,
         elements: number("elements")? as u64,
+        // Reports written before the kernel column existed stay parseable.
+        kernel: extract_string_field(object, "kernel").unwrap_or_else(|| "unknown".to_string()),
     })
 }
 
@@ -206,13 +214,24 @@ pub const SCAN_GATE_FLOOR_EPS: f64 = 1.0e6;
 /// the number is reproducible) can fail the gate.
 pub const SCAN_GATED_WORKLOADS: &[&str] = &["scan"];
 
+/// Starvation threshold on `split_stall_us`: cumulative maintenance stall
+/// beyond one second in a seconds-long smoke run means the shard monitor's
+/// copy-on-write rebuilds were starved for CPU (the seed baseline's scan
+/// cell recorded ~9.1 s of stall on a 1-core runner) and the cell's scan
+/// throughput measured the scheduler, not the merge path. Such a cell — in
+/// either report — is recorded for trends but never gates `scan_eps`, so a
+/// starved baseline cannot mask (or a starved current run spuriously fail
+/// on) real merge-path changes.
+pub const STALL_NOISE_FLOOR_US: u64 = 1_000_000;
+
 /// Compares `current` against `baseline`: a record regresses when its update
 /// or scan throughput fell below `baseline * (1 - tolerance)`. Cells present
 /// in only one report are ignored (the grid can grow without invalidating
 /// old baselines); a metric is only gated when the baseline measured it
 /// above its noise floor ([`UPDATE_GATE_FLOOR_MPS`] / [`SCAN_GATE_FLOOR_EPS`]),
 /// the current run measured it at all (> 0), and — for scan throughput —
-/// the cell is scan-dedicated ([`SCAN_GATED_WORKLOADS`]).
+/// the cell is scan-dedicated ([`SCAN_GATED_WORKLOADS`]) and neither report
+/// shows a starvation-level maintenance stall ([`STALL_NOISE_FLOOR_US`]).
 pub fn compare_reports(
     baseline: &[SmokeRecord],
     current: &[SmokeRecord],
@@ -236,6 +255,8 @@ pub fn compare_reports(
             });
         }
         if SCAN_GATED_WORKLOADS.contains(&cur.workload.as_str())
+            && base.split_stall_us < STALL_NOISE_FLOOR_US
+            && cur.split_stall_us < STALL_NOISE_FLOOR_US
             && base.scan_eps >= SCAN_GATE_FLOOR_EPS
             && cur.scan_eps > 0.0
             && cur.scan_eps < base.scan_eps * floor
@@ -267,6 +288,7 @@ mod tests {
             owned: 1234,
             late: 0,
             elements: 40_000,
+            kernel: "avx2".to_string(),
         }
     }
 
@@ -360,6 +382,50 @@ mod tests {
         let baseline = vec![record("a", "insert", 1.0, 1.0e8)];
         let faster = vec![record("a", "insert", 5.0, 9.0e8)];
         assert!(compare_reports(&baseline, &faster, 0.25).is_empty());
+    }
+
+    #[test]
+    fn kernel_column_roundtrips_and_defaults_for_old_reports() {
+        let records = vec![record("a", "scan", 1.0, 1.0e8)];
+        let text = render_report("abc", &records);
+        assert!(text.contains("\"kernel\": \"avx2\""));
+        let (_, parsed) = parse_report(&text).unwrap();
+        assert_eq!(parsed[0].kernel, "avx2");
+        // A pre-kernel-column baseline still parses, with a sentinel value.
+        let old = "{\"sha\": \"x\", \"records\": [{\"structure\": \"a\", \
+                   \"workload\": \"scan\", \"update_mps\": 1.0, \
+                   \"scan_eps\": 1.0, \"p50_us\": 1, \"p99_us\": 2, \
+                   \"split_stall_us\": 3, \"owned\": 4, \"late\": 0, \
+                   \"elements\": 5}]}";
+        let (_, parsed) = parse_report(old).unwrap();
+        assert_eq!(parsed[0].kernel, "unknown");
+    }
+
+    #[test]
+    fn starved_cells_never_gate_scan_throughput() {
+        // A starvation-level maintenance stall in the BASELINE (the seed's
+        // ~9.1 s scan cell) means its scan number is scheduler noise: the
+        // current run must compare against nothing, not against noise.
+        let mut starved_base = record("a", "scan", 1.0, 2.0e8);
+        starved_base.split_stall_us = 9_166_750;
+        let clean_cur = vec![record("a", "scan", 1.0, 0.5e8)];
+        assert!(compare_reports(&[starved_base.clone()], &clean_cur, 0.25).is_empty());
+        // ...and a starved CURRENT run must not spuriously fail the gate.
+        let clean_base = record("a", "scan", 1.0, 2.0e8);
+        let mut starved_cur = record("a", "scan", 1.0, 0.5e8);
+        starved_cur.split_stall_us = STALL_NOISE_FLOOR_US;
+        assert!(
+            compare_reports(std::slice::from_ref(&clean_base), &[starved_cur], 0.25).is_empty()
+        );
+        // Below the stall floor the gate still works.
+        let slow = vec![record("a", "scan", 1.0, 0.5e8)];
+        assert_eq!(compare_reports(&[clean_base], &slow, 0.25).len(), 1);
+        // The starved cell's update column keeps its own (unchanged) gate.
+        let mut update_drop = starved_base.clone();
+        update_drop.update_mps = 0.5;
+        let regressions = compare_reports(&[starved_base], &[update_drop], 0.25);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].metric, "update_mps");
     }
 
     #[test]

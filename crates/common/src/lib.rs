@@ -13,6 +13,7 @@
 pub mod error;
 pub mod map;
 pub mod registry;
+pub mod simd;
 pub mod types;
 pub mod util;
 

@@ -73,6 +73,25 @@ impl ScanStats {
         self.value_sum = self.value_sum.wrapping_add(value as i128);
     }
 
+    /// Folds a parallel run of keys and values into the accumulator in one
+    /// pass — the bulk counterpart of [`ScanStats::visit`] used by the scan
+    /// paths that walk whole sorted segment runs at a time.
+    #[inline]
+    pub fn visit_run(&mut self, keys: &[Key], values: &[Value]) {
+        debug_assert_eq!(keys.len(), values.len());
+        self.count += keys.len() as u64;
+        let mut key_sum = 0i128;
+        for &k in keys {
+            key_sum += k as i128;
+        }
+        let mut value_sum = 0i128;
+        for &v in values {
+            value_sum += v as i128;
+        }
+        self.key_sum = self.key_sum.wrapping_add(key_sum);
+        self.value_sum = self.value_sum.wrapping_add(value_sum);
+    }
+
     /// Merges another accumulator into this one.
     #[inline]
     pub fn merge(&mut self, other: &ScanStats) {
@@ -212,6 +231,39 @@ pub trait ConcurrentMap: Send + Sync {
         out
     }
 
+    /// Collects one ordered *block* of the range `[lo, hi]` (inclusive):
+    /// appends elements in ascending key order to `keys`/`values`, stopping
+    /// at a structure-convenient boundary once at least `min_len` elements
+    /// were appended. Returns `Some(next_lo)` when the block was cut early
+    /// and the remainder of the range lives in `[next_lo, hi]`, or `None`
+    /// when the range is exhausted.
+    ///
+    /// This is the refill primitive of block-at-a-time k-way merges (the
+    /// sharded engine's cross-shard scans): merging whole sorted blocks
+    /// lets the bulk run-copy kernels do the moving instead of per-element
+    /// visitor calls. The default implementation collects the entire range
+    /// in one block via [`ConcurrentMap::range`]; structures with a natural
+    /// block granularity (the concurrent PMA cuts at gate boundaries)
+    /// override it.
+    fn collect_block(
+        &self,
+        lo: Key,
+        hi: Key,
+        min_len: usize,
+        keys: &mut Vec<Key>,
+        values: &mut Vec<Value>,
+    ) -> Option<Key> {
+        let _ = min_len;
+        if lo > hi {
+            return None;
+        }
+        self.range(lo, hi, &mut |key, value| {
+            keys.push(key);
+            values.push(value);
+        });
+        None
+    }
+
     /// Inserts every pair of `items` (upsert semantics, later entries win on
     /// duplicate keys).
     ///
@@ -305,6 +357,16 @@ impl<M: ConcurrentMap + ?Sized> ConcurrentMap for std::sync::Arc<M> {
     }
     fn collect_range(&self, lo: Key, hi: Key) -> Vec<(Key, Value)> {
         (**self).collect_range(lo, hi)
+    }
+    fn collect_block(
+        &self,
+        lo: Key,
+        hi: Key,
+        min_len: usize,
+        keys: &mut Vec<Key>,
+        values: &mut Vec<Value>,
+    ) -> Option<Key> {
+        (**self).collect_block(lo, hi, min_len, keys, values)
     }
     fn insert_batch(&self, items: &[(Key, Value)]) {
         (**self).insert_batch(items)

@@ -1,0 +1,659 @@
+//! Hand-rolled hot-path kernels: vectorised search over small sorted key
+//! runs, bulk run copies, and cache-line-aligned key layouts.
+//!
+//! The structures of this workspace (PMA segments, gate chunks, the static
+//! index, the shard directory) all route probes through short sorted `i64`
+//! runs — exactly the shape where a branchless compare-and-popcount beats a
+//! branchy binary search. The build environment has no crates.io access, so
+//! the kernels are written directly against `core::arch`:
+//!
+//! * **AVX2** (x86_64, runtime-detected): 4 keys per compare.
+//! * **SSE2** (x86_64 baseline, always available): 2 keys per compare, with
+//!   the classic sign-select emulation of the missing 64-bit compare.
+//! * **NEON** (aarch64 baseline): 2 keys per compare.
+//! * **Scalar** fallback (every other target, and `PMA_FORCE_SCALAR=1`).
+//!
+//! Dispatch is resolved **once per process** ([`active_variant`]): runs
+//! detect CPU features at startup, and setting the environment variable
+//! `PMA_FORCE_SCALAR=1` pins the scalar fallback for debugging and for the
+//! CI job that keeps that path covered. Every kernel is defined to be
+//! bit-identical to its scalar twin on sorted input (duplicates, empty runs
+//! and `i64::MIN`/`MAX` boundaries included) — property-tested in
+//! `tests/simd_kernels.rs`.
+//!
+//! Long runs use a hybrid: a scalar binary search narrows the window to at
+//! most [`SMALL_RUN`] elements, then the vector kernel counts the remainder
+//! branchlessly, so the kernels stay cheap on both 8-element segment runs
+//! and multi-thousand-entry separator arrays.
+
+use crate::types::Key;
+use std::sync::atomic::{AtomicI64, AtomicU8, Ordering};
+
+/// Window size below which the count is fully vectorised; above it a scalar
+/// binary search narrows the window first.
+pub const SMALL_RUN: usize = 64;
+
+// ---------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------
+
+/// The kernel implementation selected for this process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// AVX2 (x86_64, runtime-detected).
+    Avx2,
+    /// SSE2 (x86_64 compile-time baseline).
+    Sse2,
+    /// NEON (aarch64 compile-time baseline).
+    Neon,
+    /// Portable scalar fallback.
+    Scalar,
+}
+
+impl Variant {
+    /// Short lower-case name (recorded in bench reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Avx2 => "avx2",
+            Variant::Sse2 => "sse2",
+            Variant::Neon => "neon",
+            Variant::Scalar => "scalar",
+        }
+    }
+
+    /// Whether this variant can execute on the current CPU.
+    pub fn supported(self) -> bool {
+        match self {
+            Variant::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            Variant::Sse2 => true,
+            #[cfg(target_arch = "x86_64")]
+            Variant::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(target_arch = "aarch64")]
+            Variant::Neon => true,
+            #[allow(unreachable_patterns)]
+            _ => false,
+        }
+    }
+}
+
+/// 0 = unresolved; otherwise `Variant` discriminant + 1.
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
+
+fn resolve_variant() -> Variant {
+    let forced = std::env::var("PMA_FORCE_SCALAR")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false);
+    if forced {
+        return Variant::Scalar;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return Variant::Avx2;
+        }
+        return Variant::Sse2;
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        return Variant::Neon;
+    }
+    #[allow(unreachable_code)]
+    Variant::Scalar
+}
+
+/// The kernel variant every dispatching entry point uses, resolved once per
+/// process (CPU detection + the `PMA_FORCE_SCALAR` override).
+#[inline]
+pub fn active_variant() -> Variant {
+    match ACTIVE.load(Ordering::Relaxed) {
+        1 => Variant::Avx2,
+        2 => Variant::Sse2,
+        3 => Variant::Neon,
+        4 => Variant::Scalar,
+        _ => {
+            let v = resolve_variant();
+            let code = match v {
+                Variant::Avx2 => 1,
+                Variant::Sse2 => 2,
+                Variant::Neon => 3,
+                Variant::Scalar => 4,
+            };
+            ACTIVE.store(code, Ordering::Relaxed);
+            v
+        }
+    }
+}
+
+/// Name of the active kernel variant (`avx2`/`sse2`/`neon`/`scalar`).
+pub fn kernel_variant() -> &'static str {
+    active_variant().name()
+}
+
+// ---------------------------------------------------------------------
+// Counting kernels
+// ---------------------------------------------------------------------
+
+/// Number of elements `<= key` in the sorted run — identical to
+/// `run.partition_point(|&x| x <= key)`.
+#[inline]
+pub fn count_le(run: &[Key], key: Key) -> usize {
+    count_le_with(active_variant(), run, key)
+}
+
+/// Number of elements `< key` in the sorted run — identical to
+/// `run.partition_point(|&x| x < key)`.
+#[inline]
+pub fn count_lt(run: &[Key], key: Key) -> usize {
+    // x < key  ⟺  x <= key - 1 for integer keys; nothing is below MIN.
+    match key.checked_sub(1) {
+        Some(pred) => count_le(run, pred),
+        None => 0,
+    }
+}
+
+/// `slice::binary_search`-compatible probe over a sorted run: `Ok(pos)` of
+/// the first occurrence of `key`, or `Err(pos)` of its insertion point.
+#[inline]
+pub fn search(run: &[Key], key: Key) -> Result<usize, usize> {
+    let pos = count_lt(run, key);
+    if pos < run.len() && run[pos] == key {
+        Ok(pos)
+    } else {
+        Err(pos)
+    }
+}
+
+/// Routing probe over a sorted separator array: index of the last separator
+/// `<= key`, or 0 when every separator is greater (the first entry acts as
+/// `-inf`). This is the shape of both the static index's per-node scan and
+/// the shard directory lookup.
+#[inline]
+pub fn route(separators: &[Key], key: Key) -> usize {
+    count_le(separators, key).saturating_sub(1)
+}
+
+/// [`count_le`] pinned to an explicit variant (bench/test hook).
+///
+/// # Panics
+/// Panics when `variant` is not [`Variant::supported`] on this CPU.
+pub fn count_le_with(variant: Variant, run: &[Key], key: Key) -> usize {
+    assert!(variant.supported(), "{variant:?} not supported on this CPU");
+    // Narrow long runs with a branchless (cmov) binary search first: the
+    // vector kernel then counts a window of at most SMALL_RUN elements.
+    // Data-dependent branches here would mispredict on ~half the probes.
+    let mut lo = 0usize;
+    let mut hi = run.len();
+    while hi - lo > SMALL_RUN {
+        let mid = lo + (hi - lo) / 2;
+        let le = run[mid] <= key;
+        lo = if le { mid + 1 } else { lo };
+        hi = if le { hi } else { mid };
+    }
+    let window = &run[lo..hi];
+    lo + match variant {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `supported()` verified AVX2 at runtime above.
+        Variant::Avx2 => unsafe { count_le_avx2(window, key) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is part of the x86_64 baseline.
+        Variant::Sse2 => unsafe { count_le_sse2(window, key) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: NEON is part of the aarch64 baseline.
+        Variant::Neon => unsafe { count_le_neon(window, key) },
+        _ => count_le_scalar(window, key),
+    }
+}
+
+/// Scalar twin of the vector window count (branchless popcount loop).
+#[inline]
+fn count_le_scalar(window: &[Key], key: Key) -> usize {
+    window.iter().map(|&x| usize::from(x <= key)).sum()
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn count_le_avx2(window: &[Key], key: Key) -> usize {
+    use std::arch::x86_64::*;
+    let vkey = _mm256_set1_epi64x(key);
+    // x <= key ⟺ !(x > key); true lanes of the compare are all-ones (-1),
+    // so a running vector add counts -(lanes above key) with no per-chunk
+    // mask extraction — one horizontal reduction at the very end.
+    let mut acc = _mm256_setzero_si256();
+    let mut chunks = window.chunks_exact(4);
+    for chunk in chunks.by_ref() {
+        let v = _mm256_loadu_si256(chunk.as_ptr() as *const __m256i);
+        acc = _mm256_add_epi64(acc, _mm256_cmpgt_epi64(v, vkey));
+    }
+    let mut lanes = [0i64; 4];
+    _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
+    let gt = (-lanes.iter().sum::<i64>()) as usize;
+    (window.len() - chunks.remainder().len() - gt) + count_le_scalar(chunks.remainder(), key)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn count_le_sse2(window: &[Key], key: Key) -> usize {
+    use std::arch::x86_64::*;
+    let vkey = _mm_set1_epi64x(key);
+    // SSE2 has no 64-bit signed compare; select the deciding sign bit:
+    // when the signs of x and key differ, x > key iff key is negative;
+    // when they agree, key - x cannot overflow and its sign decides.
+    // Shift that sign down to bit 0 and accumulate — one horizontal sum at
+    // the end instead of a mask extraction per chunk.
+    let mut acc = _mm_setzero_si128();
+    let mut chunks = window.chunks_exact(2);
+    for chunk in chunks.by_ref() {
+        let v = _mm_loadu_si128(chunk.as_ptr() as *const __m128i);
+        let sub = _mm_sub_epi64(vkey, v);
+        let flip = _mm_xor_si128(v, vkey);
+        let gt = _mm_or_si128(_mm_and_si128(flip, vkey), _mm_andnot_si128(flip, sub));
+        acc = _mm_add_epi64(acc, _mm_srli_epi64::<63>(gt));
+    }
+    let mut lanes = [0i64; 2];
+    _mm_storeu_si128(lanes.as_mut_ptr() as *mut __m128i, acc);
+    let gt = (lanes[0] + lanes[1]) as usize;
+    (window.len() - chunks.remainder().len() - gt) + count_le_scalar(chunks.remainder(), key)
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn count_le_neon(window: &[Key], key: Key) -> usize {
+    use std::arch::aarch64::*;
+    let vkey = vdupq_n_s64(key);
+    let mut acc = vdupq_n_s64(0);
+    let mut chunks = window.chunks_exact(2);
+    for chunk in chunks.by_ref() {
+        let v = vld1q_s64(chunk.as_ptr());
+        // x <= key ⟺ key >= x; true lanes are all-ones (-1), so subtracting
+        // the mask accumulates one per hit.
+        let le = vreinterpretq_s64_u64(vcgeq_s64(vkey, v));
+        acc = vsubq_s64(acc, le);
+    }
+    let count = (vgetq_lane_s64(acc, 0) + vgetq_lane_s64(acc, 1)) as usize;
+    count + count_le_scalar(chunks.remainder(), key)
+}
+
+// ---------------------------------------------------------------------
+// Run copy
+// ---------------------------------------------------------------------
+
+/// Appends `src` to `dst` through wide vector loads/stores (the bulk-copy
+/// half of the cross-shard block merge). Bit-identical to
+/// `dst.extend_from_slice(src)`.
+#[inline]
+pub fn append_run(dst: &mut Vec<i64>, src: &[i64]) {
+    match active_variant() {
+        #[cfg(target_arch = "x86_64")]
+        Variant::Avx2 => {
+            dst.reserve(src.len());
+            let len = dst.len();
+            // SAFETY: reserved above; AVX2 verified by the active variant.
+            unsafe {
+                append_run_avx2(dst.as_mut_ptr().add(len), src);
+                dst.set_len(len + src.len());
+            }
+        }
+        _ => dst.extend_from_slice(src),
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn append_run_avx2(mut dst: *mut i64, src: &[i64]) {
+    use std::arch::x86_64::*;
+    let mut chunks = src.chunks_exact(4);
+    for chunk in chunks.by_ref() {
+        let v = _mm256_loadu_si256(chunk.as_ptr() as *const __m256i);
+        _mm256_storeu_si256(dst as *mut __m256i, v);
+        dst = dst.add(4);
+    }
+    for (i, &x) in chunks.remainder().iter().enumerate() {
+        *dst.add(i) = x;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Prefetch
+// ---------------------------------------------------------------------
+
+/// Software-prefetches the cache line holding `ptr` for reading. A hint
+/// only — no-op on targets without a stable prefetch intrinsic.
+#[inline(always)]
+pub fn prefetch_read(ptr: *const Key) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch is a hint; it cannot fault even on dangling input.
+    unsafe {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        _mm_prefetch::<_MM_HINT_T0>(ptr as *const i8);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = ptr;
+}
+
+// ---------------------------------------------------------------------
+// Atomic separator scan (static index)
+// ---------------------------------------------------------------------
+
+/// [`count_le`] over a run of atomically-updated separators.
+///
+/// The entries are snapshotted with `Relaxed` loads into a small stack
+/// buffer (so racing separator updates stay well-defined — the caller's
+/// protocol tolerates stale values) and each filled buffer is counted with
+/// the vector kernel. Early-exits between buffers: the run is sorted, so a
+/// partial buffer count ends the scan.
+pub fn count_le_atomic(entries: &[AtomicI64], key: Key) -> usize {
+    let mut count = 0usize;
+    let mut buf = [0i64; 8];
+    for chunk in entries.chunks(8) {
+        for (slot, entry) in buf.iter_mut().zip(chunk) {
+            *slot = entry.load(Ordering::Relaxed);
+        }
+        let n = count_le(&buf[..chunk.len()], key);
+        count += n;
+        if n < chunk.len() {
+            break;
+        }
+    }
+    count
+}
+
+// ---------------------------------------------------------------------
+// Cache-line-aligned key layouts
+// ---------------------------------------------------------------------
+
+/// One cache line of keys.
+#[repr(C, align(64))]
+#[derive(Clone, Copy)]
+struct KeyLine([Key; 8]);
+
+/// A flat, 64-byte-aligned, immutable sorted key array — the layout the
+/// routing kernels ([`route`]) are fed with so a probe touches the fewest
+/// possible cache lines and vector loads never split a line.
+pub struct AlignedKeys {
+    lines: Box<[KeyLine]>,
+    len: usize,
+}
+
+impl AlignedKeys {
+    /// Copies `keys` into an aligned buffer (tail padding stays unread:
+    /// every kernel respects `len`).
+    pub fn from_slice(keys: &[Key]) -> Self {
+        let mut lines = vec![KeyLine([0; 8]); keys.len().div_ceil(8)].into_boxed_slice();
+        for (i, &k) in keys.iter().enumerate() {
+            lines[i / 8].0[i % 8] = k;
+        }
+        Self {
+            lines,
+            len: keys.len(),
+        }
+    }
+
+    /// The keys as a contiguous slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[Key] {
+        // SAFETY: `KeyLine` is `repr(C)`, so a boxed slice of lines is one
+        // contiguous array of keys; `len <= lines.len() * 8` by construction.
+        unsafe { std::slice::from_raw_parts(self.lines.as_ptr() as *const Key, self.len) }
+    }
+
+    /// Number of keys.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the array is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl std::ops::Deref for AlignedKeys {
+    type Target = [Key];
+    #[inline]
+    fn deref(&self) -> &[Key] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for AlignedKeys {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AlignedKeys")
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+/// One cache line of atomically-updated separators.
+#[repr(C, align(64))]
+struct AtomicLine([AtomicI64; 8]);
+
+/// A flat, 64-byte-aligned array of atomic separators — the storage of one
+/// static-index level. Values mutate (`Relaxed`/`Release` stores under the
+/// owning gate's latch); the shape is immutable.
+pub struct AlignedAtomicKeys {
+    lines: Box<[AtomicLine]>,
+    len: usize,
+}
+
+impl AlignedAtomicKeys {
+    /// Builds an aligned level from its initial separator values.
+    pub fn from_slice(keys: &[Key]) -> Self {
+        let lines = (0..keys.len().div_ceil(8))
+            .map(|line| {
+                AtomicLine(std::array::from_fn(|lane| {
+                    AtomicI64::new(keys.get(line * 8 + lane).copied().unwrap_or(0))
+                }))
+            })
+            .collect();
+        Self {
+            lines,
+            len: keys.len(),
+        }
+    }
+
+    /// The separators as a contiguous slice of atomics.
+    #[inline]
+    pub fn as_slice(&self) -> &[AtomicI64] {
+        // SAFETY: `AtomicLine` is `repr(C)`, so a boxed slice of lines is
+        // one contiguous array; `len <= lines.len() * 8` by construction.
+        unsafe { std::slice::from_raw_parts(self.lines.as_ptr() as *const AtomicI64, self.len) }
+    }
+
+    /// Number of separators.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the level is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl std::ops::Deref for AlignedAtomicKeys {
+    type Target = [AtomicI64];
+    #[inline]
+    fn deref(&self) -> &[AtomicI64] {
+        self.as_slice()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Generic dispatch for the sequential PMA
+// ---------------------------------------------------------------------
+
+/// Sorted-run probes for PMA key types. Every integer primitive gets the
+/// scalar defaults; `i64` — the key type of the concurrent structures —
+/// overrides them with the vector kernels, so the *generic* sequential PMA
+/// transparently uses the same kernels as the concurrent mirror.
+pub trait RunSearch: Ord + Sized {
+    /// `slice::binary_search`-compatible probe over a sorted run.
+    #[inline]
+    fn search_run(run: &[Self], key: &Self) -> Result<usize, usize> {
+        run.binary_search(key)
+    }
+
+    /// `run.partition_point(|x| x <= key)` over a sorted run.
+    #[inline]
+    fn count_le_run(run: &[Self], key: &Self) -> usize {
+        run.partition_point(|x| x <= key)
+    }
+}
+
+macro_rules! scalar_run_search {
+    ($($t:ty),*) => {$(impl RunSearch for $t {})*};
+}
+scalar_run_search!(i8, i16, i32, i128, isize, u8, u16, u32, u64, u128, usize);
+
+impl RunSearch for i64 {
+    #[inline]
+    fn search_run(run: &[Self], key: &Self) -> Result<usize, usize> {
+        search(run, *key)
+    }
+
+    #[inline]
+    fn count_le_run(run: &[Self], key: &Self) -> usize {
+        count_le(run, *key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_count_le(run: &[Key], key: Key) -> usize {
+        run.partition_point(|&x| x <= key)
+    }
+
+    fn sorted_runs() -> Vec<Vec<Key>> {
+        vec![
+            vec![],
+            vec![0],
+            vec![i64::MIN, i64::MIN, -1, 0, 0, 1, i64::MAX, i64::MAX],
+            (0..100).map(|i| i * 3).collect(),
+            (0..1000)
+                .map(|i| (i % 7) * (i / 7))
+                .collect::<Vec<_>>()
+                .tap_sort(),
+            vec![5; 129],
+        ]
+    }
+
+    trait TapSort {
+        fn tap_sort(self) -> Self;
+    }
+    impl TapSort for Vec<Key> {
+        fn tap_sort(mut self) -> Self {
+            self.sort_unstable();
+            self
+        }
+    }
+
+    #[test]
+    fn every_supported_variant_matches_partition_point() {
+        for variant in [Variant::Avx2, Variant::Sse2, Variant::Neon, Variant::Scalar] {
+            if !variant.supported() {
+                continue;
+            }
+            for run in sorted_runs() {
+                for key in [i64::MIN, -1, 0, 1, 5, 14, 15, 16, 99, 297, 300, i64::MAX] {
+                    assert_eq!(
+                        count_le_with(variant, &run, key),
+                        reference_count_le(&run, key),
+                        "{variant:?} len={} key={key}",
+                        run.len()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn search_matches_binary_search_semantics() {
+        let run: Vec<Key> = (0..50).map(|i| i * 2).collect();
+        for key in -2..102 {
+            match search(&run, key) {
+                Ok(pos) => assert_eq!(run[pos], key),
+                Err(pos) => {
+                    assert!(pos == run.len() || run[pos] > key);
+                    assert!(pos == 0 || run[pos - 1] < key);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_picks_last_covering_separator() {
+        let seps: Vec<Key> = vec![i64::MIN, 10, 20, 30];
+        assert_eq!(route(&seps, i64::MIN), 0);
+        assert_eq!(route(&seps, 9), 0);
+        assert_eq!(route(&seps, 10), 1);
+        assert_eq!(route(&seps, 29), 2);
+        assert_eq!(route(&seps, i64::MAX), 3);
+        assert_eq!(route(&[], 7), 0, "empty separator array routes to 0");
+    }
+
+    #[test]
+    fn append_run_matches_extend_from_slice() {
+        for n in [0usize, 1, 3, 4, 5, 64, 127] {
+            let src: Vec<i64> = (0..n as i64).map(|i| i * 7 - 3).collect();
+            let mut dst = vec![-1i64, -2];
+            append_run(&mut dst, &src);
+            let mut expect = vec![-1i64, -2];
+            expect.extend_from_slice(&src);
+            assert_eq!(dst, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn atomic_count_matches_plain_count() {
+        let keys: Vec<Key> = (0..37).map(|i| i * 5).collect();
+        let level = AlignedAtomicKeys::from_slice(&keys);
+        for key in [-1, 0, 4, 5, 90, 179, 180, 1000] {
+            assert_eq!(
+                count_le_atomic(level.as_slice(), key),
+                reference_count_le(&keys, key),
+                "key={key}"
+            );
+        }
+        assert_eq!(level.len(), 37);
+        assert!(!level.is_empty());
+    }
+
+    #[test]
+    fn aligned_keys_roundtrip_and_alignment() {
+        for n in [0usize, 1, 7, 8, 9, 40] {
+            let keys: Vec<Key> = (0..n as i64).collect();
+            let aligned = AlignedKeys::from_slice(&keys);
+            assert_eq!(aligned.as_slice(), keys.as_slice());
+            assert_eq!(aligned.len(), n);
+            assert_eq!(aligned.is_empty(), n == 0);
+            if n > 0 {
+                assert_eq!(aligned.as_slice().as_ptr() as usize % 64, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn run_search_trait_dispatches_per_type() {
+        let run64: Vec<i64> = vec![1, 3, 5];
+        assert_eq!(<i64 as RunSearch>::search_run(&run64, &3), Ok(1));
+        assert_eq!(<i64 as RunSearch>::count_le_run(&run64, &4), 2);
+        let run32: Vec<i32> = vec![1, 3, 5];
+        assert_eq!(<i32 as RunSearch>::search_run(&run32, &4), Err(2));
+        assert_eq!(<i32 as RunSearch>::count_le_run(&run32, &4), 2);
+    }
+
+    #[test]
+    fn active_variant_is_stable_and_named() {
+        let v = active_variant();
+        assert_eq!(v, active_variant());
+        assert!(["avx2", "sse2", "neon", "scalar"].contains(&kernel_variant()));
+        assert!(v.supported());
+    }
+}

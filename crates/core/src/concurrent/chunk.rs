@@ -10,7 +10,7 @@
 //! the appropriate mode before touching a chunk.
 
 use crate::sequential::adaptive::AdaptivePredictor;
-use pma_common::{Key, ScanStats, Value};
+use pma_common::{simd, Key, ScanStats, Value, KEY_MIN};
 
 /// Outcome of [`ChunkData::try_insert`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +33,13 @@ pub struct ChunkData {
     /// Slot array: segment `s` owns `[s * B, (s + 1) * B)`.
     keys: Box<[Key]>,
     values: Box<[Value]>,
+    /// Contiguous routing prefix: `mins[s]` is the minimum key of segment
+    /// `s`, with empty segments inheriting the previous non-empty segment's
+    /// minimum (leading empties hold [`KEY_MIN`]). The array is therefore
+    /// non-decreasing and [`ChunkData::find_segment`] routes through it with
+    /// one branchless vectorised count instead of touching every segment's
+    /// slot range.
+    mins: Box<[Key]>,
     /// Per-segment insertion/deletion activity, used by adaptive rebalancing.
     predictor: AdaptivePredictor,
 }
@@ -48,6 +55,7 @@ impl ChunkData {
             cards: vec![0u32; num_segments].into_boxed_slice(),
             keys: vec![0 as Key; slots].into_boxed_slice(),
             values: vec![0 as Value; slots].into_boxed_slice(),
+            mins: vec![KEY_MIN; num_segments].into_boxed_slice(),
             predictor: AdaptivePredictor::new(num_segments),
         }
     }
@@ -77,7 +85,20 @@ impl ChunkData {
             }
             chunk.cards[s] = t as u32;
         }
+        chunk.refresh_mins();
         chunk
+    }
+
+    /// Rebuilds the routing prefix after a mutation that changed a segment
+    /// minimum. One linear pass over the (few) segments of the chunk.
+    fn refresh_mins(&mut self) {
+        let mut current = KEY_MIN;
+        for s in 0..self.num_segments() {
+            if self.cards[s] > 0 {
+                current = self.keys[self.seg_start(s)];
+            }
+            self.mins[s] = current;
+        }
     }
 
     /// Number of segments in the chunk.
@@ -150,24 +171,29 @@ impl ChunkData {
 
     /// Returns the segment that should contain `key`: the last non-empty
     /// segment whose minimum key is `<= key`, falling back to the first
-    /// non-empty segment, or segment 0 for an empty chunk. Gates cover few
-    /// segments (8 by default), so a linear scan is the fastest option.
+    /// non-empty segment, or segment 0 for an empty chunk.
+    ///
+    /// Routes through the contiguous `mins` prefix with one vectorised
+    /// count — a single cache line for the default 8-segment gate — then
+    /// resolves empty-segment inheritance against the cards array.
     pub fn find_segment(&self, key: Key) -> usize {
-        let mut candidate: Option<usize> = None;
-        let mut first_non_empty: Option<usize> = None;
-        for s in 0..self.num_segments() {
-            if let Some(min) = self.seg_min(s) {
-                if first_non_empty.is_none() {
-                    first_non_empty = Some(s);
-                }
-                if min <= key {
-                    candidate = Some(s);
-                } else {
-                    break;
-                }
-            }
+        let mut s = simd::route(&self.mins, key);
+        // An empty segment inherits the previous non-empty segment's
+        // minimum: walk left to the owner.
+        while self.cards[s] == 0 && s > 0 {
+            s -= 1;
         }
-        candidate.or(first_non_empty).unwrap_or(0)
+        if self.cards[s] > 0 && self.keys[self.seg_start(s)] <= key {
+            simd::prefetch_read(&self.keys[self.seg_start(s)]);
+            return s;
+        }
+        // No non-empty segment's minimum is `<= key` (or the chunk is
+        // empty): fall forward to the first non-empty segment.
+        let first = (0..self.num_segments())
+            .find(|&s| self.cards[s] > 0)
+            .unwrap_or(0);
+        simd::prefetch_read(&self.keys[self.seg_start(first)]);
+        first
     }
 
     /// Point lookup within the chunk.
@@ -177,8 +203,7 @@ impl ChunkData {
         }
         let s = self.find_segment(key);
         let start = self.seg_start(s);
-        self.seg_keys(s)
-            .binary_search(&key)
+        simd::search(self.seg_keys(s), key)
             .ok()
             .map(|pos| self.values[start + pos])
     }
@@ -188,7 +213,7 @@ impl ChunkData {
     pub fn try_insert(&mut self, key: Key, value: Value) -> ChunkInsert {
         let s = self.find_segment(key);
         let start = self.seg_start(s);
-        match self.seg_keys(s).binary_search(&key) {
+        match simd::search(self.seg_keys(s), key) {
             Ok(pos) => {
                 let old = self.values[start + pos];
                 self.values[start + pos] = value;
@@ -207,6 +232,11 @@ impl ChunkData {
                 self.values[start + pos] = value;
                 self.cards[s] += 1;
                 self.predictor.record_insert(s);
+                if pos == 0 {
+                    // The segment minimum changed (or the segment was
+                    // empty): rebuild the routing prefix.
+                    self.refresh_mins();
+                }
                 ChunkInsert::Inserted
             }
         }
@@ -219,7 +249,7 @@ impl ChunkData {
         }
         let s = self.find_segment(key);
         let start = self.seg_start(s);
-        let pos = self.seg_keys(s).binary_search(&key).ok()?;
+        let pos = simd::search(self.seg_keys(s), key).ok()?;
         let old = self.values[start + pos];
         let card = self.card(s);
         self.keys
@@ -228,32 +258,70 @@ impl ChunkData {
             .copy_within(start + pos + 1..start + card, start + pos);
         self.cards[s] -= 1;
         self.predictor.record_delete(s);
+        if pos == 0 {
+            // The segment minimum changed (or the segment drained).
+            self.refresh_mins();
+        }
         Some(old)
     }
 
-    /// Folds every element of the chunk (ascending key order) into `stats`.
+    /// Folds every element of the chunk (ascending key order) into `stats`,
+    /// one whole segment run at a time.
     pub fn scan(&self, stats: &mut ScanStats) {
         for s in 0..self.num_segments() {
             let start = self.seg_start(s);
-            for i in 0..self.card(s) {
-                stats.visit(self.keys[start + i], self.values[start + i]);
-            }
+            let card = self.card(s);
+            stats.visit_run(
+                &self.keys[start..start + card],
+                &self.values[start..start + card],
+            );
         }
     }
 
     /// Visits every element with key in `[lo, hi]`. Returns `false` when the
-    /// scan ran past `hi` (i.e. the caller can stop at this chunk).
+    /// scan ran past `hi` (i.e. the caller can stop at this chunk). The
+    /// in-range span of each segment is cut with the counting kernels so the
+    /// inner loop carries no bound checks.
     pub fn range(&self, lo: Key, hi: Key, visitor: &mut dyn FnMut(Key, Value)) -> bool {
         for s in 0..self.num_segments() {
             let start = self.seg_start(s);
-            for i in 0..self.card(s) {
-                let k = self.keys[start + i];
-                if k > hi {
-                    return false;
-                }
-                if k >= lo {
-                    visitor(k, self.values[start + i]);
-                }
+            let seg = self.seg_keys(s);
+            let begin = simd::count_lt(seg, lo);
+            let end = simd::count_le(seg, hi);
+            for (k, v) in seg[begin..end]
+                .iter()
+                .zip(&self.values[start + begin..start + end])
+            {
+                visitor(*k, *v);
+            }
+            if end < seg.len() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Appends every element with key in `[lo, hi]` (ascending) to the
+    /// output vectors through the bulk run-copy kernel. Returns `false` when
+    /// the chunk holds a key greater than `hi` (the caller can stop).
+    pub fn collect_range_into(
+        &self,
+        lo: Key,
+        hi: Key,
+        keys: &mut Vec<Key>,
+        values: &mut Vec<Value>,
+    ) -> bool {
+        for s in 0..self.num_segments() {
+            let start = self.seg_start(s);
+            let seg = self.seg_keys(s);
+            let begin = simd::count_lt(seg, lo);
+            let end = simd::count_le(seg, hi);
+            if begin < end {
+                simd::append_run(keys, &seg[begin..end]);
+                simd::append_run(values, &self.values[start + begin..start + end]);
+            }
+            if end < seg.len() {
+                return false;
             }
         }
         true
@@ -276,8 +344,8 @@ impl ChunkData {
         for s in 0..self.num_segments() {
             let start = self.seg_start(s);
             let card = self.card(s);
-            keys.extend_from_slice(&self.keys[start..start + card]);
-            values.extend_from_slice(&self.values[start..start + card]);
+            simd::append_run(keys, &self.keys[start..start + card]);
+            simd::append_run(values, &self.values[start..start + card]);
         }
     }
 
@@ -322,6 +390,7 @@ impl ChunkData {
             self.cards[s] = t as u32;
             cursor += t;
         }
+        self.refresh_mins();
     }
 
     /// Merges a sorted batch of insertions into the whole chunk, rewriting it
@@ -395,6 +464,7 @@ impl ChunkData {
             self.cards[s] = t as u32;
             cursor += t;
         }
+        self.refresh_mins();
         added
     }
 
@@ -415,6 +485,18 @@ impl ChunkData {
                 }
                 prev = Some(k);
             }
+        }
+        // The routing prefix mirrors the segment minima, empty segments
+        // inheriting from the left.
+        let mut expected = KEY_MIN;
+        for s in 0..self.num_segments() {
+            if let Some(min) = self.seg_min(s) {
+                expected = min;
+            }
+            assert_eq!(
+                self.mins[s], expected,
+                "routing prefix out of date at segment {s}"
+            );
         }
     }
 }

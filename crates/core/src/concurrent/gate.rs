@@ -79,6 +79,12 @@ pub struct GateState {
     /// writers must block until the new instance is published instead of
     /// appending to soon-to-be-dead state.
     pub queue_closed: bool,
+    /// Writers (and the rebalancer service) currently blocked waiting to
+    /// acquire this gate exclusively. While non-zero, arriving readers park
+    /// instead of joining `Read` mode: without this, continuously
+    /// overlapping scanners never drain the reader count to zero and an
+    /// exclusive acquirer starves (writer preference).
+    pub writers_waiting: u32,
     /// A writer is active and accepts forwarded operations (paper: `pQ` set).
     pub queue_open: bool,
     /// Operations forwarded by other writers (the combining queue).
@@ -100,6 +106,7 @@ impl GateState {
             service_owned: false,
             delegated: false,
             queue_closed: false,
+            writers_waiting: 0,
             queue_open: false,
             pending: VecDeque::new(),
             last_global_rebalance: Instant::now(),
@@ -211,6 +218,21 @@ impl Gate {
     /// Same contract as [`Gate::chunk_mut`].
     pub unsafe fn replace_chunk(&self, new: ChunkData) -> ChunkData {
         std::mem::replace(&mut *self.chunk.get(), new)
+    }
+
+    /// Parks an exclusive acquirer (a writer or the rebalancer service) on
+    /// the gate, counted in [`GateState::writers_waiting`] so arriving
+    /// readers yield for the duration (writer preference). Readers parked
+    /// by that counter may have no later wake-up coming if this acquirer
+    /// walks away to a neighbouring gate instead of acquiring, so the last
+    /// exclusive waiter to leave re-notifies.
+    pub fn wait_exclusive(&self, guard: &mut MutexGuard<'_, GateState>) {
+        guard.writers_waiting += 1;
+        self.wait(guard);
+        guard.writers_waiting -= 1;
+        if guard.writers_waiting == 0 {
+            self.notify_all();
+        }
     }
 
     /// Releases a shared (read) acquisition.

@@ -251,11 +251,11 @@ impl ConcurrentPma {
                             continue 'restart;
                         }
                         match st.mode {
-                            GateMode::Free => {
+                            GateMode::Free if st.writers_waiting == 0 => {
                                 st.mode = GateMode::Read(1);
                                 break;
                             }
-                            GateMode::Read(n) => {
+                            GateMode::Read(n) if st.writers_waiting == 0 => {
                                 st.mode = GateMode::Read(n + 1);
                                 break;
                             }
@@ -315,11 +315,11 @@ impl ConcurrentPma {
                         continue 'restart;
                     }
                     match st.mode {
-                        GateMode::Free => {
+                        GateMode::Free if st.writers_waiting == 0 => {
                             st.mode = GateMode::Read(1);
                             break;
                         }
-                        GateMode::Read(n) => {
+                        GateMode::Read(n) if st.writers_waiting == 0 => {
                             st.mode = GateMode::Read(n + 1);
                             break;
                         }
@@ -369,6 +369,82 @@ impl ConcurrentPma {
         };
         self.range(lo, hi, &mut |k, v| out.push((k, v)));
         out
+    }
+
+    /// Collects one ordered block of `[lo, hi]`, cutting at the first gate
+    /// boundary once at least `min_len` elements were appended (see
+    /// [`ConcurrentMap::collect_block`]). Returns `Some(next_lo)` when cut,
+    /// `None` when the range is exhausted.
+    ///
+    /// Each gate's in-range elements are appended with the bulk run-copy
+    /// kernel while the gate is held in shared mode — the refill primitive
+    /// of the sharded engine's block-at-a-time cross-shard merge. A resize
+    /// restarts the walk from just after the last covered fence, so the
+    /// appended stream stays strictly ascending and duplicate-free.
+    pub fn collect_block(
+        &self,
+        lo: Key,
+        hi: Key,
+        min_len: usize,
+        keys: &mut Vec<Key>,
+        values: &mut Vec<Value>,
+    ) -> Option<Key> {
+        if lo > hi {
+            return None;
+        }
+        let base = keys.len();
+        let mut cursor = lo;
+        'restart: loop {
+            let _pin = self.shared.pin();
+            // SAFETY: pinned above.
+            let inst = unsafe { self.shared.instance_ref() };
+            let Some(mut g) = self.acquire_read(inst, cursor) else {
+                Stats::bump(&self.shared.stats.resize_restarts);
+                continue 'restart;
+            };
+            loop {
+                let gate = &inst.gates[g];
+                // SAFETY: gate `g` is held in shared mode.
+                let keep_going =
+                    unsafe { gate.chunk() }.collect_range_into(cursor, hi, keys, values);
+                {
+                    let st = gate.lock();
+                    // Everything up to this gate's upper fence is covered.
+                    cursor = cursor.max(st.fence_hi.saturating_add(1));
+                }
+                let exhausted = !keep_going || cursor > hi || g + 1 >= inst.num_gates();
+                gate.release_read();
+                if exhausted {
+                    return None;
+                }
+                if keys.len() - base >= min_len {
+                    // Gate boundary reached with a full block: hand the
+                    // remainder of the range back to the caller.
+                    return Some(cursor);
+                }
+                g += 1;
+                // Acquire the next gate in shared mode.
+                let gate = &inst.gates[g];
+                let mut st = gate.lock();
+                loop {
+                    if st.invalidated {
+                        Stats::bump(&self.shared.stats.resize_restarts);
+                        continue 'restart;
+                    }
+                    match st.mode {
+                        GateMode::Free if st.writers_waiting == 0 => {
+                            st.mode = GateMode::Read(1);
+                            break;
+                        }
+                        GateMode::Read(n) if st.writers_waiting == 0 => {
+                            st.mode = GateMode::Read(n + 1);
+                            break;
+                        }
+                        _ => gate.wait(&mut st),
+                    }
+                }
+            }
+        }
     }
 
     /// Inserts a batch of pairs (upsert semantics, later duplicates win).
@@ -545,10 +621,76 @@ impl ConcurrentPma {
     // Write path
     // ------------------------------------------------------------------
 
+    /// Uncontended fast path: applies `op` inline while holding the routed
+    /// gate's state mutex, when the gate is `Free` with an empty,
+    /// undelegated combining queue and its fences cover the key. This saves
+    /// the full path's second mutex round-trip and `notify_all` (the
+    /// `Write`-mode transition and [`ConcurrentPma::finish_writer`]) — pure
+    /// overhead when nobody is contending.
+    ///
+    /// Returns `Some(result)` when applied; `None` sends the caller to the
+    /// full path (gate busy, delegated, mis-routed, invalidated, or the
+    /// target segment is full and needs a rebalance).
+    fn try_fast_update(&self, inst: &PmaInstance, op: UpdateOp) -> Option<Option<Value>> {
+        let key = op.key();
+        let g = inst.index.find_gate(key);
+        let gate = &inst.gates[g];
+        let st = gate.lock();
+        if st.invalidated
+            || key < st.fence_lo
+            || key > st.fence_hi
+            || st.delegated
+            || st.queue_open
+            || !st.pending.is_empty()
+            || !matches!(st.mode, GateMode::Free)
+        {
+            return None;
+        }
+        // SAFETY: the gate's state mutex is held and the mode is `Free`: no
+        // reader, writer or rebalance owns the chunk, and any thread must
+        // acquire this mutex (observing our completed writes through it)
+        // before it can claim the gate — exclusive chunk access until the
+        // guard drops. No mode changed, so there is nothing to notify.
+        match op {
+            UpdateOp::Delete(key) => {
+                let old = unsafe { gate.chunk_mut() }.remove(key);
+                drop(st);
+                if old.is_some() {
+                    self.shared.len.fetch_sub(1, Ordering::Relaxed);
+                    Stats::bump(&self.shared.stats.deletes);
+                    self.maybe_request_downsize(inst);
+                }
+                Some(old)
+            }
+            UpdateOp::Insert(key, value) => {
+                match unsafe { gate.chunk_mut() }.try_insert(key, value) {
+                    ChunkInsert::Inserted => {
+                        drop(st);
+                        self.shared.len.fetch_add(1, Ordering::Relaxed);
+                        Stats::bump(&self.shared.stats.inserts);
+                        Some(None)
+                    }
+                    ChunkInsert::Replaced(old) => Some(Some(old)),
+                    // The segment needs a rebalance first: the full path
+                    // owns that machinery (no chunk mutation happened).
+                    ChunkInsert::SegmentFull(_) => None,
+                }
+            }
+        }
+    }
+
     /// Applies an update, possibly enqueueing it to another writer
     /// (`allow_queue`). Returns the previous value when the operation was
     /// applied synchronously.
     fn update(&self, op: UpdateOp, allow_queue: bool) -> Option<Value> {
+        {
+            let _pin = self.shared.pin();
+            // SAFETY: pinned above.
+            let inst = unsafe { self.shared.instance_ref() };
+            if let Some(old) = self.try_fast_update(inst, op) {
+                return old;
+            }
+        }
         loop {
             let outcome = {
                 let _pin = self.shared.pin();
@@ -651,7 +793,10 @@ impl ConcurrentPma {
                         }
                         return WriteAcquire::Queued;
                     }
-                    _ => gate.wait(&mut st),
+                    // Park with writer preference: arriving readers yield
+                    // until no exclusive acquirer is waiting, so a stream of
+                    // overlapping scanners cannot starve the writer.
+                    _ => gate.wait_exclusive(&mut st),
                 }
             }
         }
@@ -994,11 +1139,11 @@ impl ConcurrentPma {
                     break;
                 }
                 match st.mode {
-                    GateMode::Free => {
+                    GateMode::Free if st.writers_waiting == 0 => {
                         st.mode = GateMode::Read(1);
                         return Some(g);
                     }
-                    GateMode::Read(n) => {
+                    GateMode::Read(n) if st.writers_waiting == 0 => {
                         st.mode = GateMode::Read(n + 1);
                         return Some(g);
                     }
@@ -1107,6 +1252,17 @@ impl ConcurrentMap for ConcurrentPma {
 
     fn collect_range(&self, lo: Key, hi: Key) -> Vec<(Key, Value)> {
         ConcurrentPma::collect_range(self, lo, hi)
+    }
+
+    fn collect_block(
+        &self,
+        lo: Key,
+        hi: Key,
+        min_len: usize,
+        keys: &mut Vec<Key>,
+        values: &mut Vec<Value>,
+    ) -> Option<Key> {
+        ConcurrentPma::collect_block(self, lo, hi, min_len, keys, values)
     }
 
     fn insert_batch(&self, items: &[(Key, Value)]) {

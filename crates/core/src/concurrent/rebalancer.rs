@@ -332,7 +332,10 @@ impl Master {
                     return;
                 }
                 GateMode::Rebalance if st.service_owned => return,
-                _ => gate.wait(&mut st),
+                // Park with writer preference (see `Gate::wait_exclusive`):
+                // a continuous stream of overlapping scanners must not
+                // starve the service out of its window.
+                _ => gate.wait_exclusive(&mut st),
             }
         }
     }

@@ -6,20 +6,24 @@
 //! is then rebuilt from scratch), but the separator *values* change during
 //! rebalances.
 //!
-//! The tree is stored without pointers: every level is a dense array and a
-//! node's children are located by pure arithmetic. Updating the separator of
-//! a gate touches the leaf entry and, only when the gate is the first child
-//! of its ancestors, the corresponding ancestor entries — an `O(1)` operation
-//! in the common case.
+//! The tree is stored without pointers: every level is a dense,
+//! cache-line-aligned array ([`simd::AlignedAtomicKeys`]) and a node's
+//! children are located by pure arithmetic. A node's span is searched with
+//! the vectorised counting kernel: entries are snapshotted with relaxed
+//! loads into a stack buffer and counted branchlessly (see
+//! [`simd::count_le_atomic`]). Updating the separator of a gate touches the
+//! leaf entry and, only when the gate is the first child of its ancestors,
+//! the corresponding ancestor entries — an `O(1)` operation in the common
+//! case.
 //!
 //! Traversals are deliberately unsynchronised: a reader may observe a stale
 //! separator and land on the wrong gate. That is fine — the caller validates
 //! the gate's fence keys after acquiring its latch and walks to a neighbour
 //! if the check fails, exactly as described in the paper.
 
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::atomic::Ordering;
 
-use pma_common::Key;
+use pma_common::{simd, Key};
 
 /// Pointer-free static B+-tree over the gates' separator keys.
 pub struct StaticIndex {
@@ -28,7 +32,7 @@ pub struct StaticIndex {
     /// `levels[0]` holds one separator per gate; `levels[l][i]` summarises the
     /// children `levels[l-1][i * fanout ..]` by their first (minimum) entry.
     /// The last level always has at most `fanout` entries.
-    levels: Vec<Box<[AtomicI64]>>,
+    levels: Vec<simd::AlignedAtomicKeys>,
 }
 
 impl std::fmt::Debug for StaticIndex {
@@ -47,16 +51,16 @@ impl StaticIndex {
     pub fn new(fanout: usize, separators: &[Key]) -> Self {
         assert!(fanout >= 2, "index fanout must be at least 2");
         assert!(!separators.is_empty(), "at least one gate is required");
-        let mut levels: Vec<Box<[AtomicI64]>> = Vec::new();
-        let leaf: Box<[AtomicI64]> = separators.iter().map(|&k| AtomicI64::new(k)).collect();
-        levels.push(leaf);
+        let mut levels: Vec<simd::AlignedAtomicKeys> = Vec::new();
+        levels.push(simd::AlignedAtomicKeys::from_slice(separators));
         while levels.last().unwrap().len() > fanout {
             let child = levels.last().unwrap();
-            let parent: Box<[AtomicI64]> = child
+            let parent: Vec<Key> = child
+                .as_slice()
                 .chunks(fanout)
-                .map(|group| AtomicI64::new(group[0].load(Ordering::Relaxed)))
+                .map(|group| group[0].load(Ordering::Relaxed))
                 .collect();
-            levels.push(parent);
+            levels.push(simd::AlignedAtomicKeys::from_slice(&parent));
         }
         Self {
             fanout,
@@ -81,16 +85,8 @@ impl StaticIndex {
     /// or `start` when every entry is greater.
     #[inline]
     fn scan(&self, level: usize, start: usize, end: usize, key: Key) -> usize {
-        let entries = &self.levels[level];
-        let mut best = start;
-        for (i, entry) in entries[start..end].iter().enumerate() {
-            if entry.load(Ordering::Relaxed) <= key {
-                best = start + i;
-            } else {
-                break;
-            }
-        }
-        best
+        let span = &self.levels[level].as_slice()[start..end];
+        start + simd::count_le_atomic(span, key).saturating_sub(1)
     }
 
     /// Returns the gate that *probably* covers `key`. The result must be
@@ -101,6 +97,8 @@ impl StaticIndex {
         let mut idx = self.scan(top, 0, self.levels[top].len(), key);
         for level in (0..top).rev() {
             let start = idx * self.fanout;
+            // Hint the child node's cache line in before scanning it.
+            simd::prefetch_read(self.levels[level].as_slice()[start].as_ptr());
             let end = (start + self.fanout).min(self.levels[level].len());
             idx = self.scan(level, start, end, key);
         }
@@ -112,19 +110,19 @@ impl StaticIndex {
     /// update simply observe one of the two values.
     pub fn update_separator(&self, gate: usize, key: Key) {
         debug_assert!(gate < self.num_gates);
-        self.levels[0][gate].store(key, Ordering::Release);
+        self.levels[0].as_slice()[gate].store(key, Ordering::Release);
         let mut idx = gate;
         let mut level = 0;
         while level + 1 < self.levels.len() && idx.is_multiple_of(self.fanout) {
             idx /= self.fanout;
             level += 1;
-            self.levels[level][idx].store(key, Ordering::Release);
+            self.levels[level].as_slice()[idx].store(key, Ordering::Release);
         }
     }
 
     /// Current separator of `gate` (test hook).
     pub fn separator(&self, gate: usize) -> Key {
-        self.levels[0][gate].load(Ordering::Acquire)
+        self.levels[0].as_slice()[gate].load(Ordering::Acquire)
     }
 }
 

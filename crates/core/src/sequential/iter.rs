@@ -17,7 +17,7 @@ pub struct Iter<'a, K, V> {
 
 impl<'a, K, V> Iter<'a, K, V>
 where
-    K: Ord + Copy + Default,
+    K: Ord + Copy + Default + pma_common::simd::RunSearch,
     V: Copy + Default,
 {
     pub(crate) fn new(pma: &'a PackedMemoryArray<K, V>) -> Self {
@@ -31,7 +31,7 @@ where
 
 impl<K, V> Iterator for Iter<'_, K, V>
 where
-    K: Ord + Copy + Default,
+    K: Ord + Copy + Default + pma_common::simd::RunSearch,
     V: Copy + Default,
 {
     type Item = (K, V);
@@ -68,7 +68,7 @@ pub struct RangeIter<'a, K, V> {
 
 impl<'a, K, V> RangeIter<'a, K, V>
 where
-    K: Ord + Copy + Default,
+    K: Ord + Copy + Default + pma_common::simd::RunSearch,
     V: Copy + Default,
 {
     pub(crate) fn new(pma: &'a PackedMemoryArray<K, V>, lo: K, hi: K) -> Self {
@@ -98,7 +98,7 @@ where
 
 impl<K, V> Iterator for RangeIter<'_, K, V>
 where
-    K: Ord + Copy + Default,
+    K: Ord + Copy + Default + pma_common::simd::RunSearch,
     V: Copy + Default,
 {
     type Item = (K, V);

@@ -62,7 +62,7 @@ pub struct PackedMemoryArray<K, V> {
 
 impl<K, V> PackedMemoryArray<K, V>
 where
-    K: Ord + Copy + Default,
+    K: Ord + Copy + Default + pma_common::simd::RunSearch,
     V: Copy + Default,
 {
     /// Creates an empty PMA with the given parameters (initially one gate's
@@ -274,7 +274,7 @@ where
             }
             let s = self.find_segment(&key);
             let start = self.seg_start(s);
-            match self.seg_keys(s).binary_search(&key) {
+            match K::search_run(self.seg_keys(s), &key) {
                 Ok(pos) => {
                     let old = self.values[start + pos];
                     self.values[start + pos] = value;
@@ -313,7 +313,7 @@ where
         }
         let s = self.find_segment(key);
         let start = self.seg_start(s);
-        let pos = match self.seg_keys(s).binary_search(key) {
+        let pos = match K::search_run(self.seg_keys(s), key) {
             Ok(pos) => pos,
             Err(_) => return None,
         };
@@ -341,8 +341,7 @@ where
         Stats::bump(&self.stats.lookups);
         let s = self.find_segment(key);
         let start = self.seg_start(s);
-        self.seg_keys(s)
-            .binary_search(key)
+        K::search_run(self.seg_keys(s), key)
             .ok()
             .map(|pos| self.values[start + pos])
     }
@@ -565,7 +564,7 @@ where
 
 impl<K, V> Default for PackedMemoryArray<K, V>
 where
-    K: Ord + Copy + Default,
+    K: Ord + Copy + Default + pma_common::simd::RunSearch,
     V: Copy + Default,
 {
     fn default() -> Self {

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod backends;
+mod merge;
 pub mod sharded;
 pub mod stats;
 

@@ -1,0 +1,425 @@
+//! Block-at-a-time k-way ordered merge over per-source cursors.
+//!
+//! The sharded engine's cross-shard scans must present the per-shard ordered
+//! streams as one globally ordered stream. Element-at-a-time merging (one
+//! heap pop and one virtual `range` callback per element) is the classic way
+//! and the classic bottleneck; this module merges whole **sorted blocks**
+//! instead:
+//!
+//! * each source is wrapped in a [`BlockCursor`] that refills a local buffer
+//!   through [`ConcurrentMap::collect_block`] — the structure appends whole
+//!   segment runs with the SIMD run-copy kernel and cuts at its natural
+//!   block boundary (the concurrent PMA cuts at gate fences);
+//! * a classic [`LoserTree`] tournament ranks the cursor heads; the winner
+//!   does not emit one element but its entire buffered prefix up to the
+//!   runner-up's head key — computed branchlessly with the vectorised
+//!   counting kernel — so per-element work collapses into `memcpy`-shaped
+//!   run emission, and tournament replays happen once per *run*, not once
+//!   per element.
+//!
+//! The shard streams are disjoint in key space, which makes the runs as
+//! large as the blocks themselves; the merge stays correct for arbitrarily
+//! interleaved sources (ties break toward the lower source index, keeping
+//! the emission order deterministic).
+
+use pma_common::{simd, ConcurrentMap, Key, Value};
+
+/// Minimum elements a cursor refill asks its source for. One PMA gate holds
+/// `segments_per_gate * segment_capacity` slots (512 by default), so a block
+/// of this size spans a handful of gates — large enough to amortise latch
+/// traffic and tournament replays, small enough to stay cache-resident.
+pub(crate) const MERGE_BLOCK: usize = 4096;
+
+/// A buffered ordered cursor over one source's `[lo, hi]` range.
+struct BlockCursor<'a> {
+    map: &'a dyn ConcurrentMap,
+    hi: Key,
+    /// Where the next refill resumes; `None` once the source is exhausted.
+    next_lo: Option<Key>,
+    keys: Vec<Key>,
+    values: Vec<Value>,
+    pos: usize,
+}
+
+impl<'a> BlockCursor<'a> {
+    fn new(map: &'a dyn ConcurrentMap, lo: Key, hi: Key) -> Self {
+        Self {
+            map,
+            hi,
+            next_lo: Some(lo),
+            keys: Vec::new(),
+            values: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    /// Ensures the buffer holds an unconsumed element, pulling the next
+    /// block from the source if needed. Returns `false` when exhausted.
+    fn refill(&mut self) -> bool {
+        while self.pos >= self.keys.len() {
+            let Some(lo) = self.next_lo else {
+                return false;
+            };
+            self.keys.clear();
+            self.values.clear();
+            self.pos = 0;
+            self.next_lo =
+                self.map
+                    .collect_block(lo, self.hi, MERGE_BLOCK, &mut self.keys, &mut self.values);
+        }
+        true
+    }
+
+    /// Smallest unconsumed key, `None` when exhausted (buffer already
+    /// refilled by [`BlockCursor::refill`]).
+    #[inline]
+    fn head(&self) -> Option<Key> {
+        self.keys.get(self.pos).copied()
+    }
+}
+
+/// Array-backed tournament (loser) tree over `k` cursor heads.
+///
+/// `tree[1..k]` stores the *loser* of the match played at each internal
+/// node, `tree[0]` the overall winner. After the winner's head changes only
+/// its root path is replayed — `O(log k)` — and the losers stored on that
+/// path include the runner-up, which bounds how far the winner may emit
+/// without another tournament.
+pub(crate) struct LoserTree {
+    k: usize,
+    tree: Vec<usize>,
+}
+
+/// Ranks two cursor heads: exhausted (`None`) loses to everything and ties
+/// break toward the lower source index, so the merge order is deterministic.
+#[inline]
+fn beats(a: Option<Key>, ia: usize, b: Option<Key>, ib: usize) -> bool {
+    match (a, b) {
+        (Some(x), Some(y)) => x < y || (x == y && ia < ib),
+        (Some(_), None) => true,
+        (None, Some(_)) => false,
+        (None, None) => ia < ib,
+    }
+}
+
+impl LoserTree {
+    /// Builds the tournament from the initial heads.
+    pub(crate) fn new(heads: &[Option<Key>]) -> Self {
+        let k = heads.len();
+        assert!(k >= 1, "a merge needs at least one source");
+        let mut tree = vec![usize::MAX; k];
+        // Bottom-up construction over the implicit array tournament: leaves
+        // live at positions `k..2k`, node `n` plays the winners of `2n` and
+        // `2n + 1`, keeps the loser and forwards the winner.
+        let mut winners = vec![usize::MAX; 2 * k];
+        for (i, slot) in winners[k..].iter_mut().enumerate() {
+            *slot = i;
+        }
+        for node in (1..k).rev() {
+            let (a, b) = (winners[2 * node], winners[2 * node + 1]);
+            if beats(heads[b], b, heads[a], a) {
+                winners[node] = b;
+                tree[node] = a;
+            } else {
+                winners[node] = a;
+                tree[node] = b;
+            }
+        }
+        // With one source the single leaf sits at position 1 and wins
+        // unopposed, so this assignment covers every k >= 1.
+        tree[0] = winners[1];
+        Self { k, tree }
+    }
+
+    /// The current overall winner (smallest live head).
+    #[inline]
+    pub(crate) fn winner(&self) -> usize {
+        self.tree[0]
+    }
+
+    /// Replays the tournament along `leaf`'s root path after its head
+    /// changed.
+    pub(crate) fn replay(&mut self, leaf: usize, heads: &[Option<Key>]) {
+        let mut winner = leaf;
+        let mut node = (leaf + self.k) / 2;
+        while node >= 1 {
+            let opponent = self.tree[node];
+            if opponent != usize::MAX && beats(heads[opponent], opponent, heads[winner], winner) {
+                self.tree[node] = winner;
+                winner = opponent;
+            }
+            node /= 2;
+        }
+        self.tree[0] = winner;
+    }
+
+    /// Head of the winner's strongest live opponent — the losers on the
+    /// winner's root path include the overall runner-up. `None` means no
+    /// other source is live: the winner may drain unconditionally.
+    pub(crate) fn runner_up_head(&self, heads: &[Option<Key>]) -> Option<Key> {
+        let mut bound: Option<Key> = None;
+        let mut node = (self.tree[0] + self.k) / 2;
+        while node >= 1 {
+            let opponent = self.tree[node];
+            if opponent != usize::MAX {
+                if let Some(h) = heads[opponent] {
+                    bound = Some(match bound {
+                        Some(b) => b.min(h),
+                        None => h,
+                    });
+                }
+            }
+            node /= 2;
+        }
+        bound
+    }
+}
+
+/// Merges the ordered streams of `sources` (each clamped to its `(lo, hi)`
+/// range) into one globally ordered sequence of sorted runs, handed to
+/// `emit` as parallel key/value slices. Runs arrive in ascending key order
+/// and concatenate into the full merged stream.
+pub(crate) fn merge_blocks(
+    sources: &[(&dyn ConcurrentMap, Key, Key)],
+    emit: &mut dyn FnMut(&[Key], &[Value]),
+) {
+    if sources.is_empty() {
+        return;
+    }
+    let mut cursors: Vec<BlockCursor<'_>> = sources
+        .iter()
+        .map(|&(map, lo, hi)| BlockCursor::new(map, lo, hi))
+        .collect();
+    let mut heads: Vec<Option<Key>> = cursors
+        .iter_mut()
+        .map(|c| {
+            c.refill();
+            c.head()
+        })
+        .collect();
+    let mut tree = LoserTree::new(&heads);
+    loop {
+        let w = tree.winner();
+        if heads[w].is_none() {
+            // The winner is exhausted: every source is.
+            return;
+        }
+        let bound = tree.runner_up_head(&heads);
+        let cursor = &mut cursors[w];
+        // Drain the winner up to the runner-up's head, whole buffered runs
+        // at a time (the winner's head is <= bound, so progress is
+        // guaranteed).
+        loop {
+            let run = &cursor.keys[cursor.pos..];
+            let len = match bound {
+                Some(b) => simd::count_le(run, b),
+                None => run.len(),
+            };
+            emit(
+                &cursor.keys[cursor.pos..cursor.pos + len],
+                &cursor.values[cursor.pos..cursor.pos + len],
+            );
+            cursor.pos += len;
+            if !cursor.refill() {
+                break;
+            }
+            match (cursor.head(), bound) {
+                (Some(h), Some(b)) if h > b => break,
+                _ => {}
+            }
+        }
+        heads[w] = cursor.head();
+        tree.replay(w, &heads);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pma_common::ScanStats;
+    use std::collections::BTreeMap;
+    use std::sync::Mutex;
+
+    /// Minimal ordered map for exercising the merge (uses the trait's
+    /// default single-block `collect_block`, unless `block` is set to force
+    /// small multi-refill blocks).
+    struct TestSource {
+        inner: Mutex<BTreeMap<Key, Value>>,
+        block: Option<usize>,
+    }
+
+    impl TestSource {
+        fn new(items: &[(Key, Value)], block: Option<usize>) -> Self {
+            Self {
+                inner: Mutex::new(items.iter().copied().collect()),
+                block,
+            }
+        }
+    }
+
+    impl ConcurrentMap for TestSource {
+        fn insert(&self, key: Key, value: Value) {
+            self.inner.lock().unwrap().insert(key, value);
+        }
+        fn remove(&self, key: Key) -> Option<Value> {
+            self.inner.lock().unwrap().remove(&key)
+        }
+        fn get(&self, key: Key) -> Option<Value> {
+            self.inner.lock().unwrap().get(&key).copied()
+        }
+        fn len(&self) -> usize {
+            self.inner.lock().unwrap().len()
+        }
+        fn scan_all(&self) -> ScanStats {
+            self.scan_range(Key::MIN, Key::MAX)
+        }
+        fn range(&self, lo: Key, hi: Key, visitor: &mut dyn FnMut(Key, Value)) {
+            if lo > hi {
+                return;
+            }
+            for (&k, &v) in self.inner.lock().unwrap().range(lo..=hi) {
+                visitor(k, v);
+            }
+        }
+        fn collect_block(
+            &self,
+            lo: Key,
+            hi: Key,
+            min_len: usize,
+            keys: &mut Vec<Key>,
+            values: &mut Vec<Value>,
+        ) -> Option<Key> {
+            if lo > hi {
+                return None;
+            }
+            let min_len = self.block.unwrap_or(min_len).max(1);
+            for (appended, (&k, &v)) in self.inner.lock().unwrap().range(lo..=hi).enumerate() {
+                if appended >= min_len {
+                    return Some(k);
+                }
+                keys.push(k);
+                values.push(v);
+            }
+            None
+        }
+        fn name(&self) -> &'static str {
+            "test-source"
+        }
+    }
+
+    fn merged(sources: &[(&dyn ConcurrentMap, Key, Key)]) -> Vec<(Key, Value)> {
+        let mut out = Vec::new();
+        merge_blocks(sources, &mut |ks, vs| {
+            out.extend(ks.iter().copied().zip(vs.iter().copied()));
+        });
+        out
+    }
+
+    #[test]
+    fn single_source_streams_through() {
+        let a = TestSource::new(&[(1, 10), (5, 50), (9, 90)], Some(2));
+        let got = merged(&[(&a, Key::MIN, Key::MAX)]);
+        assert_eq!(got, vec![(1, 10), (5, 50), (9, 90)]);
+    }
+
+    #[test]
+    fn disjoint_sources_concatenate_in_order() {
+        let a = TestSource::new(&[(1, 1), (2, 2)], Some(1));
+        let b = TestSource::new(&[(10, 10), (11, 11)], Some(1));
+        let c = TestSource::new(&[(5, 5)], None);
+        let got = merged(&[
+            (&b, Key::MIN, Key::MAX),
+            (&a, Key::MIN, Key::MAX),
+            (&c, Key::MIN, Key::MAX),
+        ]);
+        assert_eq!(got, vec![(1, 1), (2, 2), (5, 5), (10, 10), (11, 11)]);
+    }
+
+    #[test]
+    fn interleaved_sources_merge_globally_sorted() {
+        let a = TestSource::new(&(0..50).map(|i| (i * 2, i)).collect::<Vec<_>>(), Some(3));
+        let b = TestSource::new(
+            &(0..50).map(|i| (i * 2 + 1, -i)).collect::<Vec<_>>(),
+            Some(7),
+        );
+        let got = merged(&[(&a, Key::MIN, Key::MAX), (&b, Key::MIN, Key::MAX)]);
+        assert_eq!(got.len(), 100);
+        assert!(got.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn ranges_clamp_each_source() {
+        let a = TestSource::new(&[(1, 1), (4, 4), (8, 8)], Some(1));
+        let b = TestSource::new(&[(2, 2), (5, 5), (9, 9)], Some(1));
+        let got = merged(&[(&a, 2, 8), (&b, 2, 8)]);
+        assert_eq!(got, vec![(2, 2), (4, 4), (5, 5), (8, 8)]);
+    }
+
+    #[test]
+    fn empty_and_inverted_sources_are_fine() {
+        let a = TestSource::new(&[], None);
+        let b = TestSource::new(&[(3, 3)], None);
+        assert_eq!(merged(&[(&a, Key::MIN, Key::MAX)]), vec![]);
+        assert_eq!(
+            merged(&[(&a, Key::MIN, Key::MAX), (&b, Key::MIN, Key::MAX)]),
+            vec![(3, 3)]
+        );
+        assert_eq!(merged(&[(&b, 5, 1)]), vec![]);
+        assert_eq!(merged(&[]), vec![]);
+    }
+
+    #[test]
+    fn many_sources_randomised_against_reference() {
+        // Deterministic pseudo-random interleaving across 7 sources with
+        // duplicate keys *across* sources.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut reference: Vec<(Key, Value)> = Vec::new();
+        let sources: Vec<TestSource> = (0..7)
+            .map(|s| {
+                let items: Vec<(Key, Value)> = (0..200)
+                    .map(|_| ((next() % 500) as Key, s as Value))
+                    .collect();
+                let src = TestSource::new(&items, Some(1 + s % 5));
+                for (&k, &v) in src.inner.lock().unwrap().iter() {
+                    reference.push((k, v));
+                }
+                src
+            })
+            .collect();
+        reference.sort_by_key(|&(k, _)| k);
+        let refs: Vec<(&dyn ConcurrentMap, Key, Key)> = sources
+            .iter()
+            .map(|s| (s as &dyn ConcurrentMap, Key::MIN, Key::MAX))
+            .collect();
+        let got = merged(&refs);
+        assert_eq!(got.len(), reference.len());
+        // Keys must be globally non-decreasing and form the same multiset.
+        assert!(got.windows(2).all(|w| w[0].0 <= w[1].0));
+        let mut got_keys: Vec<Key> = got.iter().map(|&(k, _)| k).collect();
+        let mut ref_keys: Vec<Key> = reference.iter().map(|&(k, _)| k).collect();
+        got_keys.sort_unstable();
+        ref_keys.sort_unstable();
+        assert_eq!(got_keys, ref_keys);
+    }
+
+    #[test]
+    fn loser_tree_tracks_winner_and_runner_up() {
+        let heads = vec![Some(5i64), Some(2), Some(9), Some(2)];
+        let tree = LoserTree::new(&heads);
+        assert_eq!(tree.winner(), 1, "ties break toward the lower index");
+        assert_eq!(tree.runner_up_head(&heads), Some(2));
+        let heads = vec![Some(5i64), None, Some(9), None];
+        let tree = LoserTree::new(&heads);
+        assert_eq!(tree.winner(), 0);
+        assert_eq!(tree.runner_up_head(&heads), Some(9));
+        let heads = vec![None, None];
+        let tree = LoserTree::new(&heads);
+        assert!(heads[tree.winner()].is_none());
+    }
+}

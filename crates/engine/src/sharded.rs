@@ -91,8 +91,8 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Mutex, RwLock};
 use pma_common::{
-    check_sorted, dedup_sorted_last_wins, CombiningStats, ConcurrentMap, Key, MaintenanceStats,
-    PmaError, Registry, ScanStats, Value, KEY_MAX, KEY_MIN,
+    check_sorted, dedup_sorted_last_wins, simd, CombiningStats, ConcurrentMap, Key,
+    MaintenanceStats, PmaError, Registry, ScanStats, Value, KEY_MAX, KEY_MIN,
 };
 use pma_core::concurrent::delta::{DeltaLog, DeltaOp};
 use pma_core::concurrent::epoch::{EpochGuard, EpochRegistry, GarbageBin};
@@ -343,14 +343,31 @@ struct Directory {
     /// `shards[last].hi == KEY_MAX`, and `shards[i + 1].lo ==
     /// shards[i].hi + 1` — the ranges tile the whole key domain.
     shards: Vec<Arc<Shard>>,
+    /// Flat, cache-line-aligned copy of the shard lower fences, searched
+    /// with the vectorised routing kernel — every point op routes through
+    /// this array, so it touches the fewest possible cache lines instead of
+    /// chasing `Arc<Shard>` pointers.
+    separators: simd::AlignedKeys,
 }
 
 impl Directory {
-    /// Index of the shard whose range contains `key` (`O(log S)`).
+    /// Builds a directory (and its aligned routing array) from shards in
+    /// ascending fence order.
+    fn new(generation: u64, shards: Vec<Arc<Shard>>) -> Self {
+        let fences: Vec<Key> = shards.iter().map(|s| s.lo).collect();
+        Self {
+            generation,
+            shards,
+            separators: simd::AlignedKeys::from_slice(&fences),
+        }
+    }
+
+    /// Index of the shard whose range contains `key`.
     #[inline]
     fn route(&self, key: Key) -> usize {
-        // The first shard's lo is KEY_MIN, so the partition point is ≥ 1.
-        self.shards.partition_point(|s| s.lo <= key) - 1
+        // The first fence is KEY_MIN, so the count is ≥ 1 for every key and
+        // the kernel's saturating fallback never actually triggers.
+        simd::route(&self.separators, key)
     }
 
     #[cfg(debug_assertions)]
@@ -406,6 +423,12 @@ impl WorkerPool {
         if let Some(tx) = &self.job_tx {
             let _ = tx.send(job);
         }
+    }
+
+    /// Number of worker threads — the fan-out paths fall back to in-thread
+    /// execution when the pool cannot actually run jobs in parallel.
+    fn parallelism(&self) -> usize {
+        self.workers.len()
     }
 }
 
@@ -497,7 +520,7 @@ impl Engine {
     /// old directory into the epoch garbage bin (freed once no pinned reader
     /// can still observe it). Must be called under the `maintenance` lock.
     fn publish(&self, generation: u64, shards: Vec<Arc<Shard>>) {
-        let dir = Directory { generation, shards };
+        let dir = Directory::new(generation, shards);
         #[cfg(debug_assertions)]
         dir.check_invariants();
         let fresh = Box::into_raw(Box::new(dir));
@@ -1074,29 +1097,62 @@ impl ShardSnapshot<'_> {
         self.fold_scan(lo, hi)
     }
 
+    /// The covered, non-empty shards of `[lo, hi]` as clamped merge sources
+    /// for the loser-tree block merge (`merge.rs`).
+    fn merge_sources(&self, lo: Key, hi: Key) -> Vec<(&dyn ConcurrentMap, Key, Key)> {
+        let first = self.dir.route(lo);
+        let last = self.dir.route(hi);
+        self.dir.shards[first..=last]
+            .iter()
+            .filter(|s| !s.map.is_empty())
+            .map(|s| {
+                (
+                    s.map.as_ref() as &dyn ConcurrentMap,
+                    lo.max(s.lo),
+                    hi.min(s.hi),
+                )
+            })
+            .collect()
+    }
+
     /// Visits every element with key in `[lo, hi]` in ascending key order
     /// through the pinned directory.
+    ///
+    /// A range confined to one shard is delegated straight to it; a
+    /// fence-crossing range runs the loser-tree block merge (`merge.rs`)
+    /// over the covered shards, so the per-shard streams are pulled out as
+    /// whole sorted runs (SIMD run-copies at gate granularity) instead of
+    /// one virtual call per element per layer.
     pub fn range(&self, lo: Key, hi: Key, visitor: &mut dyn FnMut(Key, Value)) {
         if lo > hi {
             return;
         }
         let first = self.dir.route(lo);
         let last = self.dir.route(hi);
-        if last > first {
-            EngineStats::bump(&self.engine.stats.cross_shard_scans);
-        }
-        // Sequential walk in directory order: the shard ranges ascend, so
-        // concatenating the per-shard ordered streams preserves the global
-        // order the visitor contract requires.
-        for shard in &self.dir.shards[first..=last] {
+        if last == first {
+            let shard = &self.dir.shards[first];
             shard.map.range(lo.max(shard.lo), hi.min(shard.hi), visitor);
+            return;
         }
+        EngineStats::bump(&self.engine.stats.cross_shard_scans);
+        crate::merge::merge_blocks(&self.merge_sources(lo, hi), &mut |keys, values| {
+            for (&k, &v) in keys.iter().zip(values) {
+                visitor(k, v);
+            }
+        });
     }
 
-    /// Folds the scan of every shard whose range intersects `[lo, hi]`,
-    /// running the per-shard streams concurrently when more than one shard
-    /// (with elements) is covered. Correct because the streams are disjoint:
-    /// merging [`ScanStats`] is order-insensitive.
+    /// Folds the scan of every shard whose range intersects `[lo, hi]`.
+    ///
+    /// With a parallel worker pool the per-shard streams run concurrently
+    /// and their [`ScanStats`] are merged (correct because the streams are
+    /// disjoint and the merge is order-insensitive). On a single-core host
+    /// the fan-out would only add channel handoffs and context switches —
+    /// and an order-insensitive fold needs no element buffering at all, so
+    /// the k-way merge degenerates to draining the covered shards in
+    /// directory order through their native bulk scans. (Paths that must
+    /// *emit* elements in global order — [`Self::range`], `collect_block` —
+    /// run the real loser-tree block merge in `merge.rs`.)
     fn fold_scan(&self, lo: Key, hi: Key) -> ScanStats {
         let mut total = ScanStats::default();
         if lo > hi {
@@ -1112,7 +1168,7 @@ impl ShardSnapshot<'_> {
                 let s = busy[0];
                 total.merge(&s.map.scan_range(lo.max(s.lo), hi.min(s.hi)));
             }
-            _ => {
+            _ if self.engine.pool.parallelism() > 1 => {
                 EngineStats::bump(&self.engine.stats.cross_shard_scans);
                 // Fan the per-shard streams out to the persistent worker
                 // pool (never to fresh threads — see [`WorkerPool`]) and
@@ -1132,6 +1188,12 @@ impl ShardSnapshot<'_> {
                 drop(reply_tx);
                 for _ in 0..jobs {
                     total.merge(&reply_rx.recv().expect("a shard scan worker died"));
+                }
+            }
+            _ => {
+                EngineStats::bump(&self.engine.stats.cross_shard_scans);
+                for s in &busy {
+                    total.merge(&s.map.scan_range(lo.max(s.lo), hi.min(s.hi)));
                 }
             }
         }
@@ -1241,10 +1303,7 @@ impl ShardedMap {
         let engine = Arc::new(Engine {
             config,
             inner,
-            dir: AtomicPtr::new(Box::into_raw(Box::new(Directory {
-                generation: 0,
-                shards,
-            }))),
+            dir: AtomicPtr::new(Box::into_raw(Box::new(Directory::new(0, shards)))),
             epoch: EpochRegistry::new(),
             garbage: GarbageBin::new(),
             maintenance: Mutex::new(()),
@@ -1431,6 +1490,29 @@ impl ConcurrentMap for ShardedMap {
 
     fn range(&self, lo: Key, hi: Key, visitor: &mut dyn FnMut(Key, Value)) {
         self.snapshot().range(lo, hi, visitor)
+    }
+
+    fn collect_block(
+        &self,
+        lo: Key,
+        hi: Key,
+        _min_len: usize,
+        keys: &mut Vec<Key>,
+        values: &mut Vec<Value>,
+    ) -> Option<Key> {
+        // Materialise the whole range as one block (permitted by the
+        // contract): the cross-shard loser-tree merge appends the per-shard
+        // streams as whole sorted runs via the SIMD run-copy kernel, which
+        // also lets sharded engines compose as merge sources themselves.
+        if lo > hi {
+            return None;
+        }
+        let snapshot = self.snapshot();
+        crate::merge::merge_blocks(&snapshot.merge_sources(lo, hi), &mut |ks, vs| {
+            simd::append_run(keys, ks);
+            simd::append_run(values, vs);
+        });
+        None
     }
 
     fn insert_batch(&self, items: &[(Key, Value)]) {

@@ -107,10 +107,20 @@ fn splits_and_merges_under_concurrent_writers_and_scanners() {
     for key in (0..WRITERS * KEYS_PER_WRITER).step_by(997) {
         assert_eq!(map.get(key), model.get(&key).copied(), "key {key}");
     }
-    let engine_stats = map.stats();
+    // The monitor must split the (now far oversized) data. On a starved
+    // box the monitor thread can spend the whole insert phase inside its
+    // first structural op — the startup merge of the two empty seed shards —
+    // so rather than sampling the counter at an arbitrary instant, wait for
+    // the split the oversized shard guarantees (mirrors the merge wait in
+    // phase 3 below).
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while map.stats().shard_splits == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
     assert!(
-        engine_stats.shard_splits > 0,
-        "the stress run must actually split: {engine_stats:?}"
+        map.stats().shard_splits > 0,
+        "the stress run must actually split: {:?}",
+        map.stats()
     );
 
     // Phase 2: concurrent deletes of two thirds of the keys (still disjoint

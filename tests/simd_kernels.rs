@@ -1,0 +1,177 @@
+//! Property-based tests (proptest) pinning every hand-rolled SIMD kernel in
+//! `pma_common::simd` bit-identical to its scalar definition — across every
+//! variant the running CPU supports, on runs with duplicates, empty runs,
+//! and boundary keys (`i64::MIN`/`i64::MAX`).
+//!
+//! CI also runs the whole suite under `PMA_FORCE_SCALAR=1`, so the scalar
+//! fallback gets exercised as the *active* kernel too, not only as the
+//! reference here.
+
+use proptest::prelude::*;
+
+use rma_concurrent::common::simd::{self, RunSearch, Variant};
+
+/// Sorted runs biased toward duplicates and the extremes of the key domain.
+fn run_strategy(max_len: usize) -> impl Strategy<Value = Vec<i64>> {
+    let key = prop_oneof![
+        4 => any::<i64>(),
+        2 => (-8i64..8).prop_map(|k| k),
+        1 => Just(i64::MIN),
+        1 => Just(i64::MAX),
+    ];
+    proptest::collection::vec(key, 0..max_len).prop_map(|mut v| {
+        v.sort_unstable();
+        v
+    })
+}
+
+/// Probe keys hitting the same biased distribution as the runs.
+fn probe_strategy() -> impl Strategy<Value = i64> {
+    prop_oneof![
+        4 => any::<i64>(),
+        2 => (-8i64..8).prop_map(|k| k),
+        1 => Just(i64::MIN),
+        1 => Just(i64::MAX),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `count_le_with` matches `partition_point(x <= key)` for every
+    /// supported variant — the single semantic the whole module hangs off.
+    #[test]
+    fn count_le_matches_partition_point(
+        run in run_strategy(300),
+        key in probe_strategy(),
+    ) {
+        let expected = run.partition_point(|&x| x <= key);
+        for variant in [Variant::Avx2, Variant::Sse2, Variant::Neon, Variant::Scalar] {
+            if variant.supported() {
+                prop_assert_eq!(
+                    simd::count_le_with(variant, &run, key),
+                    expected,
+                    "variant {:?}",
+                    variant
+                );
+            }
+        }
+        prop_assert_eq!(simd::count_le(&run, key), expected);
+    }
+
+    /// `count_lt` matches `partition_point(x < key)`, including at
+    /// `i64::MIN` where the `key - 1` decrement trick must not wrap.
+    #[test]
+    fn count_lt_matches_partition_point(
+        run in run_strategy(300),
+        key in probe_strategy(),
+    ) {
+        prop_assert_eq!(simd::count_lt(&run, key), run.partition_point(|&x| x < key));
+    }
+
+    /// `search` agrees with `slice::binary_search` on hit/miss and returns
+    /// the *first* occurrence for duplicated keys.
+    #[test]
+    fn search_matches_binary_search_first_occurrence(
+        run in run_strategy(300),
+        key in probe_strategy(),
+    ) {
+        match simd::search(&run, key) {
+            Ok(pos) => {
+                prop_assert_eq!(run[pos], key);
+                prop_assert!(pos == 0 || run[pos - 1] < key);
+            }
+            Err(pos) => {
+                prop_assert!(run.binary_search(&key).is_err());
+                prop_assert_eq!(pos, run.partition_point(|&x| x < key));
+            }
+        }
+    }
+
+    /// Fence routing returns the last separator `<= key`, clamped to 0 when
+    /// every separator is greater (first entry acts as `-inf`).
+    #[test]
+    fn route_picks_last_covering_separator(
+        run in run_strategy(128),
+        key in probe_strategy(),
+    ) {
+        let got = simd::route(&run, key);
+        let expected = run.partition_point(|&x| x <= key).saturating_sub(1);
+        prop_assert_eq!(got, expected);
+        if !run.is_empty() {
+            prop_assert!(got < run.len());
+        }
+    }
+
+    /// The vector run-copy is bit-identical to `extend_from_slice`,
+    /// including appending onto a non-empty destination.
+    #[test]
+    fn append_run_matches_extend(
+        prefix in proptest::collection::vec(any::<i64>(), 0..32),
+        src in proptest::collection::vec(any::<i64>(), 0..300),
+    ) {
+        let mut fast = prefix.clone();
+        simd::append_run(&mut fast, &src);
+        let mut slow = prefix;
+        slow.extend_from_slice(&src);
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// `AlignedKeys` round-trips its input and every cache line start is
+    /// 64-byte aligned.
+    #[test]
+    fn aligned_keys_roundtrip(run in run_strategy(200)) {
+        let aligned = simd::AlignedKeys::from_slice(&run);
+        prop_assert_eq!(aligned.as_slice(), &run[..]);
+        prop_assert_eq!(aligned.len(), run.len());
+        if !run.is_empty() {
+            prop_assert_eq!(aligned.as_slice().as_ptr() as usize % 64, 0);
+        }
+    }
+
+    /// The generic `RunSearch` entry points (used by the sequential PMA for
+    /// any key type) agree with the dedicated i64 kernels.
+    #[test]
+    fn run_search_trait_matches_kernels(
+        run in run_strategy(300),
+        key in probe_strategy(),
+    ) {
+        prop_assert_eq!(i64::search_run(&run, &key), simd::search(&run, key));
+        prop_assert_eq!(i64::count_le_run(&run, &key), simd::count_le(&run, key));
+        // A non-i64 type goes through the scalar default impl.
+        let narrow: Vec<i32> = run.iter().map(|&x| (x % 1000) as i32).collect();
+        let mut sorted = narrow.clone();
+        sorted.sort_unstable();
+        let probe = (key % 1000) as i32;
+        prop_assert_eq!(i32::search_run(&sorted, &probe), sorted.binary_search(&probe));
+    }
+}
+
+/// Deterministic spot checks for the exact boundary shapes random testing
+/// can miss: empty runs, all-equal runs, and full-domain separators.
+#[test]
+fn boundary_spot_checks() {
+    for variant in [Variant::Avx2, Variant::Sse2, Variant::Neon, Variant::Scalar] {
+        if !variant.supported() {
+            continue;
+        }
+        assert_eq!(simd::count_le_with(variant, &[], 0), 0);
+        assert_eq!(simd::count_le_with(variant, &[i64::MIN; 97], i64::MIN), 97);
+        assert_eq!(simd::count_le_with(variant, &[i64::MAX; 97], i64::MAX), 97);
+        assert_eq!(
+            simd::count_le_with(variant, &[i64::MAX; 97], i64::MAX - 1),
+            0
+        );
+        let run: Vec<i64> = (0..1000).map(|i| i * 2).collect();
+        for key in [-1, 0, 1, 999, 1000, 1998, 1999, 2000, i64::MIN, i64::MAX] {
+            assert_eq!(
+                simd::count_le_with(variant, &run, key),
+                run.partition_point(|&x| x <= key),
+                "variant {variant:?} key {key}"
+            );
+        }
+    }
+    assert_eq!(simd::count_lt(&[i64::MIN, 0], i64::MIN), 0);
+    assert_eq!(simd::route(&[], 5), 0);
+    assert_eq!(simd::route(&[10], 5), 0);
+}
