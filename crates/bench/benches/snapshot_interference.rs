@@ -1,0 +1,200 @@
+//! Snapshot-interference bench: what does a `frozen()` scan cost while
+//! writers churn the live map?
+//!
+//! A frozen view pins reference-counted chunk versions; concurrent writers
+//! copy a pinned chunk before mutating it (copy-on-write) instead of
+//! blocking behind the scan or mutating under it. The scan therefore never
+//! waits on writers — the only interference left is the memory traffic of
+//! the copies and the shared cache/bandwidth pressure. This bench measures
+//! exactly that margin, per backend:
+//!
+//! * `isolated` — freeze-and-scan throughput on a quiescent map;
+//! * `contended` — the same loop while 4 writer threads overwrite the
+//!   preloaded keys as fast as they can (overwrites force the CoW path:
+//!   every settle lands in a chunk some live view pins);
+//! * `writers` — the writers' own throughput while the scans run, with the
+//!   `cow_copies` the run charged to them.
+//!
+//! A `live` row runs the same contended loop over the *live* map's
+//! `scan_all` instead of a frozen view — the control separating snapshot
+//! overhead from plain scan-vs-writer contention.
+//!
+//! The acceptance bar: contended freeze-scan throughput must stay within
+//! **2x** of isolated (ratio ≥ 0.5), after normalising by the scanner's
+//! fair CPU share `min(1, cores / (writers + 1))` — on the multi-core
+//! runner class the bar targets the share is 1 and the raw ratio applies;
+//! on a starved box the writers time-slice the scanner off the core, which
+//! is scheduling, not snapshot interference (the `live` control shows the
+//! same drop there). Like `split_latency`, the bar only hard-fails under
+//! `SNAPSHOT_BENCH_ENFORCE=1` — absolute figures on a busy shared runner
+//! are noise, the ratios are printed either way.
+//!
+//! Run with `cargo bench -p pma-bench --bench snapshot_interference`
+//! (`SNAPSHOT_BENCH_KEYS=100000` for a quicker pass).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use pma_common::ConcurrentMap;
+
+/// Backends measured: the paper instance and the sharded engine over it.
+const BACKENDS: &[&str] = &["pma-batch:100", "sharded:8:pma-batch:100"];
+
+const WRITERS: usize = 4;
+
+/// Measurement window per configuration.
+const WINDOW: Duration = Duration::from_millis(600);
+
+fn preload_keys() -> usize {
+    std::env::var("SNAPSHOT_BENCH_KEYS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000)
+}
+
+struct Outcome {
+    /// Elements visited per second by the freeze-and-scan loop.
+    scan_eps: f64,
+    /// Freeze-and-scan passes completed in the window.
+    passes: u64,
+    /// Writer ops per second (0 in the isolated configuration).
+    writer_ops_per_s: f64,
+    /// Chunk copies the run forced (CoW under pinned views).
+    cow_copies: u64,
+}
+
+/// Preloads `keys` elements, then runs the scan loop for [`WINDOW`] —
+/// freeze-and-scan when `frozen`, the live map's `scan_all` otherwise —
+/// optionally against `WRITERS` overwriting threads.
+fn run(spec: &str, keys: usize, contended: bool, frozen: bool) -> Outcome {
+    pma_workloads::ensure_builtin_backends();
+    let map = pma_workloads::build_or_panic(spec);
+    let items: Vec<(i64, i64)> = (0..keys as i64).map(|k| (k, k)).collect();
+    map.insert_batch(&items);
+    map.flush();
+    let cow_before = map
+        .maintenance_stats()
+        .map(|m| m.cow_copies)
+        .unwrap_or_default();
+
+    let stop = AtomicBool::new(false);
+    let writer_ops = AtomicU64::new(0);
+    let (scanned, passes, elapsed) = std::thread::scope(|scope| {
+        let map = &*map;
+        let stop = &stop;
+        let writer_ops = &writer_ops;
+        if contended {
+            for t in 0..WRITERS {
+                scope.spawn(move || {
+                    // Overwrite the preloaded keys via an LCG walk: the value
+                    // changes on every visit, the cardinality never does, so
+                    // the churn settles in place — straight into chunks the
+                    // scanner's views pin.
+                    let mut state = 0x9E37_79B9u64.wrapping_add(t as u64);
+                    let mut ops = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        let key = (state >> 16) as i64 % keys as i64;
+                        map.insert(key, state as i64);
+                        ops += 1;
+                    }
+                    writer_ops.fetch_add(ops, Ordering::Relaxed);
+                });
+            }
+        }
+        let started = Instant::now();
+        let mut scanned = 0u64;
+        let mut passes = 0u64;
+        while started.elapsed() < WINDOW {
+            if frozen {
+                let view = map.frozen().expect("backend must support frozen views");
+                scanned += view.scan_all().count;
+            } else {
+                scanned += map.scan_all().count;
+            }
+            passes += 1;
+        }
+        let elapsed = started.elapsed();
+        stop.store(true, Ordering::Relaxed);
+        (scanned, passes, elapsed)
+    });
+    map.flush();
+
+    let cow_after = map
+        .maintenance_stats()
+        .map(|m| m.cow_copies)
+        .unwrap_or_default();
+    Outcome {
+        scan_eps: scanned as f64 / elapsed.as_secs_f64(),
+        passes,
+        writer_ops_per_s: writer_ops.load(Ordering::Relaxed) as f64 / elapsed.as_secs_f64(),
+        cow_copies: cow_after - cow_before,
+    }
+}
+
+fn main() {
+    let keys = preload_keys();
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    // The scanner's fair CPU share against WRITERS spinning threads: 1 on
+    // the multi-core runner class the bar targets, < 1 on a starved box
+    // where the writers time-slice the scanner off the core.
+    let share = (cores as f64 / (WRITERS + 1) as f64).min(1.0);
+    println!(
+        "snapshot_interference: {keys} preloaded keys, freeze-and-scan loop \
+         vs {WRITERS} overwriting writers, {}ms windows, {cores} cores \
+         (scanner fair share {share:.2})\n",
+        WINDOW.as_millis()
+    );
+    println!(
+        "{:<24} {:<16} {:>14} {:>8} {:>14} {:>12}",
+        "backend", "mode", "scan[Melem/s]", "passes", "writes[Mop/s]", "cow copies"
+    );
+    let mut worst_ratio = f64::INFINITY;
+    for &spec in BACKENDS {
+        let row = |mode: &str, outcome: &Outcome| {
+            println!(
+                "{:<24} {:<16} {:>14.1} {:>8} {:>14.2} {:>12}",
+                spec,
+                mode,
+                outcome.scan_eps / 1.0e6,
+                outcome.passes,
+                outcome.writer_ops_per_s / 1.0e6,
+                outcome.cow_copies,
+            );
+        };
+        let isolated = run(spec, keys, false, true);
+        row("frozen/isolated", &isolated);
+        let contended = run(spec, keys, true, true);
+        row("frozen/contended", &contended);
+        let live = run(spec, keys, true, false);
+        row("live/contended", &live);
+        let ratio = contended.scan_eps / (isolated.scan_eps * share).max(1.0);
+        worst_ratio = worst_ratio.min(ratio);
+        println!(
+            "{:<24} contended frozen scan kept {:.0}% of its fair-share \
+             isolated throughput ({:.0}% of the live control)\n",
+            spec,
+            ratio * 100.0,
+            contended.scan_eps / live.scan_eps.max(1.0) * 100.0,
+        );
+    }
+    println!(
+        "worst contended/isolated frozen-scan ratio (fair-share normalised): \
+         {worst_ratio:.2} (acceptance bar: >= 0.50, i.e. within 2x)"
+    );
+    if worst_ratio >= 0.50 {
+        println!("PASS");
+    } else {
+        println!("FAIL");
+        // Throughput ratios on a busy shared runner are noisy; hard-fail
+        // only for the explicit local acceptance check, mirroring the
+        // split_latency policy.
+        if std::env::var("SNAPSHOT_BENCH_ENFORCE").as_deref() == Ok("1") {
+            std::process::exit(1);
+        }
+    }
+}

@@ -131,6 +131,81 @@ fn run_cell(
     }
 }
 
+/// The `frozen-scan` cell: one thread in a freeze-and-scan loop (every pass
+/// captures a fresh point-in-time view and scans it) against 4 writers
+/// overwriting the preloaded keys — the interference profile of the
+/// copy-on-write snapshot machinery, tracked across commits next to the
+/// live-scan cells. Structures without frozen support (e.g. `btree`) skip
+/// the cell.
+fn run_frozen_cell(structure: &str, elements: usize) -> Option<SmokeRecord> {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::time::{Duration, Instant};
+
+    const WRITERS: usize = 4;
+    const WINDOW: Duration = Duration::from_millis(400);
+
+    let map = build_or_panic(structure);
+    map.frozen()?;
+    let items: Vec<(i64, i64)> = (0..elements as i64).map(|k| (k, k)).collect();
+    map.insert_batch(&items);
+    map.flush();
+
+    let stop = AtomicBool::new(false);
+    let writer_ops = AtomicU64::new(0);
+    let (scanned, elapsed) = std::thread::scope(|scope| {
+        let map = &*map;
+        let stop = &stop;
+        let writer_ops = &writer_ops;
+        for t in 0..WRITERS {
+            scope.spawn(move || {
+                let mut state = 0x9E37_79B9u64.wrapping_add(t as u64);
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let key = (state >> 16) as i64 % elements as i64;
+                    map.insert(key, state as i64);
+                    ops += 1;
+                }
+                writer_ops.fetch_add(ops, Ordering::Relaxed);
+            });
+        }
+        let started = Instant::now();
+        let mut scanned = 0u64;
+        while started.elapsed() < WINDOW {
+            let frozen = map.frozen().expect("probed above");
+            scanned += frozen.scan_all().count;
+        }
+        let elapsed = started.elapsed();
+        stop.store(true, Ordering::Relaxed);
+        (scanned, elapsed)
+    });
+    map.flush();
+
+    let (owned, late) = map
+        .combining_stats()
+        .map(|c| (c.owned_applies, c.late_replays))
+        .unwrap_or((0, 0));
+    let split_stall_us = map
+        .maintenance_stats()
+        .map(|s| s.stall_ns / 1_000)
+        .unwrap_or(0);
+    Some(SmokeRecord {
+        structure: structure.to_string(),
+        workload: "frozen-scan".to_string(),
+        update_mps: writer_ops.load(Ordering::Relaxed) as f64 / elapsed.as_secs_f64() / 1.0e6,
+        scan_eps: scanned as f64 / elapsed.as_secs_f64(),
+        p50_us: 0,
+        p99_us: 0,
+        split_stall_us,
+        owned,
+        late,
+        elements: map.len() as u64,
+        kernel: pma_common::simd::kernel_variant().to_string(),
+    })
+}
+
 fn main() {
     let options = parse_options();
     let mut records: Vec<SmokeRecord> = Vec::new();
@@ -162,6 +237,31 @@ fn main() {
                         merged.owned = merged.owned.max(record.owned);
                         merged.elements = record.elements;
                     }
+                }
+            }
+        }
+        for structure in STRUCTURES {
+            let Some(record) = run_frozen_cell(structure, options.elements) else {
+                eprintln!("bench-smoke: {structure} has no frozen views, cell skipped");
+                continue;
+            };
+            eprintln!(
+                "bench-smoke: {structure} / frozen-scan (run {}/{})",
+                run + 1,
+                options.runs
+            );
+            assert_eq!(
+                record.late, 0,
+                "{structure}/frozen-scan: an op was replayed outside its owned window"
+            );
+            match records.iter_mut().find(|r| r.key() == record.key()) {
+                None => records.push(record),
+                Some(merged) => {
+                    merged.update_mps = merged.update_mps.min(record.update_mps);
+                    merged.scan_eps = merged.scan_eps.min(record.scan_eps);
+                    merged.split_stall_us = merged.split_stall_us.max(record.split_stall_us);
+                    merged.owned = merged.owned.max(record.owned);
+                    merged.elements = record.elements;
                 }
             }
         }

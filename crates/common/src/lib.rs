@@ -19,8 +19,8 @@ pub mod util;
 
 pub use error::PmaError;
 pub use map::{
-    check_sorted, dedup_sorted_last_wins, CombiningStats, ConcurrentMap, MaintenanceStats,
-    ScanStats,
+    check_sorted, dedup_sorted_last_wins, CombiningStats, ConcurrentMap, FrozenView,
+    MaintenanceStats, ScanStats,
 };
 pub use registry::{BackendDef, BackendSpec, Registry};
 pub use types::{Key, KeyValue, Value, KEY_MAX, KEY_MIN};

@@ -151,6 +151,19 @@ pub struct MaintenanceStats {
     /// Structural changes the load monitor's hysteresis suppressed because
     /// the triggering condition did not persist (split↔merge thrash).
     pub thrash_averted: u64,
+    /// Chunk payloads copied because an in-place mutation found its version
+    /// still pinned by a frozen snapshot (the copy-on-write slow path). Zero
+    /// while no snapshot is live.
+    pub cow_copies: u64,
+    /// Write generations currently pinned by live frozen snapshots. A gauge
+    /// (not a counter): `merge` sums it across composite backends, so for a
+    /// sharded engine it reads as the total number of live per-shard pins.
+    pub pinned_generations: u64,
+    /// How many write generations the oldest live snapshot lags behind the
+    /// current write generation (0 with no live snapshot). A gauge; `merge`
+    /// sums it across inner instances, so composite backends report the
+    /// aggregate staleness debt their snapshots are holding.
+    pub snapshot_lag: u64,
 }
 
 impl MaintenanceStats {
@@ -160,6 +173,63 @@ impl MaintenanceStats {
         self.merges += other.merges;
         self.stall_ns += other.stall_ns;
         self.thrash_averted += other.thrash_averted;
+        self.cow_copies += other.cow_copies;
+        self.pinned_generations += other.pinned_generations;
+        self.snapshot_lag += other.snapshot_lag;
+    }
+}
+
+/// A point-in-time, repeatable-reads view of a [`ConcurrentMap`], produced by
+/// [`ConcurrentMap::frozen`].
+///
+/// Every read against the same view returns the same answer, no matter how
+/// the live map mutates concurrently: the view holds reference-counted chunk
+/// versions that writers copy instead of mutating (copy-on-write). The view
+/// reflects the map's *settled* state at freeze time — operations still
+/// travelling through combining queues become visible only to views frozen
+/// after they settle, exactly as they become visible to live `get`/`len`.
+pub trait FrozenView: Send + Sync {
+    /// Looks up `key` in the frozen state.
+    fn get(&self, key: Key) -> Option<Value>;
+
+    /// Number of elements in the frozen state.
+    fn len(&self) -> usize;
+
+    /// Whether the frozen state is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Visits every frozen element with key in `[lo, hi]` (inclusive) in
+    /// ascending key order.
+    fn range(&self, lo: Key, hi: Key, visitor: &mut dyn FnMut(Key, Value));
+
+    /// Scans every frozen element in ascending key order, folding into
+    /// [`ScanStats`].
+    fn scan_all(&self) -> ScanStats {
+        self.scan_range(Key::MIN, Key::MAX)
+    }
+
+    /// Scans the frozen elements with key in `[lo, hi]` (inclusive), folding
+    /// into [`ScanStats`]. An inverted range (`lo > hi`) is empty.
+    fn scan_range(&self, lo: Key, hi: Key) -> ScanStats {
+        let mut stats = ScanStats::default();
+        if lo > hi {
+            return stats;
+        }
+        self.range(lo, hi, &mut |key, value| stats.visit(key, value));
+        stats
+    }
+
+    /// Materialises the frozen elements with key in `[lo, hi]` (inclusive)
+    /// into a sorted vector.
+    fn collect_range(&self, lo: Key, hi: Key) -> Vec<(Key, Value)> {
+        let mut out = Vec::new();
+        if lo > hi {
+            return out;
+        }
+        self.range(lo, hi, &mut |key, value| out.push((key, value)));
+        out
     }
 }
 
@@ -327,6 +397,15 @@ pub trait ConcurrentMap: Send + Sync {
         None
     }
 
+    /// Takes an O(1) point-in-time snapshot with repeatable reads, or `None`
+    /// for backends without snapshot support (the default). The returned
+    /// [`FrozenView`] stays consistent while writers keep mutating the live
+    /// map: mutations copy any chunk the view still pins (copy-on-write)
+    /// instead of changing it underneath the view.
+    fn frozen(&self) -> Option<Box<dyn FrozenView>> {
+        None
+    }
+
     /// Short human-readable name used in benchmark tables.
     fn name(&self) -> &'static str;
 }
@@ -379,6 +458,9 @@ impl<M: ConcurrentMap + ?Sized> ConcurrentMap for std::sync::Arc<M> {
     }
     fn maintenance_stats(&self) -> Option<MaintenanceStats> {
         (**self).maintenance_stats()
+    }
+    fn frozen(&self) -> Option<Box<dyn FrozenView>> {
+        (**self).frozen()
     }
     fn name(&self) -> &'static str {
         (**self).name()
@@ -464,12 +546,18 @@ mod tests {
             merges: 2,
             stall_ns: 30,
             thrash_averted: 4,
+            cow_copies: 5,
+            pinned_generations: 6,
+            snapshot_lag: 7,
         };
         a.merge(&MaintenanceStats {
             splits: 10,
             merges: 20,
             stall_ns: 300,
             thrash_averted: 40,
+            cow_copies: 50,
+            pinned_generations: 60,
+            snapshot_lag: 70,
         });
         assert_eq!(
             a,
@@ -478,8 +566,45 @@ mod tests {
                 merges: 22,
                 stall_ns: 330,
                 thrash_averted: 44,
+                cow_copies: 55,
+                pinned_generations: 66,
+                snapshot_lag: 77,
             }
         );
+    }
+
+    #[test]
+    fn frozen_default_is_none_and_view_defaults_fold_range() {
+        let map = ModelMap::default();
+        assert!(map.frozen().is_none());
+
+        /// A fixed view exercising the `FrozenView` default methods.
+        struct FixedView(Vec<(Key, Value)>);
+        impl FrozenView for FixedView {
+            fn get(&self, key: Key) -> Option<Value> {
+                self.0
+                    .binary_search_by_key(&key, |&(k, _)| k)
+                    .ok()
+                    .map(|i| self.0[i].1)
+            }
+            fn len(&self) -> usize {
+                self.0.len()
+            }
+            fn range(&self, lo: Key, hi: Key, visitor: &mut dyn FnMut(Key, Value)) {
+                for &(k, v) in self.0.iter().filter(|&&(k, _)| k >= lo && k <= hi) {
+                    visitor(k, v);
+                }
+            }
+        }
+
+        let view = FixedView(vec![(1, 10), (3, 30), (5, 50)]);
+        assert!(!view.is_empty());
+        assert_eq!(view.scan_all().count, 3);
+        assert_eq!(view.scan_range(2, 4).key_sum, 3);
+        assert_eq!(view.scan_range(4, 2), ScanStats::default());
+        assert_eq!(view.collect_range(3, 9), vec![(3, 30), (5, 50)]);
+        let boxed: Box<dyn FrozenView> = Box::new(view);
+        assert_eq!(boxed.get(5), Some(50));
     }
 
     #[test]

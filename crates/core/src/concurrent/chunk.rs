@@ -25,7 +25,12 @@ pub enum ChunkInsert {
 }
 
 /// The elements of one chunk (one gate's worth of segments).
-#[derive(Debug)]
+///
+/// `Clone` exists for the copy-on-write path: when a frozen snapshot still
+/// holds a chunk's version, the next in-place mutation clones the payload
+/// (all slot arrays plus the predictor state) instead of mutating the shared
+/// one. See [`super::gate::Gate::chunk_mut_cow`].
+#[derive(Debug, Clone)]
 pub struct ChunkData {
     segment_capacity: usize,
     /// Live elements per segment.

@@ -38,7 +38,7 @@
 //! stripe, every op of an earlier round was appended before every op of a
 //! later round.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
@@ -208,6 +208,28 @@ impl DeltaLog {
             .copied()
     }
 
+    /// A point-in-time copy of the read overlay: the latest pending
+    /// operation per key, folded to `Some(value)` for a pending insert and
+    /// `None` for a pending remove. Each stripe is copied under its lock, so
+    /// the copy is atomic per key (and exact whenever no record is in
+    /// flight, e.g. under a structural fence). Frozen snapshots of a
+    /// structure mid-rebuild lay this over the quiescent base, exactly like
+    /// live reads lay [`DeltaLog::lookup`] over it.
+    pub fn overlay_snapshot(&self) -> BTreeMap<Key, Option<Value>> {
+        let mut out = BTreeMap::new();
+        for stripe in self.stripes.iter() {
+            let guard = stripe.lock();
+            for (&key, op) in &guard.latest {
+                let pending = match *op {
+                    DeltaOp::Insert(_, value) => Some(value),
+                    DeltaOp::Remove(_) => None,
+                };
+                out.insert(key, pending);
+            }
+        }
+        out
+    }
+
     /// Upper bound on the recorded-but-not-drained op count (exact when no
     /// record is in flight).
     pub fn len(&self) -> usize {
@@ -287,6 +309,27 @@ mod tests {
             log.record_remove(1, |_| panic!("must not hit base")),
             Some(11)
         );
+    }
+
+    #[test]
+    fn overlay_snapshot_folds_latest_op_per_key() {
+        let log = DeltaLog::new();
+        log.record_insert(1, 10);
+        log.record_insert(1, 11);
+        log.record_insert(2, 20);
+        let _ = log.record_remove(2, |_| None);
+        let _ = log.record_remove(3, |_| Some(30));
+        let overlay = log.overlay_snapshot();
+        assert_eq!(overlay.get(&1), Some(&Some(11)), "last insert wins");
+        assert_eq!(overlay.get(&2), Some(&None), "remove shadows the insert");
+        assert_eq!(overlay.get(&3), Some(&None));
+        assert_eq!(overlay.get(&4), None);
+        // The copy is detached: later records do not change it.
+        log.record_insert(1, 12);
+        assert_eq!(overlay.get(&1), Some(&Some(11)));
+        // Drains keep the overlay, like `lookup`.
+        let _ = log.take_all();
+        assert_eq!(log.overlay_snapshot().get(&1), Some(&Some(12)));
     }
 
     #[test]

@@ -11,19 +11,38 @@
 //!   modes;
 //! * book-keeping for resize invalidation and the `t_delay` throttle.
 //!
-//! The chunk payload itself lives in an [`UnsafeCell`]: it may only be
-//! accessed while the gate latch is held in the appropriate mode. That
-//! protocol is enforced by the callers in [`crate::concurrent`]; the unsafe
-//! accessors here document the precondition.
+//! The chunk payload itself lives in an [`UnsafeCell`] as a reference-counted
+//! *version* ([`ChunkVersion`]): it may only be accessed while the gate latch
+//! is held in the appropriate mode. That protocol is enforced by the callers
+//! in [`crate::concurrent`]; the unsafe accessors here document the
+//! precondition. Frozen snapshots clone the `Arc` under a shared latch; a
+//! later exclusive mutation notices the extra reference and copies the chunk
+//! before writing (copy-on-write), so the snapshot's version is immutable for
+//! as long as it is held.
 
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use pma_common::{Key, Value, KEY_MAX, KEY_MIN};
 
 use super::chunk::ChunkData;
+
+/// One immutable-once-shared version of a gate's chunk, stamped with the
+/// global write generation that installed it (see
+/// [`super::version::CowGen`]). The stamp is observability metadata — the
+/// copy-on-write protocol itself is carried entirely by the `Arc` reference
+/// count: a count above one means a frozen snapshot holds this version, and
+/// any exclusive mutator must copy instead of mutating in place.
+#[derive(Debug)]
+pub struct ChunkVersion {
+    /// Write generation current when this version was installed.
+    pub gen: u64,
+    /// The chunk payload.
+    pub data: ChunkData,
+}
 
 /// An update forwarded through a combining queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,14 +146,18 @@ pub struct Gate {
     pub id: usize,
     state: Mutex<GateState>,
     cond: Condvar,
-    chunk: UnsafeCell<ChunkData>,
+    chunk: UnsafeCell<Arc<ChunkVersion>>,
 }
 
-// SAFETY: the `UnsafeCell<ChunkData>` is only accessed through the unsafe
-// accessors below, whose contract requires the caller to hold the gate latch
-// in the appropriate mode (shared for `chunk()`, exclusive — `Write` or
-// `Rebalance` ownership — for `chunk_mut()`/`replace_chunk()`). The latch
-// state itself is protected by the internal mutex.
+// SAFETY: the `UnsafeCell<Arc<ChunkVersion>>` is only accessed through the
+// unsafe accessors below, whose contract requires the caller to hold the gate
+// latch in the appropriate mode (shared for `chunk()`/`chunk_version()`,
+// exclusive — `Write` or `Rebalance` ownership — for
+// `chunk_mut_cow()`/`install_chunk()`). The latch state itself is protected
+// by the internal mutex; `Arc` clones escaping through `chunk_version()` are
+// immutable from that point on (every exclusive mutation checks the
+// reference count and copies when it is shared), so reads through an escaped
+// clone never race a write.
 unsafe impl Sync for Gate {}
 unsafe impl Send for Gate {}
 
@@ -162,13 +185,27 @@ impl Gate {
         )
     }
 
-    /// Creates a gate around an existing chunk with the given fences.
+    /// Creates a gate around an existing chunk with the given fences,
+    /// stamped with generation 0 (pre-versioning construction paths and
+    /// tests).
     pub fn with_chunk(id: usize, chunk: ChunkData, fence_lo: Key, fence_hi: Key) -> Self {
+        Self::with_chunk_gen(id, chunk, 0, fence_lo, fence_hi)
+    }
+
+    /// Creates a gate around an existing chunk stamped with the given write
+    /// generation.
+    pub fn with_chunk_gen(
+        id: usize,
+        chunk: ChunkData,
+        gen: u64,
+        fence_lo: Key,
+        fence_hi: Key,
+    ) -> Self {
         Self {
             id,
             state: Mutex::new(GateState::new(fence_lo, fence_hi)),
             cond: Condvar::new(),
-            chunk: UnsafeCell::new(chunk),
+            chunk: UnsafeCell::new(Arc::new(ChunkVersion { gen, data: chunk })),
         }
     }
 
@@ -194,30 +231,70 @@ impl Gate {
     /// The caller must hold this gate's latch in `Read`, `Write` or
     /// `Rebalance` mode (i.e. no other thread may mutate the chunk for the
     /// duration of the returned borrow).
-    #[allow(clippy::mut_from_ref)]
     pub unsafe fn chunk(&self) -> &ChunkData {
-        &*self.chunk.get()
+        let version: &Arc<ChunkVersion> = &*self.chunk.get();
+        &version.data
     }
 
-    /// Exclusive access to the chunk.
+    /// Clones the gate's current chunk version (an `Arc` bump, no data
+    /// copy). This is how a frozen snapshot captures the chunk: the returned
+    /// handle stays valid — and immutable — after the latch is released,
+    /// because every exclusive mutation first checks the version's reference
+    /// count and copies the payload when the version is shared.
+    ///
+    /// # Safety
+    /// Same contract as [`Gate::chunk`] (any latch mode held).
+    pub unsafe fn chunk_version(&self) -> Arc<ChunkVersion> {
+        Arc::clone(&*self.chunk.get())
+    }
+
+    /// Exclusive, copy-on-write access to the chunk. If the current version
+    /// is uniquely owned by the gate, a plain mutable borrow is returned
+    /// (`copied == false`, the hot path: one relaxed refcount load). If a
+    /// frozen snapshot still holds the version, the payload is cloned into a
+    /// fresh version stamped `stamp` and the borrow points at the copy
+    /// (`copied == true`); the snapshot keeps the old version untouched.
     ///
     /// # Safety
     /// The caller must hold this gate's latch exclusively (`Write` mode, or
     /// `Rebalance` mode owned by the rebalancer service).
     #[allow(clippy::mut_from_ref)]
-    pub unsafe fn chunk_mut(&self) -> &mut ChunkData {
-        &mut *self.chunk.get()
+    pub unsafe fn chunk_mut_cow(&self, stamp: u64) -> (&mut ChunkData, bool) {
+        let slot = &mut *self.chunk.get();
+        let copied = if Arc::get_mut(slot).is_none() {
+            // Shared with a snapshot: copy before mutating. The refcount
+            // check is race-free because snapshot captures happen under the
+            // gate latch too — a snapshot either cloned the Arc before we
+            // acquired exclusivity (count > 1, we copy) or will capture the
+            // version we are about to install (count == 1, it sees the
+            // mutated chunk, which is correct: the mutation happened before
+            // the freeze).
+            let fresh = ChunkVersion {
+                gen: stamp,
+                data: slot.data.clone(),
+            };
+            *slot = Arc::new(fresh);
+            true
+        } else {
+            false
+        };
+        let version = Arc::get_mut(slot).expect("freshly installed version must be unique");
+        (&mut version.data, copied)
     }
 
-    /// Swaps the gate's chunk with `new`, returning the old one. This is the
-    /// "memory rewiring" publication step of a rebalance: workers build the
-    /// new chunk in a staging buffer and the master installs it with a
-    /// pointer-sized swap.
+    /// Installs `new` (stamped `gen`) as the gate's chunk, returning the
+    /// previous version. This is the "memory rewiring" publication step of a
+    /// rebalance: workers build the new chunk in a staging buffer and the
+    /// master installs it with a pointer-sized swap. The returned version
+    /// stays alive for any snapshot that captured it.
     ///
     /// # Safety
-    /// Same contract as [`Gate::chunk_mut`].
-    pub unsafe fn replace_chunk(&self, new: ChunkData) -> ChunkData {
-        std::mem::replace(&mut *self.chunk.get(), new)
+    /// Same contract as [`Gate::chunk_mut_cow`].
+    pub unsafe fn install_chunk(&self, new: ChunkData, gen: u64) -> Arc<ChunkVersion> {
+        std::mem::replace(
+            &mut *self.chunk.get(),
+            Arc::new(ChunkVersion { gen, data: new }),
+        )
     }
 
     /// Parks an exclusive acquirer (a writer or the rebalancer service) on
@@ -329,14 +406,16 @@ mod tests {
         // SAFETY: we set (and logically hold) Write mode above; no other
         // thread exists in this test.
         unsafe {
-            g.chunk_mut().try_insert(7, 70);
+            let (chunk, copied) = g.chunk_mut_cow(1);
+            assert!(!copied, "uniquely owned version must not copy");
+            chunk.try_insert(7, 70);
             assert_eq!(g.chunk().get(7), Some(70));
         }
         g.release_write();
     }
 
     #[test]
-    fn replace_chunk_swaps_payload() {
+    fn install_chunk_swaps_payload() {
         let g = Gate::new(0, 1, 4);
         {
             let mut st = g.lock();
@@ -345,10 +424,44 @@ mod tests {
         let mut staged = ChunkData::new(1, 4);
         staged.try_insert(1, 1);
         // SAFETY: exclusive latch held as above.
-        let old = unsafe { g.replace_chunk(staged) };
-        assert_eq!(old.cardinality(), 0);
+        let old = unsafe { g.install_chunk(staged, 7) };
+        assert_eq!(old.data.cardinality(), 0);
+        assert_eq!(old.gen, 0);
         unsafe {
             assert_eq!(g.chunk().get(1), Some(1));
+            assert_eq!(g.chunk_version().gen, 7);
+        }
+        g.release_write();
+    }
+
+    #[test]
+    fn shared_version_copies_on_write_and_keeps_the_frozen_payload() {
+        let g = Gate::new(0, 1, 8);
+        {
+            let mut st = g.lock();
+            st.mode = GateMode::Write;
+        }
+        // SAFETY: exclusive latch held as above; single-threaded test.
+        unsafe {
+            g.chunk_mut_cow(0).0.try_insert(1, 10);
+            // A snapshot captures the version (Arc clone, no data copy).
+            let frozen = g.chunk_version();
+            // The next mutation must copy instead of touching the captured
+            // payload, and restamp the fresh version.
+            let (chunk, copied) = g.chunk_mut_cow(3);
+            assert!(copied, "shared version must be copied before mutation");
+            chunk.try_insert(2, 20);
+            chunk.remove(1);
+            assert_eq!(frozen.data.get(1), Some(10), "frozen payload mutated");
+            assert_eq!(frozen.data.get(2), None, "frozen payload mutated");
+            assert_eq!(frozen.gen, 0);
+            assert_eq!(g.chunk_version().gen, 3);
+            assert_eq!(g.chunk().get(1), None);
+            assert_eq!(g.chunk().get(2), Some(20));
+            drop(frozen);
+            // With the snapshot gone the gate owns its version again.
+            let (_, copied) = g.chunk_mut_cow(4);
+            assert!(!copied, "unique again after the snapshot dropped");
         }
         g.release_write();
     }

@@ -53,6 +53,19 @@ impl PmaInstance {
         num_gates: usize,
         params: &PmaParams,
     ) -> Self {
+        Self::from_sorted_gen(keys, values, num_gates, params, 0)
+    }
+
+    /// [`Self::from_sorted`], stamping every chunk with write generation
+    /// `gen`. Resizes use this with a freshly advanced generation so frozen
+    /// snapshots can tell pre-resize chunk versions from post-resize ones.
+    pub fn from_sorted_gen(
+        keys: &[Key],
+        values: &[Value],
+        num_gates: usize,
+        params: &PmaParams,
+        gen: u64,
+    ) -> Self {
         assert!(
             num_gates.is_power_of_two(),
             "num_gates must be a power of two"
@@ -92,7 +105,7 @@ impl PmaInstance {
         let gates: Box<[Gate]> = chunks
             .into_iter()
             .enumerate()
-            .map(|(g, chunk)| Gate::with_chunk(g, chunk, fences[g].0, fences[g].1))
+            .map(|(g, chunk)| Gate::with_chunk_gen(g, chunk, gen, fences[g].0, fences[g].1))
             .collect();
 
         let calibrator = CalibratorTree::new(num_segments, segment_capacity, params.thresholds);

@@ -30,12 +30,15 @@ pub mod instance;
 mod rebalancer;
 mod shared;
 pub mod static_index;
+pub mod version;
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
-use pma_common::{CombiningStats, ConcurrentMap, Key, PmaError, ScanStats, Value};
+use pma_common::{
+    CombiningStats, ConcurrentMap, FrozenView, Key, MaintenanceStats, PmaError, ScanStats, Value,
+};
 
 use crate::params::{PmaParams, RebalancePolicy, UpdateMode};
 use crate::stats::{Stats, StatsSnapshot};
@@ -45,6 +48,7 @@ use gate::{GateMode, UpdateOp};
 use instance::PmaInstance;
 use rebalancer::{RebalancerHandle, Request};
 use shared::Shared;
+use version::FrozenSnapshot;
 
 /// Result of trying to acquire a gate for a write.
 enum WriteAcquire {
@@ -271,6 +275,68 @@ impl ConcurrentPma {
         }
     }
 
+    /// Takes an O(1) point-in-time snapshot with repeatable reads.
+    ///
+    /// The snapshot clones every gate's reference-counted chunk version under
+    /// a shared latch (no payload is copied at freeze time); writers that
+    /// later mutate a still-pinned chunk copy it first
+    /// ([`gate::Gate::chunk_mut_cow`], counted in `stats().cow_copies`), so
+    /// every read against the returned [`FrozenSnapshot`] keeps returning the
+    /// state as of the freeze — across concurrent updates, rebalances and
+    /// resizes. Like every read, the snapshot sees the *settled* state:
+    /// operations still travelling through combining queues are invisible to
+    /// it (call [`ConcurrentPma::flush`] first for an exact cut).
+    ///
+    /// Capture takes the gates one at a time and validates afterwards that
+    /// the recorded fences still tile the key space — a concurrent
+    /// redistribute that moved fences between two per-gate captures forces a
+    /// restart, so the snapshot never mixes pre- and post-redistribute
+    /// placements of the same window.
+    pub fn frozen(&self) -> FrozenSnapshot {
+        'restart: loop {
+            let _pin = self.shared.pin();
+            // SAFETY: pinned above.
+            let inst = unsafe { self.shared.instance_ref() };
+            let mut pieces = Vec::with_capacity(inst.num_gates());
+            for g in 0..inst.num_gates() {
+                let gate = &inst.gates[g];
+                let (lo, hi) = {
+                    let mut st = gate.lock();
+                    loop {
+                        if st.invalidated {
+                            Stats::bump(&self.shared.stats.resize_restarts);
+                            continue 'restart;
+                        }
+                        match st.mode {
+                            GateMode::Free if st.writers_waiting == 0 => {
+                                st.mode = GateMode::Read(1);
+                                break;
+                            }
+                            GateMode::Read(n) if st.writers_waiting == 0 => {
+                                st.mode = GateMode::Read(n + 1);
+                                break;
+                            }
+                            _ => gate.wait(&mut st),
+                        }
+                    }
+                    (st.fence_lo, st.fence_hi)
+                };
+                // SAFETY: the gate is held in shared mode, which excludes
+                // every exclusive chunk accessor while we clone the version.
+                let version = unsafe { gate.chunk_version() };
+                gate.release_read();
+                pieces.push((lo, hi, version));
+            }
+            if !version::fences_tile_key_space(&pieces) {
+                // Fences moved between two per-gate captures: the pieces do
+                // not describe any single point in time.
+                Stats::bump(&self.shared.stats.resize_restarts);
+                continue 'restart;
+            }
+            return FrozenSnapshot::capture(pieces, Arc::clone(&self.shared.cow));
+        }
+    }
+
     /// Visits every element with key in `[lo, hi]` (inclusive) in ascending
     /// key order.
     pub fn range(&self, lo: Key, hi: Key, visitor: &mut dyn FnMut(Key, Value)) {
@@ -491,7 +557,7 @@ impl ConcurrentPma {
                         let run_end = i + batch[i..].partition_point(|&(k, _)| k <= fence_hi);
                         let run = &batch[i..run_end];
                         // SAFETY: the gate is held in `Write` mode.
-                        let chunk = unsafe { gate.chunk_mut() };
+                        let chunk = unsafe { self.shared.chunk_mut(gate) };
                         let gate_capacity = inst.gate_capacity();
                         let tau_gate = inst.calibrator.upper_threshold(inst.gate_level);
                         let max_total =
@@ -653,7 +719,7 @@ impl ConcurrentPma {
         // guard drops. No mode changed, so there is nothing to notify.
         match op {
             UpdateOp::Delete(key) => {
-                let old = unsafe { gate.chunk_mut() }.remove(key);
+                let old = unsafe { self.shared.chunk_mut(gate) }.remove(key);
                 drop(st);
                 if old.is_some() {
                     self.shared.len.fetch_sub(1, Ordering::Relaxed);
@@ -663,7 +729,7 @@ impl ConcurrentPma {
                 Some(old)
             }
             UpdateOp::Insert(key, value) => {
-                match unsafe { gate.chunk_mut() }.try_insert(key, value) {
+                match unsafe { self.shared.chunk_mut(gate) }.try_insert(key, value) {
                     ChunkInsert::Inserted => {
                         drop(st);
                         self.shared.len.fetch_add(1, Ordering::Relaxed);
@@ -808,7 +874,7 @@ impl ConcurrentPma {
         match op {
             UpdateOp::Delete(key) => {
                 // SAFETY: the caller holds the gate in `Write` mode.
-                let old = unsafe { gate.chunk_mut() }.remove(key);
+                let old = unsafe { self.shared.chunk_mut(gate) }.remove(key);
                 if old.is_some() {
                     self.shared.len.fetch_sub(1, Ordering::Relaxed);
                     Stats::bump(&self.shared.stats.deletes);
@@ -818,7 +884,7 @@ impl ConcurrentPma {
             }
             UpdateOp::Insert(key, value) => {
                 // SAFETY: the caller holds the gate in `Write` mode.
-                let chunk = unsafe { gate.chunk_mut() };
+                let chunk = unsafe { self.shared.chunk_mut(gate) };
                 let adaptive = self.shared.params.rebalance_policy == RebalancePolicy::Adaptive;
                 loop {
                     match chunk.try_insert(key, value) {
@@ -1039,7 +1105,7 @@ impl ConcurrentPma {
             let mut inserts: Vec<(Key, Value)> = Vec::new();
             let mut removed = 0usize;
             // SAFETY: the gate is held in `Write` mode by this writer.
-            let chunk = unsafe { gate.chunk_mut() };
+            let chunk = unsafe { self.shared.chunk_mut(gate) };
             for op in ops {
                 match op {
                     UpdateOp::Delete(k) => {
@@ -1286,6 +1352,23 @@ impl ConcurrentMap for ConcurrentPma {
             owned_applies: snapshot.owned_applies,
             late_replays: snapshot.late_replays,
         })
+    }
+
+    fn maintenance_stats(&self) -> Option<MaintenanceStats> {
+        let snapshot = self.shared.stats.snapshot();
+        Some(MaintenanceStats {
+            splits: 0,
+            merges: 0,
+            stall_ns: 0,
+            thrash_averted: 0,
+            cow_copies: snapshot.cow_copies,
+            pinned_generations: self.shared.cow.pinned_generations(),
+            snapshot_lag: self.shared.cow.lag(),
+        })
+    }
+
+    fn frozen(&self) -> Option<Box<dyn FrozenView>> {
+        Some(Box::new(ConcurrentPma::frozen(self)))
     }
 
     fn name(&self) -> &'static str {

@@ -471,7 +471,7 @@ impl Master {
             match op {
                 UpdateOp::Delete(k) => {
                     // SAFETY: gate is service-owned.
-                    if unsafe { gate.chunk_mut() }.remove(k).is_some() {
+                    if unsafe { self.shared.chunk_mut(gate) }.remove(k).is_some() {
                         removed += 1;
                         Stats::bump(&self.shared.stats.deletes);
                     }
@@ -642,14 +642,14 @@ impl Master {
             match op {
                 UpdateOp::Delete(k) => {
                     // SAFETY: gate is service-owned.
-                    if unsafe { gate.chunk_mut() }.remove(k).is_some() {
+                    if unsafe { self.shared.chunk_mut(gate) }.remove(k).is_some() {
                         self.shared.len.fetch_sub(1, Ordering::Relaxed);
                         Stats::bump(&self.shared.stats.deletes);
                     }
                 }
                 UpdateOp::Insert(k, v) => {
                     // SAFETY: gate is service-owned.
-                    let chunk = unsafe { gate.chunk_mut() };
+                    let chunk = unsafe { self.shared.chunk_mut(gate) };
                     let mut result = chunk.try_insert(k, v);
                     if matches!(result, ChunkInsert::SegmentFull(_))
                         && chunk.cardinality() < chunk.capacity()
@@ -749,11 +749,16 @@ impl Master {
         let outer_lo = inst.gates[g_lo].lock().fence_lo;
         let outer_hi = inst.gates[g_hi - 1].lock().fence_hi;
         let mut mins = Vec::with_capacity(num_gates);
+        // The pointer swaps install a new placement of the window's elements:
+        // advance the write generation and stamp every installed chunk with
+        // it. Old versions pinned by a frozen snapshot survive through the
+        // snapshot's Arc clones; unpinned ones are freed here.
+        let install_gen = self.shared.cow.advance();
         for (i, staged_chunk) in staged.into_iter().enumerate() {
             let chunk = staged_chunk.expect("every partition must be staged");
             mins.push(chunk.min_key());
             // SAFETY: gate is service-owned.
-            let _old = unsafe { inst.gates[g_lo + i].replace_chunk(chunk) };
+            let _old = unsafe { inst.gates[g_lo + i].install_chunk(chunk, install_gen) };
         }
         let fences = compute_window_fences(outer_lo, outer_hi, &mins);
         for (i, &(lo, hi)) in fences.iter().enumerate() {
@@ -872,11 +877,16 @@ impl Master {
         // constructor uses.
         let num_gates = self.shared.params.presized_gates(new_len);
 
-        let new_instance = Box::new(PmaInstance::from_sorted(
+        // A resize is a whole-array reinstall: stamp the new instance's
+        // chunks with a freshly advanced write generation. Snapshots pinning
+        // the old instance's chunk versions keep them alive through their own
+        // Arc clones, independent of the epoch retirement below.
+        let new_instance = Box::new(PmaInstance::from_sorted_gen(
             &final_keys,
             &final_values,
             num_gates,
             &self.shared.params,
+            self.shared.cow.advance(),
         ));
         let old = self.shared.publish_instance(new_instance);
         // Adjust the element counter by the delta the batch and the folded
@@ -974,7 +984,7 @@ impl Master {
                     return;
                 }
                 // SAFETY: gate is service-owned.
-                let chunk = unsafe { gate.chunk_mut() };
+                let chunk = unsafe { self.shared.chunk_mut(gate) };
                 let gate_capacity = inst.gate_capacity();
                 let fits_locally = {
                     let level = inst.gate_level;

@@ -2,12 +2,16 @@
 //! the rebalancer service threads.
 
 use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use crate::params::PmaParams;
 use crate::stats::Stats;
 
+use super::chunk::ChunkData;
 use super::epoch::{EpochGuard, EpochRegistry, GarbageBin};
+use super::gate::Gate;
 use super::instance::PmaInstance;
+use super::version::CowGen;
 
 /// Everything the clients, the rebalancer master and the workers share.
 pub(crate) struct Shared {
@@ -24,6 +28,10 @@ pub(crate) struct Shared {
     pub registry: EpochRegistry,
     /// Retired instances awaiting reclamation.
     pub garbage: GarbageBin<Box<PmaInstance>>,
+    /// Write-generation counter and snapshot pin set for chunk-level
+    /// copy-on-write versioning. `Arc` so [`super::version::FrozenSnapshot`]s
+    /// can outlive the map handle.
+    pub cow: Arc<CowGen>,
 }
 
 impl Shared {
@@ -43,7 +51,26 @@ impl Shared {
             stats: Stats::new(),
             registry: EpochRegistry::new(),
             garbage: GarbageBin::new(),
+            cow: Arc::new(CowGen::new()),
         }
+    }
+
+    /// Exclusive access to a gate's chunk for in-place mutation, copying the
+    /// payload first if a frozen snapshot still holds the current version
+    /// (and counting the copy in `stats.cow_copies`).
+    ///
+    /// # Safety
+    /// Same contract as [`Gate::chunk_mut_cow`]: the caller must hold the
+    /// gate's latch in an exclusive mode (`Write`/`Rebalance`) or otherwise
+    /// own the gate (service-owned during a window claim).
+    #[inline]
+    #[allow(clippy::mut_from_ref)] // exclusivity comes from the gate latch, not the borrow
+    pub unsafe fn chunk_mut<'a>(&self, gate: &'a Gate) -> &'a mut ChunkData {
+        let (chunk, copied) = gate.chunk_mut_cow(self.cow.current());
+        if copied {
+            Stats::bump(&self.stats.cow_copies);
+        }
+        chunk
     }
 
     /// Enters an epoch-protected critical section.

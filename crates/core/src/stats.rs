@@ -49,6 +49,10 @@ pub struct Stats {
     /// invariant makes this impossible; the counter exists so tests and
     /// debug builds can assert it stays zero.
     pub late_replays: AtomicU64,
+    /// Chunk payloads copied because an in-place mutation found the chunk's
+    /// version still pinned by a frozen snapshot (the copy-on-write slow
+    /// path). Zero while no snapshot is live.
+    pub cow_copies: AtomicU64,
 }
 
 impl Stats {
@@ -85,6 +89,7 @@ impl Stats {
             batch_span_rebuilds: self.batch_span_rebuilds.load(Ordering::Relaxed),
             owned_applies: self.owned_applies.load(Ordering::Relaxed),
             late_replays: self.late_replays.load(Ordering::Relaxed),
+            cow_copies: self.cow_copies.load(Ordering::Relaxed),
         }
     }
 }
@@ -123,6 +128,9 @@ pub struct StatsSnapshot {
     pub owned_applies: u64,
     /// Operations salvaged through the defensive fold (must stay zero).
     pub late_replays: u64,
+    /// Chunk payloads copied by the copy-on-write path because a frozen
+    /// snapshot still pinned them.
+    pub cow_copies: u64,
 }
 
 impl StatsSnapshot {

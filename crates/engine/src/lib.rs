@@ -51,5 +51,5 @@ pub mod sharded;
 pub mod stats;
 
 pub use backends::register_backends;
-pub use sharded::{ShardSnapshot, ShardedConfig, ShardedMap};
+pub use sharded::{ShardSnapshot, ShardedConfig, ShardedFrozen, ShardedMap};
 pub use stats::{EngineStats, EngineStatsSnapshot, ShardedStats};

@@ -83,6 +83,7 @@
 //! so load hovering at a boundary cannot trigger split→merge→split thrash
 //! (suppressed crossings are counted in `split_thrash_averted`).
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -91,7 +92,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Mutex, RwLock};
 use pma_common::{
-    check_sorted, dedup_sorted_last_wins, simd, CombiningStats, ConcurrentMap, Key,
+    check_sorted, dedup_sorted_last_wins, simd, CombiningStats, ConcurrentMap, FrozenView, Key,
     MaintenanceStats, PmaError, Registry, ScanStats, Value, KEY_MAX, KEY_MIN,
 };
 use pma_core::concurrent::delta::{DeltaLog, DeltaOp};
@@ -249,10 +250,18 @@ struct Shard {
     /// cool-down: a shard just created by a split cannot merge before the
     /// hysteresis window elapses again.
     merge_rounds: AtomicU32,
+    /// Whether any write was ever routed to this key range (monotone, set
+    /// with a relaxed store on the write paths). Seed shards of an empty map
+    /// start `false`; bulk-loaded and structurally rebuilt shards inherit
+    /// the flag. The monitor refuses to merge a pair before *both* members
+    /// have seen a write — merging never-written seed shards right after
+    /// startup used to shrink the directory to one shard before the workload
+    /// arrived, starving the split path of candidates.
+    wrote: AtomicBool,
 }
 
 impl Shard {
-    fn new(lo: Key, hi: Key, map: Arc<dyn ConcurrentMap>) -> Arc<Self> {
+    fn new(lo: Key, hi: Key, map: Arc<dyn ConcurrentMap>, wrote: bool) -> Arc<Self> {
         Arc::new(Self {
             lo,
             hi,
@@ -262,6 +271,7 @@ impl Shard {
             ops: AtomicU64::new(0),
             split_rounds: AtomicU32::new(0),
             merge_rounds: AtomicU32::new(0),
+            wrote: AtomicBool::new(wrote),
         })
     }
 
@@ -272,6 +282,7 @@ impl Shard {
     /// replacements (§3.4's capture half).
     #[inline]
     fn insert_op(&self, gate: &WriteGate, key: Key, value: Value) {
+        self.wrote.store(true, Ordering::Relaxed);
         match &gate.delta {
             Some(delta) => delta.record_insert(key, value),
             None => self.map.insert(key, value),
@@ -284,6 +295,7 @@ impl Shard {
     /// win) with the quiescent base as fallback.
     #[inline]
     fn remove_op(&self, gate: &WriteGate, key: Key) -> Option<Value> {
+        self.wrote.store(true, Ordering::Relaxed);
         match &gate.delta {
             Some(delta) => delta.record_remove(key, |key| self.map.get(key)),
             None => self.map.remove(key),
@@ -294,6 +306,7 @@ impl Shard {
     /// delta log installed the run degrades to the per-item recorded path;
     /// the native batch path resumes as soon as the split publishes.
     fn batch_op(&self, gate: &WriteGate, run: &[(Key, Value)]) {
+        self.wrote.store(true, Ordering::Relaxed);
         match &gate.delta {
             Some(delta) => {
                 for &(key, value) in run {
@@ -739,10 +752,11 @@ impl Engine {
         captured += Self::fold_delta(&delta, boundary, left.as_ref(), right.as_ref());
         debug_assert!(delta.is_empty(), "a fenced fold must drain the log");
         let absorbed = self.absorb_retired_counters(&shard);
+        let wrote = shard.wrote.load(Ordering::Relaxed);
         let mut shards = Vec::with_capacity(dir.shards.len() + 1);
         shards.extend(dir.shards[..idx].iter().cloned());
-        shards.push(Shard::new(shard.lo, boundary - 1, left));
-        shards.push(Shard::new(boundary, shard.hi, right));
+        shards.push(Shard::new(shard.lo, boundary - 1, left, wrote));
+        shards.push(Shard::new(boundary, shard.hi, right, wrote));
         shards.extend(dir.shards[idx + 1..].iter().cloned());
         self.publish(dir.generation + 1, shards);
         // Publish-then-retire, all under the exclusive latch: writers that
@@ -798,10 +812,11 @@ impl Engine {
             .inner
             .build_loaded(&self.config.inner_spec, &items[mid..])?;
 
+        let wrote = shard.wrote.load(Ordering::Relaxed);
         let mut shards = Vec::with_capacity(dir.shards.len() + 1);
         shards.extend(dir.shards[..idx].iter().cloned());
-        shards.push(Shard::new(shard.lo, boundary - 1, left));
-        shards.push(Shard::new(boundary, shard.hi, right));
+        shards.push(Shard::new(shard.lo, boundary - 1, left, wrote));
+        shards.push(Shard::new(boundary, shard.hi, right, wrote));
         shards.extend(dir.shards[idx + 1..].iter().cloned());
         self.absorb_retired_counters(&shard);
         self.publish(dir.generation + 1, shards);
@@ -864,7 +879,8 @@ impl Engine {
         let right_absorbed = self.absorb_retired_counters(&right);
         let mut shards = Vec::with_capacity(dir.shards.len() - 1);
         shards.extend(dir.shards[..idx].iter().cloned());
-        shards.push(Shard::new(left.lo, right.hi, merged));
+        let wrote = left.wrote.load(Ordering::Relaxed) || right.wrote.load(Ordering::Relaxed);
+        shards.push(Shard::new(left.lo, right.hi, merged, wrote));
         shards.extend(dir.shards[idx + 2..].iter().cloned());
         self.publish(dir.generation + 1, shards);
         left.retired.store(true, Ordering::Release);
@@ -921,8 +937,17 @@ impl Engine {
                 let mut merge: Option<(usize, usize)> = None;
                 for i in 0..dir.shards.len().saturating_sub(1) {
                     let pair_left = &dir.shards[i];
+                    // A pair is only a merge candidate once both members have
+                    // seen a write: seed shards of a map the workload has not
+                    // reached yet are empty by construction, not by cooling
+                    // down, and merging them away would pre-shrink the
+                    // directory the workload is about to fill. `wrote` is
+                    // monotone, so an eligible streak can never lapse through
+                    // this guard.
+                    let eligible = pair_left.wrote.load(Ordering::Relaxed)
+                        && dir.shards[i + 1].wrote.load(Ordering::Relaxed);
                     let sum = pair_left.map.len() + dir.shards[i + 1].map.len();
-                    if sum < self.config.merge_below {
+                    if eligible && sum < self.config.merge_below {
                         let streak = pair_left.merge_rounds.fetch_add(1, Ordering::Relaxed) + 1;
                         if streak >= hysteresis && merge.is_none_or(|(_, best)| sum < best) {
                             merge = Some((i, sum));
@@ -1242,6 +1267,126 @@ impl std::fmt::Debug for ShardedMap {
     }
 }
 
+/// One shard's contribution to a [`ShardedFrozen`] view: the inner
+/// backend's frozen base plus a copy of the delta overlay that was installed
+/// over the shard at freeze time (empty unless a split/merge was mid-copy).
+/// Both halves were captured under one shared-latch hold, so the overlay's
+/// pending ops are exactly the acknowledged writes the quiescent base is
+/// missing.
+struct FrozenShardPiece {
+    /// Inclusive lower fence of the shard at freeze time.
+    lo: Key,
+    /// Inclusive upper fence of the shard at freeze time.
+    hi: Key,
+    /// The inner structure's own point-in-time view.
+    base: Box<dyn FrozenView>,
+    /// Latest pending op per key from the shard's in-flight delta log:
+    /// `Some(value)` shadows the base with an insert, `None` with a remove.
+    overlay: BTreeMap<Key, Option<Value>>,
+}
+
+impl FrozenShardPiece {
+    /// Visits `[lo, hi]` (pre-clamped to the piece's fences) in ascending
+    /// key order, merging the overlay into the base stream in lockstep.
+    fn visit_range(&self, lo: Key, hi: Key, visitor: &mut dyn FnMut(Key, Value)) {
+        let mut pending = self.overlay.range(lo..=hi).peekable();
+        self.base.range(lo, hi, &mut |key, value| {
+            // Emit overlay inserts below the base cursor, then let an
+            // overlay op at the cursor shadow the base element.
+            while let Some(&(&pkey, &pval)) = pending.peek() {
+                if pkey > key {
+                    break;
+                }
+                pending.next();
+                match pval {
+                    Some(shadow) if pkey == key => return visitor(key, shadow),
+                    None if pkey == key => return,
+                    Some(inserted) => visitor(pkey, inserted),
+                    None => {}
+                }
+            }
+            visitor(key, value);
+        });
+        for (&pkey, &pval) in pending {
+            if let Some(inserted) = pval {
+                visitor(pkey, inserted);
+            }
+        }
+    }
+}
+
+/// An owned point-in-time view of a [`ShardedMap`] (see
+/// [`ShardedMap::frozen`]): one [`FrozenShardPiece`] per shard of a single
+/// directory generation. Reads against it are repeatable — concurrent
+/// writers, splits and merges copy chunks instead of mutating them under the
+/// view — and it stays valid after the source map re-publishes or drops its
+/// directory, because every piece is owned.
+pub struct ShardedFrozen {
+    /// Directory generation the view was captured from.
+    generation: u64,
+    /// Element count at freeze time (base counts adjusted by the overlays).
+    len: usize,
+    /// Per-shard pieces in ascending, disjoint fence order.
+    pieces: Vec<FrozenShardPiece>,
+}
+
+impl ShardedFrozen {
+    /// The directory generation this view was captured from.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
+impl FrozenView for ShardedFrozen {
+    fn get(&self, key: Key) -> Option<Value> {
+        let idx = self
+            .pieces
+            .binary_search_by(|piece| {
+                if piece.hi < key {
+                    std::cmp::Ordering::Less
+                } else if piece.lo > key {
+                    std::cmp::Ordering::Greater
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .ok()?;
+        let piece = &self.pieces[idx];
+        match piece.overlay.get(&key) {
+            Some(&Some(value)) => Some(value),
+            Some(&None) => None,
+            None => piece.base.get(key),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn range(&self, lo: Key, hi: Key, visitor: &mut dyn FnMut(Key, Value)) {
+        if lo > hi {
+            return;
+        }
+        let start = self.pieces.partition_point(|piece| piece.hi < lo);
+        for piece in &self.pieces[start..] {
+            if piece.lo > hi {
+                break;
+            }
+            piece.visit_range(lo.max(piece.lo), hi.min(piece.hi), visitor);
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardedFrozen {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedFrozen")
+            .field("generation", &self.generation)
+            .field("len", &self.len)
+            .field("shards", &self.pieces.len())
+            .finish()
+    }
+}
+
 impl ShardedMap {
     /// Captures the inner backend's definition from the dispatching
     /// `registry` into a private single-entry registry the engine owns, so
@@ -1261,7 +1406,7 @@ impl ShardedMap {
         let inner = Self::capture_inner(&config, registry)?;
         let shards = uniform_bounds(config.shards)
             .into_iter()
-            .map(|(lo, hi)| Ok(Shard::new(lo, hi, inner.build(&config.inner_spec)?)))
+            .map(|(lo, hi)| Ok(Shard::new(lo, hi, inner.build(&config.inner_spec)?, false)))
             .collect::<Result<Vec<_>, PmaError>>()?;
         Self::start(config, inner, shards)
     }
@@ -1284,7 +1429,7 @@ impl ShardedMap {
             .into_iter()
             .map(|(lo, hi, start, end)| {
                 let map = inner.build_loaded(&config.inner_spec, &items[start..end])?;
-                Ok(Shard::new(lo, hi, map))
+                Ok(Shard::new(lo, hi, map, true))
             })
             .collect::<Result<Vec<_>, PmaError>>()?;
         Self::start(config, inner, shards)
@@ -1342,6 +1487,62 @@ impl ShardedMap {
             engine,
             dir,
             _pin: pin,
+        }
+    }
+
+    /// Captures an owned point-in-time view of the whole map: every shard of
+    /// one directory generation contributes its inner [`ConcurrentMap::frozen`]
+    /// base plus a copy of its in-flight delta overlay (non-empty only while
+    /// a split/merge is copying that shard), both taken under one hold of the
+    /// shard's shared latch so they describe the same shard state. Reads
+    /// against the view are repeatable under concurrent writers and
+    /// structural ops. Returns `None` when the inner backend does not
+    /// support frozen views.
+    pub fn frozen(&self) -> Option<ShardedFrozen> {
+        'restart: loop {
+            let _pin = self.engine.epoch.pin();
+            // SAFETY: pinned above.
+            let dir = unsafe { self.engine.dir_ref() };
+            let mut pieces = Vec::with_capacity(dir.shards.len());
+            let mut len = 0usize;
+            for shard in &dir.shards {
+                let gate = shard.latch.read();
+                if shard.retired.load(Ordering::Acquire) {
+                    // A split/merge re-published under us; the pieces
+                    // captured so far may straddle two generations, so
+                    // restart against the fresh directory.
+                    EngineStats::bump(&self.engine.stats.retired_retries);
+                    continue 'restart;
+                }
+                let base = shard.map.frozen()?;
+                let overlay = match &gate.delta {
+                    Some(delta) => delta.overlay_snapshot(),
+                    None => BTreeMap::new(),
+                };
+                drop(gate);
+                // The view's len is fixed now: base count, plus overlay
+                // inserts of keys the base lacks, minus overlay removes of
+                // keys it has.
+                len += base.len();
+                for (&key, pending) in &overlay {
+                    match (pending, base.get(key)) {
+                        (Some(_), None) => len += 1,
+                        (None, Some(_)) => len -= 1,
+                        _ => {}
+                    }
+                }
+                pieces.push(FrozenShardPiece {
+                    lo: shard.lo,
+                    hi: shard.hi,
+                    base,
+                    overlay,
+                });
+            }
+            return Some(ShardedFrozen {
+                generation: dir.generation,
+                len,
+                pieces,
+            });
         }
     }
 
@@ -1649,12 +1850,34 @@ impl ConcurrentMap for ShardedMap {
 
     fn maintenance_stats(&self) -> Option<MaintenanceStats> {
         let stats = self.engine.stats.snapshot();
-        Some(MaintenanceStats {
+        let mut total = MaintenanceStats {
             splits: stats.shard_splits,
             merges: stats.shard_merges,
             stall_ns: stats.split_stall_ns,
             thrash_averted: stats.split_thrash_averted,
-        })
+            cow_copies: 0,
+            pinned_generations: 0,
+            snapshot_lag: 0,
+        };
+        // The copy-on-write counters live in the inner instances: sum the
+        // copies and live pins across shards, and report the worst per-shard
+        // generation lag (shard generations are independent clocks, so
+        // summing lags would be meaningless).
+        let _pin = self.engine.epoch.pin();
+        // SAFETY: pinned above.
+        let dir = unsafe { self.engine.dir_ref() };
+        for shard in &dir.shards {
+            if let Some(inner) = shard.map.maintenance_stats() {
+                total.cow_copies += inner.cow_copies;
+                total.pinned_generations += inner.pinned_generations;
+                total.snapshot_lag = total.snapshot_lag.max(inner.snapshot_lag);
+            }
+        }
+        Some(total)
+    }
+
+    fn frozen(&self) -> Option<Box<dyn FrozenView>> {
+        ShardedMap::frozen(self).map(|frozen| Box::new(frozen) as Box<dyn FrozenView>)
     }
 
     fn name(&self) -> &'static str {
@@ -2138,6 +2361,123 @@ mod tests {
         assert_eq!(m.merges, 1);
         assert!(m.stall_ns > 0);
         assert_eq!(m.thrash_averted, 0);
+    }
+
+    #[test]
+    fn frozen_view_is_repeatable_under_later_writes_and_splits() {
+        let map = ShardedMap::new(config(2), registry()).unwrap();
+        for k in -500..500i64 {
+            map.insert(k, k * 3);
+        }
+        map.flush();
+        let model: Vec<(Key, Value)> = (-500..500i64).map(|k| (k, k * 3)).collect();
+
+        let frozen = map.frozen().expect("pma inner supports frozen views");
+        let before_gen = frozen.generation();
+        assert_eq!(frozen.len(), 1_000);
+        assert_eq!(frozen.collect_range(KEY_MIN, KEY_MAX), model);
+
+        // Mutate the live map and restructure the directory under the view.
+        for k in -500..500i64 {
+            map.insert(k, -k);
+        }
+        map.remove(0);
+        assert!(map.split_shard(1).unwrap());
+        map.flush();
+
+        assert_eq!(frozen.generation(), before_gen);
+        assert_eq!(frozen.len(), 1_000);
+        assert_eq!(frozen.collect_range(KEY_MIN, KEY_MAX), model);
+        assert_eq!(frozen.get(0), Some(0));
+        assert_eq!(frozen.get(-123), Some(-369));
+        let stats = frozen.scan_range(-10, 9);
+        assert_eq!(stats.count, 20);
+        // A view frozen now sees the new state.
+        let after = map.frozen().unwrap();
+        assert_eq!(after.len(), 999);
+        assert_eq!(after.get(0), None);
+        assert_eq!(after.get(-123), Some(123));
+    }
+
+    #[test]
+    fn frozen_composes_delta_overlay_mid_split() {
+        let map = ShardedMap::new(config(2), registry()).unwrap();
+        for k in 0..100i64 {
+            map.insert(k * 2, k);
+        }
+        map.flush();
+
+        // Install a delta log on the shard owning the non-negative range,
+        // exactly as a split's install fence does: from here on writers
+        // record instead of touching the quiescent base.
+        let shard = {
+            let _pin = map.engine.epoch.pin();
+            // SAFETY: pinned above.
+            let dir = unsafe { map.engine.dir_ref() };
+            Arc::clone(&dir.shards[dir.route(0)])
+        };
+        let delta = Arc::new(DeltaLog::with_cap(DELTA_BACKPRESSURE));
+        shard.latch.write().delta = Some(Arc::clone(&delta));
+
+        map.insert(1, -1); // new key, pending in the log
+        map.insert(0, -2); // overwrites a base key
+        map.remove(2); // removes a base key
+        assert_eq!(delta.len(), 3, "mid-split writes must land in the log");
+
+        let frozen = map.frozen().expect("pma inner supports frozen views");
+        assert_eq!(
+            frozen.len(),
+            100,
+            "one pending insert and one pending remove cancel out"
+        );
+        assert_eq!(frozen.get(1), Some(-1));
+        assert_eq!(frozen.get(0), Some(-2));
+        assert_eq!(frozen.get(2), None);
+        assert_eq!(frozen.get(4), Some(2));
+        let head = frozen.collect_range(0, 6);
+        assert_eq!(head, vec![(0, -2), (1, -1), (4, 2), (6, 3)]);
+
+        // The overlay is a copy: later recorded ops do not leak in.
+        map.insert(1, -100);
+        assert_eq!(frozen.get(1), Some(-1));
+
+        // Fold the log back like an aborted split would, so the map drops
+        // consistent.
+        shard.latch.write().delta = None;
+        for op in delta.take_all() {
+            op.apply(shard.map.as_ref());
+        }
+        map.flush();
+        assert_eq!(map.get(1), Some(-100));
+    }
+
+    #[test]
+    fn merge_waits_for_both_shards_to_see_writes() {
+        let map = ShardedMap::new(config(2), registry()).unwrap();
+        // Two empty seed shards sum far below merge_below, but neither has
+        // seen a write: the monitor must leave the directory alone no matter
+        // how many rounds elapse.
+        for _ in 0..10 {
+            map.maintain_once();
+        }
+        assert_eq!(map.num_shards(), 2, "never-written seed shards merged");
+
+        // A write to only one member keeps the pair ineligible.
+        map.insert(KEY_MIN + 1, 1);
+        for _ in 0..10 {
+            map.maintain_once();
+        }
+        assert_eq!(map.num_shards(), 2, "half-written pair merged");
+
+        // Once both members have seen a write, the cold pair merges after
+        // the hysteresis streak completes.
+        map.insert(KEY_MAX - 1, 2);
+        for _ in 0..10 {
+            map.maintain_once();
+        }
+        assert_eq!(map.num_shards(), 1);
+        assert_eq!(map.get(KEY_MIN + 1), Some(1));
+        assert_eq!(map.get(KEY_MAX - 1), Some(2));
     }
 
     #[test]

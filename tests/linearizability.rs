@@ -198,6 +198,81 @@ fn window_b_phased_cross_thread_removes_leave_nothing() {
     }
 }
 
+/// Snapshot linearization against the windows above: a view frozen between
+/// a key's insert and its remove must observe exactly one settled state per
+/// key — the key absent, or present with precisely the inserted value —
+/// never a value no single settled prefix of the schedule produces. The
+/// window (a) schedule is the adversarial one: queued pairs whose key a
+/// rebalance moves between the two halves, so a frozen capture racing the
+/// owned-window apply would read a half-applied batch if the capture did not
+/// latch the gates it copies from.
+#[test]
+fn frozen_snapshot_observes_single_settled_state_per_key() {
+    use pma_common::ConcurrentMap;
+    const THREADS: i64 = 4;
+    const KEYS_PER_THREAD: i64 = 400;
+    let seed = seed();
+    for iteration in 0..iters() {
+        let pma = ConcurrentPma::new(batch_params()).unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let pma = &pma;
+                scope.spawn(move || {
+                    const BLOCK: i64 = 32;
+                    let mut i = 0;
+                    while i < KEYS_PER_THREAD {
+                        let end = (i + BLOCK).min(KEYS_PER_THREAD);
+                        for j in i..end {
+                            let key = (j * THREADS + t) * 7 + seed;
+                            pma.insert(key, key);
+                        }
+                        for j in i..end {
+                            if j % 3 != 0 {
+                                let key = (j * THREADS + t) * 7 + seed;
+                                pma.remove(key);
+                            }
+                        }
+                        i = end;
+                    }
+                });
+            }
+            // The snapshot thread freezes mid-storm: every element a view
+            // holds must carry the one value the schedule ever writes for
+            // its key, and re-reading the same view must be bit-identical.
+            let pma = &pma;
+            scope.spawn(move || {
+                for _ in 0..8 {
+                    let frozen = ConcurrentMap::frozen(pma).expect("pma supports frozen views");
+                    let contents = frozen.collect_range(i64::MIN, i64::MAX);
+                    for &(key, value) in &contents {
+                        assert_eq!(
+                            value, key,
+                            "a frozen view mixed two settled states of key {key}"
+                        );
+                    }
+                    assert_eq!(frozen.len(), contents.len(), "frozen len vs scan");
+                    assert_eq!(
+                        frozen.collect_range(i64::MIN, i64::MAX),
+                        contents,
+                        "a frozen view must re-read bit-identically"
+                    );
+                }
+            });
+        });
+        pma.flush();
+        // The settled end state is exactly the kept keys, and the storm kept
+        // the owned-window invariant (a late replay is precisely what would
+        // let a frozen capture see a mixed batch).
+        let kept: u64 = (THREADS * ((KEYS_PER_THREAD + 2) / 3)) as u64;
+        assert_eq!(
+            pma.len() as u64,
+            kept,
+            "len drifted at iteration {iteration}"
+        );
+        assert_eq!(pma.stats().late_replays, 0);
+    }
+}
+
 /// The refactor's bookkeeping: under queue-heavy contention the service must
 /// actually resolve operations ownedly (the `owned_applies` counter moves),
 /// and the counters surface through the `ConcurrentMap::combining_stats`

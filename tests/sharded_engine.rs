@@ -286,6 +286,50 @@ fn scans_stay_snapshot_consistent_across_splits() {
     }
 }
 
+/// Regression for the 0-split stress flake: the monitor used to merge the
+/// two *never-written* seed shards within its first rounds (their combined
+/// len of 0 sits below any merge threshold), occasionally spending the whole
+/// insert phase inside that pointless structural op and finishing a stress
+/// round with `shard_splits == 0`. The monitor now skips merge evaluation
+/// until both pair members have seen a write, so across 50 fresh-map
+/// iterations the seed directory must never shrink, the oversized shard must
+/// always split, and no merge must ever fire (the untouched seed shard keeps
+/// every pair ineligible).
+#[test]
+fn monitor_never_merges_unwritten_seed_shards() {
+    ensure_builtin_backends();
+    for iteration in 0..50 {
+        let map = ShardedMap::new(stress_config(), Registry::global()).unwrap();
+        // Give the monitor a few rounds alone with the empty seed shards.
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(
+            map.num_shards(),
+            2,
+            "iteration {iteration}: merged never-written seed shards"
+        );
+        // Load only the upper shard past the split threshold; the lower seed
+        // shard stays unwritten, so every merge pair stays ineligible while
+        // the split fires.
+        let run: Vec<(i64, i64)> = (0..3_000).map(|k| (k, -k)).collect();
+        map.insert_batch(&run);
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while map.stats().shard_splits == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let stats = map.stats();
+        assert!(
+            stats.shard_splits > 0,
+            "iteration {iteration}: the oversized shard never split: {stats:?}"
+        );
+        assert_eq!(
+            stats.shard_merges, 0,
+            "iteration {iteration}: merged a pair containing an unwritten shard"
+        );
+        map.flush();
+        assert_eq!(map.len(), 3_000, "iteration {iteration}");
+    }
+}
+
 /// Manual splits and merges (the API the monitor drives) keep point ops and
 /// scans correct while writers are live.
 #[test]
