@@ -27,10 +27,49 @@
 //!   false regression alarms.
 //! * `--quick` shrinks the grid's element counts (for local smoke).
 
-use pma_bench::smoke::{compare_reports, parse_report, render_report, SmokeRecord};
+use pma_bench::smoke::{compare_reports, parse_report, render_report, MetricsSummary, SmokeRecord};
 use pma_workloads::{
     build_or_panic, run_workload, Distribution, ThreadSplit, UpdatePattern, WorkloadSpec,
 };
+
+/// The per-record metrics summary: end-of-run maintenance totals plus the
+/// p99 of the queue depth sampled over the run (the one figure that only
+/// exists as a time series). `None` for structures without maintenance
+/// counters (their nested block would be all zeros).
+fn metrics_summary(m: &pma_workloads::Measurement) -> Option<MetricsSummary> {
+    let s = m.maintenance?;
+    let series = m.metrics.as_ref();
+    Some(MetricsSummary {
+        cow_copies: s.cow_copies,
+        chase_rounds: s.chase_rounds,
+        epoch_lag: series
+            .and_then(|ser| ser.max_value("epoch_lag"))
+            .map(|v| v as u64)
+            .unwrap_or(s.epoch_lag),
+        queue_depth_p99: series
+            .and_then(|ser| ser.percentile("queue_depth", 0.99))
+            .unwrap_or(0.0),
+        snapshot_lag: s.snapshot_lag,
+        delta_backpressure_waits: s.delta_backpressure_waits,
+    })
+}
+
+/// Across-runs merge of two metrics summaries: worst-case envelope, like the
+/// latency and stall columns.
+fn merge_metrics(a: Option<MetricsSummary>, b: Option<MetricsSummary>) -> Option<MetricsSummary> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(MetricsSummary {
+            cow_copies: x.cow_copies.max(y.cow_copies),
+            chase_rounds: x.chase_rounds.max(y.chase_rounds),
+            epoch_lag: x.epoch_lag.max(y.epoch_lag),
+            queue_depth_p99: x.queue_depth_p99.max(y.queue_depth_p99),
+            snapshot_lag: x.snapshot_lag.max(y.snapshot_lag),
+            delta_backpressure_waits: x.delta_backpressure_waits.max(y.delta_backpressure_waits),
+        }),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
 
 /// The structures of the fixed grid.
 const STRUCTURES: &[&str] = &["sharded:8:pma-batch:100", "btree", "pma-batch:100"];
@@ -128,6 +167,8 @@ fn run_cell(
         late,
         elements: m.final_len as u64,
         kernel: pma_common::simd::kernel_variant().to_string(),
+        lat_samples: m.update_latency.count(),
+        metrics: metrics_summary(&m),
     }
 }
 
@@ -187,10 +228,18 @@ fn run_frozen_cell(structure: &str, elements: usize) -> Option<SmokeRecord> {
         .combining_stats()
         .map(|c| (c.owned_applies, c.late_replays))
         .unwrap_or((0, 0));
-    let split_stall_us = map
-        .maintenance_stats()
-        .map(|s| s.stall_ns / 1_000)
-        .unwrap_or(0);
+    let maintenance = map.maintenance_stats();
+    let split_stall_us = maintenance.map(|s| s.stall_ns / 1_000).unwrap_or(0);
+    // This cell drives the map directly (no harness sampler), so the
+    // summary carries the end-of-run totals and no queue-depth p99.
+    let metrics = maintenance.map(|s| MetricsSummary {
+        cow_copies: s.cow_copies,
+        chase_rounds: s.chase_rounds,
+        epoch_lag: s.epoch_lag,
+        queue_depth_p99: 0.0,
+        snapshot_lag: s.snapshot_lag,
+        delta_backpressure_waits: s.delta_backpressure_waits,
+    });
     Some(SmokeRecord {
         structure: structure.to_string(),
         workload: "frozen-scan".to_string(),
@@ -203,6 +252,8 @@ fn run_frozen_cell(structure: &str, elements: usize) -> Option<SmokeRecord> {
         late,
         elements: map.len() as u64,
         kernel: pma_common::simd::kernel_variant().to_string(),
+        lat_samples: 0,
+        metrics,
     })
 }
 
@@ -236,6 +287,8 @@ fn main() {
                         merged.split_stall_us = merged.split_stall_us.max(record.split_stall_us);
                         merged.owned = merged.owned.max(record.owned);
                         merged.elements = record.elements;
+                        merged.lat_samples = merged.lat_samples.max(record.lat_samples);
+                        merged.metrics = merge_metrics(merged.metrics.take(), record.metrics);
                     }
                 }
             }
@@ -262,6 +315,7 @@ fn main() {
                     merged.split_stall_us = merged.split_stall_us.max(record.split_stall_us);
                     merged.owned = merged.owned.max(record.owned);
                     merged.elements = record.elements;
+                    merged.metrics = merge_metrics(merged.metrics.take(), record.metrics);
                 }
             }
         }

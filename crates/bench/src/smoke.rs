@@ -4,11 +4,12 @@
 //! trajectory of the repository.
 //!
 //! The JSON is hand-rolled (the build environment has no serde): the format
-//! is flat — one object with a `sha` string and a `records` array of
-//! string/number fields — and [`parse_report`] is a minimal reader for
-//! exactly that shape, not a general JSON parser. Writer and reader live
-//! next to each other here and are round-trip tested, so the format cannot
-//! drift.
+//! is one object with a `sha` string and a `records` array of string/number
+//! fields, where each record may carry one nested `metrics` object of
+//! end-of-run observability counters — and [`parse_report`] is a minimal
+//! reader for exactly that shape, not a general JSON parser. Writer and
+//! reader live next to each other here and are round-trip tested, so the
+//! format cannot drift.
 //!
 //! The regression gate ([`compare_reports`]) fails a record whose update or
 //! scan throughput dropped by more than the tolerance (default 25%) against
@@ -47,6 +48,34 @@ pub struct SmokeRecord {
     /// across runner hardware; `unknown` when parsed from a report written
     /// before this field existed.
     pub kernel: String,
+    /// How many update latencies the p50/p99 columns rest on (one in
+    /// `lat_sample_interval` operations was timed); 0 when parsed from a
+    /// report written before this field existed.
+    pub lat_samples: u64,
+    /// End-of-run observability summary (the nested `metrics` object);
+    /// `None` for structures exposing no counters and for reports written
+    /// before the block existed.
+    pub metrics: Option<MetricsSummary>,
+}
+
+/// The observability counters a record embeds as its nested `metrics`
+/// object: end-of-run totals plus the p99 of the sampled queue depth.
+/// Recorded for trend analysis, never gated.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSummary {
+    /// Chunk payloads copied by the copy-on-write path for live snapshots.
+    pub cow_copies: u64,
+    /// Unfenced delta-log drains during incremental splits/merges.
+    pub chase_rounds: u64,
+    /// Worst epoch-reclamation lag observed (current epoch minus the oldest
+    /// still-active one).
+    pub epoch_lag: u64,
+    /// p99 of the combining-queue depth sampled over the run.
+    pub queue_depth_p99: f64,
+    /// Worst snapshot generation lag observed.
+    pub snapshot_lag: u64,
+    /// Writer back-offs under delta-log backpressure.
+    pub delta_backpressure_waits: u64,
 }
 
 impl SmokeRecord {
@@ -67,7 +96,8 @@ pub fn render_report(sha: &str, records: &[SmokeRecord]) -> String {
             "    {{\"structure\": \"{}\", \"workload\": \"{}\", \
              \"update_mps\": {:.6}, \"scan_eps\": {:.1}, \
              \"p50_us\": {}, \"p99_us\": {}, \"split_stall_us\": {}, \
-             \"owned\": {}, \"late\": {}, \"elements\": {}, \"kernel\": \"{}\"}}",
+             \"owned\": {}, \"late\": {}, \"elements\": {}, \"kernel\": \"{}\", \
+             \"lat_samples\": {}",
             escape(&r.structure),
             escape(&r.workload),
             r.update_mps,
@@ -79,7 +109,23 @@ pub fn render_report(sha: &str, records: &[SmokeRecord]) -> String {
             r.late,
             r.elements,
             escape(&r.kernel),
+            r.lat_samples,
         );
+        if let Some(m) = &r.metrics {
+            let _ = write!(
+                out,
+                ", \"metrics\": {{\"cow_copies\": {}, \"chase_rounds\": {}, \
+                 \"epoch_lag\": {}, \"queue_depth_p99\": {:.1}, \
+                 \"snapshot_lag\": {}, \"delta_backpressure_waits\": {}}}",
+                m.cow_copies,
+                m.chase_rounds,
+                m.epoch_lag,
+                m.queue_depth_p99,
+                m.snapshot_lag,
+                m.delta_backpressure_waits,
+            );
+        }
+        out.push('}');
         out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ]\n}\n");
@@ -91,8 +137,9 @@ fn escape(s: &str) -> String {
 }
 
 /// Parses a report produced by [`render_report`]. Not a general JSON parser:
-/// it expects the flat shape this module writes (string and number fields,
-/// one level of `records` objects) and reports the first malformed field.
+/// it expects the shape this module writes (string and number fields, one
+/// level of `records` objects, each optionally holding one nested `metrics`
+/// object) and reports the first malformed field.
 pub fn parse_report(text: &str) -> Result<(String, Vec<SmokeRecord>), String> {
     let sha = extract_string_field(text, "sha").ok_or("missing \"sha\" field")?;
     let records_start = text
@@ -100,15 +147,43 @@ pub fn parse_report(text: &str) -> Result<(String, Vec<SmokeRecord>), String> {
         .ok_or("missing \"records\" field")?;
     let mut records = Vec::new();
     let mut rest = &text[records_start..];
-    // Walk the `{...}` objects inside the records array (no nested objects
-    // in this format, so a plain brace scan is enough).
     while let Some(open) = rest.find('{') {
-        let close = rest[open..].find('}').ok_or("unterminated record object")?;
-        let object = &rest[open..open + close + 1];
+        let len = balanced_object_len(&rest[open..]).ok_or("unterminated record object")?;
+        let object = &rest[open..open + len];
         records.push(parse_record(object)?);
-        rest = &rest[open + close + 1..];
+        rest = &rest[open + len..];
     }
     Ok((sha, records))
+}
+
+/// Length (in bytes, including both braces) of the balanced `{...}` object
+/// `text` starts with, counting brace depth and skipping string contents;
+/// `None` when the object never closes. This is what lets a record hold a
+/// nested `metrics` object.
+fn balanced_object_len(text: &str) -> Option<usize> {
+    debug_assert!(text.starts_with('{'));
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in text.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            '{' if !in_string => depth += 1,
+            '}' if !in_string => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i + 1);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
 }
 
 fn parse_record(object: &str) -> Result<SmokeRecord, String> {
@@ -133,6 +208,30 @@ fn parse_record(object: &str) -> Result<SmokeRecord, String> {
         elements: number("elements")? as u64,
         // Reports written before the kernel column existed stay parseable.
         kernel: extract_string_field(object, "kernel").unwrap_or_else(|| "unknown".to_string()),
+        // Same for the sample count and the metrics block.
+        lat_samples: extract_number_field(object, "lat_samples").unwrap_or(0.0) as u64,
+        metrics: parse_metrics_block(object),
+    })
+}
+
+/// Extracts and parses the record's nested `"metrics": {...}` object;
+/// `None` when the record has no such block (pre-block reports, structures
+/// without counters) or the block is malformed.
+fn parse_metrics_block(object: &str) -> Option<MetricsSummary> {
+    let start = field_value(object, "metrics")?;
+    let rest = object[start..].trim_start();
+    if !rest.starts_with('{') {
+        return None;
+    }
+    let block = &rest[..balanced_object_len(rest)?];
+    let number = |field: &str| extract_number_field(block, field).unwrap_or(0.0);
+    Some(MetricsSummary {
+        cow_copies: number("cow_copies") as u64,
+        chase_rounds: number("chase_rounds") as u64,
+        epoch_lag: number("epoch_lag") as u64,
+        queue_depth_p99: number("queue_depth_p99"),
+        snapshot_lag: number("snapshot_lag") as u64,
+        delta_backpressure_waits: number("delta_backpressure_waits") as u64,
     })
 }
 
@@ -289,6 +388,8 @@ mod tests {
             late: 0,
             elements: 40_000,
             kernel: "avx2".to_string(),
+            lat_samples: 5_000,
+            metrics: None,
         }
     }
 
@@ -399,6 +500,33 @@ mod tests {
                    \"elements\": 5}]}";
         let (_, parsed) = parse_report(old).unwrap();
         assert_eq!(parsed[0].kernel, "unknown");
+        assert_eq!(parsed[0].lat_samples, 0);
+        assert_eq!(parsed[0].metrics, None);
+    }
+
+    #[test]
+    fn metrics_block_roundtrips_and_tolerates_absence() {
+        let mut with_block = record("sharded:4:pma:100", "mixed", 1.0, 1.0e8);
+        with_block.metrics = Some(MetricsSummary {
+            cow_copies: 17,
+            chase_rounds: 9,
+            epoch_lag: 2,
+            queue_depth_p99: 31.5,
+            snapshot_lag: 1,
+            delta_backpressure_waits: 4,
+        });
+        let without_block = record("btree", "mixed", 0.5, 0.0);
+        let text = render_report("abc", &[with_block.clone(), without_block.clone()]);
+        assert!(text.contains("\"metrics\": {\"cow_copies\": 17"));
+        let (_, parsed) = parse_report(&text).expect("nested block must parse");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0], with_block);
+        assert_eq!(parsed[1], without_block);
+        // The comparator gates only throughput: a wildly different metrics
+        // block alone never regresses.
+        let mut shifted = with_block.clone();
+        shifted.metrics = None;
+        assert!(compare_reports(std::slice::from_ref(&with_block), &[shifted], 0.25).is_empty());
     }
 
     #[test]

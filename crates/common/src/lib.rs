@@ -17,6 +17,11 @@ pub mod simd;
 pub mod types;
 pub mod util;
 
+/// The observability layer (tracing, metrics, profiling spans), re-exported
+/// so every crate that depends on `pma-common` can reach it without a direct
+/// manifest edge.
+pub use pma_obs as obs;
+
 pub use error::PmaError;
 pub use map::{
     check_sorted, dedup_sorted_last_wins, CombiningStats, ConcurrentMap, FrozenView,

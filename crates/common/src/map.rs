@@ -9,6 +9,7 @@
 
 use crate::error::PmaError;
 use crate::types::{Key, Value};
+use pma_obs::metrics::{MetricSource, Observe};
 
 /// Validates the input contract of the bulk-load paths: keys must be in
 /// non-decreasing order (equal keys are allowed — the later entry wins, as
@@ -132,6 +133,13 @@ impl CombiningStats {
     }
 }
 
+impl MetricSource for CombiningStats {
+    fn observe(&self, out: &mut dyn Observe) {
+        out.counter("owned_applies", self.owned_applies);
+        out.counter("late_replays", self.late_replays);
+    }
+}
+
 /// Counters surfaced by backends that perform background structural
 /// maintenance — today the sharded engine's splits and merges, tomorrow any
 /// backend that reorganises itself while serving traffic.
@@ -164,6 +172,18 @@ pub struct MaintenanceStats {
     /// sums it across inner instances, so composite backends report the
     /// aggregate staleness debt their snapshots are holding.
     pub snapshot_lag: u64,
+    /// Chase rounds run by incremental structural changes (the sharded
+    /// engine's delta-log splits): each round replays the ops that landed
+    /// while the previous round was copying. Zero for backends without
+    /// incremental maintenance.
+    pub chase_rounds: u64,
+    /// Times a writer had to wait because an incremental change's delta log
+    /// was over capacity (backpressure on the chase protocol).
+    pub delta_backpressure_waits: u64,
+    /// How many epochs the oldest still-active reader lags behind the
+    /// current reclamation epoch (0 when quiesced). A gauge; `merge` sums it
+    /// across inner instances, like [`MaintenanceStats::snapshot_lag`].
+    pub epoch_lag: u64,
 }
 
 impl MaintenanceStats {
@@ -176,6 +196,24 @@ impl MaintenanceStats {
         self.cow_copies += other.cow_copies;
         self.pinned_generations += other.pinned_generations;
         self.snapshot_lag += other.snapshot_lag;
+        self.chase_rounds += other.chase_rounds;
+        self.delta_backpressure_waits += other.delta_backpressure_waits;
+        self.epoch_lag += other.epoch_lag;
+    }
+}
+
+impl MetricSource for MaintenanceStats {
+    fn observe(&self, out: &mut dyn Observe) {
+        out.counter("splits", self.splits);
+        out.counter("merges", self.merges);
+        out.counter("stall_ns", self.stall_ns);
+        out.counter("thrash_averted", self.thrash_averted);
+        out.counter("cow_copies", self.cow_copies);
+        out.gauge("pinned_generations", self.pinned_generations as f64);
+        out.gauge("snapshot_lag", self.snapshot_lag as f64);
+        out.counter("chase_rounds", self.chase_rounds);
+        out.counter("delta_backpressure_waits", self.delta_backpressure_waits);
+        out.gauge("epoch_lag", self.epoch_lag as f64);
     }
 }
 
@@ -406,6 +444,22 @@ pub trait ConcurrentMap: Send + Sync {
         None
     }
 
+    /// Emits the structure's live metrics into an [`Observe`] sink — the
+    /// hook the observability layer's registry and the drivers' interval
+    /// samplers collect through. The default derives everything from
+    /// [`ConcurrentMap::combining_stats`] and
+    /// [`ConcurrentMap::maintenance_stats`]; backends with richer internal
+    /// state (the concurrent PMA's combining-queue depth, the sharded
+    /// engine's per-shard breakdown) override it and add their own gauges.
+    fn observe_metrics(&self, out: &mut dyn Observe) {
+        if let Some(combining) = self.combining_stats() {
+            combining.observe(out);
+        }
+        if let Some(maintenance) = self.maintenance_stats() {
+            maintenance.observe(out);
+        }
+    }
+
     /// Short human-readable name used in benchmark tables.
     fn name(&self) -> &'static str;
 }
@@ -461,6 +515,9 @@ impl<M: ConcurrentMap + ?Sized> ConcurrentMap for std::sync::Arc<M> {
     }
     fn frozen(&self) -> Option<Box<dyn FrozenView>> {
         (**self).frozen()
+    }
+    fn observe_metrics(&self, out: &mut dyn Observe) {
+        (**self).observe_metrics(out)
     }
     fn name(&self) -> &'static str {
         (**self).name()
@@ -549,6 +606,9 @@ mod tests {
             cow_copies: 5,
             pinned_generations: 6,
             snapshot_lag: 7,
+            chase_rounds: 8,
+            delta_backpressure_waits: 9,
+            epoch_lag: 1,
         };
         a.merge(&MaintenanceStats {
             splits: 10,
@@ -558,6 +618,9 @@ mod tests {
             cow_copies: 50,
             pinned_generations: 60,
             snapshot_lag: 70,
+            chase_rounds: 80,
+            delta_backpressure_waits: 90,
+            epoch_lag: 10,
         });
         assert_eq!(
             a,
@@ -569,8 +632,39 @@ mod tests {
                 cow_copies: 55,
                 pinned_generations: 66,
                 snapshot_lag: 77,
+                chase_rounds: 88,
+                delta_backpressure_waits: 99,
+                epoch_lag: 11,
             }
         );
+    }
+
+    #[test]
+    fn stats_observe_into_metrics_sink() {
+        use pma_obs::metrics::Observations;
+        let mut obs = Observations::with_prefix("m");
+        MaintenanceStats {
+            splits: 1,
+            cow_copies: 5,
+            snapshot_lag: 7,
+            chase_rounds: 8,
+            delta_backpressure_waits: 9,
+            epoch_lag: 2,
+            ..MaintenanceStats::default()
+        }
+        .observe(&mut obs);
+        CombiningStats {
+            owned_applies: 3,
+            late_replays: 0,
+        }
+        .observe(&mut obs);
+        let snap = obs.into_snapshot();
+        assert_eq!(snap.counter("m_cow_copies"), Some(5));
+        assert_eq!(snap.counter("m_chase_rounds"), Some(8));
+        assert_eq!(snap.counter("m_delta_backpressure_waits"), Some(9));
+        assert_eq!(snap.value("m_snapshot_lag"), Some(7.0));
+        assert_eq!(snap.value("m_epoch_lag"), Some(2.0));
+        assert_eq!(snap.counter("m_owned_applies"), Some(3));
     }
 
     #[test]

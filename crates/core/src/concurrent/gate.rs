@@ -304,6 +304,7 @@ impl Gate {
     /// walks away to a neighbouring gate instead of acquiring, so the last
     /// exclusive waiter to leave re-notifies.
     pub fn wait_exclusive(&self, guard: &mut MutexGuard<'_, GateState>) {
+        let _span = pma_common::obs::span(pma_common::obs::Category::GateWait, self.id as u64);
         guard.writers_waiting += 1;
         self.wait(guard);
         guard.writers_waiting -= 1;

@@ -36,6 +36,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
+use pma_common::obs;
 use pma_common::{
     CombiningStats, ConcurrentMap, FrozenView, Key, MaintenanceStats, PmaError, ScanStats, Value,
 };
@@ -293,6 +294,7 @@ impl ConcurrentPma {
     /// restart, so the snapshot never mixes pre- and post-redistribute
     /// placements of the same window.
     pub fn frozen(&self) -> FrozenSnapshot {
+        let mut span = obs::span(obs::Category::FrozenCapture, 0);
         'restart: loop {
             let _pin = self.shared.pin();
             // SAFETY: pinned above.
@@ -333,8 +335,24 @@ impl ConcurrentPma {
                 Stats::bump(&self.shared.stats.resize_restarts);
                 continue 'restart;
             }
-            return FrozenSnapshot::capture(pieces, Arc::clone(&self.shared.cow));
+            let snapshot = FrozenSnapshot::capture(pieces, Arc::clone(&self.shared.cow));
+            span.set_payload(snapshot.generation());
+            return snapshot;
         }
+    }
+
+    /// Operations currently parked in combining queues across all gates — a
+    /// point-in-time gauge for the observability sampler (each gate's latch
+    /// is taken briefly, one at a time).
+    pub fn queued_ops(&self) -> usize {
+        let _pin = self.shared.pin();
+        // SAFETY: pinned above.
+        let inst = unsafe { self.shared.instance_ref() };
+        let mut queued = 0;
+        for g in 0..inst.num_gates() {
+            queued += inst.gates[g].lock().pending.len();
+        }
+        queued
     }
 
     /// Visits every element with key in `[lo, hi]` (inclusive) in ascending
@@ -1356,6 +1374,7 @@ impl ConcurrentMap for ConcurrentPma {
 
     fn maintenance_stats(&self) -> Option<MaintenanceStats> {
         let snapshot = self.shared.stats.snapshot();
+        let registry = &self.shared.registry;
         Some(MaintenanceStats {
             splits: 0,
             merges: 0,
@@ -1364,11 +1383,35 @@ impl ConcurrentMap for ConcurrentPma {
             cow_copies: snapshot.cow_copies,
             pinned_generations: self.shared.cow.pinned_generations(),
             snapshot_lag: self.shared.cow.lag(),
+            chase_rounds: 0,
+            delta_backpressure_waits: 0,
+            epoch_lag: registry
+                .current_epoch()
+                .saturating_sub(registry.min_active_epoch()),
         })
     }
 
     fn frozen(&self) -> Option<Box<dyn FrozenView>> {
         Some(Box::new(ConcurrentPma::frozen(self)))
+    }
+
+    fn observe_metrics(&self, out: &mut dyn pma_common::obs::Observe) {
+        use pma_common::obs::metrics::MetricSource;
+        self.shared.stats.snapshot().observe(out);
+        out.gauge(
+            "pinned_generations",
+            self.shared.cow.pinned_generations() as f64,
+        );
+        out.gauge("snapshot_lag", self.shared.cow.lag() as f64);
+        let registry = &self.shared.registry;
+        out.gauge(
+            "epoch_lag",
+            registry
+                .current_epoch()
+                .saturating_sub(registry.min_active_epoch()) as f64,
+        );
+        out.gauge("queue_depth", self.queued_ops() as f64);
+        out.gauge("garbage_pending", self.shared.garbage.len() as f64);
     }
 
     fn name(&self) -> &'static str {

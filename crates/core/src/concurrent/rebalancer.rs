@@ -20,6 +20,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use pma_common::obs;
 use pma_common::{Key, Value};
 
 use crate::stats::Stats;
@@ -303,7 +304,10 @@ impl Master {
             for gate_id in due {
                 self.process_delegated_batch(gate_id);
             }
-            self.shared.garbage.collect(&self.shared.registry);
+            let reclaimed = self.shared.garbage.collect(&self.shared.registry);
+            if reclaimed > 0 {
+                obs::trace::instant(obs::Category::EpochReclaim, reclaimed as u64);
+            }
         }
         // Drain leftover parked work before terminating so no update is lost.
         let parked = std::mem::take(&mut self.parked);
@@ -354,6 +358,7 @@ impl Master {
     /// is drained by the service itself right after the rebalance instead of
     /// waiting for the next writer.
     fn release_gates(&self, inst: &PmaInstance, g_lo: usize, g_hi: usize) {
+        let _span = obs::span(obs::Category::RebalanceRelease, (g_hi - g_lo) as u64);
         let now = Instant::now();
         for g in g_lo..g_hi {
             let gate = &inst.gates[g];
@@ -511,6 +516,7 @@ impl Master {
         let mut owned_lo = gate_id;
         let mut owned_hi = gate_id + 1;
         let mut window = None;
+        let mut claim_span = obs::span(obs::Category::RebalanceClaim, 0);
         for level in (inst.gate_level + 1)..=inst.calibrator.height() {
             let w = inst.calibrator.window_at(seg0, level);
             let g_lo = w.start_segment / spg;
@@ -538,6 +544,8 @@ impl Master {
                 break;
             }
         }
+        claim_span.set_payload((owned_hi - owned_lo) as u64);
+        drop(claim_span);
         match window {
             Some((g_lo, g_hi, cardinality)) => {
                 self.redistribute(inst, g_lo, g_hi, cardinality, batch);
@@ -578,6 +586,7 @@ impl Master {
     /// that could not be placed (an insert into a gate that is full even
     /// after a local rebalance); the caller folds those into a resize.
     fn settle_window_queues(&self, inst: &PmaInstance, g_lo: usize, g_hi: usize) -> Vec<UpdateOp> {
+        let mut span = obs::span(obs::Category::RebalanceSettle, 0);
         // Fences are stable while the gates are owned; snapshot them once.
         let fences: Vec<(Key, Key)> = (g_lo..g_hi)
             .map(|g| {
@@ -611,6 +620,7 @@ impl Master {
         // before the fences moved), so a global last-op-per-key reduction
         // preserves every per-key FIFO.
         let moved = super::dedup_last_op_per_key(moved);
+        span.set_payload(moved.len() as u64);
         Stats::add(&self.shared.stats.owned_applies, moved.len() as u64);
         self.apply_ops_in_window(inst, g_lo, &fences, moved)
     }
@@ -683,6 +693,7 @@ impl Master {
         cardinality: usize,
         batch: Vec<(Key, Value)>,
     ) {
+        let _span = obs::span(obs::Category::Redistribute, (g_hi - g_lo) as u64);
         let spg = inst.segments_per_gate;
         let seg_cap = inst.segment_capacity;
         let num_gates = g_hi - g_lo;
@@ -740,6 +751,7 @@ impl Master {
         // queues, by which point the fences are final. The freeze only spans
         // the pointer swaps, fence updates and the settle — the expensive
         // merge/build above ran with the queues open.
+        let _install_span = obs::span(obs::Category::RebalanceInstall, num_gates as u64);
         for g in g_lo..g_hi {
             inst.gates[g].lock().queue_closed = true;
         }
@@ -803,9 +815,16 @@ impl Master {
         pre_ops: Vec<UpdateOp>,
         shrink_check: bool,
     ) {
+        let mut resize_span = obs::span(obs::Category::Resize, 0);
         // Acquire every gate of the instance.
-        for g in (0..owned_lo).chain(owned_hi..inst.num_gates()) {
-            self.acquire_gate(inst, g);
+        {
+            let _claim = obs::span(
+                obs::Category::RebalanceClaim,
+                (inst.num_gates() - (owned_hi - owned_lo)) as u64,
+            );
+            for g in (0..owned_lo).chain(owned_hi..inst.num_gates()) {
+                self.acquire_gate(inst, g);
+            }
         }
 
         // Collect all elements.
@@ -876,6 +895,7 @@ impl Master {
         // number of gates — the same capacity-planning rule the bulk-load
         // constructor uses.
         let num_gates = self.shared.params.presized_gates(new_len);
+        resize_span.set_payload(num_gates as u64);
 
         // A resize is a whole-array reinstall: stamp the new instance's
         // chunks with a freshly advanced write generation. Snapshots pinning
@@ -888,6 +908,8 @@ impl Master {
             &self.shared.params,
             self.shared.cow.advance(),
         ));
+        // Covers publication plus the invalidate/retire epilogue below.
+        let _publish_span = obs::span(obs::Category::ResizePublish, num_gates as u64);
         let old = self.shared.publish_instance(new_instance);
         // Adjust the element counter by the delta the batch and the folded
         // queue operations produced, NOT with a `store(new_len)`: the instant

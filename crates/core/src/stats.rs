@@ -140,6 +140,25 @@ impl StatsSnapshot {
     }
 }
 
+impl pma_common::obs::MetricSource for StatsSnapshot {
+    fn observe(&self, out: &mut dyn pma_common::obs::Observe) {
+        out.counter("inserts", self.inserts);
+        out.counter("deletes", self.deletes);
+        out.counter("lookups", self.lookups);
+        out.counter("local_rebalances", self.local_rebalances);
+        out.counter("global_rebalances", self.global_rebalances);
+        out.counter("resizes", self.resizes);
+        out.counter("combined_ops", self.combined_ops);
+        out.counter("batches_processed", self.batches_processed);
+        out.counter("batches_delayed", self.batches_delayed);
+        out.counter("gate_misses", self.gate_misses);
+        out.counter("resize_restarts", self.resize_restarts);
+        out.counter("owned_applies", self.owned_applies);
+        out.counter("late_replays", self.late_replays);
+        out.counter("cow_copies", self.cow_copies);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

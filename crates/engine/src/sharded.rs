@@ -91,6 +91,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Mutex, RwLock};
+use pma_common::obs;
 use pma_common::{
     check_sorted, dedup_sorted_last_wins, simd, CombiningStats, ConcurrentMap, FrozenView, Key,
     MaintenanceStats, PmaError, Registry, ScanStats, Value, KEY_MAX, KEY_MIN,
@@ -649,13 +650,21 @@ impl Engine {
         left: &dyn ConcurrentMap,
         right: &dyn ConcurrentMap,
     ) -> u64 {
-        let mut folded = Self::fold_delta(delta, boundary, left, right);
+        let mut folded = {
+            let mut round_span = obs::span(obs::Category::ChaseRound, 0);
+            let n = Self::fold_delta(delta, boundary, left, right);
+            round_span.set_payload(n);
+            n
+        };
         EngineStats::bump(&self.stats.chase_rounds);
         let mut rounds = 1usize;
         while delta.len() > CHASE_TARGET && rounds < MAX_CHASE_ROUNDS {
             rounds += 1;
             EngineStats::bump(&self.stats.chase_rounds);
-            folded += Self::fold_delta(delta, boundary, left, right);
+            let mut round_span = obs::span(obs::Category::ChaseRound, 0);
+            let n = Self::fold_delta(delta, boundary, left, right);
+            round_span.set_payload(n);
+            folded += n;
         }
         // Closing phase: when the write rate outran the chase (the rounds
         // above cannot converge on an oversubscribed core — appending is
@@ -664,12 +673,15 @@ impl Engine {
         // geometrically and the final *fenced* fold sees at most a few
         // hundred ops, no matter how hot the shard is.
         delta.set_cap(CLOSING_CAP);
+        let mut closing_span = obs::span(obs::Category::ClosingFold, 0);
         let mut closing = 0usize;
+        let closing_before = folded;
         while delta.len() > CLOSING_TARGET && closing < 2 * MAX_CHASE_ROUNDS {
             closing += 1;
             EngineStats::bump(&self.stats.chase_rounds);
             folded += Self::fold_delta(delta, boundary, left, right);
         }
+        closing_span.set_payload(folded - closing_before);
         left.flush();
         if !std::ptr::addr_eq(left, right) {
             right.flush();
@@ -699,7 +711,10 @@ impl Engine {
 
         // Phase 1 — install fence: hook the delta log, settle the queues.
         let delta = Arc::new(DeltaLog::with_cap(DELTA_BACKPRESSURE));
-        let mut stall = self.install_delta(&shard, &delta);
+        let mut stall = {
+            let _fence_span = obs::span(obs::Category::SplitFence, 0);
+            self.install_delta(&shard, &delta)
+        };
 
         // Phase 2 — copy-on-write (writers recording into the log): ordered
         // live-scan of the now-quiescent base — exact, since nothing
@@ -743,6 +758,7 @@ impl Engine {
 
         // Phase 4 — final fence: drain the remnant while the key range is
         // still exclusively owned, publish, retire.
+        let mut fence_span = obs::span(obs::Category::SplitFence, 1);
         let fence = Instant::now();
         let mut gate = shard.latch.write();
         // One pass drains everything (no append can be in flight under the
@@ -766,6 +782,8 @@ impl Engine {
         gate.delta = None;
         drop(gate);
         stall += fence.elapsed();
+        fence_span.set_payload(captured);
+        drop(fence_span);
 
         // Post-publish settling (writers already re-routed, so none of this
         // is write stall): apply the retired instance's queue backlog so
@@ -836,6 +854,7 @@ impl Engine {
     /// disjoint between the two shards, so one log preserves the per-key
     /// order of both). Returns `Ok(false)` when `idx + 1` is out of bounds.
     fn merge_shards(&self, idx: usize) -> Result<bool, PmaError> {
+        let _span = obs::span(obs::Category::ShardMerge, idx as u64);
         let _structural = self.maintenance.lock();
         let _pin = self.epoch.pin();
         // SAFETY: pinned above.
@@ -1316,7 +1335,7 @@ impl FrozenShardPiece {
 }
 
 /// An owned point-in-time view of a [`ShardedMap`] (see
-/// [`ShardedMap::frozen`]): one [`FrozenShardPiece`] per shard of a single
+/// [`ShardedMap::frozen`]): one `FrozenShardPiece` per shard of a single
 /// directory generation. Reads against it are repeatable — concurrent
 /// writers, splits and merges copy chunks instead of mutating them under the
 /// view — and it stays valid after the source map re-publishes or drops its
@@ -1499,6 +1518,7 @@ impl ShardedMap {
     /// structural ops. Returns `None` when the inner backend does not
     /// support frozen views.
     pub fn frozen(&self) -> Option<ShardedFrozen> {
+        let mut span = obs::span(obs::Category::FrozenCapture, 0);
         'restart: loop {
             let _pin = self.engine.epoch.pin();
             // SAFETY: pinned above.
@@ -1538,6 +1558,7 @@ impl ShardedMap {
                     overlay,
                 });
             }
+            span.set_payload(dir.generation);
             return Some(ShardedFrozen {
                 generation: dir.generation,
                 len,
@@ -1858,11 +1879,14 @@ impl ConcurrentMap for ShardedMap {
             cow_copies: 0,
             pinned_generations: 0,
             snapshot_lag: 0,
+            chase_rounds: stats.chase_rounds,
+            delta_backpressure_waits: stats.delta_backpressure_waits,
+            epoch_lag: 0,
         };
         // The copy-on-write counters live in the inner instances: sum the
         // copies and live pins across shards, and report the worst per-shard
-        // generation lag (shard generations are independent clocks, so
-        // summing lags would be meaningless).
+        // generation and epoch lag (shard generations and epoch registries
+        // are independent clocks, so summing lags would be meaningless).
         let _pin = self.engine.epoch.pin();
         // SAFETY: pinned above.
         let dir = unsafe { self.engine.dir_ref() };
@@ -1871,6 +1895,9 @@ impl ConcurrentMap for ShardedMap {
                 total.cow_copies += inner.cow_copies;
                 total.pinned_generations += inner.pinned_generations;
                 total.snapshot_lag = total.snapshot_lag.max(inner.snapshot_lag);
+                total.chase_rounds += inner.chase_rounds;
+                total.delta_backpressure_waits += inner.delta_backpressure_waits;
+                total.epoch_lag = total.epoch_lag.max(inner.epoch_lag);
             }
         }
         Some(total)
@@ -1878,6 +1905,39 @@ impl ConcurrentMap for ShardedMap {
 
     fn frozen(&self) -> Option<Box<dyn FrozenView>> {
         ShardedMap::frozen(self).map(|frozen| Box::new(frozen) as Box<dyn FrozenView>)
+    }
+
+    fn observe_metrics(&self, out: &mut dyn obs::Observe) {
+        use obs::MetricSource;
+        if let Some(combining) = self.combining_stats() {
+            combining.observe(out);
+        }
+        if let Some(maintenance) = self.maintenance_stats() {
+            maintenance.observe(out);
+        }
+        let stats = self.engine.stats.snapshot();
+        out.counter("routed_ops", stats.routed_ops);
+        out.counter("retired_retries", stats.retired_retries);
+        out.counter("delta_ops", stats.delta_ops);
+        out.counter("batch_runs", stats.batch_runs);
+        out.counter("cross_shard_scans", stats.cross_shard_scans);
+        out.counter("monitor_errors", stats.monitor_errors);
+        // Combining-queue depth is an inner-map gauge: capture each shard's
+        // metrics privately and sum the depths, so the engine surfaces one
+        // `queue_depth` instead of S clashing ones.
+        let _pin = self.engine.epoch.pin();
+        // SAFETY: pinned above.
+        let dir = unsafe { self.engine.dir_ref() };
+        let mut depth = 0.0;
+        for shard in &dir.shards {
+            let mut inner = obs::Observations::new();
+            shard.map.observe_metrics(&mut inner);
+            if let Some(v) = inner.into_snapshot().value("queue_depth") {
+                depth += v;
+            }
+        }
+        out.gauge("queue_depth", depth);
+        out.gauge("num_shards", dir.shards.len() as f64);
     }
 
     fn name(&self) -> &'static str {

@@ -119,6 +119,23 @@ pub struct ShardedStats {
     pub monitor_errors: u64,
 }
 
+impl pma_common::obs::MetricSource for ShardedStats {
+    fn observe(&self, out: &mut dyn pma_common::obs::Observe) {
+        out.counter("routed_ops", self.routed_ops);
+        out.counter("retired_retries", self.retired_retries);
+        out.counter("shard_splits", self.shard_splits);
+        out.counter("shard_merges", self.shard_merges);
+        out.counter("split_stall_ns", self.split_stall_ns);
+        out.counter("delta_ops", self.delta_ops);
+        out.counter("chase_rounds", self.chase_rounds);
+        out.counter("delta_backpressure_waits", self.delta_backpressure_waits);
+        out.counter("split_thrash_averted", self.split_thrash_averted);
+        out.counter("batch_runs", self.batch_runs);
+        out.counter("cross_shard_scans", self.cross_shard_scans);
+        out.counter("monitor_errors", self.monitor_errors);
+    }
+}
+
 /// Former name of [`ShardedStats`], kept for source compatibility.
 pub type EngineStatsSnapshot = ShardedStats;
 

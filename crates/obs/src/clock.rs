@@ -1,0 +1,158 @@
+//! Timestamps for trace events: the x86 time-stamp counter when available,
+//! calibrated against [`Instant`] once at startup, with a portable
+//! [`Instant`]-based fallback elsewhere.
+//!
+//! Hot paths record *raw* ticks only (one `rdtsc`, ~20 cycles); conversion to
+//! nanoseconds happens at drain/export time through [`Clock::raw_to_ns`].
+
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// How raw timestamps are produced and converted.
+enum Mode {
+    /// `rdtsc` ticks; `ticks_per_ns` measured against `Instant` at startup.
+    #[cfg(target_arch = "x86_64")]
+    Tsc {
+        /// Calibrated tick rate (typically ~1–4 ticks/ns).
+        ticks_per_ns: f64,
+        /// TSC value at calibration start; raw readings are relative to it.
+        base_raw: u64,
+    },
+    /// Monotonic wall clock: raw readings are already nanoseconds.
+    Wall,
+}
+
+/// A calibrated monotonic clock shared by every tracing thread.
+pub struct Clock {
+    base_instant: Instant,
+    mode: Mode,
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn read_tsc() -> u64 {
+    // SAFETY: `rdtsc` has no preconditions; it only reads a counter register.
+    unsafe { core::arch::x86_64::_rdtsc() }
+}
+
+impl Clock {
+    /// The process-wide clock, calibrated on first use (a ~2 ms spin, paid
+    /// once and only when tracing actually records an event or a trace is
+    /// exported — never on the disabled path).
+    pub fn global() -> &'static Clock {
+        static CLOCK: OnceLock<Clock> = OnceLock::new();
+        CLOCK.get_or_init(Clock::calibrate)
+    }
+
+    fn calibrate() -> Clock {
+        let base_instant = Instant::now();
+        #[cfg(target_arch = "x86_64")]
+        {
+            let base_raw = read_tsc();
+            while base_instant.elapsed() < Duration::from_millis(2) {
+                std::hint::spin_loop();
+            }
+            let ticks = read_tsc().saturating_sub(base_raw);
+            let elapsed_ns = base_instant.elapsed().as_nanos() as f64;
+            if ticks > 0 && elapsed_ns > 0.0 {
+                return Clock {
+                    base_instant,
+                    mode: Mode::Tsc {
+                        ticks_per_ns: ticks as f64 / elapsed_ns,
+                        base_raw,
+                    },
+                };
+            }
+        }
+        Clock {
+            base_instant,
+            mode: Mode::Wall,
+        }
+    }
+
+    /// A raw timestamp: TSC ticks on x86-64, elapsed nanoseconds elsewhere.
+    /// Monotonic per thread and comparable across threads (invariant TSC).
+    #[inline]
+    pub fn raw_now(&self) -> u64 {
+        match self.mode {
+            #[cfg(target_arch = "x86_64")]
+            Mode::Tsc { .. } => read_tsc(),
+            Mode::Wall => self.base_instant.elapsed().as_nanos() as u64,
+        }
+    }
+
+    /// Converts a raw timestamp to nanoseconds since clock creation.
+    pub fn raw_to_ns(&self, raw: u64) -> u64 {
+        match self.mode {
+            #[cfg(target_arch = "x86_64")]
+            Mode::Tsc {
+                ticks_per_ns,
+                base_raw,
+            } => (raw.saturating_sub(base_raw) as f64 / ticks_per_ns) as u64,
+            Mode::Wall => raw,
+        }
+    }
+
+    /// Converts a raw *duration* (difference of two raw timestamps) to
+    /// nanoseconds.
+    pub fn raw_delta_to_ns(&self, delta: u64) -> u64 {
+        match self.mode {
+            #[cfg(target_arch = "x86_64")]
+            Mode::Tsc { ticks_per_ns, .. } => (delta as f64 / ticks_per_ns) as u64,
+            Mode::Wall => delta,
+        }
+    }
+
+    /// Human-readable description of the timestamp source ("tsc" or
+    /// "instant"), for trace metadata.
+    pub fn source(&self) -> &'static str {
+        match self.mode {
+            #[cfg(target_arch = "x86_64")]
+            Mode::Tsc { .. } => "tsc",
+            Mode::Wall => "instant",
+        }
+    }
+}
+
+/// Raw timestamp from the global clock.
+#[inline]
+pub fn raw_now() -> u64 {
+    Clock::global().raw_now()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_timestamps_are_monotone_and_calibrated() {
+        let clock = Clock::global();
+        let a = clock.raw_now();
+        let started = Instant::now();
+        while started.elapsed() < Duration::from_millis(20) {
+            std::hint::spin_loop();
+        }
+        let b = clock.raw_now();
+        assert!(b > a, "raw clock went backwards: {a} -> {b}");
+        let measured_ns = clock.raw_delta_to_ns(b - a) as f64;
+        let wall_ns = started.elapsed().as_nanos() as f64;
+        let ratio = measured_ns / wall_ns;
+        // 20 ms is long enough that calibration error dominates scheduler
+        // noise; the two clocks must agree within 25%.
+        assert!(
+            (0.75..1.25).contains(&ratio),
+            "calibration off: measured {measured_ns} ns vs wall {wall_ns} ns"
+        );
+    }
+
+    #[test]
+    fn raw_to_ns_is_relative_to_clock_creation() {
+        let clock = Clock::global();
+        let now = clock.raw_now();
+        let ns = clock.raw_to_ns(now);
+        // The global clock was created at most a few minutes ago in this test
+        // process; an absolute-TSC bug would produce hours-to-years here.
+        assert!(ns < 3_600_000_000_000, "raw_to_ns not rebased: {ns}");
+        assert!(!clock.source().is_empty());
+    }
+}

@@ -4,16 +4,28 @@
 //! elements in sorted order.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use pma_common::obs::{MetricsSeries, Observations};
 use pma_common::{ConcurrentMap, Key, PmaError, Value};
 
 use crate::distribution::KeyGenerator;
-use crate::latency::{LatencyHistogram, LATENCY_SAMPLE_INTERVAL};
+use crate::latency::LatencyHistogram;
 use crate::spec::{UpdatePattern, WorkloadSpec};
 
+/// How often the driver's metrics sampler snapshots the measured structure's
+/// counters (`PMA_METRICS_INTERVAL_MS` overrides, milliseconds).
+fn metrics_interval() -> Duration {
+    let ms = std::env::var("PMA_METRICS_INTERVAL_MS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&ms| ms > 0)
+        .unwrap_or(25);
+    Duration::from_millis(ms)
+}
+
 /// Result of running one workload against one data structure.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Measurement {
     /// Update operations issued (insertions + deletions).
     pub update_ops: u64,
@@ -27,12 +39,22 @@ pub struct Measurement {
     pub scans_completed: u64,
     /// Elements stored in the structure after the run (after a flush).
     pub final_len: usize,
-    /// Update latencies sampled one in [`LATENCY_SAMPLE_INTERVAL`]
+    /// Update latencies sampled one in `spec.lat_sample_interval`
     /// operations (merged across the updater threads), reported as
     /// p50/p99/p999 next to the aggregate throughput — batching, delegated
     /// rebalances and shard splits show up here long before they dent the
     /// ops/s average.
     pub update_latency: LatencyHistogram,
+    /// Wall-clock latency of every complete `scan_all` pass (merged across
+    /// the scanner threads). Scans run for milliseconds, so every pass is
+    /// timed — no sampling needed.
+    pub scan_latency: LatencyHistogram,
+    /// Time series of the structure's metrics (`observe_metrics`) sampled
+    /// on an interval (`PMA_METRICS_INTERVAL_MS`, default 25 ms) while the
+    /// workload ran — e.g.
+    /// `queue_depth` over time, from which the harness reports a p99.
+    /// `None` when the structure exposes no metrics.
+    pub metrics: Option<MetricsSeries>,
     /// Combining-queue counters of the measured structure after the run
     /// (`None` for structures without combining machinery). `late_replays`
     /// must be zero: anything else means an operation was applied after the
@@ -90,11 +112,12 @@ pub fn run_insert_only<M: ConcurrentMap + ?Sized>(map: &M, spec: &WorkloadSpec) 
         );
         let mut ops = 0u64;
         let mut latency = LatencyHistogram::new();
+        let sample_every = spec.lat_sample_interval.max(1);
         for i in 0..ops_per_thread {
             let key = generator.next_key();
             // Sampled, not per-op: timing every operation would tax the
-            // throughput being measured (see LATENCY_SAMPLE_INTERVAL).
-            if i % LATENCY_SAMPLE_INTERVAL == 0 {
+            // throughput being measured (see `lat_sample_interval`).
+            if i % sample_every == 0 {
                 let started = Instant::now();
                 map.insert(key, key.wrapping_mul(2));
                 latency.record(started.elapsed().as_nanos() as u64);
@@ -123,10 +146,11 @@ pub fn run_mixed_updates<M: ConcurrentMap + ?Sized>(map: &M, spec: &WorkloadSpec
         );
         let mut ops = 0u64;
         let mut latency = LatencyHistogram::new();
+        let sample_every = spec.lat_sample_interval.max(1);
         for _ in 0..rounds {
             let batch = generator.take(batch_per_thread);
             for (i, &key) in batch.iter().enumerate() {
-                if i % LATENCY_SAMPLE_INTERVAL == 0 {
+                if i % sample_every == 0 {
                     let started = Instant::now();
                     map.insert(key, key);
                     latency.record(started.elapsed().as_nanos() as u64);
@@ -136,7 +160,7 @@ pub fn run_mixed_updates<M: ConcurrentMap + ?Sized>(map: &M, spec: &WorkloadSpec
                 ops += 1;
             }
             for (i, &key) in batch.iter().enumerate() {
-                if i % LATENCY_SAMPLE_INTERVAL == 0 {
+                if i % sample_every == 0 {
                     let started = Instant::now();
                     map.remove(key);
                     latency.record(started.elapsed().as_nanos() as u64);
@@ -286,19 +310,51 @@ where
 
     let start = Instant::now();
     std::thread::scope(|scope| {
-        // Scanner threads: scan until the updaters finish.
+        // Metrics sampler: snapshots the structure's counters on an interval
+        // while the workload runs, so in-run behaviour (queue depth, cow
+        // copies accruing, epoch lag) is visible over time rather than only
+        // as end-of-run totals. Always takes a final sample at stop, so even
+        // sub-interval runs yield a non-empty series.
+        let sampler = scope.spawn(move || {
+            let interval = metrics_interval();
+            let sampler_start = Instant::now();
+            let mut series = MetricsSeries::new();
+            loop {
+                let stopped = stop_ref.load(Ordering::Relaxed);
+                let mut sink = Observations::new();
+                map.observe_metrics(&mut sink);
+                series.push(
+                    sampler_start.elapsed().as_millis() as u64,
+                    sink.into_snapshot(),
+                );
+                if stopped {
+                    return series;
+                }
+                // Sleep in short slices so the final sample lands promptly.
+                let deadline = Instant::now() + interval;
+                while Instant::now() < deadline && !stop_ref.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(2).min(interval));
+                }
+            }
+        });
+
+        // Scanner threads: scan until the updaters finish, timing every
+        // complete pass.
         let scanners: Vec<_> = (0..spec.threads.scan_threads)
             .map(|_| {
                 scope.spawn(move || {
                     let mut elements = 0u64;
                     let mut scans = 0u64;
+                    let mut latency = LatencyHistogram::new();
                     let scan_start = Instant::now();
                     while !stop_ref.load(Ordering::Relaxed) {
+                        let pass = Instant::now();
                         let stats = map.scan_all();
+                        latency.record(pass.elapsed().as_nanos() as u64);
                         elements += stats.count;
                         scans += 1;
                     }
-                    (elements, scans, scan_start.elapsed().as_secs_f64())
+                    (elements, scans, scan_start.elapsed().as_secs_f64(), latency)
                 })
             })
             .collect();
@@ -317,10 +373,19 @@ where
         stop.store(true, Ordering::Relaxed);
 
         for handle in scanners {
-            let (elements, scans, seconds) = handle.join().expect("a scanner thread panicked");
+            let (elements, scans, seconds, latency) =
+                handle.join().expect("a scanner thread panicked");
             measurement.scanned_elements += elements;
             measurement.scans_completed += scans;
             measurement.scan_seconds += seconds;
+            measurement.scan_latency.merge(&latency);
+        }
+
+        let series = sampler.join().expect("the metrics sampler panicked");
+        // A structure with no metrics yields all-empty snapshots; report
+        // that as "no metrics" rather than an empty-but-present series.
+        if series.points.iter().any(|p| !p.snapshot.metrics.is_empty()) {
+            measurement.metrics = Some(series);
         }
     });
 
@@ -341,6 +406,7 @@ where
 mod tests {
     use super::*;
     use crate::distribution::Distribution;
+    use crate::latency::LATENCY_SAMPLE_INTERVAL;
     use crate::spec::ThreadSplit;
     use pma_baselines::btree::BPlusTree;
     use pma_core::{ConcurrentPma, PmaParams};
@@ -358,6 +424,9 @@ mod tests {
             },
             pattern,
             seed: 42,
+            // Pinned (not the env-sensitive default): the sample-count
+            // assertions below depend on it.
+            lat_sample_interval: LATENCY_SAMPLE_INTERVAL,
         }
     }
 
@@ -384,8 +453,10 @@ mod tests {
         // structure holds at most update_ops elements.
         assert!(m.final_len > 0 && m.final_len <= 20_000);
         assert_eq!(map.len(), m.final_len);
-        // Structures without background maintenance report no stall column.
+        // Structures without background maintenance report no stall column,
+        // and without any counters at all, no metrics series either.
         assert!(m.maintenance.is_none());
+        assert!(m.metrics.is_none());
     }
 
     #[test]
@@ -399,6 +470,15 @@ mod tests {
         assert_eq!(m.final_len, map.len());
         // Scan after the run sees exactly the stored elements.
         assert_eq!(map.scan_all().count as usize, m.final_len);
+        // Every completed scan pass was timed.
+        assert_eq!(m.scan_latency.count(), m.scans_completed);
+        // The PMA exposes counters, so the sampler collected a series with
+        // at least the final at-stop snapshot, and the insert counter made
+        // it into that snapshot.
+        let series = m.metrics.as_ref().expect("PMA runs carry metrics");
+        assert!(!series.is_empty());
+        let inserts = series.last().and_then(|snap| snap.counter("inserts"));
+        assert!(inserts.is_some_and(|n| n > 0), "{inserts:?}");
     }
 
     #[test]

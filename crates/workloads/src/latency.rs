@@ -28,6 +28,18 @@ pub const LATENCY_BUCKETS: usize = 64;
 /// plenty to resolve p999.
 pub const LATENCY_SAMPLE_INTERVAL: usize = 8;
 
+/// Resolves the latency sampling interval: the `PMA_LAT_SAMPLE` environment
+/// variable when set to a positive integer (e.g. `1` to time every
+/// operation, trading throughput fidelity for full latency coverage),
+/// [`LATENCY_SAMPLE_INTERVAL`] otherwise.
+pub fn sample_interval_from_env() -> usize {
+    std::env::var("PMA_LAT_SAMPLE")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(LATENCY_SAMPLE_INTERVAL)
+}
+
 /// A fixed-size histogram of operation latencies in nanoseconds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LatencyHistogram {
@@ -122,9 +134,48 @@ impl LatencyHistogram {
     }
 }
 
+impl pma_common::obs::MetricSource for LatencyHistogram {
+    /// Exports the histogram through the observability layer: the non-empty
+    /// buckets as `(upper_bound_ns, count)` pairs plus the total sample
+    /// count, so harness latencies render in the same Prometheus/JSON
+    /// exposition as the structure counters.
+    fn observe(&self, out: &mut dyn pma_common::obs::Observe) {
+        let buckets: Vec<(u64, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &count)| count > 0)
+            .map(|(idx, &count)| {
+                // Upper bound of bucket idx: 2^idx - 1 (bucket 0 holds 0 ns).
+                let upper = if idx == 0 { 0 } else { (1u64 << idx) - 1 };
+                (upper, count)
+            })
+            .collect();
+        out.histogram("latency_ns", &buckets, self.count);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pma_common::obs::{MetricSource, Observations};
+
+    #[test]
+    fn observes_as_histogram_metric() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        h.record(100);
+        h.record(100);
+        let mut sink = Observations::new();
+        h.observe(&mut sink);
+        let snapshot = sink.into_snapshot();
+        let rendered = pma_common::obs::metrics::render_prometheus(&snapshot);
+        assert!(rendered.contains("latency_ns"), "{rendered}");
+        assert!(
+            pma_common::obs::metrics::validate_exposition(&rendered).unwrap() > 0,
+            "{rendered}"
+        );
+    }
 
     #[test]
     fn record_places_samples_in_power_of_two_buckets() {

@@ -78,6 +78,10 @@ pub struct WorkloadSpec {
     pub pattern: UpdatePattern,
     /// RNG seed (each thread derives its own sub-seed).
     pub seed: u64,
+    /// The drivers time one in this many update operations (`1` times every
+    /// operation). Defaults to `PMA_LAT_SAMPLE` when set, else
+    /// [`crate::latency::LATENCY_SAMPLE_INTERVAL`].
+    pub lat_sample_interval: usize,
 }
 
 impl Default for WorkloadSpec {
@@ -94,6 +98,7 @@ impl Default for WorkloadSpec {
             },
             pattern: UpdatePattern::InsertOnly,
             seed: 0xC0FFEE,
+            lat_sample_interval: crate::latency::sample_interval_from_env(),
         }
     }
 }

@@ -5,6 +5,11 @@
 //! ```text
 //! cargo run --release --example mixed_workload
 //! ```
+//!
+//! With `PMA_TRACE=1` the run also writes `trace.json`, a Chrome-trace file
+//! of the PMA's internal phases (gate waits, redistributes, resizes, shard
+//! splits) — open it at <https://ui.perfetto.dev> or `chrome://tracing`.
+//! `PMA_TRACE_OUT` overrides the output path.
 
 use rma_concurrent::workloads::{
     build_or_panic, label, measure_median, render_speedup_table, Distribution, ResultRow,
@@ -59,4 +64,11 @@ fn main() {
         "{}",
         render_speedup_table("Asynchronous PMA updates under skew", &rows, "PMA Baseline")
     );
+
+    // With PMA_TRACE=1, dump everything the event rings captured as a
+    // Chrome-trace file for Perfetto / chrome://tracing.
+    let trace_out = std::env::var("PMA_TRACE_OUT").unwrap_or_else(|_| "trace.json".to_string());
+    if let Some(n) = rma_concurrent::obs::trace::write_if_enabled(&trace_out) {
+        println!("wrote {n} trace events to {trace_out} (open in ui.perfetto.dev)");
+    }
 }

@@ -7,4 +7,5 @@ pub use pma_common as common;
 pub use pma_core as core;
 pub use pma_engine as engine;
 pub use pma_graph as graph;
+pub use pma_obs as obs;
 pub use pma_workloads as workloads;

@@ -1,0 +1,206 @@
+//! Tests for the observability layer: the seqlock event rings under
+//! concurrent emit/drain (no torn or duplicated events, correct overwrite
+//! at wrap) and a property test that `LatencyHistogram` merging is
+//! order-independent and lossless.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use proptest::prelude::*;
+
+use rma_concurrent::obs::trace::{self, EventRing};
+use rma_concurrent::obs::Category;
+use rma_concurrent::workloads::LatencyHistogram;
+
+/// The global enable flag and ring registry are process-wide; tests that
+/// touch either must not interleave with each other.
+static GLOBAL_TRACE: Mutex<()> = Mutex::new(());
+
+/// Word scrambler used to make every event word a checkable function of its
+/// index: a torn slot read would mix words of two different events and fail
+/// the recomputation.
+fn mix(i: u64) -> u64 {
+    i.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (i >> 7)
+}
+
+fn event(i: u64) -> trace::TraceEvent {
+    trace::TraceEvent {
+        start_raw: i,
+        dur_raw: mix(i),
+        cat: Category::GateWait,
+        tid: 7,
+        payload: mix(i ^ 0xdead_beef),
+    }
+}
+
+fn assert_untorn(e: &trace::TraceEvent) {
+    assert_eq!(e.dur_raw, mix(e.start_raw), "torn event: dur word mismatch");
+    assert_eq!(
+        e.payload,
+        mix(e.start_raw ^ 0xdead_beef),
+        "torn event: payload word mismatch"
+    );
+    assert_eq!(e.tid, 7);
+}
+
+#[test]
+fn ring_overwrites_oldest_at_wrap() {
+    let ring = EventRing::with_capacity(64);
+    assert_eq!(ring.capacity(), 64);
+    // 2.5 laps without draining: only the newest `capacity` events survive.
+    for i in 0..160u64 {
+        ring.push(&event(i));
+    }
+    let drained = ring.drain();
+    assert_eq!(drained.len(), 64);
+    for (offset, e) in drained.iter().enumerate() {
+        assert_eq!(e.start_raw, 96 + offset as u64, "oldest survivor wrong");
+        assert_untorn(e);
+    }
+    // A second drain has nothing left to deliver.
+    assert!(ring.drain().is_empty());
+    // New pushes after a full drain come out exactly once.
+    ring.push(&event(160));
+    let tail = ring.drain();
+    assert_eq!(tail.len(), 1);
+    assert_eq!(tail[0].start_raw, 160);
+}
+
+#[test]
+fn concurrent_drain_sees_no_torn_or_duplicate_events() {
+    const TOTAL: u64 = 200_000;
+    let ring = Arc::new(EventRing::with_capacity(256));
+    let done = Arc::new(AtomicBool::new(false));
+
+    let drained = std::thread::scope(|scope| {
+        let producer = {
+            let ring = Arc::clone(&ring);
+            let done = Arc::clone(&done);
+            scope.spawn(move || {
+                for i in 0..TOTAL {
+                    ring.push(&event(i));
+                }
+                done.store(true, Ordering::Release);
+            })
+        };
+        let consumer = {
+            let ring = Arc::clone(&ring);
+            let done = Arc::clone(&done);
+            scope.spawn(move || {
+                let mut all = Vec::new();
+                loop {
+                    let finished = done.load(Ordering::Acquire);
+                    all.extend(ring.drain());
+                    if finished {
+                        return all;
+                    }
+                    std::hint::spin_loop();
+                }
+            })
+        };
+        producer.join().unwrap();
+        consumer.join().unwrap()
+    });
+
+    assert!(!drained.is_empty());
+    assert!(drained.len() as u64 <= TOTAL);
+    let mut last = None;
+    for e in &drained {
+        assert_untorn(e);
+        assert!(e.start_raw < TOTAL);
+        // Drains deliver oldest-first and never repeat an index, so the
+        // concatenation of all drain batches is strictly increasing — a
+        // duplicate or reordering would break monotonicity.
+        if let Some(prev) = last {
+            assert!(e.start_raw > prev, "duplicate or reordered event");
+        }
+        last = Some(e.start_raw);
+    }
+    // The final drain runs after the producer finished, so the newest event
+    // can never be lost to overwrite.
+    assert_eq!(last, Some(TOTAL - 1));
+}
+
+#[test]
+fn multi_thread_emit_drains_lossless_via_global_api() {
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 512;
+    // Tag picked to not collide with payloads other tests might emit.
+    const TAG: u64 = 0xab51_0000_0000_0000;
+
+    let _guard = GLOBAL_TRACE.lock().unwrap();
+    // Flush anything earlier tests or instrumented code left behind.
+    trace::drain_all();
+    trace::set_enabled(true);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    trace::instant(Category::QueueDepth, TAG | (t << 16) | i);
+                }
+            });
+        }
+    });
+    trace::set_enabled(false);
+
+    let mut ours: Vec<u64> = trace::drain_all()
+        .into_iter()
+        .filter(|e| e.payload & 0xffff_0000_0000_0000 == TAG)
+        .map(|e| e.payload)
+        .collect();
+    ours.sort_unstable();
+    ours.dedup();
+    // Each emitting thread registers its own 8192-slot ring, so 512 events
+    // per thread never wrap: every emit must come back exactly once.
+    assert_eq!(ours.len() as u64, THREADS * PER_THREAD);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merging per-thread histograms is order-independent and lossless:
+    /// any partition of the samples, merged in any order, equals recording
+    /// every sample into one histogram directly.
+    #[test]
+    fn latency_histogram_merge_order_independent_and_lossless(
+        parts in proptest::collection::vec(
+            proptest::collection::vec(any::<u64>(), 0..50),
+            0..8,
+        ),
+    ) {
+        let total: usize = parts.iter().map(Vec::len).sum();
+
+        let mut reference = LatencyHistogram::new();
+        for sample in parts.iter().flatten() {
+            reference.record(*sample);
+        }
+        prop_assert_eq!(reference.count(), total as u64);
+
+        let histograms: Vec<LatencyHistogram> = parts
+            .iter()
+            .map(|samples| {
+                let mut h = LatencyHistogram::new();
+                for s in samples {
+                    h.record(*s);
+                }
+                h
+            })
+            .collect();
+
+        let mut forward = LatencyHistogram::new();
+        for h in &histograms {
+            forward.merge(h);
+        }
+        let mut backward = LatencyHistogram::new();
+        for h in histograms.iter().rev() {
+            backward.merge(h);
+        }
+
+        prop_assert_eq!(forward, backward);
+        prop_assert_eq!(forward, reference);
+        prop_assert_eq!(forward.count(), total as u64);
+        for q in [0.5, 0.99, 0.999] {
+            prop_assert_eq!(forward.percentile(q), reference.percentile(q));
+        }
+    }
+}
