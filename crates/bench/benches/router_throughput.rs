@@ -1,0 +1,89 @@
+//! Thread-per-core router throughput: the closed-loop mixed workload at 8
+//! client threads, comparing the bare `sharded:8` engine against the same
+//! engine behind `cores:<n>` routers (clients route + ship, pinned workers
+//! drain and apply).
+//!
+//! On a multi-core host the router's wins come from cache affinity and from
+//! turning N clients' cross-shard contention into per-worker FIFO drains; on
+//! a single-core container both arrangements timeshare one CPU and the
+//! router adds a queue hop, so parity (not speedup) is the expected result
+//! there — see ROADMAP's thread-per-core entry. Check with
+//! `cargo bench -p pma-bench --bench router_throughput`; the open-loop
+//! (arrival-scheduled) comparison lives in bench-smoke's `open-loop` cells.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+
+use pma_workloads::{
+    build_loaded, label, run_workload, Distribution, ThreadSplit, UpdatePattern, WorkloadSpec,
+};
+
+/// Preloaded elements (defines the shard fences via the bulk loader).
+const PRELOAD: usize = 100_000;
+/// Update operations of the measured phase.
+const UPDATES: usize = 100_000;
+/// Key domain (`beta`), shared by preload and updates.
+const KEY_RANGE: u64 = 1 << 22;
+/// Client threads of the comparison (the PR's acceptance point).
+const CLIENTS: usize = 8;
+
+fn tune(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3));
+}
+
+fn preload_items() -> Vec<(i64, i64)> {
+    let stride = (KEY_RANGE as usize / PRELOAD).max(1) as i64;
+    (0..PRELOAD as i64).map(|i| (i * stride, i)).collect()
+}
+
+fn mixed_spec() -> WorkloadSpec {
+    let scan_threads = (CLIENTS / 4).max(1);
+    WorkloadSpec {
+        distribution: Distribution::Uniform,
+        key_range: KEY_RANGE,
+        total_elements: UPDATES,
+        threads: ThreadSplit {
+            update_threads: (CLIENTS - scan_threads).max(1),
+            scan_threads,
+        },
+        pattern: UpdatePattern::InsertOnly,
+        seed: 0xC0FFEE,
+        ..WorkloadSpec::default()
+    }
+}
+
+fn bench_router_vs_direct(c: &mut Criterion) {
+    let items = preload_items();
+    let specs = [
+        "sharded:8:pma-batch:100",
+        "cores:2:sharded:8:pma-batch:100",
+        "cores:4:sharded:8:pma-batch:100",
+    ];
+    let mut group = c.benchmark_group(format!("router_mixed_{CLIENTS}t"));
+    tune(&mut group);
+    group.throughput(Throughput::Elements(UPDATES as u64));
+    for spec in specs {
+        group.bench_with_input(BenchmarkId::from_parameter(label(spec)), spec, |b, spec| {
+            // Construction (bulk load + worker spawn/pinning) runs in the
+            // setup closure so the routed candidates don't pay their extra
+            // startup inside the measured phase.
+            b.iter_batched(
+                || build_loaded(spec, &items).expect("bulk load"),
+                |map| {
+                    let m = run_workload(&*map, &mixed_spec());
+                    assert!(m.update_ops >= UPDATES as u64);
+                    m.update_ops
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_router_vs_direct);
+criterion_main!(benches);

@@ -7,7 +7,11 @@
 //! benchmark: `sharded:8:pma-batch:100`, `btree` and `pma-batch:100` on
 //! insert-only, scan-heavy and mixed workloads, reporting throughput,
 //! p50/p99 latency, the sharded engine's split-stall time and the
-//! owned/late combining counters.
+//! owned/late combining counters. Two `open-loop` cells additionally drive
+//! the thread-per-core router (and the bare sharded engine as its
+//! comparison point) at a fixed offered arrival rate, recording the
+//! achieved rate, probe sojourn percentiles (p999 in its own column), the
+//! shed count and the ingress queue-depth p99.
 //!
 //! ```text
 //! bench_smoke [--sha S] [--out PATH] [--baseline PATH]
@@ -29,7 +33,8 @@
 
 use pma_bench::smoke::{compare_reports, parse_report, render_report, MetricsSummary, SmokeRecord};
 use pma_workloads::{
-    build_or_panic, run_workload, Distribution, ThreadSplit, UpdatePattern, WorkloadSpec,
+    build_or_panic, run_open_loop, run_workload, Distribution, OpenLoopSpec, ThreadSplit,
+    UpdatePattern, WorkloadSpec,
 };
 
 /// The per-record metrics summary: end-of-run maintenance totals plus the
@@ -73,6 +78,12 @@ fn merge_metrics(a: Option<MetricsSummary>, b: Option<MetricsSummary>) -> Option
 
 /// The structures of the fixed grid.
 const STRUCTURES: &[&str] = &["sharded:8:pma-batch:100", "btree", "pma-batch:100"];
+
+/// The structures of the open-loop cells: the thread-per-core router over
+/// the sharded engine, and the bare sharded engine as its comparison point
+/// (same inner structure, no shipping layer).
+const OPEN_LOOP_STRUCTURES: &[&str] =
+    &["cores:2:sharded:8:pma-batch:100", "sharded:8:pma-batch:100"];
 
 /// The workloads of the fixed grid: `(name, update_threads, scan_threads,
 /// pattern)`.
@@ -168,7 +179,70 @@ fn run_cell(
         elements: m.final_len as u64,
         kernel: pma_common::simd::kernel_variant().to_string(),
         lat_samples: m.update_latency.count(),
+        offered_mps: 0.0,
+        sojourn_p999_us: 0,
+        shed: 0,
         metrics: metrics_summary(&m),
+    }
+}
+
+/// The `open-loop` cell: arrival-rate-scheduled load through
+/// [`run_open_loop`] — the latency columns hold probe *sojourns* (queue wait
+/// plus service through the router's ingress FIFOs), the offered rate and
+/// shed count land in their own columns, and `queue_depth_p99` comes from
+/// the sampled `ingress_depth` gauge for routed structures.
+fn run_open_loop_cell(structure: &str, elements: usize) -> SmokeRecord {
+    use std::time::Duration;
+
+    let spec = OpenLoopSpec {
+        offered_rate: 200_000.0,
+        duration: Duration::from_millis(300),
+        producers: 4,
+        key_range: 1 << 20,
+        distribution: Distribution::Uniform,
+        seed: 0xBEEF,
+        deadline: Duration::from_millis(10),
+        read_fraction: 0.1,
+        preload: elements,
+    };
+    let map = build_or_panic(structure);
+    let m = run_open_loop(&*map, &spec);
+    let (owned, late) = m
+        .combining
+        .map(|c| (c.owned_applies, c.late_replays))
+        .unwrap_or((0, 0));
+    let series = m.metrics.as_ref();
+    let metrics = m.maintenance.map(|s| MetricsSummary {
+        cow_copies: s.cow_copies,
+        chase_rounds: s.chase_rounds,
+        epoch_lag: series
+            .and_then(|ser| ser.max_value("epoch_lag"))
+            .map(|v| v as u64)
+            .unwrap_or(s.epoch_lag),
+        queue_depth_p99: series
+            .and_then(|ser| ser.percentile("ingress_depth", 0.99))
+            .or_else(|| series.and_then(|ser| ser.percentile("queue_depth", 0.99)))
+            .unwrap_or(0.0),
+        snapshot_lag: s.snapshot_lag,
+        delta_backpressure_waits: s.delta_backpressure_waits,
+    });
+    SmokeRecord {
+        structure: structure.to_string(),
+        workload: "open-loop".to_string(),
+        update_mps: m.achieved_rate() / 1.0e6,
+        scan_eps: 0.0,
+        p50_us: m.sojourn.p50().unwrap_or(0) / 1_000,
+        p99_us: m.sojourn.p99().unwrap_or(0) / 1_000,
+        split_stall_us: m.maintenance.map(|s| s.stall_ns / 1_000).unwrap_or(0),
+        owned,
+        late,
+        elements: m.final_len as u64,
+        kernel: pma_common::simd::kernel_variant().to_string(),
+        lat_samples: m.sojourn.count(),
+        offered_mps: spec.offered_rate / 1.0e6,
+        sojourn_p999_us: m.sojourn.p999().unwrap_or(0) / 1_000,
+        shed: m.shed_ops,
+        metrics,
     }
 }
 
@@ -253,6 +327,9 @@ fn run_frozen_cell(structure: &str, elements: usize) -> Option<SmokeRecord> {
         elements: map.len() as u64,
         kernel: pma_common::simd::kernel_variant().to_string(),
         lat_samples: 0,
+        offered_mps: 0.0,
+        sojourn_p999_us: 0,
+        shed: 0,
         metrics,
     })
 }
@@ -290,6 +367,33 @@ fn main() {
                         merged.lat_samples = merged.lat_samples.max(record.lat_samples);
                         merged.metrics = merge_metrics(merged.metrics.take(), record.metrics);
                     }
+                }
+            }
+        }
+        for structure in OPEN_LOOP_STRUCTURES {
+            eprintln!(
+                "bench-smoke: {structure} / open-loop (run {}/{})",
+                run + 1,
+                options.runs
+            );
+            let record = run_open_loop_cell(structure, options.elements);
+            assert_eq!(
+                record.late, 0,
+                "{structure}/open-loop: an op was replayed outside its owned window"
+            );
+            match records.iter_mut().find(|r| r.key() == record.key()) {
+                None => records.push(record),
+                Some(merged) => {
+                    merged.update_mps = merged.update_mps.min(record.update_mps);
+                    merged.p50_us = merged.p50_us.max(record.p50_us);
+                    merged.p99_us = merged.p99_us.max(record.p99_us);
+                    merged.sojourn_p999_us = merged.sojourn_p999_us.max(record.sojourn_p999_us);
+                    merged.shed = merged.shed.max(record.shed);
+                    merged.split_stall_us = merged.split_stall_us.max(record.split_stall_us);
+                    merged.owned = merged.owned.max(record.owned);
+                    merged.elements = record.elements;
+                    merged.lat_samples = merged.lat_samples.max(record.lat_samples);
+                    merged.metrics = merge_metrics(merged.metrics.take(), record.metrics);
                 }
             }
         }

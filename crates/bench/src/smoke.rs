@@ -52,6 +52,15 @@ pub struct SmokeRecord {
     /// `lat_sample_interval` operations was timed); 0 when parsed from a
     /// report written before this field existed.
     pub lat_samples: u64,
+    /// Offered arrival rate in million ops/s for open-loop cells; 0 for
+    /// closed-loop cells and for reports written before the column existed.
+    pub offered_mps: f64,
+    /// p999 probe sojourn (queue wait + service) in µs for open-loop cells;
+    /// 0 for closed-loop cells and pre-column reports.
+    pub sojourn_p999_us: u64,
+    /// Operations shed by admission control (open-loop cells over a
+    /// shed-mode router); 0 elsewhere and for pre-column reports.
+    pub shed: u64,
     /// End-of-run observability summary (the nested `metrics` object);
     /// `None` for structures exposing no counters and for reports written
     /// before the block existed.
@@ -97,7 +106,8 @@ pub fn render_report(sha: &str, records: &[SmokeRecord]) -> String {
              \"update_mps\": {:.6}, \"scan_eps\": {:.1}, \
              \"p50_us\": {}, \"p99_us\": {}, \"split_stall_us\": {}, \
              \"owned\": {}, \"late\": {}, \"elements\": {}, \"kernel\": \"{}\", \
-             \"lat_samples\": {}",
+             \"lat_samples\": {}, \"offered_mps\": {:.6}, \
+             \"sojourn_p999_us\": {}, \"shed\": {}",
             escape(&r.structure),
             escape(&r.workload),
             r.update_mps,
@@ -110,6 +120,9 @@ pub fn render_report(sha: &str, records: &[SmokeRecord]) -> String {
             r.elements,
             escape(&r.kernel),
             r.lat_samples,
+            r.offered_mps,
+            r.sojourn_p999_us,
+            r.shed,
         );
         if let Some(m) = &r.metrics {
             let _ = write!(
@@ -208,8 +221,12 @@ fn parse_record(object: &str) -> Result<SmokeRecord, String> {
         elements: number("elements")? as u64,
         // Reports written before the kernel column existed stay parseable.
         kernel: extract_string_field(object, "kernel").unwrap_or_else(|| "unknown".to_string()),
-        // Same for the sample count and the metrics block.
+        // Same for the sample count, the open-loop columns and the metrics
+        // block.
         lat_samples: extract_number_field(object, "lat_samples").unwrap_or(0.0) as u64,
+        offered_mps: extract_number_field(object, "offered_mps").unwrap_or(0.0),
+        sojourn_p999_us: extract_number_field(object, "sojourn_p999_us").unwrap_or(0.0) as u64,
+        shed: extract_number_field(object, "shed").unwrap_or(0.0) as u64,
         metrics: parse_metrics_block(object),
     })
 }
@@ -389,6 +406,9 @@ mod tests {
             elements: 40_000,
             kernel: "avx2".to_string(),
             lat_samples: 5_000,
+            offered_mps: 0.0,
+            sojourn_p999_us: 0,
+            shed: 0,
             metrics: None,
         }
     }
@@ -502,6 +522,30 @@ mod tests {
         assert_eq!(parsed[0].kernel, "unknown");
         assert_eq!(parsed[0].lat_samples, 0);
         assert_eq!(parsed[0].metrics, None);
+        // The open-loop columns default to zero on pre-column reports too.
+        assert_eq!(parsed[0].offered_mps, 0.0);
+        assert_eq!(parsed[0].sojourn_p999_us, 0);
+        assert_eq!(parsed[0].shed, 0);
+    }
+
+    #[test]
+    fn open_loop_columns_roundtrip_and_never_gate() {
+        let mut open = record("cores:2:sharded:8:pma-batch:100", "open-loop", 0.2, 0.0);
+        open.offered_mps = 0.25;
+        open.sojourn_p999_us = 870;
+        open.shed = 123;
+        let text = render_report("abc", std::slice::from_ref(&open));
+        assert!(text.contains("\"offered_mps\": 0.250000"));
+        assert!(text.contains("\"sojourn_p999_us\": 870"));
+        assert!(text.contains("\"shed\": 123"));
+        let (_, parsed) = parse_report(&text).unwrap();
+        assert_eq!(parsed[0], open);
+        // The comparator gates throughput only: a worse sojourn/shed column
+        // alone never regresses (they are trend columns, like latency).
+        let mut worse = open.clone();
+        worse.sojourn_p999_us = 99_000;
+        worse.shed = 9_999;
+        assert!(compare_reports(std::slice::from_ref(&open), &[worse], 0.25).is_empty());
     }
 
     #[test]

@@ -20,6 +20,15 @@ pub enum PmaError {
     NotFound(String),
     /// The operation conflicts with the current state (e.g. duplicate vertex).
     Conflict(String),
+    /// The structure is over capacity and the caller opted out of blocking:
+    /// a shed-mode admission (`ConcurrentMap::try_insert`) found the target
+    /// ingress queue full. The op was **not** applied; the caller may retry.
+    Overloaded {
+        /// Index of the saturated worker/queue.
+        worker: usize,
+        /// The queue's bounded capacity at the time of the shed.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for PmaError {
@@ -30,6 +39,12 @@ impl fmt::Display for PmaError {
             }
             PmaError::NotFound(what) => write!(f, "not found: {what}"),
             PmaError::Conflict(what) => write!(f, "conflict: {what}"),
+            PmaError::Overloaded { worker, capacity } => {
+                write!(
+                    f,
+                    "overloaded: ingress queue of worker {worker} is at capacity {capacity}"
+                )
+            }
         }
     }
 }
@@ -64,6 +79,14 @@ mod tests {
         assert_eq!(
             PmaError::Conflict("vertex 3 already exists".into()).to_string(),
             "conflict: vertex 3 already exists"
+        );
+        assert_eq!(
+            PmaError::Overloaded {
+                worker: 2,
+                capacity: 1024
+            }
+            .to_string(),
+            "overloaded: ingress queue of worker 2 is at capacity 1024"
         );
     }
 

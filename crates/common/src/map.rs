@@ -282,6 +282,18 @@ pub trait ConcurrentMap: Send + Sync {
     /// Inserts `key` with `value`, overwriting any previous value.
     fn insert(&self, key: Key, value: Value);
 
+    /// Inserts `key` with `value` unless the structure is over capacity, in
+    /// which case the op is **not** applied and a typed
+    /// [`PmaError::Overloaded`] comes back instead of blocking. The default
+    /// forwards to the infallible [`ConcurrentMap::insert`] (most structures
+    /// never shed); admission-controlled front-ends — the thread-per-core
+    /// router with a shed overload policy — override it so open-loop load
+    /// generators can count sheds instead of self-throttling.
+    fn try_insert(&self, key: Key, value: Value) -> Result<(), PmaError> {
+        self.insert(key, value);
+        Ok(())
+    }
+
     /// Removes `key`, returning its value if it was present.
     fn remove(&self, key: Key) -> Option<Value>;
 
@@ -469,6 +481,9 @@ pub trait ConcurrentMap: Send + Sync {
 impl<M: ConcurrentMap + ?Sized> ConcurrentMap for std::sync::Arc<M> {
     fn insert(&self, key: Key, value: Value) {
         (**self).insert(key, value)
+    }
+    fn try_insert(&self, key: Key, value: Value) -> Result<(), PmaError> {
+        (**self).try_insert(key, value)
     }
     fn remove(&self, key: Key) -> Option<Value> {
         (**self).remove(key)

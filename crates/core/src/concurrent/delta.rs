@@ -17,32 +17,47 @@
 //! 3. reads consult the log's per-key **overlay** ([`DeltaLog::lookup`])
 //!    before falling through to the quiescent base, so acknowledged-but-
 //!    unfolded operations stay visible;
-//! 4. the rebuild drains the op list ([`DeltaLog::take_all`]) into the
+//! 4. the rebuild drains the record list ([`DeltaLog::take_all`]) into the
 //!    replacement structures — incrementally while writers keep recording
 //!    (chase rounds), then one final pass under the fence. The overlay
-//!    stays intact through drains (a drained op is applied to the *not yet
-//!    published* replacement, so reads on the live side still need it) and
-//!    dies with the log at publication.
+//!    stays intact through drains (a drained record is applied to the *not
+//!    yet published* replacement, so reads on the live side still need it)
+//!    and dies with the log at publication.
+//!
+//! # Point records and run records
+//!
+//! Point operations land as [`DeltaOp`]s, one record each. Whole batch runs
+//! land through [`DeltaLog::record_run`] as [`DeltaRecord::Run`]s: the run
+//! is partitioned by stripe in **one pass** and each touched stripe stores a
+//! single sorted, deduplicated sub-run (at most [`DELTA_STRIPES`] records
+//! per call, however large the run). Without run records, a large
+//! `insert_batch` arriving during an incremental split would decay to one
+//! record — and one stripe lock acquisition — per item; with them, the
+//! chase-round drains replay each sub-run through the replacement's own
+//! `insert_batch` fast path.
 //!
 //! # The per-key ordering invariant
 //!
 //! The fold converges to the acknowledged state only if, for every key, the
 //! drain replays operations in their linearization order. [`DeltaLog`]
 //! hashes each key to one of [`DELTA_STRIPES`] stripes and serialises
-//! same-stripe records through the stripe lock, so same-key operations are
+//! same-stripe records through the stripe lock, so same-key records are
 //! appended in the order their writers were granted the stripe — and the
-//! overlay's last-writer-wins entry agrees with the append order. Cross-
-//! stripe order is irrelevant: different stripes hold different keys, and
-//! replay only has to be ordered per key. Drains preserve the invariant
-//! across rounds as long as one thread performs them in sequence: within a
-//! stripe, every op of an earlier round was appended before every op of a
-//! later round.
+//! overlay's last-writer-wins entry agrees with the append order (each
+//! record carries a per-stripe sequence number; a run sub-run shadows older
+//! point entries for its keys and vice versa). Cross-stripe order is
+//! irrelevant: different stripes hold different keys, and replay only has
+//! to be ordered per key. Drains preserve the invariant across rounds as
+//! long as one thread performs them in sequence: within a stripe, every
+//! record of an earlier round was appended before every record of a later
+//! round.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
-use pma_common::{ConcurrentMap, Key, Value};
+use pma_common::{dedup_sorted_last_wins, ConcurrentMap, Key, Value};
 
 /// Number of stripes a [`DeltaLog`] partitions the key space into. Chosen so
 /// that a handful of writer threads rarely collide while the per-log memory
@@ -84,22 +99,107 @@ impl DeltaOp {
     }
 }
 
-/// One stripe: the append-ordered op run of this stripe's keys plus the
-/// per-key overlay (latest op per key, serving reads until publication).
+/// One drained unit of a [`DeltaLog`]: either a point operation or a whole
+/// sorted run captured by [`DeltaLog::record_run`]. The run payload is
+/// `Arc`-shared with the log's read overlay, so draining does not copy it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaRecord {
+    /// A point insert or remove.
+    Op(DeltaOp),
+    /// A sorted, key-deduplicated sub-run of one batch (all upserts).
+    Run(Arc<[(Key, Value)]>),
+}
+
+impl DeltaRecord {
+    /// How many captured operations this record carries (a run counts each
+    /// of its items) — the unit [`DeltaLog::len`] is measured in.
+    #[inline]
+    pub fn count(&self) -> usize {
+        match self {
+            DeltaRecord::Op(_) => 1,
+            DeltaRecord::Run(items) => items.len(),
+        }
+    }
+
+    /// Replays the record onto `map`; runs go through the map's own
+    /// `insert_batch` fast path instead of item-at-a-time inserts.
+    pub fn apply(&self, map: &dyn ConcurrentMap) {
+        match self {
+            DeltaRecord::Op(op) => op.apply(map),
+            DeltaRecord::Run(items) => map.insert_batch(items),
+        }
+    }
+
+    /// Replays the record across a split pair: keys `< boundary` go to
+    /// `left`, the rest to `right`. A run is cut once with a binary search
+    /// and each half is batch-applied, preserving the single-pass economy
+    /// of the run record through the fold.
+    pub fn apply_split(&self, boundary: Key, left: &dyn ConcurrentMap, right: &dyn ConcurrentMap) {
+        match self {
+            DeltaRecord::Op(op) => {
+                if op.key() < boundary {
+                    op.apply(left);
+                } else {
+                    op.apply(right);
+                }
+            }
+            DeltaRecord::Run(items) => {
+                let cut = items.partition_point(|&(key, _)| key < boundary);
+                if cut > 0 {
+                    left.insert_batch(&items[..cut]);
+                }
+                if cut < items.len() {
+                    right.insert_batch(&items[cut..]);
+                }
+            }
+        }
+    }
+}
+
+/// A retained run sub-run tagged with the stripe sequence number it was
+/// recorded at, so overlay reads can arbitrate it against point entries.
+type SeqRun = (u64, Arc<[(Key, Value)]>);
+
+/// One stripe: the append-ordered record run of this stripe's keys plus the
+/// read overlay (latest point op per key and the retained run sub-runs,
+/// serving reads until publication). `seq` totally orders this stripe's
+/// records so overlay reads can arbitrate between a point entry and a run
+/// that both mention a key.
 #[derive(Default)]
 struct Stripe {
-    ops: Vec<DeltaOp>,
-    latest: HashMap<Key, DeltaOp>,
+    seq: u64,
+    recs: Vec<DeltaRecord>,
+    latest: HashMap<Key, (u64, DeltaOp)>,
+    runs: Vec<SeqRun>,
+}
+
+impl Stripe {
+    /// The pending state of `key` in this stripe, arbitrated by sequence
+    /// number between the point overlay and any retained runs. Runs newer
+    /// than the point entry are searched newest-first; the first hit wins.
+    fn pending(&self, key: Key) -> Option<DeltaOp> {
+        let point = self.latest.get(&key).copied();
+        let floor = point.map_or(0, |(seq, _)| seq);
+        for &(seq, ref run) in self.runs.iter().rev() {
+            if seq <= floor {
+                break;
+            }
+            if let Ok(idx) = run.binary_search_by_key(&key, |&(k, _)| k) {
+                return Some(DeltaOp::Insert(key, run[idx].1));
+            }
+        }
+        point.map(|(_, op)| op)
+    }
 }
 
 /// A striped operation log + read overlay capturing the concurrent delta of
 /// a copy-on-write rebuild. See the [module docs](self) for the protocol.
 pub struct DeltaLog {
     stripes: Box<[Mutex<Stripe>]>,
-    /// Recorded-but-not-drained ops. Incremented before the append, so the
-    /// value is an upper bound at all times and exact once no record is in
-    /// flight (e.g. under a structural fence). Drives the rebuild's chase
-    /// heuristic, not correctness.
+    /// Recorded-but-not-drained ops (runs count each item). Incremented
+    /// before the append, so the value is an upper bound at all times and
+    /// exact once no record is in flight (e.g. under a structural fence).
+    /// Drives the rebuild's chase heuristic, not correctness.
     len: AtomicUsize,
     /// Backpressure cap: writers should back off (instead of recording)
     /// while `len > cap`. The structural thread lowers it for the closing
@@ -170,8 +270,48 @@ impl DeltaLog {
     pub fn record_insert(&self, key: Key, value: Value) {
         self.len.fetch_add(1, Ordering::Relaxed);
         let mut stripe = self.stripes[Self::stripe_of(key)].lock();
-        stripe.ops.push(DeltaOp::Insert(key, value));
-        stripe.latest.insert(key, DeltaOp::Insert(key, value));
+        stripe.seq += 1;
+        let seq = stripe.seq;
+        stripe
+            .recs
+            .push(DeltaRecord::Op(DeltaOp::Insert(key, value)));
+        stripe
+            .latest
+            .insert(key, (seq, DeltaOp::Insert(key, value)));
+    }
+
+    /// Records a whole batch run as at most one record per touched stripe
+    /// and returns the number of records appended. The run is partitioned
+    /// by stripe in a single pass; each stripe's sub-run is sorted (stably,
+    /// so a duplicated key keeps its arrival order) and deduplicated
+    /// last-writer-wins before it is published atomically under the stripe
+    /// lock. The sub-run becomes part of the read overlay (shadowing older
+    /// point entries for its keys) and is `Arc`-shared with the drain
+    /// record, so neither reads nor drains copy it again.
+    pub fn record_run(&self, run: &[(Key, Value)]) -> usize {
+        if run.is_empty() {
+            return 0;
+        }
+        let mut buckets: [Vec<(Key, Value)>; DELTA_STRIPES] = std::array::from_fn(|_| Vec::new());
+        for &(key, value) in run {
+            buckets[Self::stripe_of(key)].push((key, value));
+        }
+        let mut records = 0;
+        for (idx, mut items) in buckets.into_iter().enumerate() {
+            if items.is_empty() {
+                continue;
+            }
+            items.sort_by_key(|&(key, _)| key);
+            let shared: Arc<[(Key, Value)]> = dedup_sorted_last_wins(&items).into();
+            self.len.fetch_add(shared.len(), Ordering::Relaxed);
+            let mut stripe = self.stripes[idx].lock();
+            stripe.seq += 1;
+            let seq = stripe.seq;
+            stripe.recs.push(DeltaRecord::Run(Arc::clone(&shared)));
+            stripe.runs.push((seq, shared));
+            records += 1;
+        }
+        records
     }
 
     /// Records a removal and returns the value the key held at this point in
@@ -187,25 +327,25 @@ impl DeltaLog {
     ) -> Option<Value> {
         self.len.fetch_add(1, Ordering::Relaxed);
         let mut stripe = self.stripes[Self::stripe_of(key)].lock();
-        let previous = match stripe.latest.get(&key) {
-            Some(&DeltaOp::Insert(_, value)) => Some(value),
-            Some(&DeltaOp::Remove(_)) => None,
+        let previous = match stripe.pending(key) {
+            Some(DeltaOp::Insert(_, value)) => Some(value),
+            Some(DeltaOp::Remove(_)) => None,
             None => base(key),
         };
-        stripe.ops.push(DeltaOp::Remove(key));
-        stripe.latest.insert(key, DeltaOp::Remove(key));
+        stripe.seq += 1;
+        let seq = stripe.seq;
+        stripe.recs.push(DeltaRecord::Op(DeltaOp::Remove(key)));
+        stripe.latest.insert(key, (seq, DeltaOp::Remove(key)));
         previous
     }
 
     /// The latest recorded operation on `key`, if any — the read overlay: a
     /// lookup that hits returns the pending state (`Insert` → that value,
     /// `Remove` → absent); a miss means the quiescent base is authoritative.
+    /// A key captured by a run record reads back as a pending insert of the
+    /// run's value unless a newer point op shadows it.
     pub fn lookup(&self, key: Key) -> Option<DeltaOp> {
-        self.stripes[Self::stripe_of(key)]
-            .lock()
-            .latest
-            .get(&key)
-            .copied()
+        self.stripes[Self::stripe_of(key)].lock().pending(key)
     }
 
     /// A point-in-time copy of the read overlay: the latest pending
@@ -219,19 +359,36 @@ impl DeltaLog {
         let mut out = BTreeMap::new();
         for stripe in self.stripes.iter() {
             let guard = stripe.lock();
-            for (&key, op) in &guard.latest {
-                let pending = match *op {
-                    DeltaOp::Insert(_, value) => Some(value),
-                    DeltaOp::Remove(_) => None,
-                };
+            let mut per_key: HashMap<Key, (u64, Option<Value>)> = guard
+                .latest
+                .iter()
+                .map(|(&key, &(seq, op))| {
+                    let pending = match op {
+                        DeltaOp::Insert(_, value) => Some(value),
+                        DeltaOp::Remove(_) => None,
+                    };
+                    (key, (seq, pending))
+                })
+                .collect();
+            for &(seq, ref run) in &guard.runs {
+                for &(key, value) in run.iter() {
+                    match per_key.get(&key) {
+                        Some(&(newer, _)) if newer > seq => {}
+                        _ => {
+                            per_key.insert(key, (seq, Some(value)));
+                        }
+                    }
+                }
+            }
+            for (key, (_, pending)) in per_key {
                 out.insert(key, pending);
             }
         }
         out
     }
 
-    /// Upper bound on the recorded-but-not-drained op count (exact when no
-    /// record is in flight).
+    /// Upper bound on the recorded-but-not-drained op count, runs counting
+    /// each item (exact when no record is in flight).
     pub fn len(&self) -> usize {
         self.len.load(Ordering::Relaxed)
     }
@@ -241,24 +398,25 @@ impl DeltaLog {
         self.len() == 0
     }
 
-    /// Takes every recorded operation out of the log, stripe by stripe,
+    /// Takes every recorded record out of the log, stripe by stripe,
     /// leaving the read overlay intact (reads on the live side need it until
     /// publication). Within a stripe (and therefore per key) the append
     /// order is preserved; across stripes the order is arbitrary, which is
     /// fine because stripes partition the key space. Writers may keep
-    /// recording concurrently — their ops land in the next drain. Successive
-    /// drains must be performed by one thread for the cross-round per-key
-    /// order to hold.
-    pub fn take_all(&self) -> Vec<DeltaOp> {
+    /// recording concurrently — their records land in the next drain.
+    /// Successive drains must be performed by one thread for the cross-round
+    /// per-key order to hold.
+    pub fn take_all(&self) -> Vec<DeltaRecord> {
         let mut out = Vec::new();
         for stripe in self.stripes.iter() {
             let mut guard = stripe.lock();
-            if guard.ops.is_empty() {
+            if guard.recs.is_empty() {
                 continue;
             }
-            let drained = std::mem::take(&mut guard.ops);
+            let drained = std::mem::take(&mut guard.recs);
             drop(guard);
-            self.len.fetch_sub(drained.len(), Ordering::Relaxed);
+            let items: usize = drained.iter().map(DeltaRecord::count).sum();
+            self.len.fetch_sub(items, Ordering::Relaxed);
             out.extend(drained);
         }
         out
@@ -282,13 +440,19 @@ mod tests {
         assert_eq!(log.lookup(9), Some(DeltaOp::Remove(9)));
         assert_eq!(log.lookup(8), None);
         let drained = log.take_all();
-        assert_eq!(drained.len(), 3);
+        assert_eq!(drained.iter().map(DeltaRecord::count).sum::<usize>(), 3);
         assert!(log.is_empty());
         // Key 7's two inserts stay in append order.
-        let on_seven: Vec<_> = drained.iter().filter(|op| op.key() == 7).collect();
+        let on_seven: Vec<_> = drained
+            .iter()
+            .filter(|rec| matches!(rec, DeltaRecord::Op(op) if op.key() == 7))
+            .collect();
         assert_eq!(
             on_seven,
-            vec![&DeltaOp::Insert(7, 1), &DeltaOp::Insert(7, 2)]
+            vec![
+                &DeltaRecord::Op(DeltaOp::Insert(7, 1)),
+                &DeltaRecord::Op(DeltaOp::Insert(7, 2))
+            ]
         );
         // Drains keep the overlay (reads still need it until publication)…
         assert_eq!(log.lookup(7), Some(DeltaOp::Insert(7, 2)));
@@ -309,6 +473,90 @@ mod tests {
             log.record_remove(1, |_| panic!("must not hit base")),
             Some(11)
         );
+        // A run shadows an older point remove…
+        log.record_run(&[(1, 12)]);
+        assert_eq!(
+            log.record_remove(1, |_| panic!("must not hit base")),
+            Some(12)
+        );
+    }
+
+    #[test]
+    fn record_run_captures_one_record_per_touched_stripe() {
+        let log = DeltaLog::new();
+        let run: Vec<(Key, Value)> = (0..4096).map(|k| (k as Key, k as Value)).collect();
+        let records = log.record_run(&run);
+        assert!((1..=DELTA_STRIPES).contains(&records), "{records}");
+        assert_eq!(log.len(), 4096);
+        // Every item is readable through the overlay.
+        assert_eq!(log.lookup(17), Some(DeltaOp::Insert(17, 17)));
+        assert_eq!(log.lookup(4095), Some(DeltaOp::Insert(4095, 4095)));
+        assert_eq!(log.lookup(5000), None);
+        // The drain hands back runs, not per-item ops: far fewer records
+        // than items, and each run is sorted for batch replay.
+        let drained = log.take_all();
+        assert_eq!(drained.len(), records);
+        assert!(drained.len() * 10 <= 4096, "runs must beat per-item 10x");
+        let mut total = 0;
+        for rec in &drained {
+            match rec {
+                DeltaRecord::Run(items) => {
+                    assert!(items.windows(2).all(|w| w[0].0 < w[1].0));
+                    total += items.len();
+                }
+                DeltaRecord::Op(_) => panic!("run capture must not emit point ops"),
+            }
+        }
+        assert_eq!(total, 4096);
+        assert!(log.is_empty());
+        // The overlay survives the drain.
+        assert_eq!(log.lookup(17), Some(DeltaOp::Insert(17, 17)));
+    }
+
+    #[test]
+    fn record_run_dedups_last_wins_and_keeps_empty_runs_free() {
+        let log = DeltaLog::new();
+        assert_eq!(log.record_run(&[]), 0);
+        // Duplicate keys within one run: the later item wins atomically.
+        let records = log.record_run(&[(5, 1), (5, 2), (5, 3)]);
+        assert_eq!(records, 1);
+        assert_eq!(log.len(), 1, "deduped run stores one item");
+        assert_eq!(log.lookup(5), Some(DeltaOp::Insert(5, 3)));
+    }
+
+    #[test]
+    fn runs_and_point_ops_arbitrate_by_recording_order() {
+        let log = DeltaLog::new();
+        log.record_insert(42, 1);
+        log.record_run(&[(42, 2)]);
+        // The run is newer: it shadows the point insert.
+        assert_eq!(log.lookup(42), Some(DeltaOp::Insert(42, 2)));
+        assert_eq!(log.overlay_snapshot().get(&42), Some(&Some(2)));
+        // A newer point remove shadows the run.
+        let _ = log.record_remove(42, |_| panic!("overlay must answer"));
+        assert_eq!(log.lookup(42), Some(DeltaOp::Remove(42)));
+        assert_eq!(log.overlay_snapshot().get(&42), Some(&None));
+        // And a fresh run shadows the remove again.
+        log.record_run(&[(42, 9)]);
+        assert_eq!(log.lookup(42), Some(DeltaOp::Insert(42, 9)));
+        assert_eq!(log.overlay_snapshot().get(&42), Some(&Some(9)));
+    }
+
+    #[test]
+    fn apply_split_cuts_runs_at_the_boundary() {
+        let left = crate::ConcurrentPma::new(crate::PmaParams::small()).unwrap();
+        let right = crate::ConcurrentPma::new(crate::PmaParams::small()).unwrap();
+        let run: Arc<[(Key, Value)]> = (0..100).map(|k| (k as Key, k as Value)).collect();
+        DeltaRecord::Run(run).apply_split(50, &left, &right);
+        DeltaRecord::Op(DeltaOp::Insert(10, 99)).apply_split(50, &left, &right);
+        DeltaRecord::Op(DeltaOp::Remove(60)).apply_split(50, &left, &right);
+        left.flush();
+        right.flush();
+        assert_eq!(left.len(), 50);
+        assert_eq!(left.get(10), Some(99));
+        assert_eq!(right.len(), 49, "remove lands on the right half");
+        assert_eq!(right.get(60), None);
+        assert_eq!(right.get(99), Some(99));
     }
 
     #[test]
@@ -366,42 +614,51 @@ mod tests {
             }
         });
         assert_eq!(log.len(), THREADS * OPS);
-        assert_eq!(log.take_all().len(), THREADS * OPS);
+        let drained = log.take_all();
+        assert_eq!(
+            drained.iter().map(DeltaRecord::count).sum::<usize>(),
+            THREADS * OPS
+        );
     }
 
     #[test]
-    fn drain_races_recorders_without_losing_ops() {
+    fn drain_races_run_recorders_without_losing_items() {
         let log = Arc::new(DeltaLog::new());
-        const OPS: usize = 20_000;
-        let mut drained = Vec::new();
+        const RUNS: usize = 200;
+        const RUN_LEN: usize = 100;
+        let mut drained_items = 0usize;
         std::thread::scope(|scope| {
             let writer = {
                 let log = Arc::clone(&log);
                 scope.spawn(move || {
-                    for i in 0..OPS {
-                        log.record_insert(i as Key, 0);
+                    for r in 0..RUNS {
+                        let run: Vec<(Key, Value)> = (0..RUN_LEN)
+                            .map(|i| ((r * RUN_LEN + i) as Key, 0))
+                            .collect();
+                        log.record_run(&run);
                     }
                 })
             };
             while !writer.is_finished() {
-                drained.extend(log.take_all());
+                drained_items += log.take_all().iter().map(DeltaRecord::count).sum::<usize>();
             }
             writer.join().unwrap();
         });
-        drained.extend(log.take_all());
-        assert_eq!(drained.len(), OPS);
+        drained_items += log.take_all().iter().map(DeltaRecord::count).sum::<usize>();
+        assert_eq!(drained_items, RUNS * RUN_LEN);
+        assert!(log.is_empty());
     }
 
     #[test]
     fn apply_replays_onto_a_map() {
         let map = crate::ConcurrentPma::new(crate::PmaParams::small()).unwrap();
-        DeltaOp::Insert(1, 10).apply(&map);
-        DeltaOp::Insert(2, 20).apply(&map);
-        DeltaOp::Remove(1).apply(&map);
-        DeltaOp::Remove(99).apply(&map); // absent key: no-op
+        DeltaRecord::Op(DeltaOp::Insert(1, 10)).apply(&map);
+        DeltaRecord::Run((2..5).map(|k| (k as Key, k as Value * 10)).collect()).apply(&map);
+        DeltaRecord::Op(DeltaOp::Remove(1)).apply(&map);
+        DeltaRecord::Op(DeltaOp::Remove(99)).apply(&map); // absent key: no-op
         map.flush();
-        assert_eq!(map.len(), 1);
-        assert_eq!(map.get(2), Some(20));
+        assert_eq!(map.len(), 3);
+        assert_eq!(map.get(3), Some(30));
     }
 
     #[test]

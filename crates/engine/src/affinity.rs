@@ -1,0 +1,71 @@
+//! Std-only CPU-affinity shim for the thread-per-core router.
+//!
+//! The router wants `core_affinity`-style pinning without pulling a crate
+//! in: on Linux the `sched_setaffinity` syscall is reachable through the
+//! libc that every Rust binary already links, declared here directly; on
+//! every other platform pinning degrades to a graceful no-op (the router
+//! still works, it just inherits the scheduler's placement). Callers treat
+//! the boolean result as a hint — a failed pin is reported in the router's
+//! `pinned_workers` gauge, never an error.
+
+/// Pins the calling thread to logical CPU `cpu % available_parallelism`
+/// (wrapping, so more workers than cores share cores round-robin) and
+/// returns whether the kernel accepted the mask. Non-Linux platforms
+/// always return `false` without side effects.
+#[cfg(target_os = "linux")]
+pub fn pin_current_thread(cpu: usize) -> bool {
+    // 1024-bit mask, the glibc cpu_set_t default; u64 words keep the
+    // layout identical to the kernel's unsigned long bitmap on x86_64 and
+    // aarch64 (the only Linux targets the workspace builds for).
+    const MASK_WORDS: usize = 1024 / 64;
+    extern "C" {
+        // pid 0 addresses the calling thread (sched_setaffinity operates
+        // on kernel task ids, and glibc forwards 0 unchanged).
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(1);
+    let cpu = cpu % cores.min(MASK_WORDS * 64);
+    let mut mask = [0u64; MASK_WORDS];
+    mask[cpu / 64] |= 1 << (cpu % 64);
+    // SAFETY: the mask outlives the call and the declared signature matches
+    // glibc's ABI (int, size_t, const cpu_set_t* — a pointer to our bitmap).
+    unsafe { sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr()) == 0 }
+}
+
+/// Non-Linux fallback: no pinning, report failure so the caller's
+/// `pinned_workers` gauge stays honest.
+#[cfg(not(target_os = "linux"))]
+pub fn pin_current_thread(_cpu: usize) -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinning_is_a_hint_and_never_panics() {
+        // On Linux this should succeed for CPU 0 (every container exposes at
+        // least one core); elsewhere it must be a graceful no-op.
+        let pinned = pin_current_thread(0);
+        if cfg!(target_os = "linux") {
+            assert!(pinned, "pinning to cpu 0 must succeed on Linux");
+        } else {
+            assert!(!pinned);
+        }
+        // Out-of-range indices wrap instead of failing.
+        let _ = pin_current_thread(usize::MAX - 1);
+    }
+
+    #[test]
+    fn pinned_thread_still_runs() {
+        let handle = std::thread::spawn(|| {
+            let _ = pin_current_thread(1); // wraps to 0 on a 1-core box
+            21 * 2
+        });
+        assert_eq!(handle.join().unwrap(), 42);
+    }
+}

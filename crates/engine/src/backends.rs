@@ -1,28 +1,35 @@
-//! Registry entry for the range-sharded engine.
+//! Registry entries for the range-sharded engine and the thread-per-core
+//! router.
 //!
-//! [`register_backends`] installs the `sharded` backend into a [`Registry`];
-//! it is then constructible by spec string without any consumer naming the
-//! concrete type:
+//! [`register_backends`] installs the `sharded` and `cores` backends into a
+//! [`Registry`]; they are then constructible by spec string without any
+//! consumer naming the concrete types:
 //!
 //! ```text
 //! sharded[:<n>[:<inner-spec>]]
+//! cores[:<n>[:<inner-spec>]]
 //! ```
 //!
-//! `<n>` is the initial shard count (default 8) and `<inner-spec>` is the
-//! registry spec each shard instantiates (default `pma-batch:100`; it may
-//! itself contain colons, e.g. `sharded:8:pma-batch:100` or
-//! `sharded:4:btree:8k`). Inner specs are resolved against the **same
+//! For `sharded`, `<n>` is the initial shard count (default 8) and
+//! `<inner-spec>` is the registry spec each shard instantiates (default
+//! `pma-batch:100`; it may itself contain colons, e.g.
+//! `sharded:8:pma-batch:100` or `sharded:4:btree:8k`). For `cores`, `<n>`
+//! is the pinned worker count (default: available parallelism, capped at 8)
+//! and `<inner-spec>` is the structure the workers apply into (default
+//! `sharded:8:pma-batch:100`, the intended shard-affine pairing — but any
+//! registered backend works). Inner specs are resolved against the **same
 //! registry that dispatched the build** (its definition is captured once at
 //! construction), so a backend set registered into a local [`Registry`]
 //! composes without any global state; labels fall back to
 //! [`Registry::global`] only for rendering the inner name. Nested `sharded`
-//! inner specs are rejected.
+//! inner specs (and `cores` inside `cores`) are rejected.
 
 use std::sync::Arc;
 
 use pma_common::registry::{BackendDef, BackendSpec, Registry};
 use pma_common::{ConcurrentMap, Key, PmaError, Value};
 
+use crate::router::{CoreRouter, CoreRouterConfig};
 use crate::sharded::{ShardedConfig, ShardedMap};
 
 /// The inner spec used when the spec string does not name one.
@@ -30,6 +37,9 @@ pub const DEFAULT_INNER_SPEC: &str = "pma-batch:100";
 
 /// The shard count used when the spec string does not name one.
 pub const DEFAULT_SHARDS: usize = 8;
+
+/// The inner spec a bare `cores` spec wraps.
+pub const DEFAULT_CORES_INNER_SPEC: &str = "sharded:8:pma-batch:100";
 
 /// Parses the `sharded` argument grammar: `<n>` or `<n>:<inner-spec>`.
 fn parse_config(spec: &BackendSpec<'_>) -> Result<ShardedConfig, PmaError> {
@@ -91,9 +101,79 @@ fn label_sharded(spec: &BackendSpec<'_>) -> String {
     }
 }
 
-/// Registers the `sharded` backend. Inner specs resolve through
-/// [`Registry::global`], so the providers of the inner structures (e.g.
-/// `pma_core::register_backends`) must be installed there as well.
+/// Parses the `cores` argument grammar: `<n>` or `<n>:<inner-spec>`.
+/// Returns the router config plus the inner spec string.
+fn parse_cores(spec: &BackendSpec<'_>) -> Result<(CoreRouterConfig, String), PmaError> {
+    let (count, inner) = match spec.arg {
+        None => (None, DEFAULT_CORES_INNER_SPEC),
+        Some(arg) => match arg.split_once(':') {
+            Some((n, rest)) => (Some(n.trim()), rest.trim()),
+            None => (Some(arg.trim()), DEFAULT_CORES_INNER_SPEC),
+        },
+    };
+    let mut config = CoreRouterConfig::default();
+    if let Some(n) = count {
+        config.workers = n.parse().map_err(|_| {
+            PmaError::invalid(
+                "backend_spec",
+                format!("`{}`: worker count `{n}` is not an integer", spec.raw),
+            )
+        })?;
+    }
+    if inner.is_empty() {
+        return Err(PmaError::invalid(
+            "backend_spec",
+            format!("`{}`: empty inner spec", spec.raw),
+        ));
+    }
+    if inner == "cores" || inner.starts_with("cores:") {
+        // A router inside a router would ship every op across two queues
+        // for no routing gain.
+        return Err(PmaError::invalid(
+            "backend_spec",
+            format!("`{}`: `cores` cannot nest inside `cores`", spec.raw),
+        ));
+    }
+    Ok((config, inner.to_string()))
+}
+
+fn build_cores(
+    registry: &Registry,
+    spec: &BackendSpec<'_>,
+) -> Result<Arc<dyn ConcurrentMap>, PmaError> {
+    let (config, inner_spec) = parse_cores(spec)?;
+    let inner = registry.build(&inner_spec)?;
+    Ok(Arc::new(CoreRouter::new(config, inner)?))
+}
+
+/// Native bulk loader: the inner structure is bulk-loaded through its own
+/// native loader, then wrapped behind the router (the load happens before
+/// any worker can ship, so no ordering interplay exists).
+fn build_loaded_cores(
+    registry: &Registry,
+    spec: &BackendSpec<'_>,
+    items: &[(Key, Value)],
+) -> Result<Arc<dyn ConcurrentMap>, PmaError> {
+    let (config, inner_spec) = parse_cores(spec)?;
+    let inner = registry.build_loaded(&inner_spec, items)?;
+    Ok(Arc::new(CoreRouter::new(config, inner)?))
+}
+
+fn label_cores(spec: &BackendSpec<'_>) -> String {
+    match parse_cores(spec) {
+        Ok((config, inner_spec)) => {
+            let inner = Registry::global()
+                .label(&inner_spec)
+                .unwrap_or_else(|_| inner_spec.clone());
+            format!("Cores {}x {}", config.workers, inner)
+        }
+        Err(_) => format!("Cores[{}]", spec.raw),
+    }
+}
+
+/// Registers the `sharded` and `cores` backends. Inner specs resolve
+/// through [`Registry::global`], so the providers of the inner structures
+/// (e.g. `pma_core::register_backends`) must be installed there as well.
 pub fn register_backends(registry: &Registry) {
     registry.register(BackendDef {
         name: "sharded",
@@ -102,6 +182,15 @@ pub fn register_backends(registry: &Registry) {
         label: label_sharded,
         build: build_sharded,
         build_loaded: Some(build_loaded_sharded),
+    });
+    registry.register(BackendDef {
+        name: "cores",
+        description: "thread-per-core router shipping ops to N pinned workers \
+                      over an inner structure; arg = <n>[:<inner-spec>] \
+                      (default sharded:8:pma-batch:100)",
+        label: label_cores,
+        build: build_cores,
+        build_loaded: Some(build_loaded_cores),
     });
 }
 
@@ -193,5 +282,59 @@ mod tests {
         assert!(registry.build("sharded:abc").is_err());
         assert!(registry.build("sharded:2:sharded:2:pma-sync").is_err());
         assert!(registry.build("sharded:2:warp-drive").is_err());
+    }
+
+    #[test]
+    fn cores_spec_grammar_roundtrip() {
+        let registry = registry();
+        for spec in [
+            "cores",
+            "cores:2",
+            "cores:2:sharded:2:pma-batch:1",
+            "cores:4:pma-sync",
+        ] {
+            let map = registry.build(spec).unwrap();
+            for k in 0..300i64 {
+                map.insert(k * 1_000_003, k);
+            }
+            map.flush();
+            assert_eq!(map.len(), 300, "{spec}");
+            assert_eq!(map.scan_all().count, 300, "{spec}");
+            assert_eq!(map.get(1_000_003), Some(1), "{spec}");
+        }
+    }
+
+    #[test]
+    fn cores_labels_name_workers_and_inner() {
+        let registry = registry();
+        assert_eq!(
+            registry.label("cores:2:sharded:4:pma-batch:100").unwrap(),
+            "Cores 2x Sharded 4x PMA Batch 100ms"
+        );
+        assert_eq!(
+            registry.label("cores:2:pma-batch:100").unwrap(),
+            "Cores 2x PMA Batch 100ms"
+        );
+    }
+
+    #[test]
+    fn cores_bulk_load_dispatches_to_the_inner_native_loader() {
+        let registry = registry();
+        let items: Vec<(i64, i64)> = (0..5_000i64).map(|k| (k * 3, -k)).collect();
+        let map = registry
+            .build_loaded("cores:2:sharded:4:pma-batch:1", &items)
+            .unwrap();
+        assert_eq!(map.len(), 5_000);
+        assert_eq!(map.get(300), Some(-100));
+        assert_eq!(map.scan_all().count, 5_000);
+    }
+
+    #[test]
+    fn invalid_cores_specs_are_rejected() {
+        let registry = registry();
+        assert!(registry.build("cores:0").is_err());
+        assert!(registry.build("cores:abc").is_err());
+        assert!(registry.build("cores:2:cores:2:pma-sync").is_err());
+        assert!(registry.build("cores:2:warp-drive").is_err());
     }
 }

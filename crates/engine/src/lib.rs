@@ -45,11 +45,14 @@
 
 #![warn(missing_docs)]
 
+pub mod affinity;
 pub mod backends;
 mod merge;
+pub mod router;
 pub mod sharded;
 pub mod stats;
 
 pub use backends::register_backends;
+pub use router::{CoreRouter, CoreRouterConfig, CoreRouterStats, OverloadPolicy};
 pub use sharded::{ShardSnapshot, ShardedConfig, ShardedFrozen, ShardedMap};
 pub use stats::{EngineStats, EngineStatsSnapshot, ShardedStats};

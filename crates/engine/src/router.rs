@@ -1,0 +1,827 @@
+//! Thread-per-core front-end: shard-affine dispatch with cross-core op
+//! shipping.
+//!
+//! [`CoreRouter`] extends the paper's §3.5 asynchronous combining one level
+//! up: instead of any client thread touching any shard (paying cross-shard
+//! cache bouncing and directory latch traffic at high thread counts), the
+//! router pins `N` persistent worker threads — one per contiguous worker
+//! key range — and client threads *ship* operations to the owning worker
+//! through a bounded MPSC ingress queue. Routing reuses the SIMD fence
+//! probe of the shard directory ([`pma_common::simd::route`]) over a fixed
+//! fence array derived from the same uniform domain tiling the sharded
+//! engine seeds its directory with, so a worker's ingress traffic maps onto
+//! a stable shard group of the inner structure.
+//!
+//! The data flow is **route → ship → drain → owned apply**:
+//!
+//! * **route** — the client probes the worker fences with the SIMD kernel
+//!   (`O(log W)`, branch-free tail) to find the owning worker;
+//! * **ship** — point inserts are shipped fire-and-forget (§3.5's batch
+//!   mode: the queue *is* the combining buffer), `get`/`remove` ship with a
+//!   completion slot and wait (one-by-one mode), and `insert_batch` splits
+//!   at the worker fences and ships whole runs with completion slots;
+//! * **drain** — each worker drains its queue in runs (up to
+//!   [`DRAIN_RUN`] ops per pass), coalescing consecutive inserts and
+//!   shipped runs into one buffer that is applied through the inner map's
+//!   `insert_batch` fast path before any read/remove/barrier in the run;
+//! * **owned apply** — all mutations go through the inner structure's
+//!   normal latched paths, so the engine's linearizability invariant
+//!   (`late_replays == 0`) holds unchanged; the router adds ordering on
+//!   top: a worker's queue is FIFO and a key always routes to the same
+//!   worker, so same-key operations apply in ship order, and a `get`
+//!   shipped after an insert of the same key observes it.
+//!
+//! **Visibility**: shipped `get`/`remove` give genuine read-your-writes.
+//! FIFO shipping alone is not enough — a batch-mode inner may *park* a
+//! coalesced run in a combining queue (acknowledged, ordered, but not yet
+//! in any chunk), so the worker keeps a read overlay of every write it has
+//! acknowledged since the inner last settled and answers sync ops from it
+//! before falling through to the inner (sound because a worker is the sole
+//! writer for its key range; the overlay is settled-and-cleared past a
+//! fixed threshold). Aggregate reads (`len`, scans) bypass the
+//! queues and keep the inner batch structures' deferred model;
+//! [`ConcurrentMap::flush`] ships a barrier to every worker and then
+//! flushes the inner map, after which everything acknowledged is applied —
+//! exactly the promise the workload drivers rely on.
+//!
+//! **Overload** is explicit instead of hidden: the ingress queues are
+//! bounded ([`CoreRouterConfig::queue_depth`]) and the
+//! [`OverloadPolicy`] picks between blocking producers (counted in
+//! `backpressure_waits`) and shedding via the typed
+//! [`PmaError::Overloaded`] error on [`ConcurrentMap::try_insert`] — the
+//! contract the open-loop workload driver measures sojourn and shed rates
+//! against.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+use pma_common::obs::{MetricSource, Observe};
+use pma_common::{
+    obs, simd, CombiningStats, ConcurrentMap, FrozenView, Key, MaintenanceStats, PmaError,
+    ScanStats, Value,
+};
+
+use crate::sharded::uniform_bounds;
+
+/// Maximum ops a worker takes out of its ingress queue per drain pass.
+/// Bounds the latency of a sync op enqueued behind a long insert train
+/// while keeping the per-pass overhead (span, buffer flush) amortised.
+pub const DRAIN_RUN: usize = 1024;
+
+/// Hard cap on worker threads (matches the sharded engine's shard cap — one
+/// worker per shard group is the intended operating point).
+const MAX_WORKERS: usize = 256;
+
+/// Overlay size at which a worker settles the inner structure and clears
+/// its read overlay. Bounds the overlay's memory (~a few MB per worker)
+/// while amortising the settle to one `flush` per this many writes.
+const OVERLAY_SETTLE: usize = 1 << 16;
+
+/// What a producer experiences when the owning worker's bounded ingress
+/// queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Producers block until the worker drains (closed-loop behaviour;
+    /// every wait is counted in `backpressure_waits`).
+    Block,
+    /// `try_insert` returns [`PmaError::Overloaded`] instead of blocking
+    /// (the op is dropped and counted in `ops_shed`); the infallible
+    /// `insert` still blocks — it has no way to report the shed.
+    Shed,
+}
+
+/// Configuration for [`CoreRouter::new`].
+#[derive(Debug, Clone)]
+pub struct CoreRouterConfig {
+    /// Number of pinned worker threads (1..=256). Each owns a contiguous
+    /// range of the key domain.
+    pub workers: usize,
+    /// Bounded depth of each worker's ingress queue (ops, >= 1).
+    pub queue_depth: usize,
+    /// What happens to producers when a queue is full.
+    pub policy: OverloadPolicy,
+    /// Whether workers attempt CPU pinning (`sched_setaffinity` on Linux,
+    /// graceful no-op elsewhere). The `pinned_workers` stat reports how
+    /// many pins the kernel accepted.
+    pub pin: bool,
+}
+
+impl Default for CoreRouterConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8),
+            queue_depth: 4096,
+            policy: OverloadPolicy::Block,
+            pin: true,
+        }
+    }
+}
+
+impl CoreRouterConfig {
+    fn validate(&self) -> Result<(), PmaError> {
+        if self.workers == 0 || self.workers > MAX_WORKERS {
+            return Err(PmaError::invalid(
+                "workers",
+                format!("must be in 1..={MAX_WORKERS}, got {}", self.workers),
+            ));
+        }
+        if self.queue_depth == 0 {
+            return Err(PmaError::invalid("queue_depth", "must be at least 1"));
+        }
+        Ok(())
+    }
+}
+
+/// A completion slot: the rendezvous half of a sync ship. The producer
+/// waits, the owning worker fills exactly once.
+struct CompletionSlot<T> {
+    slot: Mutex<Option<T>>,
+    ready: Condvar,
+}
+
+impl<T> CompletionSlot<T> {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn fill(&self, value: T) {
+        *self.slot.lock() = Some(value);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> T {
+        let mut slot = self.slot.lock();
+        loop {
+            if let Some(value) = slot.take() {
+                return value;
+            }
+            self.ready.wait(&mut slot);
+        }
+    }
+}
+
+/// One operation shipped across cores to its owning worker.
+enum ShippedOp {
+    /// Fire-and-forget upsert (§3.5 batch mode: acknowledged at enqueue).
+    Insert(Key, Value),
+    /// Sync removal: the worker fills the slot with the previous value
+    /// (resolved against its read overlay, so it is exact even when the
+    /// inner structure would have delegated the delete).
+    Remove(Key, Arc<CompletionSlot<Option<Value>>>),
+    /// Sync lookup: FIFO behind earlier same-worker inserts and answered
+    /// overlay-first, so it reads its own worker's writes even while the
+    /// inner structure still holds them parked in a combining queue.
+    Get(Key, Arc<CompletionSlot<Option<Value>>>),
+    /// A whole per-worker batch run; the slot fills once the run is
+    /// applied.
+    Run(Vec<(Key, Value)>, Arc<CompletionSlot<()>>),
+    /// Drain barrier: fills once everything shipped before it is applied.
+    Barrier(Arc<CompletionSlot<()>>),
+    /// Worker shutdown (sent by `Drop`, after all producers are gone).
+    Stop,
+}
+
+/// Bounded MPSC ingress queue: a mutex-guarded ring with two condvars. The
+/// workspace's crossbeam shim only ships unbounded channels, and a
+/// hand-rolled queue is what gives the shed-or-block policies and the
+/// depth gauge their exact semantics anyway.
+struct IngressQueue {
+    items: Mutex<VecDeque<ShippedOp>>,
+    capacity: usize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl IngressQueue {
+    fn new(capacity: usize) -> Self {
+        Self {
+            items: Mutex::new(VecDeque::with_capacity(capacity.min(DRAIN_RUN))),
+            capacity,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Blocking push; returns whether the producer had to wait for space.
+    fn push(&self, op: ShippedOp) -> bool {
+        let mut items = self.items.lock();
+        let mut waited = false;
+        while items.len() >= self.capacity {
+            waited = true;
+            self.not_full.wait(&mut items);
+        }
+        items.push_back(op);
+        drop(items);
+        self.not_empty.notify_one();
+        waited
+    }
+
+    /// Non-blocking push: hands the op back when the queue is full.
+    fn try_push(&self, op: ShippedOp) -> Result<(), ShippedOp> {
+        let mut items = self.items.lock();
+        if items.len() >= self.capacity {
+            return Err(op);
+        }
+        items.push_back(op);
+        drop(items);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Cap-exempt push for control ops (barriers, shutdown): still FIFO —
+    /// it appends like any other op — but never deadlocks against a full
+    /// queue.
+    fn push_control(&self, op: ShippedOp) {
+        let mut items = self.items.lock();
+        items.push_back(op);
+        drop(items);
+        self.not_empty.notify_one();
+    }
+
+    /// Blocks until at least one op is queued, then moves up to `max` ops
+    /// into `out` in FIFO order.
+    fn pop_run(&self, out: &mut Vec<ShippedOp>, max: usize) {
+        let mut items = self.items.lock();
+        while items.is_empty() {
+            self.not_empty.wait(&mut items);
+        }
+        let n = items.len().min(max);
+        out.extend(items.drain(..n));
+        drop(items);
+        // Many producers can be parked on distinct slots freed by one
+        // drain; wake them all.
+        self.not_full.notify_all();
+    }
+
+    fn depth(&self) -> usize {
+        self.items.lock().len()
+    }
+}
+
+/// Shared atomic counters of a [`CoreRouter`] (lock-free, relaxed: they are
+/// diagnostics, not synchronisation).
+#[derive(Default)]
+struct RouterCounters {
+    shipped_ops: AtomicU64,
+    shipped_runs: AtomicU64,
+    drained_batches: AtomicU64,
+    coalesced_inserts: AtomicU64,
+    backpressure_waits: AtomicU64,
+    ops_shed: AtomicU64,
+    pinned_workers: AtomicU64,
+}
+
+/// A point-in-time copy of a router's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreRouterStats {
+    /// Point ops shipped to workers (inserts, removes, gets).
+    pub shipped_ops: u64,
+    /// Whole batch runs shipped (`insert_batch` fan-out).
+    pub shipped_runs: u64,
+    /// Ingress drain passes across all workers.
+    pub drained_batches: u64,
+    /// Inserts applied through coalesced `insert_batch` runs instead of
+    /// point inserts (the cross-core combining win).
+    pub coalesced_inserts: u64,
+    /// Producer blocks on a full ingress queue (Block policy, or the
+    /// infallible `insert` under Shed).
+    pub backpressure_waits: u64,
+    /// Ops rejected with [`PmaError::Overloaded`] (Shed policy).
+    pub ops_shed: u64,
+    /// Workers whose CPU pin the kernel accepted.
+    pub pinned_workers: u64,
+}
+
+impl RouterCounters {
+    fn snapshot(&self) -> CoreRouterStats {
+        CoreRouterStats {
+            shipped_ops: self.shipped_ops.load(Ordering::Relaxed),
+            shipped_runs: self.shipped_runs.load(Ordering::Relaxed),
+            drained_batches: self.drained_batches.load(Ordering::Relaxed),
+            coalesced_inserts: self.coalesced_inserts.load(Ordering::Relaxed),
+            backpressure_waits: self.backpressure_waits.load(Ordering::Relaxed),
+            ops_shed: self.ops_shed.load(Ordering::Relaxed),
+            pinned_workers: self.pinned_workers.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl MetricSource for CoreRouterStats {
+    fn observe(&self, out: &mut dyn Observe) {
+        out.counter("shipped_ops", self.shipped_ops);
+        out.counter("shipped_runs", self.shipped_runs);
+        out.counter("drained_batches", self.drained_batches);
+        out.counter("coalesced_inserts", self.coalesced_inserts);
+        out.counter("ingress_backpressure_waits", self.backpressure_waits);
+        out.counter("ops_shed", self.ops_shed);
+        out.gauge("pinned_workers", self.pinned_workers as f64);
+    }
+}
+
+/// The thread-per-core dispatch front-end. See the [module docs](self).
+pub struct CoreRouter {
+    inner: Arc<dyn ConcurrentMap>,
+    /// Worker lower fences (worker `w` owns keys in
+    /// `[fences[w], fences[w+1])`), probed with the SIMD routing kernel.
+    fences: simd::AlignedKeys,
+    queues: Vec<Arc<IngressQueue>>,
+    handles: Vec<JoinHandle<()>>,
+    counters: Arc<RouterCounters>,
+    policy: OverloadPolicy,
+}
+
+impl CoreRouter {
+    /// Spawns the worker threads and wraps `inner` behind the shard-affine
+    /// dispatch layer. Workers are persistent for the router's lifetime —
+    /// like the sharded engine's ingest pool, because inner instances bind
+    /// epoch slots per thread, a worker-per-call design would exhaust them.
+    pub fn new(config: CoreRouterConfig, inner: Arc<dyn ConcurrentMap>) -> Result<Self, PmaError> {
+        config.validate()?;
+        let fences: Vec<Key> = uniform_bounds(config.workers)
+            .into_iter()
+            .map(|(lo, _)| lo)
+            .collect();
+        let counters = Arc::new(RouterCounters::default());
+        let queues: Vec<Arc<IngressQueue>> = (0..config.workers)
+            .map(|_| Arc::new(IngressQueue::new(config.queue_depth)))
+            .collect();
+        let handles = queues
+            .iter()
+            .enumerate()
+            .map(|(worker, queue)| {
+                let queue = Arc::clone(queue);
+                let inner = Arc::clone(&inner);
+                let counters = Arc::clone(&counters);
+                let pin = config.pin;
+                std::thread::Builder::new()
+                    .name(format!("pma-core-worker-{worker}"))
+                    .spawn(move || worker_loop(worker, pin, &queue, inner.as_ref(), &counters))
+                    .expect("spawning a router worker thread")
+            })
+            .collect();
+        Ok(Self {
+            inner,
+            fences: simd::AlignedKeys::from_slice(&fences),
+            queues,
+            handles,
+            counters,
+            policy: config.policy,
+        })
+    }
+
+    /// Index of the worker owning `key` (SIMD fence probe, like the shard
+    /// directory).
+    #[inline]
+    fn route(&self, key: Key) -> usize {
+        simd::route(&self.fences, key)
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// A point-in-time copy of the router's counters.
+    pub fn stats(&self) -> CoreRouterStats {
+        self.counters.snapshot()
+    }
+
+    /// Current total depth across all ingress queues.
+    pub fn ingress_depth(&self) -> usize {
+        self.queues.iter().map(|queue| queue.depth()).sum()
+    }
+
+    fn ship_blocking(&self, worker: usize, op: ShippedOp) {
+        if self.queues[worker].push(op) {
+            self.counters
+                .backpressure_waits
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        self.counters.shipped_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Ships a sync op and waits for its completion under an `OpShip` span.
+    fn ship_and_wait<T>(&self, worker: usize, op: ShippedOp, slot: &Arc<CompletionSlot<T>>) -> T {
+        let _span = obs::span(obs::Category::OpShip, worker as u64);
+        self.ship_blocking(worker, op);
+        slot.wait()
+    }
+}
+
+impl ConcurrentMap for CoreRouter {
+    fn insert(&self, key: Key, value: Value) {
+        let worker = self.route(key);
+        self.ship_blocking(worker, ShippedOp::Insert(key, value));
+    }
+
+    fn try_insert(&self, key: Key, value: Value) -> Result<(), PmaError> {
+        match self.policy {
+            OverloadPolicy::Block => {
+                self.insert(key, value);
+                Ok(())
+            }
+            OverloadPolicy::Shed => {
+                let worker = self.route(key);
+                match self.queues[worker].try_push(ShippedOp::Insert(key, value)) {
+                    Ok(()) => {
+                        self.counters.shipped_ops.fetch_add(1, Ordering::Relaxed);
+                        Ok(())
+                    }
+                    Err(_rejected) => {
+                        self.counters.ops_shed.fetch_add(1, Ordering::Relaxed);
+                        Err(PmaError::Overloaded {
+                            worker,
+                            capacity: self.queues[worker].capacity,
+                        })
+                    }
+                }
+            }
+        }
+    }
+
+    fn remove(&self, key: Key) -> Option<Value> {
+        let worker = self.route(key);
+        let slot = CompletionSlot::new();
+        self.ship_and_wait(worker, ShippedOp::Remove(key, Arc::clone(&slot)), &slot)
+    }
+
+    fn get(&self, key: Key) -> Option<Value> {
+        let worker = self.route(key);
+        let slot = CompletionSlot::new();
+        self.ship_and_wait(worker, ShippedOp::Get(key, Arc::clone(&slot)), &slot)
+    }
+
+    // Reads that aggregate across workers bypass the queues and hit the
+    // inner structure directly: they see everything drained so far (the
+    // deferred-visibility model of the inner batch structures; `flush`
+    // makes it exact).
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn scan_all(&self) -> ScanStats {
+        self.inner.scan_all()
+    }
+
+    fn range(&self, lo: Key, hi: Key, visitor: &mut dyn FnMut(Key, Value)) {
+        self.inner.range(lo, hi, visitor)
+    }
+
+    fn scan_range(&self, lo: Key, hi: Key) -> ScanStats {
+        self.inner.scan_range(lo, hi)
+    }
+
+    fn collect_range(&self, lo: Key, hi: Key) -> Vec<(Key, Value)> {
+        self.inner.collect_range(lo, hi)
+    }
+
+    fn collect_block(
+        &self,
+        lo: Key,
+        hi: Key,
+        min_len: usize,
+        keys: &mut Vec<Key>,
+        values: &mut Vec<Value>,
+    ) -> Option<Key> {
+        self.inner.collect_block(lo, hi, min_len, keys, values)
+    }
+
+    fn insert_batch(&self, items: &[(Key, Value)]) {
+        // Split at the worker fences (arrival order per key is preserved:
+        // a key always routes to one worker) and ship whole runs with
+        // completion slots — §3.5's async batch mode across cores. Waiting
+        // for all runs keeps `insert_batch`'s at-return visibility... the
+        // same as shipping the items one by one and flushing.
+        let mut runs: Vec<Vec<(Key, Value)>> = vec![Vec::new(); self.queues.len()];
+        for &(key, value) in items {
+            runs[self.route(key)].push((key, value));
+        }
+        let mut pending = Vec::new();
+        for (worker, run) in runs.into_iter().enumerate() {
+            if run.is_empty() {
+                continue;
+            }
+            let slot = CompletionSlot::new();
+            let _span = obs::span(obs::Category::OpShip, worker as u64);
+            if self.queues[worker].push(ShippedOp::Run(run, Arc::clone(&slot))) {
+                self.counters
+                    .backpressure_waits
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            self.counters.shipped_runs.fetch_add(1, Ordering::Relaxed);
+            pending.push(slot);
+        }
+        for slot in pending {
+            slot.wait();
+        }
+    }
+
+    fn flush(&self) {
+        // Barrier every worker (cap-exempt so a saturated queue cannot
+        // deadlock the flusher), wait for all drains, then flush the inner
+        // structure's own deferred machinery.
+        let pending: Vec<_> = self
+            .queues
+            .iter()
+            .map(|queue| {
+                let slot = CompletionSlot::new();
+                queue.push_control(ShippedOp::Barrier(Arc::clone(&slot)));
+                slot
+            })
+            .collect();
+        for slot in pending {
+            slot.wait();
+        }
+        self.inner.flush();
+    }
+
+    fn combining_stats(&self) -> Option<CombiningStats> {
+        self.inner.combining_stats()
+    }
+
+    fn maintenance_stats(&self) -> Option<MaintenanceStats> {
+        self.inner.maintenance_stats()
+    }
+
+    fn frozen(&self) -> Option<Box<dyn FrozenView>> {
+        // Settle the ingress queues first so the snapshot contains every
+        // acknowledged op, mirroring the flush-before-freeze the drivers do.
+        self.flush();
+        self.inner.frozen()
+    }
+
+    fn observe_metrics(&self, out: &mut dyn obs::Observe) {
+        self.inner.observe_metrics(out);
+        self.counters.snapshot().observe(out);
+        out.gauge("ingress_depth", self.ingress_depth() as f64);
+        out.gauge("router_workers", self.queues.len() as f64);
+    }
+
+    fn name(&self) -> &'static str {
+        "cores"
+    }
+}
+
+impl Drop for CoreRouter {
+    fn drop(&mut self) {
+        // `&mut self` proves no producer can still ship; Stop is therefore
+        // the last op each worker sees.
+        for queue in &self.queues {
+            queue.push_control(ShippedOp::Stop);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for CoreRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoreRouter")
+            .field("workers", &self.queues.len())
+            .field("policy", &self.policy)
+            .field("ingress_depth", &self.ingress_depth())
+            .finish()
+    }
+}
+
+/// The worker service loop: drain the ingress queue in runs, coalesce
+/// insert trains into `insert_batch` applications, answer sync ops in FIFO
+/// order, exit on `Stop`.
+fn worker_loop(
+    worker: usize,
+    pin: bool,
+    queue: &IngressQueue,
+    inner: &dyn ConcurrentMap,
+    counters: &RouterCounters,
+) {
+    if pin && crate::affinity::pin_current_thread(worker) {
+        counters.pinned_workers.fetch_add(1, Ordering::Relaxed);
+    }
+    let mut batch: Vec<ShippedOp> = Vec::with_capacity(DRAIN_RUN);
+    let mut run_buf: Vec<(Key, Value)> = Vec::new();
+    let mut run_slots: Vec<Arc<CompletionSlot<()>>> = Vec::new();
+    // Writes acknowledged since the inner last settled (`None` = removed).
+    // A batch-mode inner may park an applied run in a combining queue —
+    // ordered but not yet chunk-visible — so sync ops answer overlay-first;
+    // the worker is the sole writer for its key range, which makes the
+    // overlay authoritative for every key it holds.
+    let mut overlay: HashMap<Key, Option<Value>> = HashMap::new();
+    loop {
+        batch.clear();
+        queue.pop_run(&mut batch, DRAIN_RUN);
+        let mut span = obs::span(obs::Category::IngressDrain, worker as u64);
+        span.set_payload(batch.len() as u64);
+        counters.drained_batches.fetch_add(1, Ordering::Relaxed);
+        let mut stop = false;
+        for op in batch.drain(..) {
+            match op {
+                ShippedOp::Insert(key, value) => {
+                    overlay.insert(key, Some(value));
+                    run_buf.push((key, value));
+                }
+                ShippedOp::Run(items, slot) => {
+                    for &(key, value) in &items {
+                        overlay.insert(key, Some(value));
+                    }
+                    run_buf.extend(items);
+                    run_slots.push(slot);
+                }
+                // Sync ops flush the pending insert train first so FIFO
+                // ship order is the apply order per key.
+                ShippedOp::Remove(key, slot) => {
+                    flush_coalesced(inner, &mut run_buf, &mut run_slots, counters);
+                    let prev = match overlay.insert(key, None) {
+                        Some(state) => state,
+                        None => inner.get(key),
+                    };
+                    inner.remove(key);
+                    slot.fill(prev);
+                }
+                ShippedOp::Get(key, slot) => {
+                    flush_coalesced(inner, &mut run_buf, &mut run_slots, counters);
+                    let result = match overlay.get(&key) {
+                        Some(&state) => state,
+                        None => inner.get(key),
+                    };
+                    slot.fill(result);
+                }
+                ShippedOp::Barrier(slot) => {
+                    flush_coalesced(inner, &mut run_buf, &mut run_slots, counters);
+                    slot.fill(());
+                }
+                ShippedOp::Stop => {
+                    stop = true;
+                    break;
+                }
+            }
+        }
+        flush_coalesced(inner, &mut run_buf, &mut run_slots, counters);
+        if stop {
+            return;
+        }
+        // Keep the overlay bounded: settle the inner (its queues drain, so
+        // chunk state becomes authoritative again) and start a fresh one.
+        if overlay.len() >= OVERLAY_SETTLE {
+            inner.flush();
+            overlay.clear();
+        }
+    }
+}
+
+/// Applies the coalesced insert train through the inner `insert_batch` fast
+/// path (arrival order preserved — later duplicates win, as with point
+/// inserts) and releases the completion slots of any shipped runs in it.
+fn flush_coalesced(
+    inner: &dyn ConcurrentMap,
+    run_buf: &mut Vec<(Key, Value)>,
+    run_slots: &mut Vec<Arc<CompletionSlot<()>>>,
+    counters: &RouterCounters,
+) {
+    if !run_buf.is_empty() {
+        counters
+            .coalesced_inserts
+            .fetch_add(run_buf.len() as u64, Ordering::Relaxed);
+        inner.insert_batch(run_buf);
+        run_buf.clear();
+    }
+    for slot in run_slots.drain(..) {
+        slot.fill(());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pma_common::Registry;
+
+    fn router(workers: usize, queue_depth: usize, policy: OverloadPolicy) -> CoreRouter {
+        pma_core::register_backends(Registry::global());
+        let inner = Registry::global()
+            .build("pma-batch:1")
+            .expect("inner backend");
+        CoreRouter::new(
+            CoreRouterConfig {
+                workers,
+                queue_depth,
+                policy,
+                pin: true,
+            },
+            inner,
+        )
+        .expect("router")
+    }
+
+    #[test]
+    fn point_ops_round_trip_through_workers() {
+        let map = router(4, 64, OverloadPolicy::Block);
+        for k in -100..100i64 {
+            map.insert(k, k * 2);
+        }
+        // Shipped gets are FIFO behind the inserts: read-your-writes
+        // without an explicit flush.
+        assert_eq!(map.get(-100), Some(-200));
+        assert_eq!(map.get(99), Some(198));
+        assert_eq!(map.remove(0), Some(0));
+        assert_eq!(map.get(0), None);
+        map.flush();
+        assert_eq!(map.len(), 199);
+        assert_eq!(map.scan_all().count, 199);
+        let stats = map.stats();
+        assert!(stats.shipped_ops >= 203);
+        assert!(stats.drained_batches > 0);
+        assert!(stats.coalesced_inserts >= 200);
+    }
+
+    #[test]
+    fn batch_runs_fan_out_across_workers() {
+        let map = router(4, 256, OverloadPolicy::Block);
+        let items: Vec<(Key, Value)> = (0..5_000).map(|k| (k as Key, k as Value)).collect();
+        map.insert_batch(&items);
+        // Run completion slots make the batch visible at return (plus the
+        // inner flush for its own deferred machinery).
+        map.flush();
+        assert_eq!(map.len(), 5_000);
+        assert_eq!(map.get(4_999), Some(4_999));
+        assert!(map.stats().shipped_runs >= 1);
+    }
+
+    #[test]
+    fn shed_policy_returns_typed_overload_errors() {
+        let map = router(1, 2, OverloadPolicy::Shed);
+        let mut accepted = 0u64;
+        let mut shed = 0u64;
+        for k in 0..5_000i64 {
+            match map.try_insert(k, k) {
+                Ok(()) => accepted += 1,
+                Err(PmaError::Overloaded { worker, capacity }) => {
+                    assert_eq!(worker, 0);
+                    assert_eq!(capacity, 2);
+                    shed += 1;
+                }
+                Err(other) => panic!("unexpected error {other}"),
+            }
+        }
+        map.flush();
+        assert_eq!(accepted + shed, 5_000);
+        assert_eq!(map.len() as u64, accepted, "exactly the accepted ops land");
+        let stats = map.stats();
+        assert_eq!(stats.ops_shed, shed);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        pma_core::register_backends(Registry::global());
+        let inner = Registry::global()
+            .build("pma-batch:1")
+            .expect("inner backend");
+        for config in [
+            CoreRouterConfig {
+                workers: 0,
+                ..CoreRouterConfig::default()
+            },
+            CoreRouterConfig {
+                workers: MAX_WORKERS + 1,
+                ..CoreRouterConfig::default()
+            },
+            CoreRouterConfig {
+                queue_depth: 0,
+                ..CoreRouterConfig::default()
+            },
+        ] {
+            assert!(CoreRouter::new(config, Arc::clone(&inner)).is_err());
+        }
+    }
+
+    #[test]
+    fn observe_metrics_exports_router_counters() {
+        use pma_common::obs::Observations;
+        let map = router(2, 64, OverloadPolicy::Block);
+        map.insert(1, 1);
+        map.flush();
+        let mut sink = Observations::new();
+        map.observe_metrics(&mut sink);
+        let snapshot = sink.into_snapshot();
+        let rendered = obs::metrics::render_prometheus(&snapshot);
+        for metric in [
+            "shipped_ops",
+            "drained_batches",
+            "ingress_backpressure_waits",
+            "ops_shed",
+            "ingress_depth",
+            "router_workers",
+            "pinned_workers",
+        ] {
+            assert!(rendered.contains(metric), "missing {metric}: {rendered}");
+        }
+    }
+}

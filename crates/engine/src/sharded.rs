@@ -304,17 +304,20 @@ impl Shard {
     }
 
     /// Applies a per-shard batch run under the caller's shared latch. With a
-    /// delta log installed the run degrades to the per-item recorded path;
-    /// the native batch path resumes as soon as the split publishes.
-    fn batch_op(&self, gate: &WriteGate, run: &[(Key, Value)]) {
+    /// delta log installed the whole run is captured as stripe run records —
+    /// one stripe pass per run (`DeltaLog::record_run`) instead of decaying
+    /// to per-item recording — and the native batch path resumes as soon as
+    /// the split publishes. Returns the number of delta run records
+    /// appended (zero on the native path), which the caller accounts under
+    /// the `delta_runs` engine stat.
+    fn batch_op(&self, gate: &WriteGate, run: &[(Key, Value)]) -> u64 {
         self.wrote.store(true, Ordering::Relaxed);
         match &gate.delta {
-            Some(delta) => {
-                for &(key, value) in run {
-                    delta.record_insert(key, value);
-                }
+            Some(delta) => delta.record_run(run) as u64,
+            None => {
+                self.map.insert_batch(run);
+                0
             }
-            None => self.map.insert_batch(run),
         }
     }
 
@@ -595,12 +598,10 @@ impl Engine {
         let delta = left_gate.delta.take();
         right_gate.delta = None;
         if let Some(delta) = delta {
-            for op in delta.take_all() {
-                if op.key() <= left.hi {
-                    op.apply(left.map.as_ref());
-                } else {
-                    op.apply(right.map.as_ref());
-                }
+            // Keys <= left.hi route left; the boundary never overflows
+            // because the right shard's range sits above left.hi.
+            for rec in delta.take_all() {
+                rec.apply_split(left.hi + 1, left.map.as_ref(), right.map.as_ref());
             }
         }
     }
@@ -621,14 +622,11 @@ impl Engine {
         left: &dyn ConcurrentMap,
         right: &dyn ConcurrentMap,
     ) -> u64 {
-        let ops = delta.take_all();
-        let folded = ops.len() as u64;
-        for op in ops {
-            if op.key() < boundary {
-                op.apply(left);
-            } else {
-                op.apply(right);
-            }
+        let recs = delta.take_all();
+        let mut folded = 0u64;
+        for rec in recs {
+            folded += rec.count() as u64;
+            rec.apply_split(boundary, left, right);
         }
         folded
     }
@@ -1012,7 +1010,9 @@ fn monitor_loop(engine: Arc<Engine>) {
 }
 
 /// Evenly divides the whole key domain into `n` contiguous inclusive ranges.
-fn uniform_bounds(n: usize) -> Vec<(Key, Key)> {
+/// Also used by the thread-per-core router to derive its worker fences, so
+/// seed shards and worker key ranges tile the domain the same way.
+pub(crate) fn uniform_bounds(n: usize) -> Vec<(Key, Key)> {
     let n = n.max(1) as i128;
     let span = (KEY_MAX as i128 - KEY_MIN as i128 + 1) / n;
     (0..n)
@@ -1786,7 +1786,10 @@ impl ConcurrentMap for ShardedMap {
                         None => &run[start..],
                     };
                     shard.ops.fetch_add(chunk.len() as u64, Ordering::Relaxed);
-                    shard.batch_op(&gate, chunk);
+                    let run_records = shard.batch_op(&gate, chunk);
+                    if run_records > 0 {
+                        EngineStats::add(&engine.stats.delta_runs, run_records);
+                    }
                     start += chunk.len();
                 }
                 None
@@ -2509,6 +2512,52 @@ mod tests {
         }
         map.flush();
         assert_eq!(map.get(1), Some(-100));
+    }
+
+    #[test]
+    fn insert_batch_under_split_delta_records_runs_not_items() {
+        let map = ShardedMap::new(config(2), registry()).unwrap();
+        map.insert(0, 0);
+        map.flush();
+
+        // Install a delta log on the shard owning the non-negative range,
+        // exactly as a split's install fence does.
+        let shard = {
+            let _pin = map.engine.epoch.pin();
+            // SAFETY: pinned above.
+            let dir = unsafe { map.engine.dir_ref() };
+            Arc::clone(&dir.shards[dir.route(0)])
+        };
+        let delta = Arc::new(DeltaLog::with_cap(DELTA_BACKPRESSURE));
+        shard.latch.write().delta = Some(Arc::clone(&delta));
+
+        // A whole batch arriving mid-split must land as run records (one
+        // stripe pass), not decay to one delta record per item.
+        let run: Vec<(Key, Value)> = (0..4096).map(|k| (k as Key, k as Value)).collect();
+        map.insert_batch(&run);
+
+        assert_eq!(delta.len(), 4096, "every batch item is captured");
+        let stats = map.stats();
+        assert!(stats.delta_runs >= 1, "run capture path not taken");
+        assert!(
+            stats.delta_runs * 10 <= 4096,
+            "run capture must beat per-item recording 10x, got {} records for 4096 items",
+            stats.delta_runs
+        );
+        // Reads see the captured run through the overlay while the base
+        // stays quiescent.
+        assert_eq!(map.get(1234), Some(1234));
+
+        // Fold the log back like an aborted split would and verify nothing
+        // was lost or duplicated.
+        shard.latch.write().delta = None;
+        for rec in delta.take_all() {
+            rec.apply(shard.map.as_ref());
+        }
+        map.flush();
+        assert_eq!(map.len(), 4096);
+        assert_eq!(map.get(4095), Some(4095));
+        assert_eq!(map.get(0), Some(0), "batch upsert overwrote the seed key");
     }
 
     #[test]

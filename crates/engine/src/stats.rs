@@ -32,6 +32,12 @@ pub struct EngineStats {
     /// rebuild was running (i.e. writes that would have been *blocked* under
     /// the stop-the-shard protocol).
     pub delta_ops: AtomicU64,
+    /// Whole-run records captured by split/merge delta logs: an
+    /// `insert_batch` arriving during a copy-on-write rebuild lands as at
+    /// most one record per delta stripe (`DeltaLog::record_run`) instead of
+    /// one record per item, so this counter staying ~64x below the items
+    /// captured (`delta_ops`) is the no-decay regression signal.
+    pub delta_runs: AtomicU64,
     /// Pre-fence chase rounds: drains of a split's delta log performed while
     /// writers were still landing, to shrink the final fenced drain.
     pub chase_rounds: AtomicU64,
@@ -78,6 +84,7 @@ impl EngineStats {
             shard_merges: self.shard_merges.load(Ordering::Relaxed),
             split_stall_ns: self.split_stall_ns.load(Ordering::Relaxed),
             delta_ops: self.delta_ops.load(Ordering::Relaxed),
+            delta_runs: self.delta_runs.load(Ordering::Relaxed),
             chase_rounds: self.chase_rounds.load(Ordering::Relaxed),
             delta_backpressure_waits: self.delta_backpressure_waits.load(Ordering::Relaxed),
             split_thrash_averted: self.split_thrash_averted.load(Ordering::Relaxed),
@@ -105,6 +112,9 @@ pub struct ShardedStats {
     pub split_stall_ns: u64,
     /// Operations captured by split/merge delta logs during copy phases.
     pub delta_ops: u64,
+    /// Whole-run delta records captured from `insert_batch` during copy
+    /// phases (one stripe pass per run instead of per-item records).
+    pub delta_runs: u64,
     /// Pre-fence drains of split delta logs (chase rounds).
     pub chase_rounds: u64,
     /// Writer back-offs due to delta-log backpressure.
@@ -127,6 +137,7 @@ impl pma_common::obs::MetricSource for ShardedStats {
         out.counter("shard_merges", self.shard_merges);
         out.counter("split_stall_ns", self.split_stall_ns);
         out.counter("delta_ops", self.delta_ops);
+        out.counter("delta_runs", self.delta_runs);
         out.counter("chase_rounds", self.chase_rounds);
         out.counter("delta_backpressure_waits", self.delta_backpressure_waits);
         out.counter("split_thrash_averted", self.split_thrash_averted);
@@ -164,6 +175,7 @@ mod tests {
         EngineStats::add(&s.routed_ops, 7);
         EngineStats::add(&s.split_stall_ns, 2_500);
         EngineStats::add(&s.delta_ops, 3);
+        EngineStats::add(&s.delta_runs, 2);
         EngineStats::bump(&s.split_thrash_averted);
         let snap = s.snapshot();
         assert_eq!(snap.shard_splits, 1);
@@ -174,6 +186,7 @@ mod tests {
         assert_eq!(snap.split_stall_ns, 2_500);
         assert_eq!(snap.split_stall_us(), 2);
         assert_eq!(snap.delta_ops, 3);
+        assert_eq!(snap.delta_runs, 2);
         assert_eq!(snap.split_thrash_averted, 1);
     }
 }

@@ -63,6 +63,12 @@ pub enum Category {
     QueueDepth = 13,
     /// A shard merge in the sharded engine (payload: surviving shard index).
     ShardMerge = 14,
+    /// An op shipped to a core-affine worker: enqueue plus, for sync ops,
+    /// the completion wait (payload: worker index).
+    OpShip = 15,
+    /// One ingress-queue drain run of a core-affine worker
+    /// (payload: ops drained).
+    IngressDrain = 16,
 }
 
 impl Category {
@@ -83,6 +89,8 @@ impl Category {
         Category::EpochReclaim,
         Category::QueueDepth,
         Category::ShardMerge,
+        Category::OpShip,
+        Category::IngressDrain,
     ];
 
     /// Stable display name used in the exported trace.
@@ -103,6 +111,8 @@ impl Category {
             Category::EpochReclaim => "epoch reclaim",
             Category::QueueDepth => "queue depth",
             Category::ShardMerge => "shard merge",
+            Category::OpShip => "op ship",
+            Category::IngressDrain => "ingress drain",
         }
     }
 

@@ -7,6 +7,9 @@
 //!   concurrent scanner threads, plus the cold bulk-ingestion driver
 //!   ([`drivers::run_bulk_ingest`]) comparing `from_sorted` loads against
 //!   looped inserts.
+//! * [`open_loop`] — arrival-rate-scheduled (open-loop) driver with deficit
+//!   accounting, per-op sojourn times and a saturation sweep that ramps the
+//!   offered load until deadline misses exceed a threshold.
 //! * [`latency`] — fixed-bucket per-operation latency histograms; the
 //!   drivers report p50/p99/p999 update latency next to throughput.
 //! * [`harness`] — median-of-repeats measurement and paper-style tables.
@@ -20,6 +23,7 @@ pub mod drivers;
 pub mod factory;
 pub mod harness;
 pub mod latency;
+pub mod open_loop;
 pub mod spec;
 
 pub use distribution::{Distribution, KeyGenerator, DEFAULT_KEY_RANGE};
@@ -33,4 +37,7 @@ pub use factory::{
 };
 pub use harness::{measure_median, render_speedup_table, render_table, ResultRow};
 pub use latency::{LatencyHistogram, LATENCY_SAMPLE_INTERVAL};
+pub use open_loop::{
+    run_open_loop, saturation_sweep, OpenLoopMeasurement, OpenLoopSpec, SweepConfig,
+};
 pub use spec::{ThreadSplit, UpdatePattern, WorkloadSpec};

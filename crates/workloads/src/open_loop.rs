@@ -1,0 +1,492 @@
+//! Open-loop workload driver: operations *arrive* on a fixed schedule
+//! regardless of how fast the structure completes them, the way requests
+//! arrive at a service. Closed-loop drivers ([`crate::drivers`]) hide
+//! queueing — a slow structure simply makes its clients issue less — while
+//! an open-loop driver keeps offering load at the configured rate, so
+//! queueing delay shows up where it belongs: in the measured **sojourn
+//! time** (queue wait + service) of each operation.
+//!
+//! * Each producer thread derives a deterministic arrival schedule from the
+//!   offered rate (`arrival_i = start + i * interval`). When a producer
+//!   falls behind schedule it issues back-to-back without sleeping until it
+//!   catches up (*deficit accounting*); the worst backlog is reported as
+//!   [`OpenLoopMeasurement::max_deficit_ops`].
+//! * One in [`OpenLoopSpec::read_fraction`]⁻¹ operations is a synchronous
+//!   `get` probe. Through a queueing front-end (the engine's thread-per-core
+//!   router) a probe travels the same FIFO as the writes before it, so its
+//!   completion time measures the full sojourn — queue wait plus service —
+//!   not just the service time. Sojourns land in a [`LatencyHistogram`]
+//!   (p50/p99/p999) and are checked against [`OpenLoopSpec::deadline`].
+//! * Writes go through [`ConcurrentMap::try_insert`], so admission-controlled
+//!   structures (shed-mode routers) surface overload as typed sheds instead
+//!   of unbounded queueing; sheds are counted, never retried (open-loop
+//!   arrivals don't wait around).
+//! * [`saturation_sweep`] ramps the offered rate until the deadline-miss or
+//!   shed fraction exceeds a threshold — the classic open-loop load/latency
+//!   knee — returning one measurement per step.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use pma_common::obs::{MetricsSeries, Observations};
+use pma_common::ConcurrentMap;
+
+use crate::distribution::{Distribution, KeyGenerator};
+use crate::latency::LatencyHistogram;
+
+/// How often the sampler thread snapshots `observe_metrics` (shared with the
+/// closed-loop drivers via `PMA_METRICS_INTERVAL_MS`).
+fn metrics_interval() -> Duration {
+    let ms = std::env::var("PMA_METRICS_INTERVAL_MS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&ms| ms > 0)
+        .unwrap_or(25);
+    Duration::from_millis(ms)
+}
+
+/// One open-loop experiment cell: an arrival schedule plus the op mix.
+#[derive(Debug, Clone)]
+pub struct OpenLoopSpec {
+    /// Total offered arrival rate in operations per second, split evenly
+    /// across the producers.
+    pub offered_rate: f64,
+    /// How long arrivals are scheduled for. When the structure keeps up the
+    /// run finishes in about this long; when it saturates the run overshoots
+    /// (producers are still draining their schedules), which is itself a
+    /// saturation signal.
+    pub duration: Duration,
+    /// Producer threads, each with its own deterministic schedule.
+    pub producers: usize,
+    /// Key domain of the generated operations.
+    pub key_range: u64,
+    /// Key distribution of the generated operations.
+    pub distribution: Distribution,
+    /// RNG seed (each producer derives its own sub-seed).
+    pub seed: u64,
+    /// Sojourn budget per probe; a probe completing later than
+    /// `arrival + deadline` counts as a deadline miss.
+    pub deadline: Duration,
+    /// Fraction of operations issued as synchronous `get` probes (the
+    /// sojourn measurement); the rest are `try_insert` writes. Clamped to
+    /// `[0, 1]`; probes are spaced deterministically (every ⌈1/f⌉-th op).
+    pub read_fraction: f64,
+    /// Elements loaded (evenly over the key range) before the measured
+    /// phase, so probes hit a populated structure.
+    pub preload: usize,
+}
+
+impl Default for OpenLoopSpec {
+    fn default() -> Self {
+        Self {
+            offered_rate: 100_000.0,
+            duration: Duration::from_millis(500),
+            producers: 2,
+            key_range: 1 << 20,
+            distribution: Distribution::Uniform,
+            seed: 0xC0FFEE,
+            deadline: Duration::from_millis(1),
+            read_fraction: 0.1,
+            preload: 10_000,
+        }
+    }
+}
+
+impl OpenLoopSpec {
+    /// Nanoseconds between consecutive arrivals of one producer.
+    pub fn interval_ns(&self) -> u64 {
+        let rate = self.offered_rate.max(1.0);
+        let per_producer = rate / self.producers.max(1) as f64;
+        ((1e9 / per_producer) as u64).max(1)
+    }
+
+    /// Operations each producer schedules (rounded up so the total offered
+    /// load is at least `offered_rate * duration`).
+    pub fn ops_per_producer(&self) -> u64 {
+        let total = self.offered_rate.max(1.0) * self.duration.as_secs_f64();
+        (total / self.producers.max(1) as f64).ceil().max(1.0) as u64
+    }
+
+    /// Every how many ops a producer issues a sojourn probe (`0` = never,
+    /// when `read_fraction` is not positive).
+    pub fn probe_every(&self) -> u64 {
+        if self.read_fraction <= 0.0 {
+            0
+        } else {
+            (1.0 / self.read_fraction.min(1.0)).round().max(1.0) as u64
+        }
+    }
+}
+
+/// Result of one open-loop run at one offered rate.
+#[derive(Debug, Clone, Default)]
+pub struct OpenLoopMeasurement {
+    /// The offered rate this cell ran at (ops/s).
+    pub offered_rate: f64,
+    /// Operations issued (probes + writes, shed or not).
+    pub issued_ops: u64,
+    /// Writes rejected by the structure's admission control
+    /// ([`ConcurrentMap::try_insert`] returning an error).
+    pub shed_ops: u64,
+    /// Probes whose sojourn exceeded the deadline.
+    pub deadline_misses: u64,
+    /// Wall-clock seconds from first scheduled arrival to the last issued
+    /// operation (exceeds the spec duration when saturated).
+    pub elapsed_seconds: f64,
+    /// Worst per-producer backlog observed at an issue point: how many
+    /// arrivals the producer was behind schedule (0 = always on time).
+    pub max_deficit_ops: u64,
+    /// Probe sojourns (queue wait + service), nanoseconds; `count()` is the
+    /// number of probes.
+    pub sojourn: LatencyHistogram,
+    /// Elements stored after the run (after a flush).
+    pub final_len: usize,
+    /// Metrics time series sampled while the run was live (`None` when the
+    /// structure exposes no metrics) — for routed structures this carries
+    /// `ingress_depth` over time, from which a queue-depth p99 is derived.
+    pub metrics: Option<MetricsSeries>,
+    /// Combining counters after the run (`late_replays` must be zero).
+    pub combining: Option<pma_common::CombiningStats>,
+    /// Structural-maintenance counters after the run.
+    pub maintenance: Option<pma_common::MaintenanceStats>,
+}
+
+impl OpenLoopMeasurement {
+    /// Operations that reached the structure (issued minus shed).
+    pub fn completed_ops(&self) -> u64 {
+        self.issued_ops - self.shed_ops
+    }
+
+    /// Completed operations per wall-clock second.
+    pub fn achieved_rate(&self) -> f64 {
+        if self.elapsed_seconds <= 0.0 {
+            0.0
+        } else {
+            self.completed_ops() as f64 / self.elapsed_seconds
+        }
+    }
+
+    /// Fraction of probes that missed the deadline (0 when nothing probed).
+    pub fn miss_fraction(&self) -> f64 {
+        let probes = self.sojourn.count();
+        if probes == 0 {
+            0.0
+        } else {
+            self.deadline_misses as f64 / probes as f64
+        }
+    }
+
+    /// Fraction of issued operations that were shed.
+    pub fn shed_fraction(&self) -> f64 {
+        if self.issued_ops == 0 {
+            0.0
+        } else {
+            self.shed_ops as f64 / self.issued_ops as f64
+        }
+    }
+}
+
+/// Runs one open-loop cell against `map`: preloads, then lets the producers
+/// walk their arrival schedules to the end (issuing back-to-back while
+/// behind), while a sampler thread snapshots the structure's metrics.
+pub fn run_open_loop<M: ConcurrentMap + ?Sized>(
+    map: &M,
+    spec: &OpenLoopSpec,
+) -> OpenLoopMeasurement {
+    // Preload outside the measured phase so probes hit a populated structure.
+    let preload_n = spec.preload as u64;
+    let stride = (spec.key_range / preload_n.max(1)).max(1);
+    for i in 0..preload_n {
+        let key = (i * stride) as pma_common::Key;
+        map.insert(key, key);
+    }
+    map.flush();
+
+    let per_producer = spec.ops_per_producer();
+    let interval_ns = spec.interval_ns();
+    let probe_every = spec.probe_every();
+    let deadline_ns = spec.deadline.as_nanos() as u64;
+
+    let stop = AtomicBool::new(false);
+    let stop_ref = &stop;
+    let mut measurement = OpenLoopMeasurement {
+        offered_rate: spec.offered_rate,
+        ..OpenLoopMeasurement::default()
+    };
+
+    let run_start = Instant::now();
+    std::thread::scope(|scope| {
+        // Same sampler as the closed-loop drivers: queue depth and shed
+        // counters over time, with a final at-stop snapshot.
+        let sampler = scope.spawn(move || {
+            let interval = metrics_interval();
+            let sampler_start = Instant::now();
+            let mut series = MetricsSeries::new();
+            loop {
+                let stopped = stop_ref.load(Ordering::Relaxed);
+                let mut sink = Observations::new();
+                map.observe_metrics(&mut sink);
+                series.push(
+                    sampler_start.elapsed().as_millis() as u64,
+                    sink.into_snapshot(),
+                );
+                if stopped {
+                    return series;
+                }
+                let deadline = Instant::now() + interval;
+                while Instant::now() < deadline && !stop_ref.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(2).min(interval));
+                }
+            }
+        });
+
+        let producers: Vec<_> = (0..spec.producers.max(1))
+            .map(|tid| {
+                scope.spawn(move || {
+                    let mut generator = KeyGenerator::new(
+                        spec.distribution,
+                        spec.key_range,
+                        spec.seed ^ (tid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    let mut sojourn = LatencyHistogram::new();
+                    let (mut shed, mut misses, mut max_deficit) = (0u64, 0u64, 0u64);
+                    let start = Instant::now();
+                    for i in 0..per_producer {
+                        let scheduled_ns = i * interval_ns;
+                        let now_ns = start.elapsed().as_nanos() as u64;
+                        if now_ns < scheduled_ns {
+                            std::thread::sleep(Duration::from_nanos(scheduled_ns - now_ns));
+                        } else {
+                            // Behind schedule: issue back-to-back (no sleep)
+                            // and account the deficit in arrivals.
+                            max_deficit = max_deficit.max((now_ns - scheduled_ns) / interval_ns);
+                        }
+                        let key = generator.next_key();
+                        if probe_every > 0 && i % probe_every == 0 {
+                            let _ = map.get(key);
+                            // Sojourn is measured from the *scheduled*
+                            // arrival, not the issue instant: time spent
+                            // catching up a deficit is queueing delay too.
+                            let done_ns = start.elapsed().as_nanos() as u64;
+                            let sojourn_ns = done_ns.saturating_sub(scheduled_ns);
+                            sojourn.record(sojourn_ns);
+                            if sojourn_ns > deadline_ns {
+                                misses += 1;
+                            }
+                        } else if map.try_insert(key, key).is_err() {
+                            shed += 1;
+                        }
+                    }
+                    (per_producer, shed, misses, max_deficit, sojourn)
+                })
+            })
+            .collect();
+
+        for handle in producers {
+            let (issued, shed, misses, deficit, sojourn) =
+                handle.join().expect("a producer thread panicked");
+            measurement.issued_ops += issued;
+            measurement.shed_ops += shed;
+            measurement.deadline_misses += misses;
+            measurement.max_deficit_ops = measurement.max_deficit_ops.max(deficit);
+            measurement.sojourn.merge(&sojourn);
+        }
+        measurement.elapsed_seconds = run_start.elapsed().as_secs_f64();
+        stop.store(true, Ordering::Relaxed);
+
+        let series = sampler.join().expect("the metrics sampler panicked");
+        if series.points.iter().any(|p| !p.snapshot.metrics.is_empty()) {
+            measurement.metrics = Some(series);
+        }
+    });
+
+    map.flush();
+    measurement.final_len = map.len();
+    measurement.combining = map.combining_stats();
+    measurement.maintenance = map.maintenance_stats();
+    if let Some(combining) = measurement.combining {
+        debug_assert_eq!(
+            combining.late_replays, 0,
+            "an operation was applied after its owning window was released"
+        );
+    }
+    measurement
+}
+
+/// How a [`saturation_sweep`] ramps the offered load.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepConfig {
+    /// Offered rate of the first step (ops/s).
+    pub start_rate: f64,
+    /// Multiplicative ramp per step (clamped to at least 1.01).
+    pub growth: f64,
+    /// Upper bound on sweep steps, saturated or not.
+    pub max_steps: usize,
+    /// The sweep stops after the first step whose deadline-miss fraction
+    /// *or* shed fraction exceeds this threshold.
+    pub miss_threshold: f64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        Self {
+            start_rate: 50_000.0,
+            growth: 2.0,
+            max_steps: 6,
+            miss_threshold: 0.05,
+        }
+    }
+}
+
+/// Ramps the offered rate from [`SweepConfig::start_rate`] by
+/// [`SweepConfig::growth`] per step — building a **fresh** structure per step
+/// via `build`, so steps don't inherit each other's backlog — until a step
+/// saturates (miss or shed fraction above the threshold) or `max_steps` is
+/// reached. Returns one measurement per step; the last one is the knee when
+/// the sweep stopped early.
+pub fn saturation_sweep(
+    build: impl Fn() -> std::sync::Arc<dyn ConcurrentMap>,
+    base: &OpenLoopSpec,
+    config: &SweepConfig,
+) -> Vec<OpenLoopMeasurement> {
+    let mut rate = config.start_rate.max(1.0);
+    let mut out = Vec::new();
+    for _ in 0..config.max_steps.max(1) {
+        let spec = OpenLoopSpec {
+            offered_rate: rate,
+            ..base.clone()
+        };
+        let map = build();
+        let measurement = run_open_loop(map.as_ref(), &spec);
+        let saturated = measurement.miss_fraction() > config.miss_threshold
+            || measurement.shed_fraction() > config.miss_threshold;
+        out.push(measurement);
+        if saturated {
+            break;
+        }
+        rate *= config.growth.max(1.01);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pma_baselines::btree::BPlusTree;
+
+    fn tiny_spec() -> OpenLoopSpec {
+        OpenLoopSpec {
+            offered_rate: 40_000.0,
+            duration: Duration::from_millis(100),
+            producers: 2,
+            key_range: 1 << 16,
+            preload: 1_000,
+            read_fraction: 0.25,
+            deadline: Duration::from_secs(5),
+            ..OpenLoopSpec::default()
+        }
+    }
+
+    #[test]
+    fn schedule_arithmetic_covers_the_offered_load() {
+        let spec = tiny_spec();
+        // 40k ops/s over 100ms split across 2 producers = 2000 each.
+        assert_eq!(spec.ops_per_producer(), 2_000);
+        // Per-producer rate 20k/s = 50µs between arrivals.
+        assert_eq!(spec.interval_ns(), 50_000);
+        // read_fraction 0.25 probes every 4th op.
+        assert_eq!(spec.probe_every(), 4);
+        // No probes when the mix is write-only.
+        assert_eq!(
+            OpenLoopSpec {
+                read_fraction: 0.0,
+                ..spec
+            }
+            .probe_every(),
+            0
+        );
+    }
+
+    #[test]
+    fn open_loop_issues_the_full_schedule() {
+        let map = BPlusTree::with_defaults();
+        let spec = tiny_spec();
+        let m = run_open_loop(&map, &spec);
+        assert_eq!(m.issued_ops, 4_000);
+        // The btree never sheds, and with a 5s deadline nothing misses.
+        assert_eq!(m.shed_ops, 0);
+        assert_eq!(m.deadline_misses, 0);
+        assert_eq!(m.completed_ops(), 4_000);
+        // Every 4th op per producer was probed.
+        assert_eq!(m.sojourn.count(), 1_000);
+        assert!(m.miss_fraction() == 0.0 && m.shed_fraction() == 0.0);
+        assert!(m.elapsed_seconds > 0.0 && m.achieved_rate() > 0.0);
+        // Preload plus whatever the writes added (duplicates collapse).
+        assert!(m.final_len >= 1_000);
+        assert_eq!(map.len(), m.final_len);
+        let p50 = m.sojourn.p50().expect("probes were recorded");
+        let p999 = m.sojourn.p999().expect("probes were recorded");
+        assert!(p50 <= p999, "p50 {p50} > p999 {p999}");
+    }
+
+    #[test]
+    fn zero_deadline_counts_every_probe_as_missed() {
+        let map = BPlusTree::with_defaults();
+        let spec = OpenLoopSpec {
+            deadline: Duration::ZERO,
+            duration: Duration::from_millis(20),
+            ..tiny_spec()
+        };
+        let m = run_open_loop(&map, &spec);
+        assert!(m.sojourn.count() > 0);
+        assert_eq!(m.deadline_misses, m.sojourn.count());
+        assert!((m.miss_fraction() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn sweep_stops_at_the_saturation_knee() {
+        let base = OpenLoopSpec {
+            duration: Duration::from_millis(20),
+            ..tiny_spec()
+        };
+        // An impossible deadline saturates the very first step.
+        let saturated = saturation_sweep(
+            || std::sync::Arc::new(BPlusTree::with_defaults()),
+            &OpenLoopSpec {
+                deadline: Duration::ZERO,
+                ..base.clone()
+            },
+            &SweepConfig {
+                max_steps: 4,
+                miss_threshold: 0.05,
+                ..SweepConfig::default()
+            },
+        );
+        assert_eq!(saturated.len(), 1);
+        assert!(saturated[0].miss_fraction() > 0.05);
+
+        // A generous deadline never saturates: the sweep runs all steps and
+        // the offered rate ramps multiplicatively.
+        let relaxed = saturation_sweep(
+            || std::sync::Arc::new(BPlusTree::with_defaults()),
+            &base,
+            &SweepConfig {
+                start_rate: 10_000.0,
+                growth: 2.0,
+                max_steps: 3,
+                miss_threshold: 1.1,
+            },
+        );
+        assert_eq!(relaxed.len(), 3);
+        assert!((relaxed[0].offered_rate - 10_000.0).abs() < 1e-6);
+        assert!((relaxed[2].offered_rate - 40_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fractions_handle_empty_runs() {
+        let m = OpenLoopMeasurement::default();
+        assert_eq!(m.miss_fraction(), 0.0);
+        assert_eq!(m.shed_fraction(), 0.0);
+        assert_eq!(m.achieved_rate(), 0.0);
+    }
+}

@@ -1,0 +1,281 @@
+//! Integration tests for the thread-per-core router: model equivalence under
+//! concurrent producers, bounded-ingress backpressure (block and shed
+//! policies), and the open-loop overload harness driving the router
+//! end-to-end.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use pma_common::{ConcurrentMap, PmaError, Registry};
+use rma_concurrent::engine::{CoreRouter, CoreRouterConfig, OverloadPolicy};
+use rma_concurrent::workloads::{
+    build_or_panic, ensure_builtin_backends, run_open_loop, saturation_sweep, Distribution,
+    OpenLoopSpec, SweepConfig,
+};
+
+fn router(workers: usize, queue_depth: usize, policy: OverloadPolicy, inner: &str) -> CoreRouter {
+    ensure_builtin_backends();
+    let inner = Registry::global().build(inner).expect("inner spec builds");
+    CoreRouter::new(
+        CoreRouterConfig {
+            workers,
+            queue_depth,
+            policy,
+            pin: true,
+        },
+        inner,
+    )
+    .expect("valid router config")
+}
+
+/// 4 producers with disjoint deterministic schedules (point inserts, batch
+/// runs, removes, read-your-writes gets) against a 2-worker router over a
+/// sharded engine; final contents must equal the `BTreeMap` model and the
+/// owned-window invariant must hold through the shipping layer.
+#[test]
+fn router_matches_model_under_concurrent_producers() {
+    const PRODUCERS: i64 = 4;
+    const KEYS_PER_PRODUCER: i64 = 6_000;
+
+    let map = router(2, 256, OverloadPolicy::Block, "sharded:2:pma-batch:1");
+    std::thread::scope(|scope| {
+        for t in 0..PRODUCERS {
+            let map = &map;
+            scope.spawn(move || {
+                // Half the keys as point inserts, half as one shipped run.
+                let mid = KEYS_PER_PRODUCER / 2;
+                for i in 0..mid {
+                    let key = i * PRODUCERS + t;
+                    map.insert(key, key.wrapping_mul(2));
+                    // Same key routes to the same worker FIFO, so a shipped
+                    // Get after a shipped Insert must observe it.
+                    if i % 997 == 0 {
+                        assert_eq!(map.get(key), Some(key.wrapping_mul(2)), "key {key}");
+                    }
+                }
+                let run: Vec<_> = (mid..KEYS_PER_PRODUCER)
+                    .map(|i| {
+                        let key = i * PRODUCERS + t;
+                        (key, key.wrapping_mul(2))
+                    })
+                    .collect();
+                map.insert_batch(&run);
+                // Remove a deterministic slice of this producer's own keys.
+                for i in (0..KEYS_PER_PRODUCER).step_by(10) {
+                    let key = i * PRODUCERS + t;
+                    assert_eq!(map.remove(key), Some(key.wrapping_mul(2)), "key {key}");
+                }
+            });
+        }
+    });
+    map.flush();
+
+    let mut model: BTreeMap<i64, i64> = BTreeMap::new();
+    for t in 0..PRODUCERS {
+        for i in 0..KEYS_PER_PRODUCER {
+            model.insert(i * PRODUCERS + t, (i * PRODUCERS + t).wrapping_mul(2));
+        }
+        for i in (0..KEYS_PER_PRODUCER).step_by(10) {
+            model.remove(&(i * PRODUCERS + t));
+        }
+    }
+    assert_eq!(map.len(), model.len(), "length diverged");
+    let stats = map.scan_all();
+    assert_eq!(stats.count as usize, model.len());
+    assert_eq!(stats.key_sum, model.keys().sum::<i64>() as i128);
+    assert_eq!(stats.value_sum, model.values().sum::<i64>() as i128);
+
+    let router_stats = map.stats();
+    assert!(router_stats.shipped_ops > 0, "{router_stats:?}");
+    assert_eq!(router_stats.shipped_runs, PRODUCERS as u64);
+    assert!(router_stats.drained_batches > 0);
+    assert!(router_stats.coalesced_inserts > 0);
+    assert_eq!(router_stats.ops_shed, 0, "Block policy never sheds");
+
+    // The linearizability invariant holds through the shipping layer.
+    let combining = map.combining_stats().expect("sharded inner has combining");
+    assert_eq!(combining.late_replays, 0, "{combining:?}");
+}
+
+/// Bounded-queue stress: producers blasting a tiny ingress queue (depth 2)
+/// under the blocking policy must wait — never lose or duplicate — and the
+/// inner structure must come out exactly equal to the model.
+#[test]
+fn bounded_ingress_blocks_without_losing_or_duplicating_ops() {
+    const PRODUCERS: i64 = 4;
+    const KEYS_PER_PRODUCER: i64 = 8_000;
+
+    let map = router(1, 2, OverloadPolicy::Block, "sharded:2:pma-batch:1");
+    std::thread::scope(|scope| {
+        for t in 0..PRODUCERS {
+            let map = &map;
+            scope.spawn(move || {
+                for i in 0..KEYS_PER_PRODUCER {
+                    let key = i * PRODUCERS + t;
+                    map.insert(key, key);
+                }
+            });
+        }
+    });
+    map.flush();
+
+    let total = (PRODUCERS * KEYS_PER_PRODUCER) as usize;
+    assert_eq!(map.len(), total, "ops were lost or duplicated");
+    let stats = map.scan_all();
+    assert_eq!(stats.count as usize, total);
+    // Sum over the dense range [0, total): no key missing, none doubled.
+    let n = total as i128;
+    assert_eq!(stats.key_sum, n * (n - 1) / 2);
+
+    let router_stats = map.stats();
+    assert_eq!(router_stats.shipped_ops, total as u64);
+    assert!(
+        router_stats.backpressure_waits > 0,
+        "4 producers into a depth-2 queue must have blocked: {router_stats:?}"
+    );
+    assert_eq!(router_stats.ops_shed, 0);
+    let combining = map.combining_stats().expect("sharded inner has combining");
+    assert_eq!(combining.late_replays, 0, "{combining:?}");
+}
+
+/// Shed policy: a saturated depth-2 queue returns `PmaError::Overloaded`
+/// instead of blocking; accepted + shed accounts for every attempt and the
+/// structure holds exactly the accepted keys.
+#[test]
+fn shed_policy_returns_typed_errors_instead_of_blocking() {
+    const ATTEMPTS: i64 = 20_000;
+
+    let map = router(1, 2, OverloadPolicy::Shed, "sharded:2:pma-batch:1");
+    let mut accepted = 0u64;
+    let mut shed = 0u64;
+    for key in 0..ATTEMPTS {
+        match map.try_insert(key, key) {
+            Ok(()) => accepted += 1,
+            Err(PmaError::Overloaded { worker, capacity }) => {
+                assert_eq!(worker, 0, "single-worker router");
+                assert_eq!(capacity, 2);
+                shed += 1;
+            }
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+    map.flush();
+
+    assert_eq!(accepted + shed, ATTEMPTS as u64);
+    assert_eq!(map.len() as u64, accepted, "only accepted keys are stored");
+    let stats = map.stats();
+    assert_eq!(stats.ops_shed, shed);
+    assert_eq!(stats.backpressure_waits, 0, "shed mode never blocks");
+}
+
+/// On Linux every worker pins successfully (wrapping onto the available
+/// cores); elsewhere the gauge honestly reports zero.
+#[test]
+fn workers_report_their_pinning_outcome() {
+    let map = router(3, 64, OverloadPolicy::Block, "pma-batch:1");
+    map.insert(1, 1);
+    map.flush();
+    let stats = map.stats();
+    if cfg!(target_os = "linux") {
+        assert_eq!(stats.pinned_workers, 3, "{stats:?}");
+    } else {
+        assert_eq!(stats.pinned_workers, 0, "{stats:?}");
+    }
+}
+
+/// The open-loop driver runs end-to-end over the registry-built router,
+/// measures probe sojourns through the ingress FIFOs, and samples the
+/// router's `ingress_depth` gauge into the metrics series.
+#[test]
+fn open_loop_driver_measures_the_router() {
+    ensure_builtin_backends();
+    let map = build_or_panic("cores:2:sharded:2:pma-batch:1");
+    let spec = OpenLoopSpec {
+        offered_rate: 30_000.0,
+        duration: Duration::from_millis(150),
+        producers: 2,
+        key_range: 1 << 16,
+        distribution: Distribution::Uniform,
+        seed: 7,
+        deadline: Duration::from_secs(5),
+        read_fraction: 0.2,
+        preload: 2_000,
+    };
+    let m = run_open_loop(map.as_ref(), &spec);
+
+    assert_eq!(m.issued_ops, 4_500);
+    assert_eq!(m.shed_ops, 0, "Block policy router never sheds");
+    assert_eq!(m.sojourn.count(), 900, "every 5th op is a probe");
+    assert_eq!(m.deadline_misses, 0, "5s deadline at 30k/s cannot miss");
+    assert!(m.final_len >= 2_000);
+
+    // Sojourn percentiles are ordered and positive.
+    let p50 = m.sojourn.p50().expect("probes recorded");
+    let p999 = m.sojourn.p999().expect("probes recorded");
+    assert!(0 < p50 && p50 <= p999);
+
+    // The sampler saw the router's gauges: a queue-depth p99 is derivable.
+    let series = m.metrics.as_ref().expect("router exports metrics");
+    assert!(series.percentile("ingress_depth", 0.99).is_some());
+    assert!(series
+        .last()
+        .and_then(|snap| snap.value("router_workers"))
+        .is_some_and(|w| (w - 2.0).abs() < f64::EPSILON));
+
+    let combining = m.combining.expect("sharded inner has combining");
+    assert_eq!(combining.late_replays, 0, "{combining:?}");
+}
+
+/// A miniature saturation sweep over the router: ramps the offered rate,
+/// builds a fresh router per step, and stops at `max_steps` when the
+/// (generous) thresholds are never exceeded.
+#[test]
+fn mini_saturation_sweep_over_the_router() {
+    ensure_builtin_backends();
+    let base = OpenLoopSpec {
+        duration: Duration::from_millis(40),
+        producers: 2,
+        key_range: 1 << 16,
+        deadline: Duration::from_secs(5),
+        read_fraction: 0.25,
+        preload: 500,
+        ..OpenLoopSpec::default()
+    };
+    let points = saturation_sweep(
+        || build_or_panic("cores:1:sharded:2:pma-batch:1"),
+        &base,
+        &SweepConfig {
+            start_rate: 5_000.0,
+            growth: 2.0,
+            max_steps: 2,
+            miss_threshold: 1.1,
+        },
+    );
+    assert_eq!(points.len(), 2);
+    assert!(points[0].issued_ops > 0 && points[1].issued_ops > 0);
+    assert!((points[1].offered_rate / points[0].offered_rate - 2.0).abs() < 1e-6);
+    for point in &points {
+        assert_eq!(point.shed_ops, 0);
+        assert!(point.sojourn.count() > 0);
+    }
+}
+
+/// Shipping a whole run through `Arc<dyn ConcurrentMap>` exercises the
+/// blanket-impl forwarding of `try_insert` and `insert_batch`.
+#[test]
+fn router_behind_dyn_arc_forwards_admission_control() {
+    let map: Arc<dyn ConcurrentMap> = Arc::new(router(1, 2, OverloadPolicy::Shed, "pma-batch:1"));
+    let mut saw_shed = false;
+    for key in 0..5_000 {
+        if map.try_insert(key, key).is_err() {
+            saw_shed = true;
+        }
+    }
+    assert!(
+        saw_shed,
+        "a depth-2 shed queue must reject under a tight loop"
+    );
+    map.flush();
+    assert!(!map.is_empty());
+}
