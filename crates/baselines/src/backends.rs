@@ -8,12 +8,13 @@
 
 use std::sync::Arc;
 
-use pma_common::registry::{BackendDef, BackendSpec, Registry};
+use pma_common::registry::{BackendDef, BackendSpec, ByteBackendDef, Registry};
 use pma_common::{ConcurrentMap, PmaError};
 
 use crate::art::ArtIndex;
 use crate::btree::{BPlusTree, BTreeConfig};
 use crate::bwtree::BwTreeLike;
+use crate::bytebtree::ByteBTree;
 use crate::masstree::MasstreeLike;
 
 fn leaf_variant(spec: &BackendSpec<'_>) -> Result<bool, PmaError> {
@@ -93,6 +94,14 @@ pub fn register_backends(registry: &Registry) {
             let (config, name) = btree_variant(spec)?;
             Ok(Arc::new(BPlusTree::from_sorted(config, name, items)?))
         }),
+    });
+    registry.register_bytes(ByteBackendDef {
+        name: "bbtree",
+        description: "byte-keyed std BTreeMap behind an RwLock; the uncompressed \
+                      bytes/key baseline (no argument)",
+        label: |_| "ByteBTree".to_string(),
+        build: |_, _| Ok(Arc::new(ByteBTree::new())),
+        build_loaded: None,
     });
 }
 

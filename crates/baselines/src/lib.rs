@@ -13,10 +13,12 @@ pub mod art;
 pub mod backends;
 pub mod btree;
 pub mod bwtree;
+pub mod bytebtree;
 pub mod masstree;
 
 pub use art::ArtIndex;
 pub use backends::register_backends;
 pub use btree::{BPlusTree, BTreeConfig};
 pub use bwtree::{BwTreeConfig, BwTreeLike};
+pub use bytebtree::ByteBTree;
 pub use masstree::MasstreeLike;

@@ -11,7 +11,11 @@
 //! the thread-per-core router (and the bare sharded engine as its
 //! comparison point) at a fixed offered arrival rate, recording the
 //! achieved rate, probe sojourn percentiles (p999 in its own column), the
-//! shed count and the ingress queue-depth p99.
+//! shed count and the ingress queue-depth p99. Three `url-corpus` cells
+//! bulk-load a shared-prefix-heavy byte-key corpus into the byte backends
+//! (`bpma:128`, `bbtree`, `bsharded:4:bpma:128`) and record each
+//! structure's resident `bytes_per_key` next to its load and prefix-scan
+//! rates — the measured inputs of `docs/INTERNALS.md`'s layout table.
 //!
 //! ```text
 //! bench_smoke [--sha S] [--out PATH] [--baseline PATH]
@@ -33,8 +37,8 @@
 
 use pma_bench::smoke::{compare_reports, parse_report, render_report, MetricsSummary, SmokeRecord};
 use pma_workloads::{
-    build_or_panic, run_open_loop, run_workload, Distribution, OpenLoopSpec, ThreadSplit,
-    UpdatePattern, WorkloadSpec,
+    build_bytes, build_or_panic, run_byte_ingest, run_open_loop, run_workload, Distribution,
+    OpenLoopSpec, ThreadSplit, UpdatePattern, WorkloadSpec,
 };
 
 /// The per-record metrics summary: end-of-run maintenance totals plus the
@@ -84,6 +88,12 @@ const STRUCTURES: &[&str] = &["sharded:8:pma-batch:100", "btree", "pma-batch:100
 /// (same inner structure, no shipping layer).
 const OPEN_LOOP_STRUCTURES: &[&str] =
     &["cores:2:sharded:8:pma-batch:100", "sharded:8:pma-batch:100"];
+
+/// The byte-keyed structures of the `url-corpus` cell: the prefix-compressed
+/// byte PMA, the uncompressed BTreeMap baseline, and the byte-sharded
+/// composition — the trio whose `bytes_per_key` column feeds the layout
+/// economics table in `docs/INTERNALS.md`.
+const BYTE_STRUCTURES: &[&str] = &["bpma:128", "bbtree", "bsharded:4:bpma:128"];
 
 /// The workloads of the fixed grid: `(name, update_threads, scan_threads,
 /// pattern)`.
@@ -182,6 +192,7 @@ fn run_cell(
         offered_mps: 0.0,
         sojourn_p999_us: 0,
         shed: 0,
+        bytes_per_key: 0.0,
         metrics: metrics_summary(&m),
     }
 }
@@ -242,6 +253,7 @@ fn run_open_loop_cell(structure: &str, elements: usize) -> SmokeRecord {
         offered_mps: spec.offered_rate / 1.0e6,
         sojourn_p999_us: m.sojourn.p999().unwrap_or(0) / 1_000,
         shed: m.shed_ops,
+        bytes_per_key: 0.0,
         metrics,
     }
 }
@@ -330,8 +342,38 @@ fn run_frozen_cell(structure: &str, elements: usize) -> Option<SmokeRecord> {
         offered_mps: 0.0,
         sojourn_p999_us: 0,
         shed: 0,
+        bytes_per_key: 0.0,
         metrics,
     })
+}
+
+/// The `url-corpus` cell: bulk-load a shared-prefix-heavy URL corpus through
+/// the byte-backend table, probe members, prefix-scan the hottest host, and
+/// record the structure's resident `bytes_per_key` next to the rates. The
+/// update column holds the bulk-load rate; the scan column the prefix-scan
+/// visit rate.
+fn run_url_corpus_cell(structure: &str, elements: usize) -> SmokeRecord {
+    let map = build_bytes(structure).unwrap_or_else(|e| panic!("cannot build `{structure}`: {e}"));
+    let m = run_byte_ingest(&map, 0xBEEF, elements, (elements / 4).max(1));
+    SmokeRecord {
+        structure: structure.to_string(),
+        workload: "url-corpus".to_string(),
+        update_mps: m.load_mps,
+        scan_eps: m.prefix_scan_eps * 1.0e6,
+        p50_us: 0,
+        p99_us: 0,
+        split_stall_us: 0,
+        owned: 0,
+        late: 0,
+        elements: m.entries as u64,
+        kernel: pma_common::simd::kernel_variant().to_string(),
+        lat_samples: 0,
+        offered_mps: 0.0,
+        sojourn_p999_us: 0,
+        shed: 0,
+        bytes_per_key: m.bytes_per_key,
+        metrics: None,
+    }
 }
 
 fn main() {
@@ -420,6 +462,25 @@ fn main() {
                     merged.owned = merged.owned.max(record.owned);
                     merged.elements = record.elements;
                     merged.metrics = merge_metrics(merged.metrics.take(), record.metrics);
+                }
+            }
+        }
+        for structure in BYTE_STRUCTURES {
+            eprintln!(
+                "bench-smoke: {structure} / url-corpus (run {}/{})",
+                run + 1,
+                options.runs
+            );
+            let record = run_url_corpus_cell(structure, options.elements / 2);
+            match records.iter_mut().find(|r| r.key() == record.key()) {
+                None => records.push(record),
+                Some(merged) => {
+                    merged.update_mps = merged.update_mps.min(record.update_mps);
+                    merged.scan_eps = merged.scan_eps.min(record.scan_eps);
+                    // bytes/key is deterministic for a fixed corpus; keep
+                    // the worst (largest) figure across runs anyway.
+                    merged.bytes_per_key = merged.bytes_per_key.max(record.bytes_per_key);
+                    merged.elements = record.elements;
                 }
             }
         }

@@ -61,6 +61,11 @@ pub struct SmokeRecord {
     /// Operations shed by admission control (open-loop cells over a
     /// shed-mode router); 0 elsewhere and for pre-column reports.
     pub shed: u64,
+    /// Resident heap bytes per key for byte-keyed cells (the layout
+    /// economics column of `docs/INTERNALS.md`); 0 for u64 cells, for
+    /// backends without memory stats, and for pre-column reports. Recorded
+    /// for trend analysis, never gated.
+    pub bytes_per_key: f64,
     /// End-of-run observability summary (the nested `metrics` object);
     /// `None` for structures exposing no counters and for reports written
     /// before the block existed.
@@ -107,7 +112,7 @@ pub fn render_report(sha: &str, records: &[SmokeRecord]) -> String {
              \"p50_us\": {}, \"p99_us\": {}, \"split_stall_us\": {}, \
              \"owned\": {}, \"late\": {}, \"elements\": {}, \"kernel\": \"{}\", \
              \"lat_samples\": {}, \"offered_mps\": {:.6}, \
-             \"sojourn_p999_us\": {}, \"shed\": {}",
+             \"sojourn_p999_us\": {}, \"shed\": {}, \"bytes_per_key\": {:.2}",
             escape(&r.structure),
             escape(&r.workload),
             r.update_mps,
@@ -123,6 +128,7 @@ pub fn render_report(sha: &str, records: &[SmokeRecord]) -> String {
             r.offered_mps,
             r.sojourn_p999_us,
             r.shed,
+            r.bytes_per_key,
         );
         if let Some(m) = &r.metrics {
             let _ = write!(
@@ -227,6 +233,7 @@ fn parse_record(object: &str) -> Result<SmokeRecord, String> {
         offered_mps: extract_number_field(object, "offered_mps").unwrap_or(0.0),
         sojourn_p999_us: extract_number_field(object, "sojourn_p999_us").unwrap_or(0.0) as u64,
         shed: extract_number_field(object, "shed").unwrap_or(0.0) as u64,
+        bytes_per_key: extract_number_field(object, "bytes_per_key").unwrap_or(0.0),
         metrics: parse_metrics_block(object),
     })
 }
@@ -409,6 +416,7 @@ mod tests {
             offered_mps: 0.0,
             sojourn_p999_us: 0,
             shed: 0,
+            bytes_per_key: 0.0,
             metrics: None,
         }
     }
@@ -546,6 +554,28 @@ mod tests {
         worse.sojourn_p999_us = 99_000;
         worse.shed = 9_999;
         assert!(compare_reports(std::slice::from_ref(&open), &[worse], 0.25).is_empty());
+    }
+
+    #[test]
+    fn bytes_per_key_column_roundtrips_and_never_gates() {
+        let mut byte_cell = record("bpma:128", "url-corpus", 0.8, 1.0e8);
+        byte_cell.bytes_per_key = 23.75;
+        let text = render_report("abc", std::slice::from_ref(&byte_cell));
+        assert!(text.contains("\"bytes_per_key\": 23.75"));
+        let (_, parsed) = parse_report(&text).unwrap();
+        assert_eq!(parsed[0], byte_cell);
+        // A pre-column baseline still parses, with the zero sentinel.
+        let old = "{\"sha\": \"x\", \"records\": [{\"structure\": \"a\", \
+                   \"workload\": \"scan\", \"update_mps\": 1.0, \
+                   \"scan_eps\": 1.0, \"p50_us\": 1, \"p99_us\": 2, \
+                   \"split_stall_us\": 3, \"owned\": 4, \"late\": 0, \
+                   \"elements\": 5}]}";
+        let (_, parsed) = parse_report(old).unwrap();
+        assert_eq!(parsed[0].bytes_per_key, 0.0);
+        // A fatter layout alone never regresses: the column is trend-only.
+        let mut fatter = byte_cell.clone();
+        fatter.bytes_per_key = 99.0;
+        assert!(compare_reports(std::slice::from_ref(&byte_cell), &[fatter], 0.25).is_empty());
     }
 
     #[test]

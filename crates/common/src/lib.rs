@@ -10,6 +10,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bytemap;
 pub mod error;
 pub mod map;
 pub mod registry;
@@ -22,10 +23,14 @@ pub mod util;
 /// manifest edge.
 pub use pma_obs as obs;
 
+pub use bytemap::{
+    check_sorted_bytes, dedup_sorted_bytes_last_wins, ByteMemoryStats, ByteScanStats, ByteView64,
+    ConcurrentByteMap, FrozenByteView,
+};
 pub use error::PmaError;
 pub use map::{
     check_sorted, dedup_sorted_last_wins, CombiningStats, ConcurrentMap, FrozenView,
     MaintenanceStats, ScanStats,
 };
-pub use registry::{BackendDef, BackendSpec, Registry};
-pub use types::{Key, KeyValue, Value, KEY_MAX, KEY_MIN};
+pub use registry::{BackendDef, BackendSpec, ByteBackendDef, Registry};
+pub use types::{ByteKey, Key, KeyValue, Value, KEY_MAX, KEY_MIN};

@@ -74,6 +74,7 @@
 use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock, RwLock};
 
+use crate::bytemap::ConcurrentByteMap;
 use crate::error::PmaError;
 use crate::map::{check_sorted, ConcurrentMap};
 use crate::types::{Key, Value};
@@ -169,10 +170,63 @@ impl std::fmt::Debug for BackendDef {
     }
 }
 
+/// Builds one byte-keyed backend instance from a parsed spec (the
+/// [`ConcurrentByteMap`] counterpart of [`BuildFn`]). The first argument is
+/// the dispatching registry, so composite byte backends (`bsharded`) and
+/// adapters over u64 backends (`b64`) resolve inner specs against it.
+pub type ByteBuildFn =
+    fn(&Registry, &BackendSpec<'_>) -> Result<Arc<dyn ConcurrentByteMap>, PmaError>;
+
+/// Builds one byte-keyed backend pre-populated with a sorted run (the
+/// [`ConcurrentByteMap`] counterpart of [`LoadFn`]). Keys arrive in
+/// non-decreasing order; duplicates resolve to the last entry (use
+/// [`crate::bytemap::dedup_sorted_bytes_last_wins`]).
+pub type ByteLoadFn = fn(
+    &Registry,
+    &BackendSpec<'_>,
+    &[(Vec<u8>, Value)],
+) -> Result<Arc<dyn ConcurrentByteMap>, PmaError>;
+
+/// One registered byte-keyed backend.
+///
+/// Byte backends live in a table *parallel* to the u64 [`BackendDef`] set —
+/// same spec grammar, separate namespace — so the existing u64 surface
+/// (every spec, test, and bench iterating [`Registry::names`]) is untouched
+/// by the byte-key generalisation.
+#[derive(Clone, Copy)]
+pub struct ByteBackendDef {
+    /// Registry name, the part of a spec before `:`.
+    pub name: &'static str,
+    /// Human-readable description, including the accepted argument.
+    pub description: &'static str,
+    /// Display-label renderer.
+    pub label: LabelFn,
+    /// Instance builder.
+    pub build: ByteBuildFn,
+    /// Native bulk loader used by [`Registry::build_bytes_loaded`]; `None`
+    /// falls back to `build` + `insert_batch`.
+    pub build_loaded: Option<ByteLoadFn>,
+}
+
+impl std::fmt::Debug for ByteBackendDef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ByteBackendDef")
+            .field("name", &self.name)
+            .field("description", &self.description)
+            .finish()
+    }
+}
+
 /// A set of named backends, addressable by spec string.
+///
+/// Holds two parallel tables: the original u64-keyed [`BackendDef`] entries
+/// and the byte-keyed [`ByteBackendDef`] entries (`bpma`, `bbtree`,
+/// `bsharded`, `b64`, …), dispatched through `build`/`build_loaded` and
+/// `build_bytes`/`build_bytes_loaded` respectively.
 #[derive(Debug, Default)]
 pub struct Registry {
     entries: RwLock<BTreeMap<&'static str, BackendDef>>,
+    byte_entries: RwLock<BTreeMap<&'static str, ByteBackendDef>>,
 }
 
 impl Registry {
@@ -278,6 +332,109 @@ impl Registry {
         check_sorted(items)?;
         let spec = BackendSpec::parse(spec);
         let def = self.lookup(&spec)?;
+        match def.build_loaded {
+            Some(load) => load(self, &spec, items),
+            None => {
+                let map = (def.build)(self, &spec)?;
+                map.insert_batch(items);
+                map.flush();
+                Ok(map)
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Byte-keyed backends (parallel table)
+    // -----------------------------------------------------------------
+
+    /// Registers (or replaces) a byte-keyed backend definition.
+    pub fn register_bytes(&self, def: ByteBackendDef) {
+        self.byte_entries
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(def.name, def);
+    }
+
+    /// Whether a byte-keyed backend with `name` is registered.
+    pub fn contains_bytes(&self, name: &str) -> bool {
+        self.byte_entries
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .contains_key(name)
+    }
+
+    /// Names of all registered byte-keyed backends, sorted.
+    pub fn byte_names(&self) -> Vec<String> {
+        self.byte_entries
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .keys()
+            .map(|n| n.to_string())
+            .collect()
+    }
+
+    /// `(name, description)` of every registered byte-keyed backend, sorted
+    /// by name.
+    pub fn byte_entries(&self) -> Vec<(String, String)> {
+        self.byte_entries
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .map(|d| (d.name.to_string(), d.description.to_string()))
+            .collect()
+    }
+
+    fn lookup_bytes(&self, spec: &BackendSpec<'_>) -> Result<ByteBackendDef, PmaError> {
+        self.byte_entries
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(spec.name)
+            .copied()
+            .ok_or_else(|| {
+                PmaError::NotFound(format!(
+                    "byte backend `{}` (from spec `{}`); registered: {}",
+                    spec.name,
+                    spec.raw,
+                    self.byte_names().join(", ")
+                ))
+            })
+    }
+
+    /// The display label for a byte-backend `spec`.
+    pub fn byte_label(&self, spec: &str) -> Result<String, PmaError> {
+        let spec = BackendSpec::parse(spec);
+        Ok((self.lookup_bytes(&spec)?.label)(&spec))
+    }
+
+    /// Builds a fresh byte-keyed backend selected by `spec`, passing `self`
+    /// as the dispatching registry (see [`ByteBuildFn`]).
+    pub fn build_bytes(&self, spec: &str) -> Result<Arc<dyn ConcurrentByteMap>, PmaError> {
+        let spec = BackendSpec::parse(spec);
+        (self.lookup_bytes(&spec)?.build)(self, &spec)
+    }
+
+    /// Builds a byte-keyed backend pre-populated with `items` (sorted by key
+    /// in non-decreasing byte order; the last entry wins on duplicates).
+    ///
+    /// Dispatches to the entry's native [`ByteBackendDef::build_loaded`] when
+    /// registered, and otherwise falls back to [`Registry::build_bytes`]
+    /// followed by `insert_batch` + `flush`.
+    pub fn build_bytes_loaded(
+        &self,
+        spec: &str,
+        items: &[(Vec<u8>, Value)],
+    ) -> Result<Arc<dyn ConcurrentByteMap>, PmaError> {
+        for pair in items.windows(2) {
+            if pair[0].0 > pair[1].0 {
+                return Err(PmaError::invalid(
+                    "items",
+                    "bulk-load input must be sorted by key in non-decreasing byte order"
+                        .to_string(),
+                ));
+            }
+        }
+        let spec = BackendSpec::parse(spec);
+        let def = self.lookup_bytes(&spec)?;
         match def.build_loaded {
             Some(load) => load(self, &spec, items),
             None => {
@@ -429,6 +586,94 @@ mod tests {
         });
         let map = registry.build_loaded("dummy", &[(7, 70)]).unwrap();
         assert_eq!(map.get(7), Some(1070), "native loader must be dispatched");
+    }
+
+    #[derive(Default)]
+    struct ByteDummy(std::sync::Mutex<std::collections::BTreeMap<Vec<u8>, Value>>);
+
+    impl crate::bytemap::ConcurrentByteMap for ByteDummy {
+        fn insert(&self, key: &[u8], value: Value) {
+            self.0.lock().unwrap().insert(key.to_vec(), value);
+        }
+        fn remove(&self, key: &[u8]) -> Option<Value> {
+            self.0.lock().unwrap().remove(key)
+        }
+        fn get(&self, key: &[u8]) -> Option<Value> {
+            self.0.lock().unwrap().get(key).copied()
+        }
+        fn len(&self) -> usize {
+            self.0.lock().unwrap().len()
+        }
+        fn range(&self, lo: &[u8], hi: Option<&[u8]>, visitor: &mut dyn FnMut(&[u8], Value)) {
+            for (k, &v) in self.0.lock().unwrap().iter() {
+                if k.as_slice() >= lo && hi.is_none_or(|h| k.as_slice() < h) {
+                    visitor(k, v);
+                }
+            }
+        }
+        fn name(&self) -> &'static str {
+            "byte-dummy"
+        }
+    }
+
+    fn byte_dummy_def() -> ByteBackendDef {
+        ByteBackendDef {
+            name: "byte-dummy",
+            description: "test byte backend; arg = ignored",
+            label: |spec| format!("ByteDummy[{}]", spec.raw),
+            build: |_, _| Ok(Arc::new(ByteDummy::default())),
+            build_loaded: None,
+        }
+    }
+
+    #[test]
+    fn byte_table_is_a_separate_namespace() {
+        let registry = Registry::new();
+        registry.register(dummy_def());
+        registry.register_bytes(byte_dummy_def());
+        // The u64 surface does not see the byte entry and vice versa.
+        assert_eq!(registry.names(), vec!["dummy".to_string()]);
+        assert_eq!(registry.byte_names(), vec!["byte-dummy".to_string()]);
+        assert!(!registry.contains("byte-dummy"));
+        assert!(!registry.contains_bytes("dummy"));
+        assert!(registry.build("byte-dummy").is_err());
+        assert!(registry.build_bytes("dummy").is_err());
+        assert_eq!(
+            registry.byte_label("byte-dummy:x").unwrap(),
+            "ByteDummy[byte-dummy:x]"
+        );
+        assert_eq!(registry.byte_entries().len(), 1);
+    }
+
+    #[test]
+    fn build_bytes_roundtrips_point_ops() {
+        let registry = Registry::new();
+        registry.register_bytes(byte_dummy_def());
+        let map = registry.build_bytes("byte-dummy").unwrap();
+        map.insert(b"user:1", 10);
+        assert_eq!(map.get(b"user:1"), Some(10));
+        assert_eq!(map.remove(b"user:1"), Some(10));
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn build_bytes_loaded_falls_back_and_validates_order() {
+        let registry = Registry::new();
+        registry.register_bytes(byte_dummy_def());
+        let map = registry
+            .build_bytes_loaded(
+                "byte-dummy",
+                &[(b"a".to_vec(), 1), (b"b".to_vec(), 2), (b"b".to_vec(), 3)],
+            )
+            .unwrap();
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.get(b"b"), Some(3), "later duplicates must win");
+        assert!(
+            registry
+                .build_bytes_loaded("byte-dummy", &[(b"b".to_vec(), 1), (b"a".to_vec(), 2)])
+                .is_err(),
+            "unsorted byte input must be rejected"
+        );
     }
 
     #[test]

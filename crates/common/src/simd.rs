@@ -522,6 +522,106 @@ impl RunSearch for i64 {
     }
 }
 
+// ---------------------------------------------------------------------
+// Byte-key fence routing
+// ---------------------------------------------------------------------
+
+/// Routing directory over sorted variable-length byte fences: the byte-key
+/// variant of [`route`].
+///
+/// The trick is that lexicographic byte order can be *approximated* by a
+/// fixed-stride integer comparison: each fence's first eight bytes
+/// (zero-padded, big-endian — [`crate::types::key_head`]) are packed into the
+/// signed separator domain and probed with the existing SIMD [`route`]
+/// kernel. Because the head is a monotone weakening of byte order, the
+/// vector probe lands either on the right fence or inside the run of fences
+/// sharing the probe key's head; a short scalar walk comparing full byte
+/// slices breaks those ties. The fast path therefore inherits the dispatch
+/// machinery unchanged — including the `PMA_FORCE_SCALAR` escape hatch.
+///
+/// ```
+/// use pma_common::simd::ByteFences;
+///
+/// let fences = ByteFences::from_keys(&[&b""[..], b"g", b"user:", b"user:5"]);
+/// assert_eq!(fences.route(b"apple"), 0);
+/// assert_eq!(fences.route(b"user:"), 2);  // exact fence hit
+/// assert_eq!(fences.route(b"user:4999"), 2);
+/// assert_eq!(fences.route(b"user:7"), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ByteFences {
+    /// First-8-byte heads mapped into the signed separator domain, one per
+    /// fence, in fence order (ties between fences share a head).
+    heads: Vec<Key>,
+    /// The full fence keys, for tie-breaking and introspection.
+    fences: Vec<Box<[u8]>>,
+}
+
+impl ByteFences {
+    /// Builds a directory from sorted (ascending, duplicate-free) fences.
+    /// The first fence acts as `-inf`: keys below it still route to slot 0.
+    ///
+    /// # Panics
+    /// Panics when `fences` is not strictly ascending.
+    pub fn from_keys<K: AsRef<[u8]>>(fences: &[K]) -> Self {
+        let fences: Vec<Box<[u8]>> = fences.iter().map(|f| f.as_ref().into()).collect();
+        assert!(
+            fences.windows(2).all(|w| w[0] < w[1]),
+            "byte fences must be strictly ascending"
+        );
+        let heads = fences
+            .iter()
+            .map(|f| crate::types::head_separator(crate::types::key_head(f)))
+            .collect();
+        Self { heads, fences }
+    }
+
+    /// Number of fences (= routable slots).
+    pub fn len(&self) -> usize {
+        self.fences.len()
+    }
+
+    /// True when no fences are installed.
+    pub fn is_empty(&self) -> bool {
+        self.fences.is_empty()
+    }
+
+    /// The full byte fence at `slot`.
+    pub fn fence(&self, slot: usize) -> &[u8] {
+        &self.fences[slot]
+    }
+
+    /// Index of the last fence `<= key`, or 0 when every fence is greater
+    /// (the first fence acts as `-inf`) — identical semantics to [`route`].
+    ///
+    /// # Panics
+    /// Panics when the directory is empty.
+    pub fn route(&self, key: &[u8]) -> usize {
+        assert!(!self.fences.is_empty(), "routing over an empty directory");
+        let head = crate::types::head_separator(crate::types::key_head(key));
+        // Fences past this point have a strictly greater head, hence are
+        // strictly greater byte strings — never candidates.
+        let mut candidates = count_le(&self.heads, head);
+        // Inside the equal-head run the integer probe is blind; compare the
+        // full byte slices. The walk is bounded by the number of fences
+        // sharing the key's first eight bytes.
+        while candidates > 0
+            && self.heads[candidates - 1] == head
+            && *self.fences[candidates - 1] > *key
+        {
+            candidates -= 1;
+        }
+        candidates.saturating_sub(1)
+    }
+
+    /// Bytes of heap owned by the directory (for memory accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.heads.capacity() * std::mem::size_of::<Key>()
+            + self.fences.capacity() * std::mem::size_of::<Box<[u8]>>()
+            + self.fences.iter().map(|f| f.len()).sum::<usize>()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -655,5 +755,67 @@ mod tests {
         assert_eq!(v, active_variant());
         assert!(["avx2", "sse2", "neon", "scalar"].contains(&kernel_variant()));
         assert!(v.supported());
+    }
+
+    fn reference_byte_route(fences: &[Box<[u8]>], key: &[u8]) -> usize {
+        fences
+            .partition_point(|f| f.as_ref() <= key)
+            .saturating_sub(1)
+    }
+
+    #[test]
+    fn byte_route_matches_reference_on_shared_head_fences() {
+        // Fences deliberately heavy on shared 8-byte heads so the vector
+        // probe must fall back to the scalar tie-break.
+        let fences: Vec<&[u8]> = vec![
+            b"",
+            b"aaaaaaaa",
+            b"aaaaaaaa\x00",
+            b"aaaaaaaa\x00\x01",
+            b"aaaaaaaab",
+            b"aaaaaaaac",
+            b"b",
+            b"user:0000",
+            b"user:0001",
+            b"user:00010",
+            b"zzzzzzzzzzzz",
+        ];
+        let dir = ByteFences::from_keys(&fences);
+        let boxed: Vec<Box<[u8]>> = fences.iter().map(|f| (*f).into()).collect();
+        let probes: Vec<Vec<u8>> = fences
+            .iter()
+            .flat_map(|f| {
+                let f = f.to_vec();
+                let mut below = f.clone();
+                below.pop();
+                let mut above = f.clone();
+                above.push(0);
+                [below, f, above]
+            })
+            .collect();
+        for probe in &probes {
+            assert_eq!(
+                dir.route(probe),
+                reference_byte_route(&boxed, probe),
+                "probe {probe:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn byte_route_handles_short_and_empty_keys() {
+        let dir = ByteFences::from_keys(&[&b""[..], &[0x01], &[0x01, 0x00], &[0x02]]);
+        assert_eq!(dir.route(b""), 0);
+        assert_eq!(dir.route(&[0x00]), 0);
+        assert_eq!(dir.route(&[0x01]), 1);
+        assert_eq!(dir.route(&[0x01, 0x00]), 2);
+        assert_eq!(dir.route(&[0x01, 0x00, 0x00]), 2);
+        assert_eq!(dir.route(&[0xFF; 16]), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn byte_fences_reject_unsorted_input() {
+        let _ = ByteFences::from_keys(&[&b"b"[..], b"a"]);
     }
 }

@@ -41,13 +41,15 @@
 #![warn(missing_docs)]
 
 pub mod backends;
+pub mod bytepma;
 pub mod calibrator;
 pub mod concurrent;
 pub mod params;
 pub mod sequential;
 pub mod stats;
 
-pub use backends::register_backends;
+pub use backends::{register_backends, register_byte_backends};
+pub use bytepma::{BytePma, BytePmaConfig};
 pub use concurrent::delta::{DeltaLog, DeltaOp};
 pub use concurrent::ConcurrentPma;
 pub use params::{DensityThresholds, PmaParams, RebalancePolicy, UpdateMode};

@@ -26,9 +26,11 @@
 
 use std::sync::Arc;
 
-use pma_common::registry::{BackendDef, BackendSpec, Registry};
+use pma_common::bytemap::ConcurrentByteMap;
+use pma_common::registry::{BackendDef, BackendSpec, ByteBackendDef, Registry};
 use pma_common::{ConcurrentMap, Key, PmaError, Value};
 
+use crate::bytesharded::{ByteShardConfig, ShardedByteMap};
 use crate::router::{CoreRouter, CoreRouterConfig};
 use crate::sharded::{ShardedConfig, ShardedMap};
 
@@ -159,6 +161,67 @@ fn build_loaded_cores(
     Ok(Arc::new(CoreRouter::new(config, inner)?))
 }
 
+/// The inner byte spec used when a `bsharded` spec does not name one.
+pub const DEFAULT_BYTE_INNER_SPEC: &str = "bpma:128";
+
+/// Parses the `bsharded` argument grammar: `<n>` or `<n>:<inner-byte-spec>`.
+fn parse_byte_config(spec: &BackendSpec<'_>) -> Result<ByteShardConfig, PmaError> {
+    let (count, inner) = match spec.arg {
+        None => (None, DEFAULT_BYTE_INNER_SPEC),
+        Some(arg) => match arg.split_once(':') {
+            Some((n, rest)) => (Some(n.trim()), rest.trim()),
+            None => (Some(arg.trim()), DEFAULT_BYTE_INNER_SPEC),
+        },
+    };
+    let shards = match count {
+        None => DEFAULT_SHARDS,
+        Some(n) => n.parse().map_err(|_| {
+            PmaError::invalid(
+                "backend_spec",
+                format!("`{}`: shard count `{n}` is not an integer", spec.raw),
+            )
+        })?,
+    };
+    Ok(ByteShardConfig {
+        shards,
+        inner_spec: inner.to_string(),
+    })
+}
+
+fn build_bsharded(
+    registry: &Registry,
+    spec: &BackendSpec<'_>,
+) -> Result<Arc<dyn ConcurrentByteMap>, PmaError> {
+    Ok(Arc::new(ShardedByteMap::new(
+        parse_byte_config(spec)?,
+        registry,
+    )?))
+}
+
+fn build_loaded_bsharded(
+    registry: &Registry,
+    spec: &BackendSpec<'_>,
+    items: &[(Vec<u8>, Value)],
+) -> Result<Arc<dyn ConcurrentByteMap>, PmaError> {
+    Ok(Arc::new(ShardedByteMap::from_sorted_bytes(
+        parse_byte_config(spec)?,
+        registry,
+        items,
+    )?))
+}
+
+fn label_bsharded(spec: &BackendSpec<'_>) -> String {
+    match parse_byte_config(spec) {
+        Ok(config) => {
+            let inner = Registry::global()
+                .byte_label(&config.inner_spec)
+                .unwrap_or_else(|_| config.inner_spec.clone());
+            format!("ByteSharded {}x {}", config.shards, inner)
+        }
+        Err(_) => format!("ByteSharded[{}]", spec.raw),
+    }
+}
+
 fn label_cores(spec: &BackendSpec<'_>) -> String {
     match parse_cores(spec) {
         Ok((config, inner_spec)) => {
@@ -191,6 +254,15 @@ pub fn register_backends(registry: &Registry) {
         label: label_cores,
         build: build_cores,
         build_loaded: Some(build_loaded_cores),
+    });
+    registry.register_bytes(ByteBackendDef {
+        name: "bsharded",
+        description: "range-sharded engine over N byte-keyed inner instances \
+                      routed by byte fences; arg = <n>[:<inner-byte-spec>] \
+                      (default 8:bpma:128)",
+        label: label_bsharded,
+        build: build_bsharded,
+        build_loaded: Some(build_loaded_bsharded),
     });
 }
 
@@ -336,5 +408,45 @@ mod tests {
         assert!(registry.build("cores:abc").is_err());
         assert!(registry.build("cores:2:cores:2:pma-sync").is_err());
         assert!(registry.build("cores:2:warp-drive").is_err());
+    }
+
+    #[test]
+    fn bsharded_spec_grammar_roundtrip() {
+        let registry = registry();
+        for spec in ["bsharded", "bsharded:4", "bsharded:2:bpma:16"] {
+            let map = registry.build_bytes(spec).unwrap();
+            for i in 0..200 {
+                map.insert(format!("user:{i:04}").as_bytes(), i);
+            }
+            assert_eq!(map.len(), 200, "{spec}");
+            assert_eq!(map.scan_all().count, 200, "{spec}");
+            assert_eq!(map.prefix_stats(b"user:01").count, 100, "{spec}");
+        }
+        let items: Vec<(Vec<u8>, i64)> = (0..500)
+            .map(|i| (format!("k{i:06}").into_bytes(), i))
+            .collect();
+        let loaded = registry
+            .build_bytes_loaded("bsharded:4:bpma:32", &items)
+            .unwrap();
+        assert_eq!(loaded.len(), 500);
+        assert_eq!(loaded.get(b"k000123"), Some(123));
+    }
+
+    #[test]
+    fn bsharded_labels_name_count_and_inner() {
+        let registry = registry();
+        assert_eq!(
+            registry.byte_label("bsharded:4:bpma:128").unwrap(),
+            "ByteSharded 4x BytePMA chunk=128"
+        );
+    }
+
+    #[test]
+    fn invalid_bsharded_specs_are_rejected() {
+        let registry = registry();
+        assert!(registry.build_bytes("bsharded:0").is_err());
+        assert!(registry.build_bytes("bsharded:abc").is_err());
+        assert!(registry.build_bytes("bsharded:2:bsharded:2:bpma").is_err());
+        assert!(registry.build_bytes("bsharded:2:warp-drive").is_err());
     }
 }

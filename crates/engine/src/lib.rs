@@ -47,12 +47,14 @@
 
 pub mod affinity;
 pub mod backends;
+pub mod bytesharded;
 mod merge;
 pub mod router;
 pub mod sharded;
 pub mod stats;
 
 pub use backends::register_backends;
+pub use bytesharded::{ByteShardConfig, ShardedByteMap};
 pub use router::{CoreRouter, CoreRouterConfig, CoreRouterStats, OverloadPolicy};
 pub use sharded::{ShardSnapshot, ShardedConfig, ShardedFrozen, ShardedMap};
 pub use stats::{EngineStats, EngineStatsSnapshot, ShardedStats};

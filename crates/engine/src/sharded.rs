@@ -1048,7 +1048,16 @@ fn plan_shards(items: &[(Key, Value)], n: usize) -> Vec<(Key, Key, usize, usize)
     let mut cuts: Vec<usize> = Vec::with_capacity(n + 1);
     cuts.push(0);
     for i in 1..n {
-        let target = (i * items.len() / n).max(cuts[cuts.len() - 1] + 1);
+        let mut target = (i * items.len() / n).max(cuts[cuts.len() - 1] + 1);
+        // A percentile cut landing inside a run of equal keys would hand the
+        // same key to both sides of the fence (the left shard's `hi` becomes
+        // `key - 1`, below its own last element) — duplicate-heavy runs hit
+        // this even though deduped input cannot. Advance the cut past the
+        // run so every fence lands on a genuine key boundary; heavily
+        // duplicated inputs simply produce fewer (never empty) shards.
+        while target < items.len() && items[target].0 == items[target - 1].0 {
+            target += 1;
+        }
         if target >= items.len() {
             break;
         }
@@ -2000,6 +2009,35 @@ mod tests {
         let empty = plan_shards(&[], 3);
         assert_eq!(empty.len(), 3);
         assert!(empty.iter().all(|&(_, _, s, e)| s == e));
+    }
+
+    #[test]
+    fn plan_shards_survives_duplicate_heavy_runs() {
+        // 90% of the input is one repeated key: every percentile cut for
+        // n = 4 lands inside the duplicate run. The guard must slide the
+        // cuts to key boundaries instead of splitting the run.
+        let mut items: Vec<(Key, Value)> = vec![(7, 0); 90];
+        items.extend((8..18).map(|k| (k, 0)));
+        for n in [2, 4, 8] {
+            let plan = plan_shards(&items, n);
+            assert!(!plan.is_empty(), "n={n}");
+            let covered: usize = plan.iter().map(|&(_, _, s, e)| e - s).sum();
+            assert_eq!(covered, items.len(), "n={n}");
+            for &(lo, hi, start, end) in &plan {
+                assert!(end > start, "empty shard in plan for n={n}");
+                assert!(lo <= items[start].0, "n={n}");
+                assert!(items[end - 1].0 <= hi, "shard run escapes its fence, n={n}");
+            }
+            for w in plan.windows(2) {
+                assert!(w[0].1 < w[1].0, "fences must stay disjoint, n={n}");
+                assert_eq!(w[0].3, w[1].2, "runs must stay contiguous, n={n}");
+            }
+        }
+        // All-duplicates input degrades to a single shard.
+        let all_same = plan_shards(&vec![(42, 1); 50], 6);
+        assert_eq!(all_same.len(), 1);
+        assert_eq!(all_same[0].2, 0);
+        assert_eq!(all_same[0].3, 50);
     }
 
     #[test]

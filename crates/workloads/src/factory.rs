@@ -67,6 +67,33 @@ pub fn label(spec: &str) -> String {
         .unwrap_or_else(|_| spec.to_string())
 }
 
+/// Builds the **byte-keyed** structure selected by `spec` via the global
+/// registry's byte-backend table (`bpma:<chunk>`, `bbtree`, `b64:<inner>`,
+/// `bsharded:<n>:<inner>`).
+pub fn build_bytes(spec: &str) -> Result<Arc<dyn pma_common::ConcurrentByteMap>, PmaError> {
+    ensure_builtin_backends();
+    Registry::global().build_bytes(spec)
+}
+
+/// Builds the byte-keyed structure selected by `spec` pre-populated with the
+/// key-sorted `items`, through the backend's native bulk loader when it has
+/// one.
+pub fn build_bytes_loaded(
+    spec: &str,
+    items: &[(Vec<u8>, pma_common::Value)],
+) -> Result<Arc<dyn pma_common::ConcurrentByteMap>, PmaError> {
+    ensure_builtin_backends();
+    Registry::global().build_bytes_loaded(spec, items)
+}
+
+/// Display label for a byte-backend `spec`; falls back to the spec itself.
+pub fn byte_label(spec: &str) -> String {
+    ensure_builtin_backends();
+    Registry::global()
+        .byte_label(spec)
+        .unwrap_or_else(|_| spec.to_string())
+}
+
 /// The four structures of Figure 3.
 pub fn figure3_specs() -> Vec<String> {
     ["masstree", "bwtree", "btree", "pma-batch:100"]
@@ -109,6 +136,26 @@ mod tests {
         assert_eq!(figure4_specs().len(), 7);
         assert_eq!(ablation_segment_specs().len(), 2);
         assert_eq!(ablation_leaf_specs().len(), 2);
+    }
+
+    #[test]
+    fn every_registered_byte_backend_builds_and_works() {
+        ensure_builtin_backends();
+        let names = Registry::global().byte_names();
+        assert!(names.contains(&"bpma".to_string()), "{names:?}");
+        assert!(names.contains(&"bsharded".to_string()), "{names:?}");
+        assert!(names.contains(&"bbtree".to_string()), "{names:?}");
+        for name in names {
+            let map = build_bytes(&name).unwrap_or_else(|e| panic!("{name}: {e}"));
+            for i in 0..200 {
+                map.insert(format!("key/{i:04}").as_bytes(), i);
+            }
+            map.flush();
+            assert_eq!(map.len(), 200, "{name}");
+            assert_eq!(map.get(b"key/0042"), Some(42), "{name}");
+            assert_eq!(map.prefix_stats(b"key/01").count, 100, "{name}");
+            assert!(!byte_label(&name).is_empty());
+        }
     }
 
     #[test]

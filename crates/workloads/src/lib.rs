@@ -15,6 +15,8 @@
 //! * [`harness`] — median-of-repeats measurement and paper-style tables.
 //! * [`factory`] — registry-backed construction of every structure of the
 //!   evaluation by spec string (see [`pma_common::registry`]).
+//! * [`urlcorpus`] — deterministic shared-prefix-heavy URL key corpus and
+//!   the byte-keyed ingest driver reporting bytes/key next to throughput.
 
 #![warn(missing_docs)]
 
@@ -25,6 +27,7 @@ pub mod harness;
 pub mod latency;
 pub mod open_loop;
 pub mod spec;
+pub mod urlcorpus;
 
 pub use distribution::{Distribution, KeyGenerator, DEFAULT_KEY_RANGE};
 pub use drivers::{
@@ -32,8 +35,9 @@ pub use drivers::{
     BulkIngestMeasurement, Measurement,
 };
 pub use factory::{
-    ablation_leaf_specs, ablation_segment_specs, build, build_loaded, build_or_panic,
-    ensure_builtin_backends, figure3_specs, figure4_specs, label,
+    ablation_leaf_specs, ablation_segment_specs, build, build_bytes, build_bytes_loaded,
+    build_loaded, build_or_panic, byte_label, ensure_builtin_backends, figure3_specs,
+    figure4_specs, label,
 };
 pub use harness::{measure_median, render_speedup_table, render_table, ResultRow};
 pub use latency::{LatencyHistogram, LATENCY_SAMPLE_INTERVAL};
@@ -41,3 +45,4 @@ pub use open_loop::{
     run_open_loop, saturation_sweep, OpenLoopMeasurement, OpenLoopSpec, SweepConfig,
 };
 pub use spec::{ThreadSplit, UpdatePattern, WorkloadSpec};
+pub use urlcorpus::{run_byte_ingest, ByteIngestMeasurement, UrlCorpus};

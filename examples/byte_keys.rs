@@ -1,0 +1,57 @@
+//! Variable-length byte keys: the byte-backend registry table, first-class
+//! prefix scans, and the bytes/key layout economics that
+//! `docs/INTERNALS.md` records in detail.
+//!
+//! ```text
+//! cargo run --release --example byte_keys
+//! ```
+
+use rma_concurrent::workloads::{
+    build_bytes, build_bytes_loaded, ensure_builtin_backends, UrlCorpus,
+};
+
+fn main() {
+    ensure_builtin_backends();
+
+    // ---------------------------------------------------------------
+    // 1. Byte-keyed maps are built by spec string from the registry's byte
+    //    table, exactly like the u64 backends from the u64 table.
+    // ---------------------------------------------------------------
+    let map = build_bytes("bpma:128").expect("registered byte backend");
+    map.insert(b"user:alice", 1);
+    map.insert(b"user:bob", 2);
+    map.insert(b"session:9f2e", 3);
+    map.insert(b"user:carol", 4);
+
+    // First-class prefix scans: `prefix(p)` visits exactly the half-open
+    // interval [p, prefix_upper_bound(p)) — no client-side filtering.
+    let mut users = Vec::new();
+    map.prefix(b"user:", &mut |key, value| {
+        users.push((String::from_utf8_lossy(key).into_owned(), value));
+    });
+    println!("prefix scan over `user:` -> {users:?}");
+    assert_eq!(users.len(), 3);
+
+    // ---------------------------------------------------------------
+    // 2. Layout economics on a realistic shared-prefix-heavy corpus: the
+    //    prefix-compressed byte PMA vs the boxed-key BTreeMap baseline.
+    // ---------------------------------------------------------------
+    let items = UrlCorpus::new(42).sorted_corpus(50_000);
+    let raw_key_bytes: usize = items.iter().map(|(k, _)| k.len()).sum();
+    println!(
+        "\nURL corpus: {} keys, {:.1} raw key bytes/key",
+        items.len(),
+        raw_key_bytes as f64 / items.len() as f64
+    );
+    for spec in ["bpma:128", "bbtree", "bsharded:4:bpma:128"] {
+        let map = build_bytes_loaded(spec, &items).expect("bulk load");
+        let hot = map.prefix_stats(UrlCorpus::hot_prefix());
+        let mem = map.memory_stats().expect("byte backends report memory");
+        println!(
+            "  {spec:<22} bytes/key {:6.1}   hot-host prefix holds {} keys",
+            mem.bytes_per_key(),
+            hot.count
+        );
+    }
+    println!("byte_keys example finished successfully");
+}

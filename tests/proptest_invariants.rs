@@ -284,3 +284,80 @@ proptest! {
         }
     }
 }
+
+/// One operation of a generated byte-keyed sequence. Keys are drawn from a
+/// small alphabet with bounded length, so sequences collide often (hitting
+/// the overwrite/remove paths) and share prefixes heavily (hitting the byte
+/// chunks' prefix-compression rebuilds).
+#[derive(Debug, Clone)]
+enum ByteOp {
+    Insert(Vec<u8>, i64),
+    Remove(Vec<u8>),
+    Lookup(Vec<u8>),
+}
+
+fn byte_key_strategy() -> impl Strategy<Value = Vec<u8>> {
+    // Alphabet of 3 symbols, length 0..=6: dense collisions, deep prefixes.
+    proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(0u8)], 0..7)
+}
+
+fn byte_op_strategy() -> impl Strategy<Value = ByteOp> {
+    prop_oneof![
+        3 => (byte_key_strategy(), any::<i64>()).prop_map(|(k, v)| ByteOp::Insert(k, v)),
+        1 => byte_key_strategy().prop_map(ByteOp::Remove),
+        1 => byte_key_strategy().prop_map(ByteOp::Lookup),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every registered byte backend (except the 8-byte-only `b64` adapter)
+    /// behaves exactly like `BTreeMap<Vec<u8>, i64>` under arbitrary
+    /// operation sequences, including empty keys and zero bytes inside keys,
+    /// and agrees on prefix scans afterwards.
+    #[test]
+    fn byte_backends_match_btreemap(
+        ops in proptest::collection::vec(byte_op_strategy(), 1..250),
+        prefix in byte_key_strategy(),
+    ) {
+        use rma_concurrent::workloads::{build_bytes, ensure_builtin_backends};
+        use rma_concurrent::common::{ByteScanStats, Registry};
+
+        ensure_builtin_backends();
+        let mut specs = Registry::global().byte_names();
+        specs.retain(|name| name != "b64");
+        specs.push("bpma:4".to_string());
+        specs.push("bsharded:3:bpma:8".to_string());
+        for spec in &specs {
+            let map = build_bytes(spec).unwrap();
+            let mut model: BTreeMap<Vec<u8>, i64> = BTreeMap::new();
+            for op in &ops {
+                match op {
+                    ByteOp::Insert(k, v) => {
+                        map.insert(k, *v);
+                        model.insert(k.clone(), *v);
+                    }
+                    ByteOp::Remove(k) => {
+                        prop_assert_eq!(map.remove(k), model.remove(k), "{}", spec);
+                    }
+                    ByteOp::Lookup(k) => {
+                        prop_assert_eq!(map.get(k), model.get(k).copied(), "{}", spec);
+                    }
+                }
+            }
+            map.flush();
+            prop_assert_eq!(map.len(), model.len(), "{}", spec);
+            let mut expected = ByteScanStats::default();
+            for (k, &v) in &model {
+                expected.visit(k, v);
+            }
+            prop_assert_eq!(map.scan_all(), expected, "{}", spec);
+            let mut expected_prefix = ByteScanStats::default();
+            for (k, &v) in model.iter().filter(|(k, _)| k.starts_with(&prefix)) {
+                expected_prefix.visit(k, v);
+            }
+            prop_assert_eq!(map.prefix_stats(&prefix), expected_prefix, "{}", spec);
+        }
+    }
+}

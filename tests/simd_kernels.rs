@@ -175,3 +175,38 @@ fn boundary_spot_checks() {
     assert_eq!(simd::route(&[], 5), 0);
     assert_eq!(simd::route(&[10], 5), 0);
 }
+
+/// Strictly-ascending byte fence sets from a tiny alphabet, so many fences
+/// share their 8-byte head and the scalar tie-break actually runs.
+fn byte_fence_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    let key = proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(0xFFu8)], 0..12);
+    proptest::collection::vec(key, 1..24).prop_map(|mut v| {
+        v.sort();
+        v.dedup();
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `ByteFences::route` — the head-packed SIMD probe plus the scalar
+    /// tie-break over equal-head runs — matches the full-key reference
+    /// `partition_point(fence <= key) - 1` for every probe, including keys
+    /// longer than 8 bytes where the head alone cannot decide.
+    #[test]
+    fn byte_fence_route_matches_full_key_reference(
+        fences in byte_fence_strategy(),
+        probe in proptest::collection::vec(any::<u8>(), 0..14),
+    ) {
+        let packed = simd::ByteFences::from_keys(&fences);
+        let expected = fences
+            .partition_point(|f| f.as_slice() <= probe.as_slice())
+            .saturating_sub(1);
+        prop_assert_eq!(packed.route(&probe), expected, "probe {:?} fences {:?}", probe, fences);
+        // Probing each fence key exactly lands on its own slot.
+        for (slot, fence) in fences.iter().enumerate() {
+            prop_assert_eq!(packed.route(fence), slot, "self-probe {:?}", fence);
+        }
+    }
+}

@@ -250,3 +250,204 @@ fn a_backend_registered_at_runtime_is_selectable_by_string() {
         "LockedBTreeMap"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Byte-keyed backends: the same model-agreement discipline over the byte
+// table (`Registry::byte_names`), with `BTreeMap<Vec<u8>, i64>` as the model
+// and a key mix that stresses the layouts — empty keys, 1-byte keys, and
+// shared-prefix-heavy URL-ish keys.
+// ---------------------------------------------------------------------------
+
+use rma_concurrent::common::{ByteScanStats, ConcurrentByteMap};
+
+/// Every byte-backend name plus paper-relevant parameterisations. `b64` is
+/// excluded (it adapts u64 backends and requires exactly-8-byte keys — it
+/// gets its own test below).
+fn all_byte_specs() -> Vec<String> {
+    ensure_builtin_backends();
+    let mut specs = Registry::global().byte_names();
+    specs.retain(|name| name != "b64");
+    for extra in [
+        "bpma:16",
+        "bsharded:4:bpma:32",
+        // A tree baseline inside the byte-sharded composition (exercising
+        // the build-plus-insert_batch bulk-load fallback).
+        "bsharded:3:bbtree",
+    ] {
+        specs.push(extra.to_string());
+    }
+    specs
+}
+
+fn build_bytes(spec: &str) -> Arc<dyn ConcurrentByteMap> {
+    rma_concurrent::workloads::build_bytes(spec)
+        .unwrap_or_else(|e| panic!("cannot build `{spec}`: {e}"))
+}
+
+/// The stress mix: mostly shared-prefix keys, plus empty and 1-byte keys.
+fn random_byte_key(rng: &mut SmallRng) -> Vec<u8> {
+    match rng.gen_range(0..10u32) {
+        0 => Vec::new(),
+        1 => vec![rng.gen_range(0..8u8)],
+        _ => {
+            const STEMS: &[&str] = &[
+                "user:",
+                "https://example.com/users/",
+                "https://example.com/posts/",
+                "z",
+            ];
+            let mut key = STEMS[rng.gen_range(0..STEMS.len())].as_bytes().to_vec();
+            key.extend_from_slice(format!("{:03}", rng.gen_range(0..400u32)).as_bytes());
+            key
+        }
+    }
+}
+
+/// Order-sensitive checksum of a model interval, for comparing against the
+/// structures' `ByteScanStats`.
+fn model_stats<'a>(entries: impl Iterator<Item = (&'a Vec<u8>, &'a i64)>) -> ByteScanStats {
+    let mut stats = ByteScanStats::default();
+    for (key, &value) in entries {
+        stats.visit(key, value);
+    }
+    stats
+}
+
+fn run_byte_model_check(spec: &str, seed: u64, ops: usize) {
+    let map = build_bytes(spec);
+    let mut model: BTreeMap<Vec<u8>, i64> = BTreeMap::new();
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    for i in 0..ops {
+        let key = random_byte_key(&mut rng);
+        let value = i as i64;
+        if rng.gen_bool(0.7) {
+            map.insert(&key, value);
+            model.insert(key, value);
+        } else {
+            assert_eq!(map.remove(&key), model.remove(&key), "{spec}: remove");
+        }
+    }
+    map.flush();
+
+    assert_eq!(map.len(), model.len(), "{spec}: length mismatch");
+    // Point lookups agree on present and absent keys.
+    let mut probe_rng = SmallRng::seed_from_u64(seed ^ 1);
+    for _ in 0..500 {
+        let key = random_byte_key(&mut probe_rng);
+        assert_eq!(
+            map.get(&key),
+            model.get(&key).copied(),
+            "{spec}: lookup mismatch for {key:?}"
+        );
+    }
+    // Full ordered scan agrees (count and order-sensitive checksums).
+    assert_eq!(
+        map.scan_all(),
+        model_stats(model.iter()),
+        "{spec}: scan_all"
+    );
+    // Half-open range scans agree on random (including empty) intervals.
+    for _ in 0..40 {
+        let a = random_byte_key(&mut probe_rng);
+        let b = random_byte_key(&mut probe_rng);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let expected = model_stats(model.range(lo.clone()..hi.clone()));
+        assert_eq!(
+            map.scan_range(&lo, Some(&hi)),
+            expected,
+            "{spec}: scan_range [{lo:?}, {hi:?})"
+        );
+        let unbounded = model_stats(model.range(lo.clone()..));
+        assert_eq!(
+            map.scan_range(&lo, None),
+            unbounded,
+            "{spec}: scan_range [{lo:?}, ..)"
+        );
+    }
+    // Prefix scans agree with a filtered full scan of the model.
+    for prefix in [
+        &b""[..],
+        b"user:",
+        b"user:1",
+        b"https://example.com/",
+        b"https://example.com/users/2",
+        b"\x00",
+        b"missing-prefix",
+    ] {
+        let expected = model_stats(model.iter().filter(|(k, _)| k.starts_with(prefix)));
+        assert_eq!(
+            map.prefix_stats(prefix),
+            expected,
+            "{spec}: prefix {prefix:?}"
+        );
+    }
+}
+
+#[test]
+fn every_byte_backend_matches_the_model_on_random_operations() {
+    for spec in all_byte_specs() {
+        run_byte_model_check(&spec, 0xFEED_BEEF, 6_000);
+    }
+}
+
+#[test]
+fn every_byte_backend_matches_the_model_on_a_second_seed() {
+    for spec in all_byte_specs() {
+        run_byte_model_check(&spec, 99, 2_500);
+    }
+}
+
+#[test]
+fn byte_bulk_load_equals_point_insert_construction() {
+    ensure_builtin_backends();
+    let mut rng = SmallRng::seed_from_u64(0x10AD);
+    let mut items: Vec<(Vec<u8>, i64)> =
+        (0..3_000).map(|i| (random_byte_key(&mut rng), i)).collect();
+    items.sort();
+    items.dedup_by(|a, b| a.0 == b.0);
+    for spec in all_byte_specs() {
+        let loaded = rma_concurrent::workloads::build_bytes_loaded(&spec, &items)
+            .unwrap_or_else(|e| panic!("cannot load `{spec}`: {e}"));
+        let pointwise = build_bytes(&spec);
+        for (key, value) in &items {
+            pointwise.insert(key, *value);
+        }
+        pointwise.flush();
+        assert_eq!(loaded.len(), items.len(), "{spec}");
+        assert_eq!(loaded.scan_all(), pointwise.scan_all(), "{spec}");
+        let (mid, _) = &items[items.len() / 2];
+        assert_eq!(loaded.get(mid), pointwise.get(mid), "{spec}");
+    }
+}
+
+#[test]
+fn b64_adapter_agrees_with_its_inner_backend_on_encoded_keys() {
+    use rma_concurrent::common::types::ByteKey;
+    ensure_builtin_backends();
+    let map = build_bytes("b64:pma-batch:1");
+    let mut model: BTreeMap<Vec<u8>, i64> = BTreeMap::new();
+    let mut rng = SmallRng::seed_from_u64(0xB64);
+    for i in 0..4_000 {
+        // Order-preserving i64 encoding: the byte order of the encoded keys
+        // must match the numeric order the inner u64 backend maintains.
+        let key = rng.gen_range(-5_000..5_000i64).to_bytes();
+        assert_eq!(key.len(), 8);
+        if rng.gen_bool(0.8) {
+            map.insert(&key, i);
+            model.insert(key, i);
+        } else {
+            assert_eq!(map.remove(&key), model.remove(&key), "b64 remove");
+        }
+    }
+    map.flush();
+    assert_eq!(map.len(), model.len());
+    assert_eq!(map.scan_all(), model_stats(model.iter()));
+    // Byte prefixes correspond to encoded-key intervals on the inner map.
+    let prefix = [0x80u8];
+    let expected = model_stats(model.iter().filter(|(k, _)| k.starts_with(&prefix)));
+    assert_eq!(map.prefix_stats(&prefix), expected, "non-negative keys");
+    // Non-8-byte keys read as absent.
+    assert_eq!(map.get(b"odd"), None);
+    assert_eq!(map.remove(b""), None);
+}
